@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_eXX_*.py`` module reproduces one experiment from DESIGN.md's
+per-experiment index: it rebuilds the paper artifact (query texts, ALT,
+higraph, results), *asserts the paper's claim about it*, and times the
+relevant operation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed sections (visible with ``-s``) are the reproduced figures;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+
+def show(title, *blocks):
+    """Print one reproduced artifact in a labelled section."""
+    print()
+    print(f"===== {title} =====")
+    for block in blocks:
+        print(block)
+
+
+def rows(relation):
+    """Deterministic plain-tuple rows for assertions."""
+    return [tuple(row[a] for a in relation.schema) for row in relation.sorted_rows()]

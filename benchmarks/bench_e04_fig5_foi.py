@@ -1,0 +1,78 @@
+"""E04 — Fig. 5 / eqs. (4)-(7): the FOI ("from the outside in") pattern.
+
+Claim reproduced: the Klug/Hella/Soufflé per-outer-tuple formulation — SQL
+scalar subquery (Fig. 5a), SQL lateral join (Fig. 5b), Soufflé head
+aggregate (eq. 6), and ARC's explicit FOI form (eq. 7) — all agree with
+the FIO form on set-semantics inputs, while exposing a *different
+relational pattern* than FIO.
+"""
+
+import pytest
+
+from repro.analysis import detect_patterns, same_pattern
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, generators
+from repro.engine import evaluate
+from repro.frontends import datalog
+from repro.frontends.sql import to_arc
+from repro.workloads import paper_examples
+
+from _common import rows, show
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add(generators.binary_relation("R", 150, domain=12, seed=5))
+    return database
+
+
+def values(relation):
+    return {tuple(row[a] for a in relation.schema) for row in relation.iter_distinct()}
+
+
+def test_foi_equals_fio(benchmark, db):
+    fio = parse(paper_examples.ARC["eq3"])
+    foi = parse(paper_examples.ARC["eq7"])
+    result_foi = benchmark(evaluate, foi, db, SET_CONVENTIONS)
+    result_fio = evaluate(fio, db, SET_CONVENTIONS)
+    assert result_foi.set_equal(result_fio)
+
+
+def test_all_five_formulations_agree(benchmark, db):
+    formulations = {
+        "ARC FIO (eq. 3)": parse(paper_examples.ARC["eq3"]),
+        "ARC FOI (eq. 7)": parse(paper_examples.ARC["eq7"]),
+        "SQL scalar (Fig. 5a)": to_arc(paper_examples.SQL["fig5a"], database=db),
+        "SQL lateral (Fig. 5b)": to_arc(paper_examples.SQL["fig5b"], database=db),
+        "Soufflé (eq. 6)": datalog.to_arc(paper_examples.DATALOG["eq6"], database=db),
+    }
+    results = benchmark(
+        lambda: {
+            name: evaluate(q, db, SET_CONVENTIONS) for name, q in formulations.items()
+        }
+    )
+    reference = values(results["ARC FIO (eq. 3)"])
+    for name, result in results.items():
+        assert values(result) == reference, name
+    show("all FOI/FIO formulations agree", f"groups: {len(reference)}")
+
+
+def test_scalar_and_lateral_same_pattern(benchmark, db):
+    scalar = benchmark(to_arc, paper_examples.SQL["fig5a"], database=db)
+    lateral = to_arc(paper_examples.SQL["fig5b"], database=db)
+    assert same_pattern(scalar, lateral)
+    assert "foi-aggregation" in detect_patterns(scalar)
+
+
+def test_foi_fio_patterns_differ(benchmark):
+    fio = parse(paper_examples.ARC["eq3"])
+    foi = parse(paper_examples.ARC["eq7"])
+    equal = benchmark(same_pattern, fio, foi)
+    assert not equal
+    show(
+        "pattern vocabulary",
+        f"eq. (3): {sorted(detect_patterns(fio))}",
+        f"eq. (7): {sorted(detect_patterns(foi))}",
+    )

@@ -1,0 +1,81 @@
+"""E07 — Fig. 9 / eqs. (13)/(14): Boolean sentences with aggregate tests.
+
+Claim reproduced: ARC expresses integrity constraints directly as Boolean
+sentences whose aggregation predicates are *comparison* predicates; the
+SQL EXISTS-emulations (Figs. 9a/9c) compute the same truth value, and
+eq. (14) is the logical dual of eq. (13) on every instance.
+"""
+
+import pytest
+
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, Truth, generators
+from repro.engine import evaluate
+from repro.frontends.sql import to_arc
+from repro.workloads import instances, paper_examples
+
+from _common import show
+
+
+def test_eq13_eq14_on_paper_instances(benchmark):
+    satisfied = instances.boolean_instance(satisfied=True)
+    violated = instances.boolean_instance(satisfied=False)
+    eq13 = parse(paper_examples.ARC["eq13"])
+    eq14 = parse(paper_examples.ARC["eq14"])
+    result = benchmark(evaluate, eq13, satisfied, SET_CONVENTIONS)
+    assert result is Truth.TRUE
+    assert evaluate(eq13, violated, SET_CONVENTIONS) is Truth.FALSE
+    # eq14 states "no r exceeds its count": independent property.
+    assert evaluate(eq14, satisfied, SET_CONVENTIONS) is Truth.TRUE
+    assert evaluate(eq14, violated, SET_CONVENTIONS) is Truth.FALSE
+    show(
+        "eqs. (13)/(14) on Fig. 9 instances",
+        f"satisfied instance: eq13={evaluate(eq13, satisfied)}, eq14={evaluate(eq14, satisfied)}",
+        f"violated instance:  eq13={evaluate(eq13, violated)}, eq14={evaluate(eq14, violated)}",
+    )
+
+
+def test_sql_emulations_agree(benchmark):
+    db = instances.boolean_instance(satisfied=True)
+    sql13 = benchmark(to_arc, paper_examples.SQL["fig9a"], database=db)
+    sql14 = to_arc(paper_examples.SQL["fig9c"], database=db)
+    assert evaluate(sql13, db, SET_CONVENTIONS) is Truth.TRUE
+    assert evaluate(sql14, db, SET_CONVENTIONS) is Truth.TRUE
+    eq13 = parse(paper_examples.ARC["eq13"])
+    assert evaluate(sql13, db, SET_CONVENTIONS) == evaluate(eq13, db, SET_CONVENTIONS)
+
+
+def test_duality_on_random_instances(benchmark):
+    """∃r[q <= count] need not equal ¬∃r[q > count] in general (different
+    statements) — but ¬∃r[q > count] must equal ∀r[q <= count]."""
+    eq14 = parse(paper_examples.ARC["eq14"])
+
+    def run_all():
+        outcomes = []
+        for seed in range(6):
+            db = Database()
+            db.add(
+                generators.binary_relation(
+                    "R", 8, domain=4, seed=seed, attrs=("id", "q")
+                ).distinct()
+            )
+            db.add(
+                generators.binary_relation(
+                    "S", 10, domain=4, seed=seed + 50, attrs=("id", "d")
+                )
+            )
+            value = evaluate(eq14, db, SET_CONVENTIONS)
+            # Direct Python check of the ∀ reading.
+            counts = {}
+            for row in db["S"].iter_distinct():
+                counts[row["id"]] = counts.get(row["id"], 0) + 1
+            expected = all(
+                row["q"] <= counts.get(row["id"], 0)
+                for row in db["R"].iter_distinct()
+            )
+            outcomes.append(value is (Truth.TRUE if expected else Truth.FALSE))
+        return outcomes
+
+    outcomes = benchmark(run_all)
+    assert all(outcomes)

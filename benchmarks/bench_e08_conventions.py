@@ -1,0 +1,78 @@
+"""E08 — Section 2.6 / eq. (15): conventions, not languages.
+
+Claim reproduced: on R = {(1, 2)}, S = ∅, the *same relational pattern*
+returns (1, NULL) under SQL's conventions and (1, 0) under Soufflé's —
+flipping the empty-aggregate convention switch changes the observable
+result without touching the query.
+"""
+
+import pytest
+
+from repro.analysis import same_pattern
+from repro.core.conventions import (
+    Conventions,
+    EmptyAggregate,
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+from repro.core.parser import parse
+from repro.data import NULL
+from repro.engine import evaluate
+from repro.frontends import datalog
+from repro.frontends.sql import to_arc
+from repro.workloads import instances, paper_examples
+
+from _common import rows, show
+
+
+@pytest.fixture
+def db():
+    return instances.conventions_instance()
+
+
+def test_convention_switch_flips_result(benchmark, db):
+    query = parse(paper_examples.ARC["eq15"])
+
+    def both():
+        return (
+            evaluate(query, db, SET_CONVENTIONS),
+            evaluate(query, db, SOUFFLE_CONVENTIONS),
+        )
+
+    sql_style, souffle_style = benchmark(both)
+    assert rows(sql_style) == [(1, NULL)]
+    assert rows(souffle_style) == [(1, 0)]
+    show(
+        "Section 2.6: one pattern, two conventions",
+        f"SQL conventions     -> {rows(sql_style)}",
+        f"Soufflé conventions -> {rows(souffle_style)}",
+    )
+
+
+def test_pattern_is_convention_independent(benchmark, db):
+    """The relational pattern (fingerprint) does not change with the
+    convention — only the evaluator's behaviour does."""
+    query = parse(paper_examples.ARC["eq15"])
+    fp = benchmark(
+        __import__("repro.analysis", fromlist=["fingerprint"]).fingerprint, query
+    )
+    assert fp == __import__("repro.analysis", fromlist=["fingerprint"]).fingerprint(query)
+
+
+def test_souffle_rule_and_sql_text_same_pattern(benchmark, db):
+    from_souffle = datalog.to_arc(paper_examples.DATALOG["eq15"], database=db)
+    arc_form = parse(paper_examples.ARC["eq15"])
+    equal = benchmark(same_pattern, from_souffle, arc_form, anonymize_relations=True)
+    assert equal
+    # Each system's native conventions give each system's native answer.
+    assert rows(evaluate(from_souffle, db, SOUFFLE_CONVENTIONS)) == [(1, 0)]
+    assert rows(evaluate(from_souffle, db, SET_CONVENTIONS)) == [(1, NULL)]
+
+
+def test_only_empty_aggregate_switch_matters_here(benchmark, db):
+    query = parse(paper_examples.ARC["eq15"])
+    zero_only = Conventions(empty_aggregate=EmptyAggregate.ZERO)
+    result = benchmark(evaluate, query, db, zero_only)
+    assert rows(result) == [(1, 0)]
+    assert rows(evaluate(query, db, SQL_CONVENTIONS)) == [(1, NULL)]

@@ -1,0 +1,91 @@
+"""E09 — Section 2.7: set vs bag as an interpretation switch.
+
+Claims reproduced: (i) the unnesting rewrite preserves results under set
+semantics but changes multiplicities under bag semantics (the rewriter
+refuses it); (ii) deduplication is expressible as grouping on all
+projected attributes, without a DISTINCT operator.
+"""
+
+import pytest
+
+from repro.core import rewrites
+from repro.core.conventions import Conventions, SET_CONVENTIONS, Semantics
+from repro.core.parser import parse
+from repro.data import Database, generators
+from repro.engine import evaluate
+from repro.errors import RewriteError
+
+from _common import show
+
+BAG = Conventions(semantics=Semantics.BAG)
+
+NESTED = "{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}"
+FLAT = "{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}"
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add(generators.binary_relation("R", 120, domain=15, seed=21))
+    database.add(
+        generators.binary_relation("S", 120, domain=15, seed=22, attrs=("B", "C"))
+    )
+    return database
+
+
+def test_unnesting_valid_under_set(benchmark, db):
+    nested = parse(NESTED)
+    flat = benchmark(rewrites.unnest, nested)
+    assert evaluate(nested, db, SET_CONVENTIONS).set_equal(
+        evaluate(flat, db, SET_CONVENTIONS)
+    )
+
+
+def test_unnesting_changes_bag_multiplicities(benchmark, db):
+    nested = parse(NESTED)
+    flat = parse(FLAT)
+
+    def multiplicity_gap():
+        bag_nested = evaluate(nested, db, BAG)
+        bag_flat = evaluate(flat, db, BAG)
+        return len(bag_flat) - len(bag_nested)
+
+    gap = benchmark(multiplicity_gap)
+    assert gap > 0  # the flat form multiplies matching pairs
+    show(
+        "Section 2.7 multiplicity difference",
+        f"flat bag cardinality exceeds nested by {gap}",
+    )
+
+
+def test_rewriter_refuses_bag_unnesting(benchmark):
+    nested = parse(NESTED)
+
+    def attempt():
+        try:
+            rewrites.unnest(nested, BAG)
+            return False
+        except RewriteError:
+            return True
+
+    assert benchmark(attempt)
+
+
+def test_dedup_as_grouping(benchmark, db):
+    plain = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+    deduped = benchmark(rewrites.distinct_as_grouping, plain)
+    bag_plain = evaluate(plain, db, BAG)
+    bag_deduped = evaluate(deduped, db, BAG)
+    assert len(bag_deduped) == bag_plain.distinct_count()
+    assert bag_deduped.set_equal(bag_plain.distinct())
+
+
+def test_same_query_both_interpretations(benchmark, db):
+    """Nothing in the surface syntax changes between interpretations."""
+    query = parse(FLAT)
+
+    def both():
+        return evaluate(query, db, SET_CONVENTIONS), evaluate(query, db, BAG)
+
+    set_result, bag_result = benchmark(both)
+    assert set_result == bag_result.distinct()

@@ -1,0 +1,85 @@
+"""E11 — Fig. 11 / eq. (17): NOT IN under NULLs.
+
+Claims reproduced: (i) with a NULL in S, NOT IN returns the empty set
+under 3VL; (ii) the paper's two-valued rewrite with explicit IS NULL
+checks reproduces SQL's behaviour even under the two-valued convention;
+(iii) the automated rewrite produces eq. (17).
+"""
+
+import pytest
+
+from repro.analysis import same_pattern
+from repro.core import rewrites
+from repro.core.conventions import NullComparison, SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL, generators
+from repro.engine import evaluate
+from repro.frontends.sql import to_arc
+from repro.workloads import instances, paper_examples
+
+from _common import rows, show
+
+TWO_VL = SET_CONVENTIONS.with_(null_comparison=NullComparison.TWO_VALUED)
+NOT_IN = paper_examples.ARC["not_in_3vl"]
+
+
+def test_null_poisons_not_in(benchmark):
+    db = instances.not_in_instance(with_null=True)
+    query = parse(NOT_IN)
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert result.is_empty()
+    without_null = instances.not_in_instance(with_null=False)
+    assert rows(evaluate(query, without_null, SET_CONVENTIONS)) == [(2,), (3,)]
+    show(
+        "Fig. 11: NOT IN with a NULL in S",
+        f"S with NULL    -> {rows(result)} (empty, as SQL)",
+        f"S without NULL -> {rows(evaluate(query, without_null, SET_CONVENTIONS))}",
+    )
+
+
+def test_eq17_two_valued_rewrite(benchmark):
+    db = instances.not_in_instance(with_null=True)
+    rewritten = parse(paper_examples.ARC["eq17"])
+    result = benchmark(evaluate, rewritten, db, TWO_VL)
+    assert result.is_empty()
+    assert evaluate(rewritten, db, SET_CONVENTIONS).is_empty()
+
+
+def test_automatic_rewrite_matches_eq17(benchmark):
+    query = parse(NOT_IN)
+    rewritten = benchmark(rewrites.not_in_to_not_exists, query)
+    assert same_pattern(rewritten, parse(paper_examples.ARC["eq17"]))
+
+
+def test_sql_texts_agree(benchmark):
+    db = instances.not_in_instance(with_null=True)
+    fig11a = benchmark(to_arc, paper_examples.SQL["fig11a"], database=db)
+    fig11b = to_arc(paper_examples.SQL["fig11b"], database=db)
+    assert evaluate(fig11a, db, SET_CONVENTIONS).is_empty()
+    assert evaluate(fig11b, db, SET_CONVENTIONS).is_empty()
+
+
+def test_random_null_instances(benchmark):
+    """3VL NOT IN ≡ rewritten 2VL NOT EXISTS on randomized instances."""
+    query = parse(NOT_IN)
+    rewritten = rewrites.not_in_to_not_exists(query)
+
+    def sweep():
+        agreements = 0
+        for seed in range(8):
+            db = Database()
+            db.add(
+                generators.binary_relation("R", 12, domain=6, seed=seed, attrs=("A",))
+            )
+            db.add(
+                generators.binary_relation(
+                    "S", 12, domain=6, seed=seed + 100, attrs=("A",), null_rate=0.2
+                )
+            )
+            a = evaluate(query, db, SET_CONVENTIONS)
+            b = evaluate(rewritten, db, TWO_VL)
+            if a.set_equal(b):
+                agreements += 1
+        return agreements
+
+    assert benchmark(sweep) == 8

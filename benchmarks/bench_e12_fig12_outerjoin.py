@@ -1,0 +1,84 @@
+"""E12 — Fig. 12 / eq. (18): outer joins via join annotations.
+
+Claims reproduced: (i) the literal-leaf device ``inner(11, s)`` makes a
+preserved-side constant part of the join condition (rows with h ≠ 11
+survive null-padded); (ii) the SQL frontend applies the device
+automatically when translating Fig. 12a; (iii) without the device the
+constant degrades to a filter — a *different* query.
+"""
+
+import pytest
+
+from repro.core.conventions import SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL, generators
+from repro.engine import evaluate
+from repro.frontends.sql import to_arc
+from repro.workloads import instances, paper_examples
+
+from _common import rows, show
+
+
+@pytest.fixture
+def db():
+    return instances.outer_join_instance()
+
+
+def test_eq18_on_paper_instance(benchmark, db):
+    query = parse(paper_examples.ARC["eq18"])
+    result = benchmark(evaluate, query, db, SQL_CONVENTIONS)
+    produced = rows(result)
+    assert (2, NULL) in produced  # h = 12 fails ON but is preserved
+    assert (1, "x") in produced and (3, "z") in produced
+    assert (4, NULL) in produced  # h = 11 but no matching year
+    show("eq. (18) / Fig. 12", result.to_table())
+
+
+def test_sql_frontend_applies_literal_device(benchmark, db):
+    sql_query = benchmark(to_arc, paper_examples.SQL["fig12a"], database=db)
+    arc_query = parse(paper_examples.ARC["eq18"])
+    a = evaluate(sql_query, db, SQL_CONVENTIONS)
+    b = evaluate(arc_query, db, SQL_CONVENTIONS)
+    assert a == b
+
+
+def test_device_vs_filter_semantics(benchmark, db):
+    with_device = parse(paper_examples.ARC["eq18"])
+    without_device = parse(
+        "{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, s)"
+        "[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}"
+    )
+
+    def both():
+        return (
+            evaluate(with_device, db, SQL_CONVENTIONS),
+            evaluate(without_device, db, SQL_CONVENTIONS),
+        )
+
+    on_semantics, filter_semantics = benchmark(both)
+    assert len(on_semantics) > len(filter_semantics)  # row 2 only survives with ON
+    assert not any(row["m"] == 2 for row in filter_semantics)
+    assert any(row["m"] == 2 for row in on_semantics)
+
+
+def test_full_outer_join(benchmark):
+    db = Database()
+    db.create("L", ("a",), [(1,), (2,)])
+    db.create("R", ("a",), [(2,), (3,)])
+    query = parse(
+        "{Q(l, r) | ∃x ∈ L, y ∈ R, full(x, y)[Q.l = x.a ∧ Q.r = y.a ∧ x.a = y.a]}"
+    )
+    result = benchmark(evaluate, query, db, SQL_CONVENTIONS)
+    assert rows(result) == [(NULL, 3), (1, NULL), (2, 2)]
+
+
+def test_outer_join_scaling(benchmark):
+    db = Database()
+    db.add(generators.binary_relation("R", 300, domain=40, seed=31, attrs=("a", "b")))
+    db.add(generators.binary_relation("S", 300, domain=40, seed=32, attrs=("b", "c")))
+    query = parse(
+        "{Q(a, c) | ∃r ∈ R, s ∈ S, left(r, s)[Q.a = r.a ∧ Q.c = s.c ∧ r.b = s.b]}"
+    )
+    result = benchmark(evaluate, query, db, SQL_CONVENTIONS)
+    left_keys = {row["a"] for row in db["R"]}
+    assert {row["a"] for row in result} == left_keys

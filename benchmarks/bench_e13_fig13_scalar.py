@@ -1,0 +1,119 @@
+"""E13 — Fig. 13 / Section 2.12: head aggregates as lateral joins.
+
+Claims reproduced: (i) the scalar-subquery and lateral forms agree under
+both set and bag semantics; (ii) the LEFT JOIN + GROUP BY rewrite breaks
+under bag semantics when R has duplicates — and an automatic search finds
+the counterexample; (iii) with a key on R all three agree.
+"""
+
+import pytest
+
+from repro.core.conventions import Conventions, SET_CONVENTIONS, Semantics
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+from repro.frontends.sql import to_arc
+from repro.workloads import paper_examples
+
+from _common import rows, show
+
+BAG = Conventions(semantics=Semantics.BAG)
+
+
+def duplicate_db():
+    db = Database()
+    db.create("R", ("A",), [(1,), (1,), (2,)])  # duplicates, no key
+    db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+    return db
+
+
+def keyed_db():
+    db = Database()
+    db.create("R", ("A",), [(1,), (2,)])
+    db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+    return db
+
+
+def translations(db):
+    return {
+        "scalar (Fig. 13a)": to_arc(paper_examples.SQL["fig13a"], database=db),
+        "lateral (Fig. 13b)": to_arc(paper_examples.SQL["fig13b"], database=db),
+        "left join + group by (Fig. 13c)": to_arc(
+            paper_examples.SQL["fig13c"], database=db
+        ),
+    }
+
+
+def test_scalar_equals_lateral_under_bag(benchmark):
+    db = duplicate_db()
+    queries = translations(db)
+
+    def both():
+        return (
+            evaluate(queries["scalar (Fig. 13a)"], db, BAG),
+            evaluate(queries["lateral (Fig. 13b)"], db, BAG),
+        )
+
+    scalar, lateral = benchmark(both)
+    assert scalar == lateral
+    assert scalar.multiplicity({"A": 1, "sm": 7}) == 2  # once per outer tuple
+
+
+def test_left_join_groupby_breaks_under_bag(benchmark):
+    db = duplicate_db()
+    queries = translations(db)
+
+    def gap():
+        lateral = evaluate(queries["lateral (Fig. 13b)"], db, BAG)
+        ljgb = evaluate(queries["left join + group by (Fig. 13c)"], db, BAG)
+        return lateral, ljgb
+
+    lateral, ljgb = benchmark(gap)
+    assert lateral != ljgb
+    show(
+        "Fig. 13c counterexample (R has duplicate A = 1)",
+        "lateral  : " + str(rows(lateral)),
+        "ljgb     : " + str(rows(ljgb)),
+    )
+
+
+def test_counterexample_found_automatically(benchmark):
+    """Search tiny instances until one separates 13b from 13c."""
+
+    def search():
+        for r_dup in (1, 2, 3):
+            db = Database()
+            db.create("R", ("A",), [(1,)] * r_dup + [(2,)])
+            db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+            queries = translations(db)
+            lateral = evaluate(queries["lateral (Fig. 13b)"], db, BAG)
+            ljgb = evaluate(queries["left join + group by (Fig. 13c)"], db, BAG)
+            if lateral != ljgb:
+                return r_dup
+        return None
+
+    found = benchmark(search)
+    assert found == 2  # the first instance with a duplicate outer row
+
+
+def test_all_agree_with_key(benchmark):
+    db = keyed_db()
+    queries = translations(db)
+
+    def run_all():
+        return [evaluate(q, db, BAG) for q in queries.values()]
+
+    results = benchmark(run_all)
+    assert results[0] == results[1] == results[2]
+
+
+def test_all_agree_under_set(benchmark):
+    db = duplicate_db()
+    queries = translations(db)
+
+    def run_all():
+        return [evaluate(q, db, SET_CONVENTIONS) for q in queries.values()]
+
+    results = benchmark(run_all)
+    assert results[0].set_equal(results[1])
+    assert results[1].set_equal(results[2])

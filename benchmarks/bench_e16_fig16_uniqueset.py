@@ -1,0 +1,105 @@
+"""E16 — Figs. 16-19 / eqs. (22)-(24): abstract relations as modules.
+
+Claims reproduced: (i) the 4-level-nested unique-set query (eq. 22), its
+Subset-modularized form (eq. 24), the inlined form, and the SQL of Fig. 17
+all agree; (ii) modularization shrinks the visible query; (iii) the safe
+SQL view encoding (Figs. 18/19) also agrees.
+"""
+
+import pytest
+
+from repro.backends.comprehension import render
+from repro.core import rewrites
+from repro.core.conventions import SET_CONVENTIONS, SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import generators
+from repro.engine import evaluate
+from repro.frontends.sql import to_arc
+from repro.workloads import instances, paper_examples
+
+from _common import rows, show
+
+
+@pytest.fixture
+def db():
+    return instances.likes_instance()
+
+
+def test_monolithic_unique_set(benchmark, db):
+    query = parse(paper_examples.ARC["eq22"])
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert rows(result) == [("bob",)]
+
+
+def test_modular_form_agrees(benchmark, db):
+    program = parse(paper_examples.ARC["eq23_24"])
+    result = benchmark(evaluate, program, db, SET_CONVENTIONS)
+    assert rows(result) == [("bob",)]
+    monolithic = render(parse(paper_examples.ARC["eq22"]))
+    modular_main = render(program.resolve_main())
+    assert len(modular_main) < len(monolithic)
+    show(
+        "modularization shrinks the query",
+        f"eq. (22) length: {len(monolithic)} chars",
+        f"eq. (24) main length: {len(modular_main)} chars",
+    )
+
+
+def test_inlining_recovers_monolithic(benchmark, db):
+    program = parse(paper_examples.ARC["eq23_24"])
+    inlined = benchmark(rewrites.inline_abstract, program)
+    a = evaluate(inlined, db, SET_CONVENTIONS)
+    b = evaluate(parse(paper_examples.ARC["eq22"]), db, SET_CONVENTIONS)
+    assert a.set_equal(b)
+
+
+def test_fig17_sql(benchmark, db):
+    query = benchmark(to_arc, paper_examples.SQL["fig17"], database=db)
+    result = evaluate(query, db, SQL_CONVENTIONS)
+    assert {row[query.head.attrs[0]] for row in result} == {"bob"}
+
+
+def test_safe_view_encoding(benchmark, db):
+    """Figs. 18/19: Subset as a safe SQL view (drinker pairs enumerated)."""
+    program = to_arc_program_fig18_19(db)
+    result = benchmark(evaluate, program, db, SQL_CONVENTIONS)
+    assert {row[result.schema[0]] for row in result} == {"bob"}
+
+
+def to_arc_program_fig18_19(db):
+    from repro.core import nodes as n
+    from repro.frontends.sql import to_arc
+
+    view = to_arc(
+        "select distinct D1.drinker as left_, D2.drinker as right_ "
+        "into Subset from Likes D1, Likes D2 where not exists ("
+        "select 1 from Likes L3 where not exists ("
+        "select 1 from Likes L4 where L4.beer = L3.beer "
+        "and D2.drinker = L4.drinker) and D1.drinker = L3.drinker)",
+        database=db,
+    )
+    main = to_arc(
+        "select distinct L1.drinker from Likes L1 where not exists ("
+        "select 1 from Likes L2, Subset S1, Subset S2 "
+        "where L1.drinker <> L2.drinker and S1.left_ = L1.drinker "
+        "and S1.right_ = L2.drinker and S2.left_ = L2.drinker "
+        "and S2.right_ = L1.drinker)",
+        database=db,
+    )
+    return n.Program(dict(view.definitions), main)
+
+
+def test_scaling_generated_instances(benchmark):
+    db = generators.likes_database(7, 5, seed=2)
+    db.add(db["Likes"].rename({"drinker": "d", "beer": "b"}, name="L"))
+    monolithic = parse(paper_examples.ARC["eq22"])
+    modular = parse(paper_examples.ARC["eq23_24"])
+
+    def both():
+        return (
+            evaluate(monolithic, db, SET_CONVENTIONS),
+            evaluate(modular, db, SET_CONVENTIONS),
+        )
+
+    a, b = benchmark(both)
+    assert a.set_equal(b)

@@ -1,0 +1,96 @@
+"""E21 — the performance envelope of the reference implementation.
+
+A vision paper has no performance tables; a reference implementation still
+needs a documented envelope.  These benchmarks sweep the dimensions that
+matter for the paper's use cases (interactive translation, validation, and
+similarity checking): relation size, join width, nesting depth, query
+size, and fixpoint graph size.
+"""
+
+import pytest
+
+from repro.analysis import fingerprint
+from repro.backends.comprehension import render
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import generators
+from repro.engine import evaluate
+from repro.workloads import sweeps
+
+
+@pytest.mark.parametrize("n_rows", [100, 300, 900])
+def test_grouped_aggregate_size_sweep(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=1)
+    query = sweeps.grouped_aggregate_query()
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert len(result) <= n_rows
+
+
+@pytest.mark.parametrize("n_rows", [30, 60, 120])
+def test_correlated_lateral_size_sweep(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=2)
+    query = sweeps.lateral_query()
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert not result.is_empty()
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_join_width_sweep(benchmark, width):
+    db = generators.chain_database(width, 60, domain=30, seed=3)
+    query = sweeps.join_chain_query(width)
+    benchmark(evaluate, query, db, SET_CONVENTIONS)
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_negation_depth_sweep(benchmark, depth):
+    db = generators.likes_database(6, 4, seed=4)
+    db.add(db["Likes"].rename({"drinker": "d", "beer": "b"}, name="L"))
+    query = sweeps.nested_negation_query(depth)
+    benchmark(evaluate, query, db, SET_CONVENTIONS)
+
+
+@pytest.mark.parametrize("n_nodes", [50, 120, 250])
+def test_fixpoint_graph_sweep(benchmark, n_nodes):
+    db = generators.parent_edges(n_nodes, seed=5, extra_edges=n_nodes // 4)
+    query = parse(
+        "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+        "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}"
+    )
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert len(result) >= n_nodes - 1
+
+
+@pytest.mark.parametrize("depth", [2, 6, 12])
+def test_parser_nesting_sweep(benchmark, depth):
+    text = sweeps.deep_query_text(depth)
+    query = benchmark(parse, text)
+    assert render(query)
+
+
+@pytest.mark.parametrize("n_predicates", [10, 50, 200])
+def test_parser_width_sweep(benchmark, n_predicates):
+    text = sweeps.wide_query_text(n_predicates)
+    query = benchmark(parse, text)
+    assert render(query)
+
+
+@pytest.mark.parametrize("n_predicates", [10, 50, 200])
+def test_fingerprint_width_sweep(benchmark, n_predicates):
+    query = parse(sweeps.wide_query_text(n_predicates))
+    benchmark(fingerprint, query)
+
+
+def test_sql_translation_throughput(benchmark):
+    from repro.frontends.sql import to_arc
+    from repro.workloads import paper_examples
+
+    db = sweeps.size_sweep_database(10, seed=6)
+
+    def translate_corpus():
+        return [
+            to_arc(paper_examples.SQL[key], database=None)
+            for key in ("fig4a", "fig5a", "fig5b", "fig11a", "fig13a", "fig21a")
+        ]
+
+    results = benchmark(translate_corpus)
+    assert len(results) == 6

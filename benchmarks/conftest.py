@@ -1,0 +1,6 @@
+"""Make the benchmark helper module importable regardless of rootdir."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,49 @@
+"""Quickstart: parse, validate, render, and evaluate an ARC query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, evaluate, parse, render_alt, validate
+from repro.backends.comprehension import render, render_ascii
+from repro.backends.sql_render import to_sql
+from repro.core import build_higraph, render_higraph_ascii
+
+
+def main():
+    # 1. A database: base relations are plain named-schema tables.
+    db = Database()
+    db.create("R", ["A", "B"], [(1, 10), (2, 20), (3, 30)])
+    db.create("S", ["B", "C"], [(10, 0), (20, 5), (30, 0)])
+
+    # 2. A query in ARC's comprehension modality (eq. (1) of the paper).
+    #    The ASCII spelling `exists r in R, s in S[...]` works too.
+    query = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+
+    # 3. Validate: strict scoping, clean heads, grouping legality.
+    validate(query, database=db).raise_if_errors()
+
+    # 4. The three modalities of the same relational core.
+    print("— comprehension (Unicode) —")
+    print(render(query))
+    print("\n— comprehension (ASCII) —")
+    print(render_ascii(query))
+    print("\n— Abstract Language Tree (Fig. 2a) —")
+    print(render_alt(query, include_links=True))
+    print("\n— higraph / Relational Diagram (Fig. 2b) —")
+    print(render_higraph_ascii(build_higraph(query, database=db)))
+    print("\n— SQL rendering —")
+    print(to_sql(query))
+
+    # 5. Evaluate under the default set-semantics conventions.
+    result = evaluate(query, db)
+    print("\n— result —")
+    print(result.to_table())
+
+    # 6. Grouped aggregation: the FIO pattern of Fig. 4.
+    grouped = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+    print("\n— grouped aggregate —")
+    print(evaluate(grouped, db).to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""ARC as a Rosetta Stone: one intent, five surface languages.
+
+The paper's grouped-aggregate running example expressed in SQL, Soufflé
+Datalog, Rel, textbook TRC, and ARC itself — every frontend embeds into
+the same calculus, results agree, and the *pattern* differences (FIO vs
+FOI, shared vs per-aggregate scopes) become visible and nameable.
+
+Run:  python examples/rosetta_stone.py
+"""
+
+from repro import Database, evaluate
+from repro.analysis import detect_patterns, fingerprint
+from repro.backends.comprehension import render
+from repro.core.conventions import SET_CONVENTIONS, SOUFFLE_CONVENTIONS
+from repro.core.parser import parse
+from repro.frontends import datalog, rel, trc
+from repro.frontends.sql import to_arc as sql_to_arc
+
+
+def main():
+    db = Database()
+    db.create("R", ["a", "b"], [(1, 10), (1, 20), (2, 5), (3, 7), (3, 8)])
+
+    surface = {
+        "SQL": (
+            "select R.a, sum(R.b) sm from R group by R.a",
+            lambda text: sql_to_arc(text, database=db),
+            SET_CONVENTIONS,
+        ),
+        "Soufflé": (
+            "Q(a, sm) :- R(a, _), sm = sum b : {R(a, b)}.",
+            lambda text: datalog.to_arc(text, database=db),
+            SOUFFLE_CONVENTIONS,
+        ),
+        "Rel": (
+            "def Q(a, sm) : sm = sum[(b) : R(a, b)]",
+            lambda text: rel.to_arc(text, database=db),
+            SET_CONVENTIONS,
+        ),
+        "ARC (FIO)": (
+            "{Q(a, sm) | ∃r ∈ R, γ r.a[Q.a = r.a ∧ Q.sm = sum(r.b)]}",
+            parse,
+            SET_CONVENTIONS,
+        ),
+        "ARC (FOI)": (
+            "{Q(a, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅"
+            "[r2.a = r.a ∧ X.sm = sum(r2.b)]}[Q.a = r.a ∧ Q.sm = x.sm]}",
+            parse,
+            SET_CONVENTIONS,
+        ),
+    }
+
+    reference = None
+    for name, (text, translate, conventions) in surface.items():
+        arc = translate(text)
+        result = evaluate(arc, db, conventions)
+        values = sorted(
+            (row[result.schema[0]], row[result.schema[1]])
+            for row in result.iter_distinct()
+        )
+        if reference is None:
+            reference = values
+        status = "AGREES" if values == reference else "DIFFERS!"
+        print("=" * 72)
+        print(f"{name}:  {text}")
+        print(f"  embeds to: {render(arc)[:100]}...")
+        print(f"  patterns:  {sorted(detect_patterns(arc))}")
+        print(f"  shape fingerprint: {fingerprint(arc, anonymize_relations=True)}")
+        print(f"  result: {values}   [{status}]")
+
+    print("=" * 72)
+    print(
+        "\nThe vocabulary in action: SQL/Rel/ARC-FIO share the FIO pattern;\n"
+        "Soufflé and ARC-FOI share the FOI pattern.  Same answers, two\n"
+        "relational patterns — and now we can *say* which is which."
+    )
+
+    # Textbook TRC joins the party through normalization (Section 2.1).
+    db2 = Database()
+    db2.create("R", ["A", "B"], [(1, 10), (2, 20)])
+    db2.create("S", ["B", "C"], [(10, 0), (20, 5)])
+    loose = "{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]}"
+    strict = trc.to_arc(loose)
+    print("\nTextbook TRC:", loose)
+    print("normalizes to:", render(strict))
+    print("result:", [row["A"] for row in evaluate(strict, db2).sorted_rows()])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""ARC: Abstract Relational Calculus — reference implementation.
+
+A reproduction of *"Database Research needs an Abstract Relational Query
+Language"* (Gatterbauer & Sabale, CIDR 2026): a semantics-first reference
+metalanguage separating a query's relational core from its modalities
+(comprehension text, Abstract Language Tree, diagrammatic higraph) and
+from orthogonal conventions (set/bag, empty-aggregate, null logic).
+
+Quickstart
+----------
+>>> import repro
+>>> db = repro.Database()
+>>> _ = db.create("R", ["A", "B"], [(1, 10), (1, 20), (2, 5)])
+>>> q = repro.parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+>>> repro.evaluate(q, db).sorted_rows()
+[Tuple(A=1, sm=30), Tuple(A=2, sm=5)]
+"""
+
+from .core import (
+    Conventions,
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+    build_higraph,
+    link,
+    parse,
+    parse_collection,
+    parse_program,
+    parse_sentence,
+    render_alt,
+    render_higraph_ascii,
+    render_svg,
+    validate,
+)
+from .data import NULL, Database, Relation, Truth, Tuple
+from .engine import Evaluator, evaluate, standard_registry
+from .errors import (
+    ArcError,
+    EvaluationError,
+    LinkError,
+    ParseError,
+    RewriteError,
+    SchemaError,
+    ValidationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Conventions",
+    "SET_CONVENTIONS",
+    "SOUFFLE_CONVENTIONS",
+    "SQL_CONVENTIONS",
+    "build_higraph",
+    "link",
+    "parse",
+    "parse_collection",
+    "parse_program",
+    "parse_sentence",
+    "render_alt",
+    "render_higraph_ascii",
+    "render_svg",
+    "validate",
+    "NULL",
+    "Database",
+    "Relation",
+    "Truth",
+    "Tuple",
+    "Evaluator",
+    "evaluate",
+    "standard_registry",
+    "ArcError",
+    "EvaluationError",
+    "LinkError",
+    "ParseError",
+    "RewriteError",
+    "SchemaError",
+    "ValidationError",
+    "__version__",
+]

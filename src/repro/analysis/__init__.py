@@ -1,0 +1,35 @@
+"""Pattern analysis: canonicalization, fingerprints, similarity, detectors."""
+
+from .canonical import canonicalize, canonical_text
+from .fingerprint import fingerprint, same_pattern, pattern_summary
+from .tree_edit import tree_edit_distance, arc_distance, from_arc, LabelTree
+from .detectors import detect_patterns
+from .compare import (
+    pattern_equal,
+    similarity,
+    feature_similarity,
+    surface_similarity,
+    similarity_report,
+)
+from .corpus import QueryCorpus, BenchmarkScore, score_candidate
+
+__all__ = [
+    "canonicalize",
+    "canonical_text",
+    "fingerprint",
+    "same_pattern",
+    "pattern_summary",
+    "tree_edit_distance",
+    "arc_distance",
+    "from_arc",
+    "LabelTree",
+    "detect_patterns",
+    "pattern_equal",
+    "similarity",
+    "feature_similarity",
+    "surface_similarity",
+    "similarity_report",
+    "QueryCorpus",
+    "BenchmarkScore",
+    "score_candidate",
+]

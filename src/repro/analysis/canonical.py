@@ -1,0 +1,248 @@
+"""Canonicalization of ARC queries for pattern comparison.
+
+Semantically equivalent queries can differ in inessential details: range
+variable names, the order of conjuncts, the orientation of symmetric
+comparisons.  The paper's machine-facing use cases (intent-based similarity,
+NL2SQL validation, Sections 1 and 4) need a normal form that removes them:
+
+* **variable renaming** — range variables are renamed ``v1, v2, ...`` in
+  deterministic traversal order (binding order within a scope, outer before
+  inner);
+* **conjunct/disjunct sorting** — the children of ``∧``/``∨`` are sorted by
+  a structural key (the paper: "the order of shown predicates does not
+  matter; what matters are the well-defined scopes");
+* **comparison orientation** — symmetric operators put the structurally
+  smaller side first; ``>``/``>=`` become flipped ``<``/``<=``; head
+  assignments keep the head on the left;
+* binding lists within a quantifier are sorted by source name (and
+  renaming is recomputed afterwards so the normal form is stable).
+"""
+
+from __future__ import annotations
+
+from itertools import count as _counter
+
+from ..core import nodes as n
+
+_FLIP = {">": "<", ">=": "<=", "<": "<", "<=": "<=", "=": "=", "<>": "<>", "!=": "<>"}
+_SYMMETRIC = {"=", "<>", "!="}
+
+
+def canonicalize(node, *, rename=True, anonymize_relations=False):
+    """Return a canonical structural clone of *node*.
+
+    ``anonymize_relations=True`` additionally replaces relation names by
+    positional placeholders (``rel1``, ``rel2``, ... assigned per first
+    occurrence), producing a pure *shape* fingerprint: two queries agree
+    iff they have the same relational pattern regardless of the schema.
+    """
+    if (
+        isinstance(node, n.Program)
+        and len(node.definitions) == 1
+        and isinstance(node.main, str)
+        and node.main in node.definitions
+    ):
+        # A single-definition program is the same query as its definition
+        # (frontends like Datalog always produce the Program wrapper).
+        node = node.definitions[node.main]
+    cloned = n.clone(node)
+    if anonymize_relations:
+        cloned = _anonymize_relations(cloned)
+    if not rename:
+        return _sort_structure(_normalize_comparisons(cloned))
+    # Orientation, sorting, and renaming are interdependent (each uses the
+    # names the previous one produced); iterate to a fixed point.
+    from ..backends.comprehension import render
+
+    previous = None
+    for _ in range(6):
+        cloned = _normalize_comparisons(cloned)
+        cloned = _sort_structure(cloned)
+        cloned = _rename_vars(cloned)
+        current = render(cloned)
+        if current == previous:
+            break
+        previous = current
+    return cloned
+
+
+def canonical_text(node, **kwargs):
+    """The canonical rendering of *node* (comprehension syntax)."""
+    from ..backends.comprehension import render
+
+    return render(canonicalize(node, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Comparison orientation
+# ---------------------------------------------------------------------------
+
+
+def _normalize_comparisons(node):
+    def fix(item):
+        if not isinstance(item, n.Comparison):
+            return item
+        left, op, right = item.left, item.op, item.right
+        if op in (">", ">="):
+            left, right = right, left
+            op = _FLIP[item.op]
+        if op == "!=":
+            op = "<>"
+        if op in _SYMMETRIC:
+            # Head-assignment sides first, otherwise structural order.
+            left_key = _expr_key(left)
+            right_key = _expr_key(right)
+            if right_key < left_key:
+                left, right = right, left
+        return n.Comparison(left, op, right)
+
+    return n.transform(node, fix)
+
+
+def _expr_key(expr):
+    if isinstance(expr, n.AggCall):
+        return (3, expr.func, _expr_key(expr.arg) if expr.arg else ())
+    if isinstance(expr, n.Arith):
+        return (2, expr.op, _expr_key(expr.left), _expr_key(expr.right))
+    if isinstance(expr, n.Const):
+        return (1, "", str(expr.value))
+    if isinstance(expr, n.Attr):
+        return (0, expr.var, expr.attr)
+    return (4, type(expr).__name__, "")
+
+
+# ---------------------------------------------------------------------------
+# Structural sorting
+# ---------------------------------------------------------------------------
+
+
+def _sort_structure(node):
+    def fix(item):
+        if isinstance(item, (n.And, n.Or)):
+            children = sorted(item.children_list, key=_structure_key)
+            return type(item)(children)
+        if isinstance(item, n.Quantifier):
+            bindings = sorted(item.bindings, key=_binding_key)
+            grouping = item.grouping
+            if grouping is not None and grouping.keys:
+                keys = tuple(sorted(grouping.keys, key=_expr_key))
+                grouping = n.Grouping(keys)
+            return n.Quantifier(bindings, item.body, grouping, item.join)
+        return item
+
+    return n.transform(node, fix)
+
+
+def _binding_key(binding):
+    if isinstance(binding.source, n.RelationRef):
+        return (0, binding.source.name, binding.var)
+    return (1, _structure_key(binding.source), binding.var)
+
+
+def _structure_key(item):
+    """A deterministic, content-based sort key for any node."""
+    if isinstance(item, n.Comparison):
+        return ("cmp", item.op, _expr_key(item.left), _expr_key(item.right))
+    if isinstance(item, n.IsNull):
+        return ("isnull", str(item.negated), _expr_key(item.expr))
+    if isinstance(item, n.BoolConst):
+        return ("bool", str(item.value))
+    if isinstance(item, n.Not):
+        return ("not",) + tuple([_structure_key(item.child)])
+    if isinstance(item, n.Quantifier):
+        return (
+            "quant",
+            tuple(_binding_key(b) for b in item.bindings),
+            "γ" if item.grouping is not None else "",
+            _structure_key(item.body),
+        )
+    if isinstance(item, (n.And, n.Or)):
+        tag = "and" if isinstance(item, n.And) else "or"
+        return (tag, tuple(sorted(_structure_key(c) for c in item.children_list)))
+    if isinstance(item, n.Collection):
+        return ("coll", item.head.name, tuple(item.head.attrs), _structure_key(item.body))
+    return (type(item).__name__,)
+
+
+# ---------------------------------------------------------------------------
+# Variable renaming
+# ---------------------------------------------------------------------------
+
+
+def _rename_vars(node):
+    counter = _counter(1)
+    head_counter = _counter(1)
+    renaming = {}
+    attr_renaming = {}  # var-or-head-name -> {old attr: new attr}
+
+    def assign_names(item, *, nested_head=False, bound_var=None):
+        if isinstance(item, n.Quantifier):
+            for binding in item.bindings:
+                renaming[binding.var] = f"v{next(counter)}"
+                if isinstance(binding.source, n.Collection):
+                    assign_names(
+                        binding.source, nested_head=True, bound_var=binding.var
+                    )
+            assign_names(item.body)
+            return
+        if isinstance(item, n.Collection):
+            if nested_head:
+                # Nested heads and their attributes are internal names;
+                # anonymize both so queries differing only in derived-table
+                # naming agree on their canonical form.
+                renaming[item.head.name] = f"W{next(head_counter)}"
+                attr_map = {
+                    attr: f"c{index}"
+                    for index, attr in enumerate(item.head.attrs, start=1)
+                }
+                attr_renaming[item.head.name] = attr_map
+                if bound_var is not None:
+                    attr_renaming[bound_var] = attr_map
+            assign_names(item.body)
+            return
+        if isinstance(item, (n.And, n.Or)):
+            for child in item.children_list:
+                assign_names(child)
+            return
+        if isinstance(item, n.Not):
+            assign_names(item.child)
+
+    if isinstance(node, n.Program):
+        for definition in node.definitions.values():
+            assign_names(definition)
+        main = node.resolve_main()
+        if isinstance(main, n.Node) and main not in set(node.definitions.values()):
+            assign_names(main)
+    elif isinstance(node, n.Sentence):
+        assign_names(node.body)
+    else:
+        assign_names(node)
+
+    def apply(item):
+        if isinstance(item, n.Binding):
+            return n.Binding(renaming.get(item.var, item.var), item.source)
+        if isinstance(item, n.Attr):
+            attr = attr_renaming.get(item.var, {}).get(item.attr, item.attr)
+            return n.Attr(renaming.get(item.var, item.var), attr)
+        if isinstance(item, n.JoinVar):
+            return n.JoinVar(renaming.get(item.var, item.var))
+        if isinstance(item, n.Head) and item.name in renaming:
+            attr_map = attr_renaming.get(item.name, {})
+            attrs = tuple(attr_map.get(a, a) for a in item.attrs)
+            return n.Head(renaming[item.name], attrs)
+        return item
+
+    return n.transform(node, apply)
+
+
+def _anonymize_relations(node):
+    mapping = {}
+
+    def apply(item):
+        if isinstance(item, n.RelationRef):
+            if item.name not in mapping:
+                mapping[item.name] = f"rel{len(mapping) + 1}"
+            return n.RelationRef(mapping[item.name])
+        return item
+
+    return n.transform(node, apply)

@@ -1,0 +1,102 @@
+"""Intent-based similarity between relational queries.
+
+The NL2SQL community's benchmarks score generated queries by exact string
+match or execution match; the paper argues for "a shift towards intent-based
+benchmarking frameworks" (Section 1, question 3).  This module scores
+similarity at the level of **relational patterns**:
+
+* identical canonical form  -> similarity 1.0 (pattern-equal);
+* otherwise 1 - normalized tree edit distance over canonical ALTs,
+  optionally blended with feature-vector overlap.
+
+Compare :func:`surface_similarity` (normalized string edit distance over
+SQL text) to see the paper's point quantitatively: pattern-equal queries
+can have low surface similarity and vice versa (experiment E19).
+"""
+
+from __future__ import annotations
+
+from .canonical import canonical_text
+from .fingerprint import fingerprint, pattern_summary
+from .tree_edit import arc_distance, from_arc
+
+
+def pattern_equal(node_a, node_b, *, anonymize_relations=False):
+    """Exact relational-pattern equality (canonical forms agree)."""
+    return fingerprint(node_a, anonymize_relations=anonymize_relations) == fingerprint(
+        node_b, anonymize_relations=anonymize_relations
+    )
+
+
+def similarity(node_a, node_b, *, anonymize_relations=False):
+    """Intent similarity in [0, 1]: 1 - normalized ALT edit distance."""
+    if pattern_equal(node_a, node_b, anonymize_relations=anonymize_relations):
+        return 1.0
+    from .canonical import canonicalize
+
+    canonical_a = canonicalize(node_a, anonymize_relations=anonymize_relations)
+    canonical_b = canonicalize(node_b, anonymize_relations=anonymize_relations)
+    tree_a = from_arc(canonical_a)
+    tree_b = from_arc(canonical_b)
+    distance = arc_distance(canonical_a, canonical_b, canonical=False)
+    bound = tree_a.size() + tree_b.size()
+    if bound == 0:
+        return 1.0
+    return max(0.0, 1.0 - distance / bound)
+
+
+def feature_similarity(node_a, node_b):
+    """Cheap similarity from pattern feature vectors (pre-filter)."""
+    features_a = pattern_summary(node_a)
+    features_b = pattern_summary(node_b)
+    keys = sorted(set(features_a) | set(features_b))
+    overlap = 0.0
+    total = 0.0
+    for key in keys:
+        value_a = features_a.get(key, 0)
+        value_b = features_b.get(key, 0)
+        overlap += min(value_a, value_b)
+        total += max(value_a, value_b)
+    if total == 0:
+        return 1.0
+    return overlap / total
+
+
+def surface_similarity(text_a, text_b):
+    """Normalized Levenshtein similarity over surface text (the baseline
+    the paper criticizes)."""
+    distance = _levenshtein(text_a, text_b)
+    bound = max(len(text_a), len(text_b))
+    if bound == 0:
+        return 1.0
+    return 1.0 - distance / bound
+
+
+def _levenshtein(a, b):
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def similarity_report(node_a, node_b, *, sql_a=None, sql_b=None):
+    """A structured comparison used by examples and benchmarks."""
+    report = {
+        "pattern_equal": pattern_equal(node_a, node_b),
+        "shape_equal": pattern_equal(node_a, node_b, anonymize_relations=True),
+        "intent_similarity": similarity(node_a, node_b),
+        "feature_similarity": feature_similarity(node_a, node_b),
+        "canonical_a": canonical_text(node_a),
+        "canonical_b": canonical_text(node_b),
+    }
+    if sql_a is not None and sql_b is not None:
+        report["surface_similarity"] = surface_similarity(sql_a, sql_b)
+    return report

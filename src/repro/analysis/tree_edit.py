@@ -1,0 +1,161 @@
+"""Zhang–Shasha ordered tree edit distance over ALT label trees.
+
+Surface syntax is a poor proxy for intent (Section 1 of the paper):
+semantically close queries can be syntactically far apart and vice versa.
+The ALT makes semantic structure explicit, so a *tree* distance over linked
+ALTs approximates intent distance far better than string distance over SQL.
+
+This module implements the classic Zhang–Shasha algorithm (1989) for
+ordered labeled trees with unit costs, plus helpers to convert ARC nodes to
+label trees (via the ALT rendering labels).
+"""
+
+from __future__ import annotations
+
+from ..core import nodes as n
+
+
+class LabelTree:
+    """An ordered labeled tree node."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label, children=()):
+        self.label = label
+        self.children = list(children)
+
+    def size(self):
+        return 1 + sum(child.size() for child in self.children)
+
+    def __repr__(self):
+        return f"LabelTree({self.label!r}, {len(self.children)} children)"
+
+
+def from_arc(node):
+    """Convert an ARC node into a LabelTree using ALT-style labels."""
+    from ..core.alt import _alt_lines
+
+    def convert(line):
+        return LabelTree(line.label, [convert(child) for child in line.children])
+
+    return convert(_alt_lines(node))
+
+
+def tree_edit_distance(tree_a, tree_b, *, insert_cost=1, delete_cost=1, relabel_cost=1):
+    """Zhang–Shasha edit distance between two ordered labeled trees."""
+    a_nodes = _postorder(tree_a)
+    b_nodes = _postorder(tree_b)
+    a_leftmost = _leftmost_leaves(tree_a, a_nodes)
+    b_leftmost = _leftmost_leaves(tree_b, b_nodes)
+    a_keyroots = _keyroots(a_leftmost)
+    b_keyroots = _keyroots(b_leftmost)
+
+    size_a, size_b = len(a_nodes), len(b_nodes)
+    distance = [[0] * size_b for _ in range(size_a)]
+
+    for key_a in a_keyroots:
+        for key_b in b_keyroots:
+            _compute_forest(
+                key_a,
+                key_b,
+                a_nodes,
+                b_nodes,
+                a_leftmost,
+                b_leftmost,
+                distance,
+                insert_cost,
+                delete_cost,
+                relabel_cost,
+            )
+    return distance[size_a - 1][size_b - 1]
+
+
+def _compute_forest(
+    key_a,
+    key_b,
+    a_nodes,
+    b_nodes,
+    a_leftmost,
+    b_leftmost,
+    distance,
+    insert_cost,
+    delete_cost,
+    relabel_cost,
+):
+    la, lb = a_leftmost[key_a], b_leftmost[key_b]
+    rows = key_a - la + 2
+    cols = key_b - lb + 2
+    forest = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        forest[i][0] = forest[i - 1][0] + delete_cost
+    for j in range(1, cols):
+        forest[0][j] = forest[0][j - 1] + insert_cost
+    for i in range(1, rows):
+        for j in range(1, cols):
+            node_a = la + i - 1
+            node_b = lb + j - 1
+            if a_leftmost[node_a] == la and b_leftmost[node_b] == lb:
+                cost = 0 if a_nodes[node_a].label == b_nodes[node_b].label else relabel_cost
+                forest[i][j] = min(
+                    forest[i - 1][j] + delete_cost,
+                    forest[i][j - 1] + insert_cost,
+                    forest[i - 1][j - 1] + cost,
+                )
+                distance[node_a][node_b] = forest[i][j]
+            else:
+                i_prefix = a_leftmost[node_a] - la
+                j_prefix = b_leftmost[node_b] - lb
+                forest[i][j] = min(
+                    forest[i - 1][j] + delete_cost,
+                    forest[i][j - 1] + insert_cost,
+                    forest[i_prefix][j_prefix] + distance[node_a][node_b],
+                )
+
+
+def _postorder(tree):
+    result = []
+
+    def visit(node):
+        for child in node.children:
+            visit(child)
+        result.append(node)
+
+    visit(tree)
+    return result
+
+
+def _leftmost_leaves(tree, postorder_nodes):
+    index_of = {id(node): index for index, node in enumerate(postorder_nodes)}
+    leftmost = [0] * len(postorder_nodes)
+
+    def visit(node):
+        current = node
+        while current.children:
+            current = current.children[0]
+        leftmost[index_of[id(node)]] = index_of[id(current)]
+        for child in node.children:
+            visit(child)
+
+    visit(tree)
+    return leftmost
+
+
+def _keyroots(leftmost):
+    seen = {}
+    for index, left in enumerate(leftmost):
+        seen[left] = index  # the last (highest) node with this leftmost leaf
+    return sorted(seen.values())
+
+
+def arc_distance(node_a, node_b, *, canonical=True, anonymize_relations=False):
+    """Tree edit distance between two ARC queries' ALTs.
+
+    With ``canonical=True`` both queries are canonicalized first, so
+    variable names and conjunct order do not contribute to the distance.
+    """
+    if canonical:
+        from .canonical import canonicalize
+
+        node_a = canonicalize(node_a, anonymize_relations=anonymize_relations)
+        node_b = canonicalize(node_b, anonymize_relations=anonymize_relations)
+    return tree_edit_distance(from_arc(node_a), from_arc(node_b))

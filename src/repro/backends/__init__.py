@@ -1,0 +1,5 @@
+"""Rendering backends: ARC -> comprehension text, ARC -> SQL."""
+
+from . import comprehension
+
+__all__ = ["comprehension"]

@@ -1,0 +1,180 @@
+"""Render ARC ASTs back into comprehension-syntax text.
+
+This is the textual modality of ARC (Section 2.2 of the paper).  Two
+spellings are supported: the Unicode notation used in the paper
+(``∃ r ∈ R, γ r.A [ ... ]``) and an ASCII fallback
+(``exists r in R, gamma r.A [ ... ]``).  Both round-trip through
+:func:`repro.core.parser.parse`.
+"""
+
+from __future__ import annotations
+
+from ..core import nodes as n
+from ..data.values import is_null
+
+
+class Style:
+    """Rendering vocabulary for one spelling of the comprehension syntax."""
+
+    def __init__(self, exists, member, conj, disj, neg, gamma, empty):
+        self.exists = exists
+        self.member = member
+        self.conj = conj
+        self.disj = disj
+        self.neg = neg
+        self.gamma = gamma
+        self.empty = empty
+
+
+UNICODE = Style("∃", "∈", "∧", "∨", "¬", "γ", "∅")
+# ASCII keywords need a trailing space where the Unicode symbols abut the
+# following token (``∃r`` vs ``exists r``, ``¬∃`` vs ``not exists``).
+ASCII = Style("exists ", "in", "and", "or", "not ", "gamma", "empty")
+
+
+def render(node, style=UNICODE):
+    """Render any ARC node (Collection, Sentence, Program, Formula, Expr)."""
+    return _Renderer(style).render(node)
+
+
+def render_ascii(node):
+    """Render using the keyboard-friendly ASCII spelling."""
+    return render(node, ASCII)
+
+
+class _Renderer:
+    def __init__(self, style):
+        self._s = style
+
+    def render(self, node):
+        if isinstance(node, n.Program):
+            return self._program(node)
+        if isinstance(node, n.Collection):
+            return self._collection(node)
+        if isinstance(node, n.Sentence):
+            return self._formula(node.body)
+        if isinstance(node, n.Formula):
+            return self._formula(node)
+        if isinstance(node, n.Expr):
+            return self._expr(node)
+        if isinstance(node, n.Grouping):
+            return self._grouping(node)
+        if isinstance(node, n.JoinExpr):
+            return self._join(node)
+        raise TypeError(f"cannot render {type(node).__name__}")
+
+    # -- structure ----------------------------------------------------------
+
+    def _program(self, program):
+        lines = []
+        for name, definition in program.definitions.items():
+            lines.append(f"{name} := {self._collection(definition)} ;")
+        if isinstance(program.main, str):
+            lines.append(f"main {program.main}")
+        elif isinstance(program.main, n.Sentence):
+            lines.append(self._formula(program.main.body))
+        elif program.main is not None:
+            lines.append(self._collection(program.main))
+        return "\n".join(lines)
+
+    def _collection(self, coll):
+        head = f"{coll.head.name}({', '.join(coll.head.attrs)})"
+        return f"{{{head} | {self._formula(coll.body)}}}"
+
+    def _formula(self, formula, *, parenthesize=False):
+        if isinstance(formula, n.Quantifier):
+            return self._quantifier(formula)
+        if isinstance(formula, n.And):
+            text = f" {self._s.conj} ".join(
+                self._formula(c, parenthesize=isinstance(c, n.Or))
+                for c in formula.children_list
+            )
+            return f"({text})" if parenthesize else text
+        if isinstance(formula, n.Or):
+            text = f" {self._s.disj} ".join(
+                self._formula(c) for c in formula.children_list
+            )
+            return f"({text})" if parenthesize else text
+        if isinstance(formula, n.Not):
+            child = formula.child
+            if isinstance(child, n.Quantifier):
+                return f"{self._s.neg}{self._quantifier(child)}"
+            return f"{self._s.neg}({self._formula(child)})"
+        if isinstance(formula, n.Comparison):
+            return f"{self._expr(formula.left)} {formula.op} {self._expr(formula.right)}"
+        if isinstance(formula, n.IsNull):
+            suffix = "is not null" if formula.negated else "is null"
+            return f"{self._expr(formula.expr)} {suffix}"
+        if isinstance(formula, n.BoolConst):
+            return "true" if formula.value else "false"
+        if isinstance(formula, n.Collection):
+            return self._collection(formula)
+        raise TypeError(f"cannot render formula {type(formula).__name__}")
+
+    def _quantifier(self, quant):
+        items = []
+        for binding in quant.bindings:
+            items.append(self._binding(binding))
+        if quant.grouping is not None:
+            items.append(self._grouping(quant.grouping))
+        if quant.join is not None:
+            items.append(self._join(quant.join))
+        body = self._formula(quant.body)
+        return f"{self._s.exists}{', '.join(items)}[{body}]"
+
+    def _binding(self, binding):
+        if isinstance(binding.source, n.RelationRef):
+            source = binding.source.name
+            if not source.replace("_", "a").replace("$", "a").isalnum():
+                source = f"'{source}'"  # reified operators like '-' or '>'
+        else:
+            source = self._collection(binding.source)
+        return f"{binding.var} {self._s.member} {source}"
+
+    def _grouping(self, grouping):
+        if not grouping.keys:
+            return f"{self._s.gamma} {self._s.empty}"
+        keys = ", ".join(self._expr(k) for k in grouping.keys)
+        return f"{self._s.gamma} {keys}"
+
+    def _join(self, join):
+        if isinstance(join, n.JoinVar):
+            return join.var
+        if isinstance(join, n.JoinConst):
+            return self._const_text(join.value)
+        children = ", ".join(self._join(c) for c in join.children_list)
+        return f"{join.kind}({children})"
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr, *, parent_op=None):
+        if isinstance(expr, n.Attr):
+            return f"{expr.var}.{expr.attr}"
+        if isinstance(expr, n.Const):
+            return self._const_text(expr.value)
+        if isinstance(expr, n.AggCall):
+            if expr.arg is None:
+                return f"{expr.func}(*)"
+            return f"{expr.func}({self._expr(expr.arg)})"
+        if isinstance(expr, n.Arith):
+            left = self._expr(expr.left, parent_op=expr.op)
+            right = self._expr(expr.right, parent_op=expr.op)
+            text = f"{left} {expr.op} {right}"
+            if parent_op is not None:
+                # Parenthesize all nested arithmetic so the rendered text
+                # reparses to the identical tree (associativity-faithful).
+                return f"({text})"
+            return text
+        raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+    @staticmethod
+    def _const_text(value):
+        if is_null(value):
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, str):
+            return f"'{value}'"
+        return repr(value)

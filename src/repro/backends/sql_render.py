@@ -1,0 +1,377 @@
+"""Rendering ARC back into executable SQL text.
+
+The inverse direction of the paper's planned ``SQL ↔ ARC`` translator
+(Section 5): every ARC construct maps onto its SQL encoding —
+
+* bindings become FROM items; nested collections become ``JOIN LATERAL``
+  derived tables (the paper's canonical encoding of body nesting, Fig. 3a);
+* join annotations become INNER/LEFT/FULL JOIN syntax, re-materializing the
+  literal-leaf device as ON conjuncts (Fig. 12);
+* plain assignments become select items; aggregation assignments become
+  aggregate select items with GROUP BY; aggregation comparisons become
+  HAVING;
+* boolean quantifiers become EXISTS subqueries; a boolean ``γ∅`` scope with
+  a single aggregation comparison becomes a correlated scalar subquery
+  (Fig. 21a); negation becomes NOT EXISTS;
+* top-level disjunction becomes UNION ALL; deduplicating grouping becomes
+  SELECT DISTINCT; recursion becomes WITH RECURSIVE.
+
+The produced text parses back through :mod:`repro.frontends.sql` for the
+non-recursive fragment, enabling round-trip testing.
+"""
+
+from __future__ import annotations
+
+from ..core import nodes as n
+from ..data.values import is_null
+from ..errors import RewriteError
+
+
+def to_sql(node, *, pretty=True):
+    """Render an ARC Collection, Sentence, or Program as SQL text."""
+    renderer = _SqlRenderer()
+    if isinstance(node, n.Program):
+        return renderer.render_program(node)
+    if isinstance(node, n.Collection):
+        return renderer.render_collection(node)
+    if isinstance(node, n.Sentence):
+        return f"select exists ({renderer.render_exists_body(node.body)})"
+    raise RewriteError(f"cannot render {type(node).__name__} as SQL")
+
+
+class _SqlRenderer:
+    # -- programs ------------------------------------------------------------
+
+    def render_program(self, program):
+        if not program.definitions:
+            return self.render_collection(program.resolve_main())
+        ctes = []
+        recursive = False
+        for name, definition in program.definitions.items():
+            if self._is_recursive(name, definition):
+                recursive = True
+            attrs = ", ".join(definition.head.attrs)
+            ctes.append(f"{name}({attrs}) as (\n{self.render_collection(definition)}\n)")
+        main = program.resolve_main()
+        if isinstance(program.main, str):
+            main_sql = f"select * from {program.main}"
+        elif isinstance(main, n.Sentence):
+            main_sql = f"select exists ({self.render_exists_body(main.body)})"
+        else:
+            main_sql = self.render_collection(main)
+        keyword = "with recursive" if recursive else "with"
+        return f"{keyword} " + ",\n".join(ctes) + f"\n{main_sql}"
+
+    @staticmethod
+    def _is_recursive(name, definition):
+        return any(
+            isinstance(node, n.RelationRef) and node.name == name
+            for node in definition.walk()
+        )
+
+    # -- collections ------------------------------------------------------------
+
+    def render_collection(self, coll):
+        head = coll.head
+        disjuncts = (
+            coll.body.children_list if isinstance(coll.body, n.Or) else [coll.body]
+        )
+        selects = []
+        for disjunct in disjuncts:
+            if not isinstance(disjunct, n.Quantifier):
+                raise RewriteError(
+                    "only quantifier bodies can be rendered as SQL selects "
+                    f"(got {type(disjunct).__name__})"
+                )
+            selects.append(self._render_quantifier_select(head, disjunct))
+        return "\nunion all\n".join(selects)
+
+    def _render_quantifier_select(self, head, quant):
+        parts = self._split_scope(head, quant)
+        (assignments, agg_assignments, agg_comparisons, row_formulas) = parts
+
+        from_sql, on_consumed = self._render_from(quant)
+        where = [
+            self._render_formula(f)
+            for f in row_formulas
+            if id(f) not in on_consumed
+        ]
+
+        select_items = []
+        for attr in head.attrs:
+            expr = dict(assignments + agg_assignments).get(attr)
+            if expr is None:
+                raise RewriteError(
+                    f"head attribute {attr!r} has no assignment predicate"
+                )
+            select_items.append(f"{self._render_expr(expr)} as {attr}")
+
+        grouping = quant.grouping
+        distinct = ""
+        group_by = ""
+        having = ""
+        if grouping is not None:
+            has_aggs = bool(agg_assignments or agg_comparisons)
+            if not has_aggs:
+                # Pure deduplication: grouping on all projected expressions.
+                assigned = {self._render_expr(e) for _, e in assignments}
+                keys = {self._render_expr(k) for k in grouping.keys}
+                if keys == assigned:
+                    distinct = "distinct "
+                else:
+                    group_by = "\ngroup by " + ", ".join(
+                        self._render_expr(k) for k in grouping.keys
+                    )
+            elif grouping.keys:
+                group_by = "\ngroup by " + ", ".join(
+                    self._render_expr(k) for k in grouping.keys
+                )
+            if agg_comparisons:
+                having = "\nhaving " + " and ".join(
+                    self._render_formula(f) for f in agg_comparisons
+                )
+
+        sql = f"select {distinct}" + ", ".join(select_items)
+        sql += f"\nfrom {from_sql}"
+        if where:
+            sql += "\nwhere " + " and ".join(where)
+        sql += group_by + having
+        return sql
+
+    def _split_scope(self, head, quant):
+        assignments = []
+        agg_assignments = []
+        agg_comparisons = []
+        row_formulas = []
+        for conjunct in n.conjuncts(quant.body):
+            if isinstance(conjunct, n.Comparison):
+                target = self._assignment_of(conjunct, head)
+                if target is not None:
+                    if conjunct.has_aggregate():
+                        agg_assignments.append(target)
+                    else:
+                        assignments.append(target)
+                    continue
+                if conjunct.has_aggregate():
+                    agg_comparisons.append(conjunct)
+                    continue
+            row_formulas.append(conjunct)
+        return assignments, agg_assignments, agg_comparisons, row_formulas
+
+    @staticmethod
+    def _assignment_of(predicate, head):
+        if predicate.op != "=":
+            return None
+        for side, other in (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        ):
+            if (
+                isinstance(side, n.Attr)
+                and side.var == head.name
+                and side.attr in head.attrs
+            ):
+                return (side.attr, other)
+        return None
+
+    # -- FROM / joins -----------------------------------------------------------------
+
+    def _render_from(self, quant):
+        """Render the FROM clause; returns (sql, ids of consumed conjuncts)."""
+        bindings = {b.var: b for b in quant.bindings}
+        consumed = set()
+        if quant.join is None:
+            items = [self._render_binding(b) for b in quant.bindings]
+            return ",\n     ".join(items), consumed
+
+        from ..engine.joins import ConditionAssignment, annotation_vars
+
+        row_formulas = [
+            c
+            for c in n.conjuncts(quant.body)
+            if not (isinstance(c, n.Comparison) and c.has_aggregate())
+            and self._assignment_of_any(c, quant) is None
+        ]
+        assignment = ConditionAssignment(quant.join, row_formulas)
+
+        def render_ann(node):
+            if isinstance(node, n.JoinVar):
+                filters = assignment.filters(node.var)
+                consumed.update(id(f) for f in filters)
+                text = self._render_binding(bindings[node.var])
+                return text, [self._render_formula(f) for f in filters]
+            if isinstance(node, n.JoinConst):
+                return None, []
+            children = [render_ann(c) for c in node.children_list]
+            conditions = assignment.conditions(node)
+            consumed.update(id(f) for f in conditions)
+            condition_texts = [self._render_formula(f) for f in conditions]
+            if node.kind == "inner":
+                texts = [(t, extra) for t, extra in children if t is not None]
+                base, extras = texts[0]
+                condition_texts.extend(extras)
+                for text, child_extras in texts[1:]:
+                    on = " and ".join(condition_texts + child_extras) or "true"
+                    base = f"{base}\n  join {text} on {on}"
+                    condition_texts = []
+                return base, condition_texts
+            keyword = {"left": "left join", "full": "full join"}[node.kind]
+            (left_text, left_extras) = children[0]
+            (right_text, right_extras) = children[1]
+            on_parts = condition_texts + left_extras + right_extras
+            on = " and ".join(on_parts) or "true"
+            return f"{left_text}\n  {keyword} {right_text} on {on}", []
+
+        covered = annotation_vars(quant.join)
+        text, leftover = render_ann(quant.join)
+        if leftover:
+            raise RewriteError("dangling join conditions in annotation rendering")
+        uncovered = [b for b in quant.bindings if b.var not in covered]
+        items = [text] + [self._render_binding(b) for b in uncovered]
+        return ",\n     ".join(items), consumed
+
+    def _assignment_of_any(self, conjunct, quant):
+        """An assignment to *any* enclosing head cannot be a row formula;
+        detect by shape (Head.attr = expr with a capitalized-style var that
+        is not bound in this scope)."""
+        if not isinstance(conjunct, n.Comparison) or conjunct.op != "=":
+            return None
+        bound = {b.var for b in quant.bindings}
+        for side in (conjunct.left, conjunct.right):
+            if isinstance(side, n.Attr) and side.var not in bound:
+                other = conjunct.right if side is conjunct.left else conjunct.left
+                other_vars = n.vars_used(other)
+                if other_vars and other_vars <= bound:
+                    return side
+        return None
+
+    def _render_binding(self, binding):
+        if isinstance(binding.source, n.RelationRef):
+            name = binding.source.name
+            if not (name[0].isalpha() or name[0] == "_"):
+                name = f'"{name}"'
+            if binding.var.lower() == binding.source.name.lower():
+                return name
+            return f"{name} {binding.var}"
+        sub = self.render_collection(binding.source)
+        indented = "\n    ".join(sub.splitlines())
+        return f"lateral (\n    {indented}\n  ) {binding.var}"
+
+    # -- formulas -----------------------------------------------------------------------
+
+    def _render_formula(self, formula):
+        if isinstance(formula, n.Comparison):
+            return (
+                f"{self._render_expr(formula.left)} {formula.op} "
+                f"{self._render_expr(formula.right)}"
+            )
+        if isinstance(formula, n.IsNull):
+            suffix = "is not null" if formula.negated else "is null"
+            return f"{self._render_expr(formula.expr)} {suffix}"
+        if isinstance(formula, n.BoolConst):
+            return "true" if formula.value else "false"
+        if isinstance(formula, n.And):
+            return "(" + " and ".join(
+                self._render_formula(c) for c in formula.children_list
+            ) + ")"
+        if isinstance(formula, n.Or):
+            return "(" + " or ".join(
+                self._render_formula(c) for c in formula.children_list
+            ) + ")"
+        if isinstance(formula, n.Not):
+            if isinstance(formula.child, n.Quantifier):
+                return f"not {self._render_boolean_quantifier(formula.child)}"
+            return f"not ({self._render_formula(formula.child)})"
+        if isinstance(formula, n.Quantifier):
+            return self._render_boolean_quantifier(formula)
+        raise RewriteError(f"cannot render formula {type(formula).__name__} as SQL")
+
+    def _render_boolean_quantifier(self, quant):
+        conjuncts = n.conjuncts(quant.body)
+        agg_comparisons = [
+            c
+            for c in conjuncts
+            if isinstance(c, n.Comparison) and c.has_aggregate()
+        ]
+        row_formulas = [c for c in conjuncts if c not in agg_comparisons]
+        from_sql, consumed = self._render_from(quant)
+        where = [
+            self._render_formula(f) for f in row_formulas if id(f) not in consumed
+        ]
+        if quant.grouping is not None and not quant.grouping.keys and len(agg_comparisons) == 1:
+            # γ∅ + single aggregation comparison: correlated scalar subquery
+            # (Fig. 21a / Fig. 9 pattern).
+            predicate = agg_comparisons[0]
+            agg_side, other_side, op = self._orient_aggregate(predicate)
+            sub = f"select {self._render_expr(agg_side)}\nfrom {from_sql}"
+            if where:
+                sub += "\nwhere " + " and ".join(where)
+            indented = "\n   ".join(sub.splitlines())
+            return f"{self._render_expr(other_side)} {op} (\n   {indented})"
+        sql = f"select 1\nfrom {from_sql}"
+        if where:
+            sql += "\nwhere " + " and ".join(where)
+        if quant.grouping is not None:
+            if quant.grouping.keys:
+                sql += "\ngroup by " + ", ".join(
+                    self._render_expr(k) for k in quant.grouping.keys
+                )
+            if agg_comparisons:
+                sql += "\nhaving " + " and ".join(
+                    self._render_formula(f) for f in agg_comparisons
+                )
+        indented = "\n   ".join(sql.splitlines())
+        return f"exists (\n   {indented})"
+
+    def render_exists_body(self, body):
+        if isinstance(body, n.Quantifier):
+            text = self._render_boolean_quantifier(body)
+            if text.startswith("exists (") and text.endswith(")"):
+                return text[len("exists (") : -1].strip()
+            return f"select {text}"
+        if isinstance(body, n.Not) and isinstance(body.child, n.Quantifier):
+            inner = self.render_exists_body(body.child)
+            return f"select not exists ({inner})"
+        raise RewriteError("sentence body must be a (negated) quantifier")
+
+    @staticmethod
+    def _orient_aggregate(predicate):
+        """Return (aggregate-side, other-side, op-with-other-on-left)."""
+        flip = {"=": "=", "<>": "<>", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        left_has = any(isinstance(x, n.AggCall) for x in predicate.left.walk())
+        if left_has:
+            return predicate.left, predicate.right, flip[predicate.op]
+        return predicate.right, predicate.left, predicate.op
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _render_expr(self, expr):
+        if isinstance(expr, n.Attr):
+            return f"{expr.var}.{expr.attr}"
+        if isinstance(expr, n.Const):
+            value = expr.value
+            if is_null(value):
+                return "null"
+            if value is True:
+                return "true"
+            if value is False:
+                return "false"
+            if isinstance(value, str):
+                return f"'{value}'"
+            return repr(value)
+        if isinstance(expr, n.AggCall):
+            if expr.arg is None:
+                return "count(*)"
+            func = expr.func
+            if func.endswith("distinct"):
+                return f"{func[:-len('distinct')]}(distinct {self._render_expr(expr.arg)})"
+            return f"{func}({self._render_expr(expr.arg)})"
+        if isinstance(expr, n.Arith):
+            left = self._render_expr(expr.left)
+            right = self._render_expr(expr.right)
+            if isinstance(expr.left, n.Arith):
+                left = f"({left})"
+            if isinstance(expr.right, n.Arith):
+                right = f"({right})"
+            return f"{left} {expr.op} {right}"
+        raise RewriteError(f"cannot render expression {type(expr).__name__}")

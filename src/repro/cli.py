@@ -1,0 +1,213 @@
+"""Command-line interface: the SQL ↔ ARC translator of the paper's Section 5.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro translate --from sql --to alt "select R.A from R ..."
+    python -m repro translate --from arc --to sql "{Q(A) | ∃r ∈ R[Q.A = r.A]}"
+    python -m repro validate "{Q(A, sm) | ∃r ∈ R[Q.sm = sum(r.B)]}"
+    python -m repro eval --db data.csv:R "select R.A from R"
+    python -m repro patterns "select R.A from R where not exists (...)"
+
+Input languages: ``arc`` (comprehension syntax), ``alt`` (the box-drawing
+ALT text — modalities are losslessly inter-translatable), ``sql``,
+``datalog``, ``trc``, ``rel``.  Output modalities: ``arc`` (Unicode),
+``ascii``, ``alt``, ``higraph``, ``svg``, ``sql``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .backends.comprehension import render, render_ascii
+from .backends.sql_render import to_sql
+from .core import build_higraph, parse, render_alt, render_higraph_ascii, render_svg
+from .core.conventions import (
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+from .core.validator import validate
+from .data import Database, csvio
+from .engine import evaluate
+from .errors import ArcError
+
+CONVENTIONS = {
+    "set": SET_CONVENTIONS,
+    "sql": SQL_CONVENTIONS,
+    "souffle": SOUFFLE_CONVENTIONS,
+}
+
+
+def _load_query(text, language, database=None):
+    if language == "arc":
+        return parse(text)
+    if language == "alt":
+        from .core.alt_parser import parse_alt
+
+        return parse_alt(text)
+    if language == "sql":
+        from .frontends.sql import to_arc
+
+        return to_arc(text, database=database)
+    if language == "datalog":
+        from .frontends import datalog
+
+        return datalog.to_arc(text, database=database)
+    if language == "trc":
+        from .frontends import trc
+
+        return trc.to_arc(text)
+    if language == "rel":
+        from .frontends import rel
+
+        return rel.to_arc(text, database=database)
+    raise ArcError(f"unknown input language {language!r}")
+
+
+def _render_output(query, modality, database=None):
+    if modality == "arc":
+        return render(query)
+    if modality == "ascii":
+        return render_ascii(query)
+    if modality == "alt":
+        return render_alt(query, include_links=True)
+    if modality == "higraph":
+        return render_higraph_ascii(build_higraph(query, database=database))
+    if modality == "svg":
+        return render_svg(build_higraph(query, database=database))
+    if modality == "sql":
+        return to_sql(query)
+    raise ArcError(f"unknown output modality {modality!r}")
+
+
+def _load_database(specs):
+    """Each spec is ``path.csv:Name``; loads CSVs into a catalog."""
+    database = Database()
+    for spec in specs or ():
+        path, _, name = spec.rpartition(":")
+        if not path:
+            raise ArcError(f"database spec must be path.csv:Name, got {spec!r}")
+        database.add(csvio.read_csv(path, name))
+    return database
+
+
+def _read_text(args):
+    if args.query == "-":
+        return sys.stdin.read()
+    return args.query
+
+
+def cmd_translate(args):
+    database = _load_database(args.db)
+    query = _load_query(_read_text(args), args.source, database)
+    print(_render_output(query, args.target, database))
+    return 0
+
+
+def cmd_validate(args):
+    database = _load_database(args.db) if args.db else None
+    query = _load_query(_read_text(args), args.source, database)
+    report = validate(query, database=database, allow_abstract=args.allow_abstract)
+    for issue in report.issues:
+        print(issue)
+    if report.ok:
+        print("OK")
+        return 0
+    return 1
+
+
+def cmd_eval(args):
+    database = _load_database(args.db)
+    query = _load_query(_read_text(args), args.source, database)
+    result = evaluate(query, database, CONVENTIONS[args.conventions])
+    if hasattr(result, "to_table"):
+        print(result.to_table(max_rows=args.max_rows))
+    else:
+        print(result.name)  # a Truth value
+    return 0
+
+
+def cmd_patterns(args):
+    from .analysis import detect_patterns, fingerprint, pattern_summary
+
+    database = _load_database(args.db) if args.db else None
+    query = _load_query(_read_text(args), args.source, database)
+    print("patterns:   ", ", ".join(sorted(detect_patterns(query))) or "(none)")
+    print("fingerprint:", fingerprint(query))
+    print("shape:      ", fingerprint(query, anonymize_relations=True))
+    for key, value in pattern_summary(query).items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARC: Abstract Relational Calculus — translator and evaluator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, *, needs_target=False):
+        p.add_argument("query", help="query text, or '-' to read stdin")
+        p.add_argument(
+            "--from",
+            dest="source",
+            default="arc",
+            choices=["arc", "alt", "sql", "datalog", "trc", "rel"],
+            help="input language (default: arc)",
+        )
+        p.add_argument(
+            "--db",
+            action="append",
+            metavar="CSV:NAME",
+            help="load a base relation from a CSV file (repeatable)",
+        )
+        if needs_target:
+            p.add_argument(
+                "--to",
+                dest="target",
+                default="arc",
+                choices=["arc", "ascii", "alt", "higraph", "svg", "sql"],
+                help="output modality (default: arc)",
+            )
+
+    p_translate = sub.add_parser("translate", help="translate between languages/modalities")
+    common(p_translate, needs_target=True)
+    p_translate.set_defaults(func=cmd_translate)
+
+    p_validate = sub.add_parser("validate", help="check scoping/grouping/safety rules")
+    common(p_validate)
+    p_validate.add_argument("--allow-abstract", action="store_true")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_eval = sub.add_parser("eval", help="evaluate against CSV-loaded relations")
+    common(p_eval)
+    p_eval.add_argument(
+        "--conventions",
+        default="set",
+        choices=sorted(CONVENTIONS),
+        help="semantic conventions (default: set)",
+    )
+    p_eval.add_argument("--max-rows", type=int, default=50)
+    p_eval.set_defaults(func=cmd_eval)
+
+    p_patterns = sub.add_parser("patterns", help="report the relational pattern")
+    common(p_patterns)
+    p_patterns.set_defaults(func=cmd_patterns)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ArcError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""ARC core: abstract syntax, parsing, linking, validation, modalities."""
+
+from . import nodes, builder
+from .conventions import (
+    Conventions,
+    EmptyAggregate,
+    NullComparison,
+    Semantics,
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+from .parser import parse, parse_collection, parse_program, parse_sentence
+from .linker import link, LinkResult
+from .validator import validate, Report
+from .alt import render_alt
+from .alt_parser import parse_alt
+from .higraph import build_higraph, render_ascii as render_higraph_ascii, render_svg
+
+__all__ = [
+    "nodes",
+    "builder",
+    "Conventions",
+    "EmptyAggregate",
+    "NullComparison",
+    "Semantics",
+    "SET_CONVENTIONS",
+    "SOUFFLE_CONVENTIONS",
+    "SQL_CONVENTIONS",
+    "parse",
+    "parse_collection",
+    "parse_program",
+    "parse_sentence",
+    "link",
+    "LinkResult",
+    "validate",
+    "Report",
+    "render_alt",
+    "parse_alt",
+    "build_higraph",
+    "render_higraph_ascii",
+    "render_svg",
+]

@@ -1,0 +1,176 @@
+"""The Abstract Language Tree (ALT) modality: machine-facing rendering.
+
+Produces exactly the paper's box-drawing presentation (Figs. 2a, 4b, 5c,
+21g-i)::
+
+    COLLECTION
+    ├─ HEAD: Q(A)
+    └─ QUANTIFIER ∃
+       ├─ BINDING: r ∈ R
+       ├─ BINDING: s ∈ S
+       └─ AND ∧
+          ├─ PREDICATE: Q.A = r.A
+          ├─ PREDICATE: r.B = s.B
+          └─ PREDICATE: s.C = 0
+
+The *linked* ALT additionally lists the cross-reference edges produced by
+the linker (attribute occurrence -> declaring binding/head) — the overlay
+arrows of Fig. 2a.  Structurally the linked ALT is a higraph (containment
+tree + reference edges); :mod:`repro.core.higraph` renders the same data
+diagrammatically.
+"""
+
+from __future__ import annotations
+
+from ..errors import LinkError
+from . import nodes as n
+from .linker import link
+
+
+def render_alt(root, *, include_links=False):
+    """Render *root* as an ALT text tree.
+
+    When ``include_links`` is true, appends a ``LINKS:`` section listing the
+    reference edges (attr occurrence -> declaration) that turn the tree into
+    a higraph.
+    """
+    lines = _alt_lines(root)
+    text = "\n".join(_draw(lines))
+    if include_links:
+        try:
+            result = link(root)
+        except LinkError as exc:
+            text += f"\nLINKS: <unlinkable: {exc}>"
+            return text
+        edge_lines = []
+        for attr, declaration in result.links():
+            if isinstance(declaration, n.Binding):
+                target = f"binding {declaration.var}"
+            else:
+                target = f"head {declaration.name}"
+            edge_lines.append(f"  {attr.var}.{attr.attr} -> {target}")
+        text += "\nLINKS:\n" + "\n".join(sorted(set(edge_lines)))
+    return text
+
+
+class _Line:
+    """One ALT node: a label plus its children, rendered depth-first."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label, children=()):
+        self.label = label
+        self.children = list(children)
+
+
+def _draw(root_line):
+    """Convert a _Line tree into box-drawing text lines."""
+    out = [root_line.label]
+
+    def recurse(line, prefix):
+        count = len(line.children)
+        for index, child in enumerate(line.children):
+            last = index == count - 1
+            connector = "└─ " if last else "├─ "
+            out.append(prefix + connector + child.label)
+            recurse(child, prefix + ("   " if last else "│  "))
+
+    recurse(root_line, "")
+    return out
+
+
+def _alt_lines(node):
+    if isinstance(node, n.Program):
+        children = []
+        for name, definition in node.definitions.items():
+            wrapper = _Line(f"DEFINE: {name}", [_alt_lines(definition)])
+            children.append(wrapper)
+        main = node.resolve_main()
+        if main is not None:
+            if isinstance(node.main, str):
+                children.append(_Line(f"MAIN: {node.main}"))
+            else:
+                children.append(_Line("MAIN:", [_alt_lines(main)]))
+        return _Line("PROGRAM", children)
+    if isinstance(node, n.Collection):
+        head = _Line(f"HEAD: {node.head.name}({','.join(node.head.attrs)})")
+        return _Line("COLLECTION", [head, _formula_lines(node.body)])
+    if isinstance(node, n.Sentence):
+        return _Line("SENTENCE", [_formula_lines(node.body)])
+    if isinstance(node, n.Formula):
+        return _formula_lines(node)
+    raise TypeError(f"cannot render {type(node).__name__} as ALT")
+
+
+def _formula_lines(formula):
+    if isinstance(formula, n.Quantifier):
+        children = []
+        for binding in formula.bindings:
+            if isinstance(binding.source, n.RelationRef):
+                children.append(
+                    _Line(f"BINDING: {binding.var} ∈ {binding.source.name}")
+                )
+            else:
+                children.append(
+                    _Line(f"BINDING: {binding.var} ∈ ", [_alt_lines(binding.source)])
+                )
+        if formula.grouping is not None:
+            children.append(_Line(_grouping_label(formula.grouping)))
+        if formula.join is not None:
+            children.append(_Line(f"JOIN: {_join_text(formula.join)}"))
+        children.append(_formula_lines(formula.body))
+        return _Line("QUANTIFIER ∃", children)
+    if isinstance(formula, n.And):
+        return _Line("AND ∧", [_formula_lines(c) for c in formula.children_list])
+    if isinstance(formula, n.Or):
+        return _Line("OR ∨", [_formula_lines(c) for c in formula.children_list])
+    if isinstance(formula, n.Not):
+        return _Line("NOT ¬", [_formula_lines(formula.child)])
+    if isinstance(formula, n.Comparison):
+        return _Line(f"PREDICATE: {_expr_text(formula.left)} {formula.op} {_expr_text(formula.right)}")
+    if isinstance(formula, n.IsNull):
+        suffix = "is not null" if formula.negated else "is null"
+        return _Line(f"PREDICATE: {_expr_text(formula.expr)} {suffix}")
+    if isinstance(formula, n.BoolConst):
+        return _Line(f"PREDICATE: {'true' if formula.value else 'false'}")
+    if isinstance(formula, n.Collection):
+        return _alt_lines(formula)
+    raise TypeError(f"cannot render formula {type(formula).__name__}")
+
+
+def _grouping_label(grouping):
+    if not grouping.keys:
+        return "GROUPING: ∅"
+    return "GROUPING: " + ", ".join(_expr_text(k) for k in grouping.keys)
+
+
+def _join_text(join):
+    if isinstance(join, n.JoinVar):
+        return join.var
+    if isinstance(join, n.JoinConst):
+        return repr(join.value)
+    inner = ", ".join(_join_text(c) for c in join.children_list)
+    return f"{join.kind}({inner})"
+
+
+def _expr_text(expr):
+    if isinstance(expr, n.Attr):
+        return f"{expr.var}.{expr.attr}"
+    if isinstance(expr, n.Const):
+        value = expr.value
+        if isinstance(value, str):
+            return f"'{value}'"
+        return repr(value)
+    if isinstance(expr, n.AggCall):
+        if expr.arg is None:
+            return f"{expr.func}(*)"
+        return f"{expr.func}({_expr_text(expr.arg)})"
+    if isinstance(expr, n.Arith):
+        left = _expr_text(expr.left)
+        right = _expr_text(expr.right)
+        if isinstance(expr.left, n.Arith):
+            left = f"({left})"
+        if isinstance(expr.right, n.Arith):
+            right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    return str(expr)

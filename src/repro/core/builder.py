@@ -1,0 +1,177 @@
+"""Programmatic construction helpers for ARC ASTs.
+
+The comprehension-syntax parser (:mod:`repro.core.parser`) is the usual way
+to obtain an AST; this module offers terse helpers for building nodes in
+Python when programmatic construction is clearer (generators, rewrites,
+tests).
+
+Example
+-------
+>>> from repro.core import builder as b
+>>> q = b.collection(
+...     "Q", ["A"],
+...     b.exists(
+...         [b.bind("r", "R"), b.bind("s", "S")],
+...         b.conj(b.eq(b.attr("Q.A"), b.attr("r.A")),
+...                b.eq(b.attr("r.B"), b.attr("s.B")),
+...                b.eq(b.attr("s.C"), b.const(0))),
+...     ),
+... )
+"""
+
+from __future__ import annotations
+
+from . import nodes as n
+
+
+def attr(dotted):
+    """Build an Attr from ``"var.attr"`` (or pass two args via :func:`attr2`)."""
+    var, _, name = dotted.partition(".")
+    if not name:
+        raise ValueError(f"expected 'var.attr', got {dotted!r}")
+    return n.Attr(var, name)
+
+
+def attr2(var, name):
+    return n.Attr(var, name)
+
+
+def const(value):
+    return n.Const(value)
+
+
+def _expr(value):
+    """Coerce strings to Attr and plain scalars to Const."""
+    if isinstance(value, n.Node):
+        return value
+    if isinstance(value, str) and "." in value:
+        return attr(value)
+    return n.Const(value)
+
+
+def cmp(left, op, right):
+    return n.Comparison(_expr(left), op, _expr(right))
+
+
+def eq(left, right):
+    return cmp(left, "=", right)
+
+
+def neq(left, right):
+    return cmp(left, "<>", right)
+
+
+def lt(left, right):
+    return cmp(left, "<", right)
+
+
+def lte(left, right):
+    return cmp(left, "<=", right)
+
+
+def gt(left, right):
+    return cmp(left, ">", right)
+
+
+def gte(left, right):
+    return cmp(left, ">=", right)
+
+
+def arith(op, left, right):
+    return n.Arith(op, _expr(left), _expr(right))
+
+
+def agg(func, arg=None):
+    return n.AggCall(func, _expr(arg) if arg is not None else None)
+
+
+def sum_(arg):
+    return agg("sum", arg)
+
+
+def count(arg=None):
+    return agg("count", arg)
+
+
+def avg(arg):
+    return agg("avg", arg)
+
+
+def min_(arg):
+    return agg("min", arg)
+
+
+def max_(arg):
+    return agg("max", arg)
+
+
+def isnull(expr, negated=False):
+    return n.IsNull(_expr(expr), negated)
+
+
+def conj(*formulas):
+    return n.make_and(list(formulas))
+
+
+def disj(*formulas):
+    return n.make_or(list(formulas))
+
+
+def neg(formula):
+    return n.Not(formula)
+
+
+def bind(var, source):
+    """Bind *var* to a relation name or a nested Collection."""
+    if isinstance(source, str):
+        source = n.RelationRef(source)
+    return n.Binding(var, source)
+
+
+def grouping(*keys):
+    """``grouping()`` is the explicit γ∅; keys are ``"var.attr"`` strings or Attrs."""
+    return n.Grouping(tuple(_expr(k) for k in keys))
+
+
+def jvar(var):
+    return n.JoinVar(var)
+
+
+def jconst(value):
+    return n.JoinConst(value)
+
+
+def inner(*children):
+    return n.Join("inner", [_join_leaf(c) for c in children])
+
+
+def left(first, second):
+    return n.Join("left", [_join_leaf(first), _join_leaf(second)])
+
+
+def full(first, second):
+    return n.Join("full", [_join_leaf(first), _join_leaf(second)])
+
+
+def _join_leaf(value):
+    if isinstance(value, n.JoinExpr):
+        return value
+    if isinstance(value, str):
+        return n.JoinVar(value)
+    return n.JoinConst(value)
+
+
+def exists(bindings, body, grouping=None, join=None):
+    return n.Quantifier(list(bindings), body, grouping, join)
+
+
+def collection(name, attrs, body):
+    return n.Collection(n.Head(name, tuple(attrs)), body)
+
+
+def sentence(body):
+    return n.Sentence(body)
+
+
+def program(definitions=None, main=None):
+    return n.Program(dict(definitions or {}), main)

@@ -1,0 +1,105 @@
+"""Conventions: orthogonal, environment-level semantic parameters.
+
+The paper's central separation of concerns (Section 1, 2.6, 2.7): a
+*language* encodes the relational composition of a query; a *convention* is
+an orthogonal design decision that affects observable behaviour but not the
+relational pattern.  This module makes those decisions first-class switches
+that the evaluator honours, so the same ARC query can be interpreted like
+SQL, like Soufflé, or like a set-theoretic calculus simply by flipping them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Semantics(enum.Enum):
+    """Set vs. bag interpretation of every relation and query result (§2.7)."""
+
+    SET = "set"
+    BAG = "bag"
+
+
+class EmptyAggregate(enum.Enum):
+    """What ``sum``/``avg``/``min``/``max`` return over zero input rows (§2.6).
+
+    SQL returns NULL; Soufflé (which has no NULL) returns the aggregate's
+    neutral element (0 for sum/count, and errors for min/max — we model the
+    neutral-element family as ZERO).  ``count`` is always 0 in both worlds.
+    """
+
+    NULL = "null"
+    ZERO = "zero"
+
+
+class NullComparison(enum.Enum):
+    """Three-valued (SQL) vs. two-valued logic for comparisons with NULL (§2.10)."""
+
+    THREE_VALUED = "3vl"
+    TWO_VALUED = "2vl"
+
+
+@dataclass(frozen=True)
+class Conventions:
+    """An immutable bundle of semantic switches.
+
+    Attributes
+    ----------
+    semantics:
+        Set or bag interpretation of relations and results.
+    empty_aggregate:
+        Behaviour of non-count aggregates over empty groups.
+    null_comparison:
+        Whether comparisons touching NULL yield UNKNOWN (3VL) or are decided
+        in a two-valued domain where NULL is an ordinary value.
+    """
+
+    semantics: Semantics = Semantics.SET
+    empty_aggregate: EmptyAggregate = EmptyAggregate.NULL
+    null_comparison: NullComparison = NullComparison.THREE_VALUED
+
+    def with_(self, **changes):
+        """Return a copy with some switches flipped."""
+        return replace(self, **changes)
+
+    @property
+    def is_bag(self):
+        return self.semantics is Semantics.BAG
+
+    @property
+    def is_set(self):
+        return self.semantics is Semantics.SET
+
+    @property
+    def three_valued(self):
+        return self.null_comparison is NullComparison.THREE_VALUED
+
+    def describe(self):
+        return (
+            f"semantics={self.semantics.value}, "
+            f"empty_aggregate={self.empty_aggregate.value}, "
+            f"null_comparison={self.null_comparison.value}"
+        )
+
+
+#: SQL's conventions: bag semantics, NULL for empty aggregates, 3VL.
+SQL_CONVENTIONS = Conventions(
+    semantics=Semantics.BAG,
+    empty_aggregate=EmptyAggregate.NULL,
+    null_comparison=NullComparison.THREE_VALUED,
+)
+
+#: Soufflé's conventions: set semantics, 0 for empty aggregates, no 3VL.
+SOUFFLE_CONVENTIONS = Conventions(
+    semantics=Semantics.SET,
+    empty_aggregate=EmptyAggregate.ZERO,
+    null_comparison=NullComparison.TWO_VALUED,
+)
+
+#: Classical set-theoretic conventions (textbook TRC).
+SET_CONVENTIONS = Conventions(
+    semantics=Semantics.SET,
+    empty_aggregate=EmptyAggregate.NULL,
+    null_comparison=NullComparison.THREE_VALUED,
+)

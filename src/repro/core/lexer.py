@@ -1,0 +1,187 @@
+"""Tokenizer shared by the comprehension-syntax and TRC frontends.
+
+The comprehension modality of ARC uses a small Unicode vocabulary
+(``∃ ∈ ∧ ∨ ¬ γ ∅``) with ASCII fallbacks (``exists in and or not gamma``)
+so queries can be typed on any keyboard.  The lexer normalizes both spellings
+to the same token types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+
+# Token types.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"  # punctuation and operators, value carries the symbol
+KEYWORD = "KEYWORD"  # normalized keyword (exists, in, and, or, not, ...)
+EOF = "EOF"
+
+#: Unicode symbol -> normalized keyword.
+_UNICODE_KEYWORDS = {
+    "∃": "exists",
+    "∈": "in",
+    "∧": "and",
+    "∨": "or",
+    "¬": "not",
+    "γ": "gamma",
+    "∅": "empty",
+    "×": "cross",
+}
+
+#: ASCII words that the lexer promotes to keywords (case-insensitive).
+_WORD_KEYWORDS = {
+    "exists",
+    "in",
+    "and",
+    "or",
+    "not",
+    "gamma",
+    "empty",
+    "null",
+    "true",
+    "false",
+    "is",
+    "left",
+    "full",
+    "inner",
+    "cross",
+    "main",
+}
+
+#: Multi-character operators, longest first.
+_MULTI_SYMBOLS = (":=", "<>", "!=", "<=", ">=")
+
+_SINGLE_SYMBOLS = set("{}()[]|,;.=<>+-*/%:")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def is_symbol(self, *symbols):
+        return self.type == SYMBOL and self.value in symbols
+
+    def is_keyword(self, *keywords):
+        return self.type == KEYWORD and self.value in keywords
+
+    def __repr__(self):
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text):
+    """Tokenize comprehension-syntax source text into a list of Tokens.
+
+    Raises :class:`~repro.errors.ParseError` on an unrecognized character or
+    an unterminated string literal.
+    """
+    tokens = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def advance(count):
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if ch in _UNICODE_KEYWORDS:
+            tokens.append(Token(KEYWORD, _UNICODE_KEYWORDS[ch], start_line, start_column))
+            advance(1)
+            continue
+        two = text[i : i + 2]
+        if two in _MULTI_SYMBOLS:
+            tokens.append(Token(SYMBOL, two, start_line, start_column))
+            advance(2)
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", start_line, start_column)
+            tokens.append(Token(STRING, "".join(buf), start_line, start_column))
+            advance(j + 1 - i)
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is attribute access, not
+                    # part of the number (e.g. in positional contexts).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line, start_column))
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_$"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in _WORD_KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, start_line, start_column))
+            else:
+                tokens.append(Token(IDENT, word, start_line, start_column))
+            advance(j - i)
+            continue
+        if ch in _SINGLE_SYMBOLS:
+            tokens.append(Token(SYMBOL, ch, start_line, start_column))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", start_line, start_column)
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens
+
+
+def literal_value(token):
+    """Convert a NUMBER/STRING/keyword-literal token to its Python value."""
+    if token.type == NUMBER:
+        if "." in token.value:
+            return float(token.value)
+        return int(token.value)
+    if token.type == STRING:
+        return token.value
+    if token.type == KEYWORD:
+        if token.value == "true":
+            return True
+        if token.value == "false":
+            return False
+        if token.value == "null":
+            from ..data.values import NULL
+
+            return NULL
+    raise ParseError(f"not a literal: {token.value!r}", token.line, token.column)

@@ -1,0 +1,303 @@
+"""Name resolution: turning an ARC AST into a *linked* Abstract Language Tree.
+
+The paper (Section 1, Fig. 2a) stresses that once identifier occurrences are
+connected to their declarations, the structure is a hierarchical graph
+(higraph) — a containment tree plus cross-reference edges.  This module
+performs that linking step:
+
+* builds the **scope tree** (collections and quantifiers introduce scopes);
+* resolves every :class:`~repro.core.nodes.Attr` occurrence to the
+  :class:`~repro.core.nodes.Binding` that declares its range variable, or to
+  the :class:`~repro.core.nodes.Head` of an enclosing collection (the
+  assignment targets of the paper's *clean heads*, or the head-parameter
+  references of *abstract relations*, Section 2.13.2);
+* classifies every :class:`~repro.core.nodes.Comparison` as an **assignment
+  predicate**, a **comparison predicate**, and/or an **aggregation
+  predicate** (Sections 2.1 and 2.5);
+* records which relation names are referenced so the engine can resolve them
+  against the catalog / program definitions / external registry.
+
+The result, a :class:`LinkResult`, is a side table keyed by node identity
+(nodes hash by identity precisely to allow this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LinkError
+from . import nodes as n
+
+#: Predicate roles (a predicate can be both AGGREGATION and ASSIGNMENT).
+ASSIGNMENT = "assignment"
+COMPARISON = "comparison"
+
+
+@dataclass
+class Scope:
+    """One lexical scope: a collection body or a quantifier's reach."""
+
+    owner: n.Node  # Collection | Sentence | Quantifier
+    parent: "Scope | None" = None
+    bindings: dict = field(default_factory=dict)  # var name -> Binding
+    head: n.Head | None = None  # set for Collection scopes
+    children: list = field(default_factory=list)
+
+    def lookup(self, var):
+        """Resolve *var* innermost-out; returns a Binding or a Head or None."""
+        scope = self
+        while scope is not None:
+            if var in scope.bindings:
+                return scope.bindings[var]
+            if scope.head is not None and scope.head.name == var:
+                return scope.head
+            scope = scope.parent
+        return None
+
+    def depth(self):
+        depth = 0
+        scope = self.parent
+        while scope is not None:
+            depth += 1
+            scope = scope.parent
+        return depth
+
+
+@dataclass
+class LinkResult:
+    """All cross-reference information for one linked query.
+
+    Attributes
+    ----------
+    root:
+        The linked node (Collection, Sentence, or Program).
+    resolutions:
+        Attr node -> Binding or Head that declares it.
+    scope_of:
+        Node -> the Scope in which the node occurs.
+    roles:
+        Comparison node -> set of roles ({ASSIGNMENT} and/or {COMPARISON}).
+    assign_targets:
+        Comparison node -> (Head, attr name) for assignment predicates.
+    head_params:
+        Attr nodes that *read* a head attribute (abstract-relation
+        parameters, e.g. ``S.left`` inside the Subset definition).
+    relation_refs:
+        All RelationRef nodes encountered.
+    binding_scope:
+        Binding node -> Scope that owns it (the quantifier's scope).
+    """
+
+    root: n.Node
+    resolutions: dict = field(default_factory=dict)
+    scope_of: dict = field(default_factory=dict)
+    roles: dict = field(default_factory=dict)
+    assign_targets: dict = field(default_factory=dict)
+    head_params: list = field(default_factory=list)
+    relation_refs: list = field(default_factory=list)
+    binding_scope: dict = field(default_factory=dict)
+    root_scope: Scope | None = None
+
+    # -- convenience queries -------------------------------------------------
+
+    def is_assignment(self, predicate):
+        return ASSIGNMENT in self.roles.get(predicate, ())
+
+    def is_aggregation(self, predicate):
+        return isinstance(predicate, n.Comparison) and predicate.has_aggregate()
+
+    def assignment_target(self, predicate):
+        """Return (Head, attr) when *predicate* assigns a head attribute."""
+        return self.assign_targets.get(predicate)
+
+    def links(self):
+        """Iterate (Attr, declaration) pairs — the higraph's reference edges."""
+        return list(self.resolutions.items())
+
+    def relation_names(self):
+        return sorted({ref.name for ref in self.relation_refs})
+
+
+def link(root, *, defined_names=()):
+    """Link *root* (Collection | Sentence | Program) and return a LinkResult.
+
+    ``defined_names`` supplies extra relation names that variables may range
+    over (used when linking a single definition out of a larger program).
+
+    Raises :class:`~repro.errors.LinkError` when an attribute references an
+    unbound range variable.
+    """
+    linker = _Linker(defined_names=set(defined_names))
+    result = LinkResult(root)
+    if isinstance(root, n.Program):
+        for name, definition in root.definitions.items():
+            linker.link_collection(definition, None, result)
+        main = root.resolve_main()
+        if main is not None and not isinstance(main, str):
+            if isinstance(main, n.Collection):
+                if main not in set(root.definitions.values()):
+                    linker.link_collection(main, None, result)
+            else:
+                linker.link_sentence(main, None, result)
+    elif isinstance(root, n.Collection):
+        result.root_scope = linker.link_collection(root, None, result)
+    elif isinstance(root, n.Sentence):
+        result.root_scope = linker.link_sentence(root, None, result)
+    else:
+        raise LinkError(f"cannot link a {type(root).__name__}")
+    return result
+
+
+class _Linker:
+    def __init__(self, defined_names=()):
+        self._defined_names = set(defined_names)
+
+    # -- scope construction ------------------------------------------------
+
+    def link_collection(self, coll, parent_scope, result):
+        scope = Scope(owner=coll, parent=parent_scope, head=coll.head)
+        if parent_scope is not None:
+            parent_scope.children.append(scope)
+        result.scope_of[coll] = scope
+        self._link_formula(coll.body, scope, result)
+        return scope
+
+    def link_sentence(self, sentence, parent_scope, result):
+        scope = Scope(owner=sentence, parent=parent_scope)
+        result.scope_of[sentence] = scope
+        self._link_formula(sentence.body, scope, result)
+        return scope
+
+    def _link_formula(self, formula, scope, result, negated=False):
+        if formula is None:
+            return
+        if isinstance(formula, n.Quantifier):
+            self._link_quantifier(formula, scope, result, negated)
+            return
+        if isinstance(formula, (n.And, n.Or)):
+            for child in formula.children_list:
+                self._link_formula(child, scope, result, negated)
+            return
+        if isinstance(formula, n.Not):
+            # Sticky: anywhere under a negation is a non-emitting context, so
+            # head-attribute equalities there are parameter constraints, not
+            # assignments (even under double negation).
+            self._link_formula(formula.child, scope, result, True)
+            return
+        if isinstance(formula, n.Comparison):
+            self._link_predicate(formula, scope, result, negated)
+            return
+        if isinstance(formula, n.IsNull):
+            result.scope_of[formula] = scope
+            self._link_expr(formula.expr, scope, result)
+            return
+        if isinstance(formula, n.BoolConst):
+            result.scope_of[formula] = scope
+            return
+        if isinstance(formula, n.Collection):
+            self.link_collection(formula, scope, result)
+            return
+        raise LinkError(f"unexpected formula node {type(formula).__name__}")
+
+    def _link_quantifier(self, quant, parent_scope, result, negated=False):
+        scope = Scope(owner=quant, parent=parent_scope)
+        parent_scope.children.append(scope)
+        result.scope_of[quant] = scope
+        for binding in quant.bindings:
+            # A nested-collection source is linked in the scope as built *so
+            # far*: it may reference earlier bindings of this scope and any
+            # enclosing scope (lateral semantics, Section 2.4).
+            if isinstance(binding.source, n.Collection):
+                self.link_collection(binding.source, scope, result)
+            else:
+                result.relation_refs.append(binding.source)
+                result.scope_of[binding.source] = scope
+            if binding.var in scope.bindings:
+                raise LinkError(
+                    f"range variable {binding.var!r} bound twice in one scope"
+                )
+            shadowed = scope.lookup(binding.var)
+            if shadowed is not None and isinstance(shadowed, n.Binding):
+                raise LinkError(
+                    f"range variable {binding.var!r} shadows an outer binding; "
+                    "ARC requires distinct variable names across nested scopes"
+                )
+            scope.bindings[binding.var] = binding
+            result.binding_scope[binding] = scope
+            result.scope_of[binding] = scope
+        if quant.grouping is not None:
+            result.scope_of[quant.grouping] = scope
+            for key in quant.grouping.keys:
+                self._link_expr(key, scope, result)
+        if quant.join is not None:
+            self._link_join(quant.join, scope, result)
+        self._link_formula(quant.body, scope, result, negated)
+
+    def _link_join(self, join, scope, result):
+        result.scope_of[join] = scope
+        if isinstance(join, n.JoinVar):
+            binding = scope.bindings.get(join.var)
+            if binding is None:
+                raise LinkError(
+                    f"join annotation references {join.var!r}, which is not "
+                    "bound in the same scope"
+                )
+            result.resolutions[join] = binding
+            return
+        if isinstance(join, n.JoinConst):
+            return
+        for child in join.children_list:
+            self._link_join(child, scope, result)
+
+    # -- predicates -----------------------------------------------------------
+
+    def _link_predicate(self, predicate, scope, result, negated=False):
+        result.scope_of[predicate] = scope
+        roles = set()
+        sides = () if negated else (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        )
+        for side, other in sides:
+            target = self._head_target(side, scope)
+            if target is not None and predicate.op == "=":
+                # `Head.attr = expr`: an assignment predicate — unless the
+                # expression side *also* resolves to the same head (a pure
+                # head-parameter constraint, kept as comparison).
+                roles.add(ASSIGNMENT)
+                result.assign_targets[predicate] = (target, side.attr)
+                result.resolutions[side] = target
+                self._link_expr(other, scope, result)
+                break
+        else:
+            roles.add(COMPARISON)
+            self._link_expr(predicate.left, scope, result)
+            self._link_expr(predicate.right, scope, result)
+        result.roles[predicate] = roles
+
+    def _head_target(self, expr, scope):
+        """Return the Head when *expr* is ``H.attr`` for an enclosing head
+        that declares ``attr`` — the head of the innermost enclosing
+        collection wins (nested heads shadow outer ones)."""
+        if not isinstance(expr, n.Attr):
+            return None
+        declaration = scope.lookup(expr.var)
+        if isinstance(declaration, n.Head) and expr.attr in declaration.attrs:
+            return declaration
+        return None
+
+    def _link_expr(self, expr, scope, result):
+        for node in expr.walk():
+            if isinstance(node, n.Attr):
+                declaration = scope.lookup(node.var)
+                if declaration is None:
+                    raise LinkError(
+                        f"unbound range variable {node.var!r} in {node.var}.{node.attr}"
+                    )
+                result.resolutions[node] = declaration
+                if isinstance(declaration, n.Head):
+                    if node.attr not in declaration.attrs:
+                        raise LinkError(
+                            f"head {declaration.name!r} has no attribute {node.attr!r}"
+                        )
+                    result.head_params.append(node)

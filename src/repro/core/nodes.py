@@ -1,0 +1,571 @@
+"""ARC abstract syntax: the node vocabulary of the Abstract Relational Calculus.
+
+These nodes are the *language-independent* representation the paper calls for
+(Section 2): a small, reusable operator vocabulary in which binding, scoping,
+and grouping structure is explicit.  Every frontend (comprehension syntax,
+SQL, Datalog, TRC, Rel) parses into these nodes, every modality (ALT text,
+higraph, comprehension text, SQL) renders out of them, and the evaluator
+interprets them directly under a :class:`~repro.core.conventions.Conventions`.
+
+Design notes
+------------
+* Nodes are plain dataclasses with **identity-based hashing** (``eq=False``)
+  so linker/validator annotations can live in side tables keyed by node.
+  Structural equality is a separate, explicit operation
+  (:func:`structurally_equal`), used by tests and canonicalization.
+* A :class:`Collection` is the paper's central construct: a head plus a body
+  formula; head attributes receive values only through *assignment
+  predicates* (strict scoping, Section 2.1).
+* A :class:`Quantifier` introduces one or more bindings, an optional grouping
+  operator (``γ keys`` or ``γ∅``), and an optional join-annotation tree for
+  outer joins (Section 2.11).
+* :class:`Program` holds defined relations (views / IDBs / recursive
+  definitions, Fig. 14) next to a main query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+AGGREGATE_FUNCTIONS = (
+    "sum",
+    "count",
+    "avg",
+    "min",
+    "max",
+    "sumdistinct",
+    "countdistinct",
+    "avgdistinct",
+)
+
+COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+JOIN_KINDS = ("inner", "left", "full")
+
+
+class Node:
+    """Base class for every ARC AST node."""
+
+    def children(self):
+        """Yield child nodes (in deterministic order)."""
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self):
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def label(self):
+        """Short label for this node (used by ALT rendering and debugging)."""
+        return type(self).__name__
+
+    def __repr__(self):
+        parts = []
+        for f in dataclasses.fields(self):
+            parts.append(f"{f.name}={getattr(self, f.name)!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False, repr=False)
+class Expr(Node):
+    """Marker base class for value expressions."""
+
+
+@dataclass(eq=False, repr=False)
+class Attr(Expr):
+    """Attribute reference ``var.attr`` (a range variable's named attribute)."""
+
+    var: str
+    attr: str
+
+    def label(self):
+        return f"{self.var}.{self.attr}"
+
+
+@dataclass(eq=False, repr=False)
+class Const(Expr):
+    """A literal constant (int, float, str, bool, or NULL)."""
+
+    value: object
+
+    def label(self):
+        return repr(self.value)
+
+
+@dataclass(eq=False, repr=False)
+class Arith(Expr):
+    """Binary arithmetic over expressions; NULL propagates per convention."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in ARITHMETIC_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def label(self):
+        return self.op
+
+
+@dataclass(eq=False, repr=False)
+class AggCall(Expr):
+    """Aggregate term, e.g. ``sum(r.B)`` or ``count(s.d)``.
+
+    Aggregates appear as *operands in predicates* (Section 2.5).  The
+    argument may be any scalar expression over the grouping scope's
+    variables (``sum(a.val * b.val)`` in the matrix example); ``arg=None``
+    means "count rows" (SQL ``COUNT(*)``).
+    """
+
+    func: str
+    arg: Expr | None
+
+    def __post_init__(self):
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.arg is None and self.func != "count":
+            raise ValueError(f"aggregate {self.func!r} requires an argument")
+
+    @property
+    def distinct(self):
+        return self.func.endswith("distinct")
+
+    def label(self):
+        return f"{self.func}(...)" if self.arg is not None else "count(*)"
+
+
+# ---------------------------------------------------------------------------
+# Formulas (predicates and logical structure)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False, repr=False)
+class Formula(Node):
+    """Marker base class for boolean-valued formulas."""
+
+
+@dataclass(eq=False, repr=False)
+class Comparison(Formula):
+    """A predicate ``left op right``.
+
+    Three roles (distinguished by the linker, not by the syntax):
+
+    * **comparison predicate** — both sides over bound range variables;
+    * **assignment predicate** — ``H.attr = expr`` where ``H`` is the head of
+      the enclosing collection (the paper's explicit head assignments);
+    * **aggregation predicate** — either side contains an :class:`AggCall`
+      (may simultaneously be an assignment, Fig. 4, or a comparison, Fig. 9).
+    """
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def has_aggregate(self):
+        return any(isinstance(n, AggCall) for n in self.walk())
+
+    def label(self):
+        return self.op
+
+
+@dataclass(eq=False, repr=False)
+class IsNull(Formula):
+    """``expr IS [NOT] NULL`` — explicit two-valued null test (Fig. 11)."""
+
+    expr: Expr
+    negated: bool = False
+
+    def label(self):
+        return "is not null" if self.negated else "is null"
+
+
+@dataclass(eq=False, repr=False)
+class BoolConst(Formula):
+    """A constant truth value (used for vacuous bodies, e.g. ``ON true``)."""
+
+    value: bool
+
+    def label(self):
+        return "true" if self.value else "false"
+
+
+@dataclass(eq=False, repr=False)
+class And(Formula):
+    """Conjunction of any number of formulas."""
+
+    children_list: list = field(default_factory=list)
+
+    def label(self):
+        return "AND ∧"
+
+
+@dataclass(eq=False, repr=False)
+class Or(Formula):
+    """Disjunction; also models union of multiple Datalog rules (Fig. 10)."""
+
+    children_list: list = field(default_factory=list)
+
+    def label(self):
+        return "OR ∨"
+
+
+@dataclass(eq=False, repr=False)
+class Not(Formula):
+    """Negation; scopes are explicit so the higraph can draw negation regions."""
+
+    child: Formula
+
+    def label(self):
+        return "NOT ¬"
+
+
+# ---------------------------------------------------------------------------
+# Bindings, grouping, joins, quantification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False, repr=False)
+class RelationRef(Node):
+    """Reference to a relation by name.
+
+    Whether the name denotes a base, intensional (defined), or external
+    relation is resolved by the linker against the program and the external
+    registry — the syntax is uniform, matching the paper's "everything is a
+    relation" stance (Section 2.13).
+    """
+
+    name: str
+
+    def label(self):
+        return self.name
+
+
+@dataclass(eq=False, repr=False)
+class Binding(Node):
+    """A range variable bound to a relation or to a nested collection.
+
+    ``r ∈ R`` or ``x ∈ {X(sm) | ...}`` — the latter gives lateral /
+    correlated nesting (Section 2.4): the nested collection may reference
+    bindings introduced *earlier* in the same scope and in enclosing scopes.
+    """
+
+    var: str
+    source: Node  # RelationRef | Collection
+
+    def label(self):
+        if isinstance(self.source, RelationRef):
+            return f"BINDING: {self.var} ∈ {self.source.name}"
+        return f"BINDING: {self.var} ∈ "
+
+
+@dataclass(eq=False, repr=False)
+class Grouping(Node):
+    """The grouping operator ``γ`` with its key attributes.
+
+    ``keys=()`` is the explicit ``γ∅`` ("group by true"): a single group over
+    the whole scope — crucially, **one group even over empty input**, which
+    is exactly what distinguishes the correct and incorrect count-bug
+    rewrites (Section 3.2).
+    """
+
+    keys: tuple = ()
+
+    def label(self):
+        if not self.keys:
+            return "GROUPING: ∅"
+        return "GROUPING: " + ", ".join(k.label() for k in self.keys)
+
+
+@dataclass(eq=False, repr=False)
+class JoinExpr(Node):
+    """Marker base for join-annotation trees (Section 2.11)."""
+
+
+@dataclass(eq=False, repr=False)
+class JoinVar(JoinExpr):
+    """Leaf of a join annotation: one of the scope's range variables."""
+
+    var: str
+
+    def label(self):
+        return self.var
+
+
+@dataclass(eq=False, repr=False)
+class JoinConst(JoinExpr):
+    """Literal leaf: a singleton virtual unary table holding one constant
+    (the ``inner(11, s)`` device of Fig. 12)."""
+
+    value: object
+
+    def label(self):
+        return repr(self.value)
+
+
+@dataclass(eq=False, repr=False)
+class Join(JoinExpr):
+    """Interior node: ``inner`` is k-ary, ``left``/``full`` binary."""
+
+    kind: str
+    children_list: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {self.kind!r}")
+        if self.kind in ("left", "full") and len(self.children_list) != 2:
+            raise ValueError(f"{self.kind} join annotation must be binary")
+
+    def label(self):
+        return f"JOIN: {self.kind}"
+
+
+@dataclass(eq=False, repr=False)
+class Quantifier(Formula):
+    """Existential quantification introducing bindings (and optional γ / joins).
+
+    The body formula is evaluated once per combination of bindings (the
+    conceptual nested-loop strategy, Section 2.3).  The presence of any
+    aggregation predicate in the directly-owned predicates turns the scope
+    into a *grouping scope* and requires ``grouping`` to be present
+    (validator-enforced).
+    """
+
+    bindings: list = field(default_factory=list)
+    body: Formula = None
+    grouping: Grouping | None = None
+    join: JoinExpr | None = None
+
+    def label(self):
+        return "QUANTIFIER ∃"
+
+
+# ---------------------------------------------------------------------------
+# Collections, sentences, programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False, repr=False)
+class Head(Node):
+    """Output relation declaration ``Q(A, B, ...)`` of a collection."""
+
+    name: str
+    attrs: tuple = ()
+
+    def label(self):
+        return f"HEAD: {self.name}({','.join(self.attrs)})"
+
+
+@dataclass(eq=False, repr=False)
+class Collection(Formula):
+    """``{ Head | body }`` — the declarative specification of a relation.
+
+    Heads are *clean* (Section 2.1): body variables never appear in the head;
+    instead assignment predicates ``Head.attr = expr`` populate the output.
+    A Collection can appear as a query, as a binding source (nested
+    comprehension = lateral join), or as a defined relation in a program.
+    """
+
+    head: Head = None
+    body: Formula = None
+
+    def label(self):
+        return "COLLECTION"
+
+
+@dataclass(eq=False, repr=False)
+class Sentence(Node):
+    """A boolean query — a body with no head (Fig. 9, integrity constraints)."""
+
+    body: Formula = None
+
+    def label(self):
+        return "SENTENCE"
+
+
+@dataclass(eq=False, repr=False)
+class Program(Node):
+    """A set of defined relations plus a main query.
+
+    ``definitions`` maps relation names to their defining Collections;
+    definitions may reference each other and themselves (recursion,
+    Section 2.9 — least-fixed-point semantics).  ``main`` is a Collection,
+    Sentence, or the name of a definition.
+    """
+
+    definitions: dict = field(default_factory=dict)
+    main: object = None
+
+    def children(self):
+        for definition in self.definitions.values():
+            yield definition
+        if isinstance(self.main, Node):
+            yield self.main
+
+    def resolve_main(self):
+        """Return the main query node (dereferencing a name if needed)."""
+        if isinstance(self.main, str):
+            return self.definitions[self.main]
+        return self.main
+
+    def label(self):
+        return "PROGRAM"
+
+
+# ---------------------------------------------------------------------------
+# Structural operations
+# ---------------------------------------------------------------------------
+
+
+def structurally_equal(a, b):
+    """Exact structural equality (same node types, fields, and child order).
+
+    Variable *names* matter here; use
+    :func:`repro.analysis.canonical.canonicalize` first for name-insensitive
+    pattern equality.
+    """
+    if type(a) is not type(b):
+        return False
+    if not isinstance(a, Node):
+        return a == b
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, Node) or isinstance(vb, Node):
+            if not structurally_equal(va, vb):
+                return False
+        elif isinstance(va, (list, tuple)) and isinstance(vb, (list, tuple)):
+            if len(va) != len(vb):
+                return False
+            for ia, ib in zip(va, vb):
+                if isinstance(ia, Node) or isinstance(ib, Node):
+                    if not structurally_equal(ia, ib):
+                        return False
+                elif ia != ib:
+                    return False
+        elif isinstance(va, dict) and isinstance(vb, dict):
+            if set(va) != set(vb):
+                return False
+            for key in va:
+                if not structurally_equal(va[key], vb[key]):
+                    return False
+        elif va != vb:
+            return False
+    return True
+
+
+def clone(node):
+    """Deep-copy an AST subtree (new node identities, same structure)."""
+    if not isinstance(node, Node):
+        return node
+    kwargs = {}
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            kwargs[f.name] = clone(value)
+        elif isinstance(value, list):
+            kwargs[f.name] = [clone(v) if isinstance(v, Node) else v for v in value]
+        elif isinstance(value, tuple):
+            kwargs[f.name] = tuple(clone(v) if isinstance(v, Node) else v for v in value)
+        elif isinstance(value, dict):
+            kwargs[f.name] = {k: clone(v) if isinstance(v, Node) else v for k, v in value.items()}
+        else:
+            kwargs[f.name] = value
+    return type(node)(**kwargs)
+
+
+def transform(node, fn):
+    """Rebuild the tree bottom-up, applying *fn* to every (rebuilt) node.
+
+    *fn* receives a freshly cloned node whose children have already been
+    transformed, and returns a replacement node (or the same node).
+    """
+    if not isinstance(node, Node):
+        return node
+    kwargs = {}
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            kwargs[f.name] = transform(value, fn)
+        elif isinstance(value, list):
+            kwargs[f.name] = [transform(v, fn) if isinstance(v, Node) else v for v in value]
+        elif isinstance(value, tuple):
+            kwargs[f.name] = tuple(
+                transform(v, fn) if isinstance(v, Node) else v for v in value
+            )
+        elif isinstance(value, dict):
+            kwargs[f.name] = {
+                k: transform(v, fn) if isinstance(v, Node) else v for k, v in value.items()
+            }
+        else:
+            kwargs[f.name] = value
+    rebuilt = type(node)(**kwargs)
+    return fn(rebuilt)
+
+
+def attrs_used(node):
+    """All Attr references in the subtree, as (var, attr) pairs."""
+    return [(n.var, n.attr) for n in node.walk() if isinstance(n, Attr)]
+
+
+def vars_used(node):
+    """All range-variable names referenced by attributes in the subtree."""
+    return {n.var for n in node.walk() if isinstance(n, Attr)}
+
+
+def conjuncts(formula):
+    """Flatten a formula into its top-level conjuncts."""
+    if isinstance(formula, And):
+        result = []
+        for child in formula.children_list:
+            result.extend(conjuncts(child))
+        return result
+    if formula is None:
+        return []
+    return [formula]
+
+
+def make_and(formulas):
+    """Build a conjunction, collapsing trivial cases."""
+    flat = []
+    for f in formulas:
+        flat.extend(conjuncts(f))
+    flat = [f for f in flat if not (isinstance(f, BoolConst) and f.value)]
+    if not flat:
+        return BoolConst(True)
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def make_or(formulas):
+    formulas = list(formulas)
+    if not formulas:
+        return BoolConst(False)
+    if len(formulas) == 1:
+        return formulas[0]
+    flat = []
+    for f in formulas:
+        if isinstance(f, Or):
+            flat.extend(f.children_list)
+        else:
+            flat.append(f)
+    return Or(flat)

@@ -1,0 +1,494 @@
+"""Pattern-level rewrites over ARC queries.
+
+Each rewrite is the ARC-level formulation of a transformation the paper
+discusses, together with its applicability conditions:
+
+* :func:`unnest` — merge a nested quantifier into its parent scope.  Valid
+  under set semantics; **refused under bag semantics** because unnesting
+  multiplies output multiplicities (Section 2.7).
+* :func:`nest_existential` — the inverse: push bindings into a nested
+  existential scope (semijoin form).
+* :func:`not_in_to_not_exists` — replicate SQL's three-valued NOT IN
+  behaviour in two-valued logic by adding explicit IS NULL checks
+  (Section 2.10, Fig. 11, eq. (17)).
+* :func:`distinct_as_grouping` — deduplication via grouping on all
+  projected attributes (Section 2.7).
+* :func:`decorrelate_scalar` — the **correct** decorrelation of a
+  correlated scalar-aggregate test (count-bug version 1) into the lateral
+  left-join + grouping form (version 3, eq. (29)).
+* :func:`decorrelate_scalar_naive` — the **incorrect** textbook rewrite
+  (version 2, eq. (28)); kept as a counterexample generator for the count
+  bug (Section 3.2).
+* :func:`inline_abstract` — replace bindings to an abstract relation by the
+  substituted definition body (Section 2.13.2), the inverse of
+  modularization.
+"""
+
+from __future__ import annotations
+
+from itertools import count as _counter
+
+from ..errors import RewriteError
+from . import nodes as n
+from .conventions import SET_CONVENTIONS
+
+
+# ---------------------------------------------------------------------------
+# Unnesting (Section 2.7)
+# ---------------------------------------------------------------------------
+
+
+def unnest(collection, conventions=SET_CONVENTIONS):
+    """Merge directly nested existential scopes into their parent scope.
+
+    ``{Q(A) | ∃r∈R[∃s∈S[...]]}`` becomes ``{Q(A) | ∃r∈R, s∈S[...]}``.
+    Refused under bag semantics: the nested form emits once per outer
+    witness, the flat form once per combination (Section 2.7).
+    """
+    if conventions.is_bag:
+        raise RewriteError(
+            "unnesting is not semantics-preserving under bag conventions: "
+            "the nested form has semijoin multiplicity, the flat form "
+            "multiplies multiplicities per matching pair"
+        )
+    changed = True
+    body = collection.body
+    while changed:
+        body, changed = _unnest_once(body)
+    return n.Collection(n.Head(collection.head.name, collection.head.attrs), body)
+
+
+def _unnest_once(formula):
+    if isinstance(formula, n.Quantifier):
+        conjuncts = n.conjuncts(formula.body)
+        for index, conjunct in enumerate(conjuncts):
+            if (
+                isinstance(conjunct, n.Quantifier)
+                and conjunct.grouping is None
+                and conjunct.join is None
+                and formula.grouping is None
+                and formula.join is None
+            ):
+                merged_bindings = formula.bindings + conjunct.bindings
+                rest = conjuncts[:index] + conjuncts[index + 1 :]
+                merged_body = n.make_and(rest + n.conjuncts(conjunct.body))
+                return (
+                    n.Quantifier(merged_bindings, merged_body),
+                    True,
+                )
+        new_body, changed = _unnest_once(formula.body)
+        if changed:
+            return n.Quantifier(formula.bindings, new_body, formula.grouping, formula.join), True
+        return formula, False
+    if isinstance(formula, (n.And, n.Or)):
+        new_children = []
+        changed = False
+        for child in formula.children_list:
+            new_child, child_changed = _unnest_once(child)
+            new_children.append(new_child)
+            changed = changed or child_changed
+        rebuilt = type(formula)(new_children)
+        return rebuilt, changed
+    if isinstance(formula, n.Not):
+        new_child, changed = _unnest_once(formula.child)
+        return n.Not(new_child), changed
+    return formula, False
+
+
+def nest_existential(collection, inner_vars):
+    """Push the bindings named in *inner_vars* into a nested existential
+    scope, along with every conjunct that only references them (and the
+    remaining outer variables).  The inverse of :func:`unnest`."""
+    body = collection.body
+    if not isinstance(body, n.Quantifier) or body.grouping or body.join:
+        raise RewriteError("nest_existential expects a plain quantifier body")
+    inner_vars = set(inner_vars)
+    outer_bindings = [b for b in body.bindings if b.var not in inner_vars]
+    inner_bindings = [b for b in body.bindings if b.var in inner_vars]
+    if len(inner_bindings) != len(inner_vars):
+        missing = inner_vars - {b.var for b in inner_bindings}
+        raise RewriteError(f"variables {sorted(missing)} are not bound in this scope")
+    inner_conjuncts = []
+    outer_conjuncts = []
+    for conjunct in n.conjuncts(body.body):
+        if n.vars_used(conjunct) & inner_vars:
+            inner_conjuncts.append(conjunct)
+        else:
+            outer_conjuncts.append(conjunct)
+    inner = n.Quantifier(inner_bindings, n.make_and(inner_conjuncts))
+    outer = n.Quantifier(outer_bindings, n.make_and(outer_conjuncts + [inner]))
+    return n.Collection(n.Head(collection.head.name, collection.head.attrs), outer)
+
+
+# ---------------------------------------------------------------------------
+# NOT IN -> NOT EXISTS with explicit null checks (Section 2.10)
+# ---------------------------------------------------------------------------
+
+
+def not_in_to_not_exists(collection):
+    """Make SQL's 3VL NOT-IN behaviour explicit in two-valued logic.
+
+    Rewrites every ``¬∃s∈S[s.A = r.A]`` into
+    ``¬∃s∈S[s.A = r.A ∨ s.A is null ∨ r.A is null]`` (eq. (17)): the
+    rewritten query returns SQL's answer even under the two-valued null
+    comparison convention.
+    """
+
+    def rewrite(node):
+        if not isinstance(node, n.Not) or not isinstance(node.child, n.Quantifier):
+            return node
+        quant = node.child
+        if quant.grouping is not None or quant.join is not None:
+            return node
+        conjuncts = n.conjuncts(quant.body)
+        if len(conjuncts) != 1:
+            return node
+        predicate = conjuncts[0]
+        if not isinstance(predicate, n.Comparison) or predicate.op != "=":
+            return node
+        if not (isinstance(predicate.left, n.Attr) and isinstance(predicate.right, n.Attr)):
+            return node
+        disjunction = n.Or(
+            [
+                predicate,
+                n.IsNull(n.clone(predicate.left)),
+                n.IsNull(n.clone(predicate.right)),
+            ]
+        )
+        return n.Not(n.Quantifier(quant.bindings, disjunction))
+
+    return n.transform(collection, rewrite)
+
+
+# ---------------------------------------------------------------------------
+# DISTINCT as grouping (Section 2.7)
+# ---------------------------------------------------------------------------
+
+
+def distinct_as_grouping(collection):
+    """Add a grouping operator on all head-assigned expressions, expressing
+    deduplication without a dedicated DISTINCT construct."""
+    body = collection.body
+    if not isinstance(body, n.Quantifier):
+        raise RewriteError("distinct_as_grouping expects a quantifier body")
+    if body.grouping is not None:
+        return collection
+    head = collection.head
+    keys = []
+    for conjunct in n.conjuncts(body.body):
+        if isinstance(conjunct, n.Comparison) and conjunct.op == "=":
+            for side, other in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if (
+                    isinstance(side, n.Attr)
+                    and side.var == head.name
+                    and side.attr in head.attrs
+                ):
+                    keys.append(n.clone(other))
+                    break
+    if len(keys) != len(head.attrs):
+        raise RewriteError("not every head attribute has a plain assignment")
+    return n.Collection(
+        n.Head(head.name, head.attrs),
+        n.Quantifier(body.bindings, body.body, n.Grouping(tuple(keys)), body.join),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Count-bug decorrelations (Section 3.2)
+# ---------------------------------------------------------------------------
+
+
+def _match_correlated_scalar(collection):
+    """Match the count-bug version-1 shape:
+
+    ``{Q(...) | ∃r∈R[assignments ∧ ∃s∈S, γ∅[corr ∧ outer_attr op agg(s.x)]]}``
+
+    Returns (outer quantifier, inner quantifier, aggregate predicate) or None.
+    """
+    body = collection.body
+    if not isinstance(body, n.Quantifier) or body.grouping is not None:
+        return None
+    for conjunct in n.conjuncts(body.body):
+        if (
+            isinstance(conjunct, n.Quantifier)
+            and conjunct.grouping is not None
+            and not conjunct.grouping.keys
+        ):
+            agg_predicates = [
+                c
+                for c in n.conjuncts(conjunct.body)
+                if isinstance(c, n.Comparison) and c.has_aggregate()
+            ]
+            if len(agg_predicates) == 1:
+                return body, conjunct, agg_predicates[0]
+    return None
+
+
+def decorrelate_scalar_naive(collection):
+    """The **incorrect** decorrelation (count-bug version 2, eq. (28)).
+
+    Replaces the correlated γ∅ test with a join against an aggregate
+    grouped on the correlation attribute.  Loses outer tuples whose group
+    is empty — on R(9,0) with S=∅ the result drops from {9} to {}.
+    """
+    match = _match_correlated_scalar(collection)
+    if match is None:
+        raise RewriteError("query does not have the correlated-scalar shape")
+    outer, inner, agg_predicate = match
+    correlation = _correlation_predicate(outer, inner)
+    inner_var = inner.bindings[0].var
+    corr_attr = _attr_of_var(correlation, inner_var)
+    outer_attr = _attr_of_var(correlation, None, exclude=inner_var)
+
+    derived_name = "X"
+    agg_expr, outer_side, op = _split_aggregate_predicate(agg_predicate)
+    derived = n.Collection(
+        n.Head(derived_name, ("key", "ct")),
+        n.Quantifier(
+            [n.clone(b) for b in inner.bindings],
+            n.make_and(
+                [
+                    n.Comparison(n.Attr(derived_name, "key"), "=", n.clone(corr_attr)),
+                    n.Comparison(n.Attr(derived_name, "ct"), "=", n.clone(agg_expr)),
+                ]
+                + [
+                    n.clone(c)
+                    for c in n.conjuncts(inner.body)
+                    if c is not correlation and not (isinstance(c, n.Comparison) and c.has_aggregate())
+                ]
+            ),
+            n.Grouping((n.clone(corr_attr),)),
+        ),
+    )
+    new_var = "x_"
+    rest = [
+        n.clone(c)
+        for c in n.conjuncts(outer.body)
+        if c is not inner
+    ]
+    new_body = n.Quantifier(
+        [n.clone(b) for b in outer.bindings] + [n.Binding(new_var, derived)],
+        n.make_and(
+            rest
+            + [
+                n.Comparison(n.clone(outer_attr), "=", n.Attr(new_var, "key")),
+                n.Comparison(n.clone(outer_side), op, n.Attr(new_var, "ct")),
+            ]
+        ),
+    )
+    return n.Collection(n.Head(collection.head.name, collection.head.attrs), new_body)
+
+
+def decorrelate_scalar(collection):
+    """The **correct** decorrelation (count-bug version 3, eq. (29)):
+    a derived table built by a left join of the outer relation against the
+    inner one, grouped on the outer key, so empty groups survive."""
+    match = _match_correlated_scalar(collection)
+    if match is None:
+        raise RewriteError("query does not have the correlated-scalar shape")
+    outer, inner, agg_predicate = match
+    correlation = _correlation_predicate(outer, inner)
+    inner_var = inner.bindings[0].var
+    corr_attr = _attr_of_var(correlation, inner_var)
+    outer_attr = _attr_of_var(correlation, None, exclude=inner_var)
+
+    outer_binding = next(
+        b for b in outer.bindings if b.var == outer_attr.var
+    )
+    fresh_outer = f"{outer_binding.var}2"
+    derived_name = "X"
+    agg_expr, outer_side, op = _split_aggregate_predicate(agg_predicate)
+    rekeyed_corr = n.Comparison(
+        n.Attr(fresh_outer, outer_attr.attr), "=", n.clone(corr_attr)
+    )
+    derived = n.Collection(
+        n.Head(derived_name, ("key", "ct")),
+        n.Quantifier(
+            [n.clone(b) for b in inner.bindings]
+            + [n.Binding(fresh_outer, n.clone(outer_binding.source))],
+            n.make_and(
+                [
+                    n.Comparison(
+                        n.Attr(derived_name, "key"),
+                        "=",
+                        n.Attr(fresh_outer, outer_attr.attr),
+                    ),
+                    n.Comparison(n.Attr(derived_name, "ct"), "=", n.clone(agg_expr)),
+                    rekeyed_corr,
+                ]
+                + [
+                    n.clone(c)
+                    for c in n.conjuncts(inner.body)
+                    if c is not correlation
+                    and not (isinstance(c, n.Comparison) and c.has_aggregate())
+                ]
+            ),
+            n.Grouping((n.Attr(fresh_outer, outer_attr.attr),)),
+            n.Join(
+                "left",
+                [n.JoinVar(fresh_outer), n.JoinVar(inner_var)],
+            ),
+        ),
+    )
+    new_var = "x_"
+    rest = [n.clone(c) for c in n.conjuncts(outer.body) if c is not inner]
+    new_body = n.Quantifier(
+        [n.clone(b) for b in outer.bindings] + [n.Binding(new_var, derived)],
+        n.make_and(
+            rest
+            + [
+                n.Comparison(n.clone(outer_attr), "=", n.Attr(new_var, "key")),
+                n.Comparison(n.clone(outer_side), op, n.Attr(new_var, "ct")),
+            ]
+        ),
+    )
+    return n.Collection(n.Head(collection.head.name, collection.head.attrs), new_body)
+
+
+def _correlation_predicate(outer, inner):
+    outer_vars = {b.var for b in outer.bindings}
+    inner_vars = {b.var for b in inner.bindings}
+    for conjunct in n.conjuncts(inner.body):
+        if isinstance(conjunct, n.Comparison) and not conjunct.has_aggregate():
+            used = n.vars_used(conjunct)
+            if used & outer_vars and used & inner_vars and conjunct.op == "=":
+                return conjunct
+    raise RewriteError("no equality correlation predicate found")
+
+
+def _attr_of_var(predicate, var, exclude=None):
+    for side in (predicate.left, predicate.right):
+        if isinstance(side, n.Attr):
+            if var is not None and side.var == var:
+                return side
+            if var is None and side.var != exclude:
+                return side
+    raise RewriteError("correlation predicate is not attribute-to-attribute")
+
+
+def _split_aggregate_predicate(predicate):
+    """Return (aggregate side, outer side, op oriented as outer-op-agg)."""
+    flip = {"=": "=", "<>": "<>", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    left_has = any(isinstance(x, n.AggCall) for x in predicate.left.walk())
+    if left_has:
+        return predicate.left, predicate.right, predicate.op
+    return predicate.right, predicate.left, flip[predicate.op]
+
+
+# ---------------------------------------------------------------------------
+# Abstract-relation inlining (Section 2.13.2)
+# ---------------------------------------------------------------------------
+
+
+def inline_abstract(program):
+    """Inline every abstract definition into its usage sites.
+
+    For each binding ``v ∈ Abstract`` together with the equality conjuncts
+    ``v.attr = expr`` of the same scope, the binding is removed and the
+    definition body is substituted with head-attribute references replaced
+    by the equated expressions (range variables freshened).  The result is a
+    program without abstract definitions — e.g. inlining ``Subset`` in
+    query (24) reproduces the monolithic unique-set query (22).
+    """
+    from .validator import validate
+
+    abstract = {}
+    concrete = {}
+    for name, definition in program.definitions.items():
+        if validate(definition, allow_abstract=True).is_abstract:
+            abstract[name] = definition
+        else:
+            concrete[name] = definition
+    if not abstract:
+        return program
+    counter = _counter(1)
+
+    def inline_in(node):
+        if not isinstance(node, n.Quantifier):
+            return node
+        remaining_bindings = []
+        extra = []
+        conjuncts = n.conjuncts(node.body)
+        removed = []
+        for binding in node.bindings:
+            if (
+                isinstance(binding.source, n.RelationRef)
+                and binding.source.name in abstract
+            ):
+                definition = abstract[binding.source.name]
+                substitution = {}
+                for conjunct in conjuncts:
+                    if not isinstance(conjunct, n.Comparison) or conjunct.op != "=":
+                        continue
+                    for side, other in (
+                        (conjunct.left, conjunct.right),
+                        (conjunct.right, conjunct.left),
+                    ):
+                        if isinstance(side, n.Attr) and side.var == binding.var:
+                            substitution[side.attr] = other
+                            removed.append(conjunct)
+                missing = set(definition.head.attrs) - set(substitution)
+                if missing:
+                    raise RewriteError(
+                        f"cannot inline {binding.source.name!r}: attributes "
+                        f"{sorted(missing)} are not determined by equality "
+                        "predicates"
+                    )
+                extra.append(
+                    _substitute_definition(definition, substitution, counter)
+                )
+            else:
+                remaining_bindings.append(binding)
+        if not extra:
+            return node
+        kept = [c for c in conjuncts if c not in removed]
+        if not remaining_bindings:
+            raise RewriteError(
+                "inlining would leave a quantifier with no bindings"
+            )
+        return n.Quantifier(
+            remaining_bindings,
+            n.make_and(kept + extra),
+            node.grouping,
+            node.join,
+        )
+
+    new_definitions = {
+        name: n.transform(definition, inline_in)
+        for name, definition in concrete.items()
+    }
+    main = program.main
+    if isinstance(main, n.Node):
+        main = n.transform(main, inline_in)
+    return n.Program(new_definitions, main)
+
+
+def _substitute_definition(definition, substitution, counter):
+    """Instantiate an abstract definition body: head attrs replaced by the
+    equated expressions, range variables freshened."""
+    body = n.clone(definition.body)
+    suffix = f"_i{next(counter)}"
+    bound = [
+        node.var for node in body.walk() if isinstance(node, n.Binding)
+    ]
+    renaming = {var: f"{var}{suffix}" for var in bound}
+
+    def rename(node):
+        if isinstance(node, n.Binding):
+            return n.Binding(renaming[node.var], node.source)
+        if isinstance(node, n.Attr):
+            if node.var == definition.head.name:
+                replacement = substitution.get(node.attr)
+                if replacement is None:
+                    raise RewriteError(
+                        f"no substitution for {node.var}.{node.attr}"
+                    )
+                return n.clone(replacement)
+            if node.var in renaming:
+                return n.Attr(renaming[node.var], node.attr)
+        return node
+
+    return n.transform(body, rename)

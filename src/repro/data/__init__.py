@@ -1,0 +1,37 @@
+"""Relational substrate: values, tuples, relations, catalogs, generators."""
+
+from .values import (
+    NULL,
+    Truth,
+    TRUE,
+    FALSE,
+    UNKNOWN,
+    is_null,
+    t_and,
+    t_not,
+    t_or,
+    compare,
+    arithmetic,
+)
+from .relation import Relation, Tuple
+from .database import Database
+from . import generators, csvio
+
+__all__ = [
+    "NULL",
+    "Truth",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "is_null",
+    "t_and",
+    "t_not",
+    "t_or",
+    "compare",
+    "arithmetic",
+    "Relation",
+    "Tuple",
+    "Database",
+    "generators",
+    "csvio",
+]

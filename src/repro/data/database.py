@@ -1,0 +1,61 @@
+"""Database catalog: a named collection of base relations.
+
+Base relations are given extensionally (Fig. 14 of the paper).  Defined,
+external, and abstract relations live in the ARC program / engine layers; the
+catalog only stores what a Datalog person would call the EDB.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .relation import Relation
+
+
+class Database:
+    """A mutable catalog mapping relation names to :class:`Relation` objects."""
+
+    def __init__(self, relations=()):
+        self._relations = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation):
+        """Register *relation*; replaces any previous relation of the same name."""
+        if not isinstance(relation, Relation):
+            raise SchemaError(f"expected a Relation, got {type(relation).__name__}")
+        self._relations[relation.name] = relation
+        return relation
+
+    def create(self, name, schema, rows=()):
+        """Create, register, and return a new relation."""
+        return self.add(Relation(name, schema, rows))
+
+    def get(self, name):
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; catalog has {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._relations
+
+    def __getitem__(self, name):
+        return self.get(name)
+
+    def names(self):
+        return sorted(self._relations)
+
+    def relations(self):
+        return [self._relations[n] for n in self.names()]
+
+    def copy(self):
+        """Shallow copy of the catalog (relations shared)."""
+        return Database(self._relations.values())
+
+    def drop(self, name):
+        self._relations.pop(name, None)
+
+    def __repr__(self):
+        return f"Database({self.names()})"

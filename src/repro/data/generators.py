@@ -1,0 +1,111 @@
+"""Deterministic workload generators for tests and benchmarks.
+
+All generators take an explicit ``seed`` so every experiment is reproducible.
+They produce the kinds of instances the paper's examples assume: generic
+binary/ternary relations, employee/department payrolls (Fig. 6),
+drinker/beer preference tables (Example 2), parent edges for recursion
+(Fig. 10), and sparse matrices (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from .relation import Relation
+from .values import NULL
+from .database import Database
+
+
+def binary_relation(name, n_rows, *, domain=20, seed=0, attrs=("A", "B"), null_rate=0.0):
+    """Random binary relation over an integer domain, optionally with NULLs."""
+    rng = random.Random(seed)
+    rel = Relation(name, attrs)
+    for _ in range(n_rows):
+        row = []
+        for _attr in attrs:
+            if null_rate and rng.random() < null_rate:
+                row.append(NULL)
+            else:
+                row.append(rng.randrange(domain))
+        rel.add(tuple(row))
+    return rel
+
+
+def chain_database(n_relations, rows_per_relation, *, domain=50, seed=0):
+    """Database of relations R0(A,B), R1(B,C), ... forming a join chain."""
+    rng = random.Random(seed)
+    db = Database()
+    attr_names = string.ascii_uppercase
+    for i in range(n_relations):
+        attrs = (attr_names[i % 26], attr_names[(i + 1) % 26])
+        rel = Relation(f"R{i}", attrs)
+        for _ in range(rows_per_relation):
+            rel.add((rng.randrange(domain), rng.randrange(domain)))
+        db.add(rel)
+    return db
+
+
+def payroll_database(n_employees, n_departments, *, seed=0, max_salary=100):
+    """R(empl, dept) and S(empl, sal): the running example of Fig. 6."""
+    rng = random.Random(seed)
+    r = Relation("R", ("empl", "dept"))
+    s = Relation("S", ("empl", "sal"))
+    for e in range(n_employees):
+        empl = f"e{e}"
+        r.add((empl, f"d{rng.randrange(n_departments)}"))
+        s.add((empl, rng.randrange(1, max_salary + 1)))
+    return Database([r, s])
+
+
+def likes_database(n_drinkers, n_beers, *, seed=0, like_probability=0.4):
+    """Likes(drinker, beer) preference table for the unique-set query (Example 2)."""
+    rng = random.Random(seed)
+    likes = Relation("Likes", ("drinker", "beer"))
+    for d in range(n_drinkers):
+        drinker = f"drinker{d}"
+        liked_any = False
+        for b in range(n_beers):
+            if rng.random() < like_probability:
+                likes.add((drinker, f"beer{b}"))
+                liked_any = True
+        if not liked_any:
+            likes.add((drinker, f"beer{rng.randrange(n_beers)}"))
+    return Database([likes])
+
+
+def parent_edges(n_nodes, *, seed=0, extra_edges=0, name="P"):
+    """A forest of parent edges P(s, t) plus optional random extra edges.
+
+    Guaranteed acyclic (edges go from lower to higher node ids), so the
+    ancestor fixpoint (Fig. 10) terminates quickly and can be checked against
+    networkx's transitive closure.
+    """
+    rng = random.Random(seed)
+    rel = Relation(name, ("s", "t"))
+    for node in range(1, n_nodes):
+        rel.add((f"n{rng.randrange(node)}", f"n{node}"))
+    for _ in range(extra_edges):
+        a = rng.randrange(n_nodes - 1)
+        b = rng.randrange(a + 1, n_nodes)
+        rel.add((f"n{a}", f"n{b}"))
+    return Database([rel.distinct()])
+
+
+def sparse_matrix(name, n_rows, n_cols, *, density=0.3, seed=0, max_value=9):
+    """Sparse matrix in the paper's (row, col, val) relational encoding."""
+    rng = random.Random(seed)
+    rel = Relation(name, ("row", "col", "val"))
+    for i in range(n_rows):
+        for j in range(n_cols):
+            if rng.random() < density:
+                rel.add((i, j, rng.randrange(1, max_value + 1)))
+    return rel
+
+
+def matrix_to_dense(relation, n_rows, n_cols):
+    """Materialize a (row, col, val) relation as a list-of-lists dense matrix."""
+    dense = [[0] * n_cols for _ in range(n_rows)]
+    for row in relation:
+        dense[row["row"]][row["col"]] += row["val"]
+    return dense

@@ -1,0 +1,252 @@
+"""Named-schema relations with set/bag duality.
+
+The paper insists on the *named perspective* (Codd's "totally associative
+addressing", Section 2.1): tuples are accessed by attribute name, never by
+position, and whether a relation is a set or a bag is a *convention*, not a
+property of the query language (Section 2.7).  A :class:`Relation` therefore
+always stores tuples with multiplicities; ``distinct()`` and the evaluator's
+conventions decide when duplicates are collapsed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import SchemaError
+from .values import NULL, sort_key
+
+
+class Tuple:
+    """An immutable named tuple of values: attribute name -> value.
+
+    Hashable so relations can be stored as Counters.  Attribute order is
+    normalized to the schema order of the owning relation for display, but
+    equality is name-based (logical independence from column order).
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values):
+        self._values = dict(values)
+        self._hash = hash(frozenset(self._values.items()))
+
+    def __getitem__(self, attr):
+        try:
+            return self._values[attr]
+        except KeyError:
+            raise SchemaError(f"tuple has no attribute {attr!r}; has {sorted(self._values)}") from None
+
+    def get(self, attr, default=None):
+        return self._values.get(attr, default)
+
+    def attributes(self):
+        return set(self._values)
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def project(self, attrs):
+        """Return a new tuple restricted to *attrs*."""
+        return Tuple({a: self[a] for a in attrs})
+
+    def rename(self, mapping):
+        """Return a new tuple with attributes renamed per *mapping* (old -> new)."""
+        return Tuple({mapping.get(a, a): v for a, v in self._values.items()})
+
+    def merged(self, other):
+        """Return the union of two tuples (attribute-disjoint or agreeing)."""
+        combined = dict(self._values)
+        combined.update(other._values if isinstance(other, Tuple) else other)
+        return Tuple(combined)
+
+    def __eq__(self, other):
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        inner = ", ".join(f"{a}={v!r}" for a, v in sorted(self._values.items()))
+        return f"Tuple({inner})"
+
+
+class Relation:
+    """A multiset of :class:`Tuple` values over a fixed named schema.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used in error messages and rendering).
+    schema:
+        Ordered attribute names.
+    rows:
+        Iterable of tuples; each row may be a dict, a :class:`Tuple`, or a
+        positional sequence matched against *schema*.
+    """
+
+    def __init__(self, name, schema, rows=()):
+        self.name = name
+        self.schema = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(f"relation {name!r} has duplicate attributes {self.schema}")
+        self._rows = Counter()
+        for row in rows:
+            self.add(row)
+
+    # -- construction -----------------------------------------------------
+
+    def _coerce(self, row):
+        if isinstance(row, Tuple):
+            missing = set(self.schema) - row.attributes()
+            if missing:
+                raise SchemaError(f"row for {self.name!r} missing attributes {sorted(missing)}")
+            return row.project(self.schema)
+        if isinstance(row, dict):
+            missing = set(self.schema) - set(row)
+            if missing:
+                raise SchemaError(f"row for {self.name!r} missing attributes {sorted(missing)}")
+            return Tuple({a: row[a] for a in self.schema})
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row {row!r} has {len(row)} values but {self.name!r} has arity {len(self.schema)}"
+            )
+        return Tuple(dict(zip(self.schema, row)))
+
+    def add(self, row, multiplicity=1):
+        """Insert *row* with the given multiplicity."""
+        if multiplicity < 0:
+            raise ValueError("multiplicity must be non-negative")
+        coerced = self._coerce(row)
+        if multiplicity:
+            self._rows[coerced] += multiplicity
+        return coerced
+
+    @classmethod
+    def from_counter(cls, name, schema, counter):
+        rel = cls(name, schema)
+        for row, mult in counter.items():
+            rel.add(row, mult)
+        return rel
+
+    # -- inspection --------------------------------------------------------
+
+    def __iter__(self):
+        """Iterate tuples with multiplicity (bag iteration)."""
+        for row, mult in self._rows.items():
+            for _ in range(mult):
+                yield row
+
+    def iter_distinct(self):
+        """Iterate distinct tuples once each."""
+        return iter(self._rows)
+
+    def counter(self):
+        """Return a copy of the underlying tuple -> multiplicity Counter."""
+        return Counter(self._rows)
+
+    def multiplicity(self, row):
+        return self._rows.get(self._coerce(row), 0)
+
+    def __len__(self):
+        """Bag cardinality (total number of tuples, counting duplicates)."""
+        return sum(self._rows.values())
+
+    def distinct_count(self):
+        return len(self._rows)
+
+    def is_empty(self):
+        return not self._rows
+
+    def __contains__(self, row):
+        return self.multiplicity(row) > 0
+
+    # -- comparisons -------------------------------------------------------
+
+    def __eq__(self, other):
+        """Bag equality: same schema set and same tuple multiplicities."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return set(self.schema) == set(other.schema) and self._rows == other._rows
+
+    def __hash__(self):  # pragma: no cover - relations are not hashed in practice
+        return hash((frozenset(self.schema), frozenset(self._rows.items())))
+
+    def set_equal(self, other):
+        """Set equality: same schema set and same distinct tuples."""
+        return set(self.schema) == set(other.schema) and set(self._rows) == set(other._rows)
+
+    # -- derivations ---------------------------------------------------------
+
+    def distinct(self, name=None):
+        """Return the deduplicated (set-semantics) version of this relation."""
+        rel = Relation(name or self.name, self.schema)
+        for row in self._rows:
+            rel.add(row)
+        return rel
+
+    def rename(self, mapping, name=None):
+        new_schema = [mapping.get(a, a) for a in self.schema]
+        rel = Relation(name or self.name, new_schema)
+        for row, mult in self._rows.items():
+            rel.add(row.rename(mapping), mult)
+        return rel
+
+    def project(self, attrs, name=None, *, dedupe=False):
+        rel = Relation(name or self.name, attrs)
+        for row, mult in self._rows.items():
+            rel.add(row.project(attrs), 1 if dedupe else mult)
+        return rel if not dedupe else rel.distinct()
+
+    def select(self, predicate, name=None):
+        """Keep rows where *predicate* (a Python callable on Tuple) is truthy."""
+        rel = Relation(name or self.name, self.schema)
+        for row, mult in self._rows.items():
+            if predicate(row):
+                rel.add(row, mult)
+        return rel
+
+    def union(self, other, name=None, *, all=True):
+        if set(self.schema) != set(other.schema):
+            raise SchemaError(
+                f"union schema mismatch: {self.schema} vs {other.schema}"
+            )
+        rel = Relation(name or self.name, self.schema)
+        for row, mult in self._rows.items():
+            rel.add(row, mult)
+        for row, mult in other._rows.items():
+            rel.add(row.project(self.schema), mult)
+        return rel if all else rel.distinct()
+
+    # -- display -------------------------------------------------------------
+
+    def sorted_rows(self):
+        """Rows in a deterministic order (for tests and display)."""
+        return sorted(
+            self,
+            key=lambda row: tuple(sort_key(row[a]) for a in self.schema),
+        )
+
+    def to_table(self, *, max_rows=50):
+        """Render an ASCII table (deterministic order)."""
+        header = list(self.schema)
+        body = [
+            ["NULL" if v is NULL else str(v) for v in (row[a] for a in header)]
+            for row in self.sorted_rows()[:max_rows]
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        def fmt(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt(header), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in body)
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Relation({self.name!r}, schema={self.schema}, rows={len(self)})"

@@ -1,0 +1,20 @@
+"""The ARC reference evaluator and its supporting machinery."""
+
+from .evaluator import Evaluator, evaluate
+from .externals import ExternalRegistry, ExternalRelation, standard_registry
+from .abstract import AbstractSource
+from .reference import reference_evaluate
+from . import aggregates, fixpoint, joins
+
+__all__ = [
+    "Evaluator",
+    "evaluate",
+    "ExternalRegistry",
+    "ExternalRelation",
+    "standard_registry",
+    "AbstractSource",
+    "reference_evaluate",
+    "aggregates",
+    "fixpoint",
+    "joins",
+]

@@ -1,0 +1,74 @@
+"""Aggregate evaluation over groups of rows.
+
+ARC's conceptual evaluation strategy (Section 2.5 of the paper) defines
+aggregates *over the full join*: the scope's satisfying rows are partitioned
+by the grouping key, and each aggregate folds one designated expression over
+the rows of a group.  Multiple aggregates share the same scope (unlike the
+Klug/Hella formalisms, which need one scope per aggregate).
+
+SQL semantics are followed for inputs: NULL argument values are skipped by
+every aggregate except ``count(*)``.  What an aggregate returns over an
+*empty* input is a :class:`~repro.core.conventions.EmptyAggregate`
+convention — SQL says NULL, Soufflé says the neutral element (Section 2.6).
+"""
+
+from __future__ import annotations
+
+from ..core.conventions import EmptyAggregate
+from ..data.values import NULL, is_null
+from ..errors import EvaluationError
+
+
+def aggregate(func, values, conventions):
+    """Fold *values* (an iterable of (value, multiplicity) pairs) with *func*.
+
+    ``values`` are the evaluated aggregate arguments for every row of the
+    group, with bag multiplicities; ``func`` is one of
+    :data:`repro.core.nodes.AGGREGATE_FUNCTIONS`.  ``count`` with
+    ``values=None`` is not handled here — the caller passes row
+    multiplicities for ``count(*)``.
+    """
+    distinct = func.endswith("distinct")
+    base = func[: -len("distinct")] if distinct else func
+
+    non_null = [(v, m) for v, m in values if not is_null(v)]
+    if distinct:
+        non_null = [(v, 1) for v in {v for v, _ in non_null}]
+
+    if base == "count":
+        return sum(m for _, m in non_null)
+    if not non_null:
+        return _empty_value(base, conventions)
+    if base == "sum":
+        return _sum(non_null)
+    if base == "avg":
+        total = _sum(non_null)
+        count = sum(m for _, m in non_null)
+        return total / count
+    if base == "min":
+        return min(v for v, _ in non_null)
+    if base == "max":
+        return max(v for v, _ in non_null)
+    raise EvaluationError(f"unknown aggregate function {func!r}")
+
+
+def count_rows(multiplicities):
+    """``count(*)``: the number of rows in the group (NULLs included)."""
+    return sum(multiplicities)
+
+
+def _sum(pairs):
+    total = 0
+    for value, mult in pairs:
+        total += value * mult
+    return total
+
+
+def _empty_value(base, conventions):
+    """Value of a non-count aggregate over an empty (or all-NULL) group."""
+    if conventions.empty_aggregate is EmptyAggregate.ZERO:
+        # Soufflé's convention: the neutral element.  Soufflé itself errors
+        # on min/max over empty sets; we use 0 to keep the family total,
+        # documented in DESIGN.md.
+        return 0
+    return NULL

@@ -1,0 +1,249 @@
+"""External relations: reified built-ins with access patterns.
+
+Section 2.13.1 of the paper treats computation uniformly as relations:
+arithmetic ``-`` becomes ``Minus(left, right, out)``, comparison ``>``
+becomes ``Bigger(left, right)``, and so on.  These relations may have
+infinite extension, so they cannot be enumerated; instead they are accessed
+through **access patterns** (following Guagliardo et al. [35]): given a
+subset of bound attributes, a pattern function enumerates the tuples that
+complete them (possibly zero or one).
+
+The evaluator defers external bindings until enough of their attributes are
+determined by equality/assignment predicates over already-bound variables,
+then calls :meth:`ExternalRelation.complete`.  An external binding whose
+patterns can never be satisfied raises
+:class:`~repro.errors.EvaluationError` (the safety condition).
+"""
+
+from __future__ import annotations
+
+from ..data.values import NULL, compare, is_null
+from ..errors import EvaluationError, SchemaError
+
+
+class ExternalRelation:
+    """A relation defined outside the relational language.
+
+    Parameters
+    ----------
+    name:
+        Relation name as referenced in queries (e.g. ``Minus`` or ``-``).
+    attrs:
+        Attribute names, in schema order.
+    patterns:
+        Mapping ``frozenset(input attrs) -> fn(known: dict) -> iterable of
+        dicts``; each produced dict must supply values for every attribute.
+        A pattern keyed by the full attribute set acts as a membership test
+        (yield the tuple to accept, nothing to reject).
+    """
+
+    def __init__(self, name, attrs, patterns):
+        self.name = name
+        self.attrs = tuple(attrs)
+        self._patterns = {frozenset(k): fn for k, fn in patterns.items()}
+
+    def accepts(self, known_attrs):
+        """True when some access pattern is satisfied by *known_attrs*."""
+        known = frozenset(known_attrs)
+        return any(pattern <= known for pattern in self._patterns)
+
+    def complete(self, known):
+        """Enumerate full tuples (dicts) extending the *known* attribute values.
+
+        Chooses the most specific satisfied pattern (largest input set).
+        NULL inputs short-circuit to no tuples (external relations relate
+        values, and NULL is the absence of a value).
+        """
+        if any(is_null(v) for v in known.values()):
+            return []
+        known_set = frozenset(known)
+        best = None
+        for pattern, fn in self._patterns.items():
+            if pattern <= known_set and (best is None or len(pattern) > len(best[0])):
+                best = (pattern, fn)
+        if best is None:
+            raise EvaluationError(
+                f"external relation {self.name!r}: no access pattern satisfied "
+                f"by bound attributes {sorted(known)} (available patterns: "
+                f"{[sorted(p) for p in self._patterns]})"
+            )
+        results = []
+        for produced in best[1](dict(known)):
+            row = dict(produced)
+            missing = set(self.attrs) - set(row)
+            if missing:
+                raise EvaluationError(
+                    f"external relation {self.name!r}: pattern left attributes "
+                    f"{sorted(missing)} undetermined"
+                )
+            # Re-check consistency with all known values (a more specific
+            # pattern may produce values for attrs that were already bound).
+            if all(row[a] == v for a, v in known.items()):
+                results.append(row)
+        return results
+
+    def __repr__(self):
+        return f"ExternalRelation({self.name!r}, attrs={self.attrs})"
+
+
+class ExternalRegistry:
+    """Named collection of external relations available to the evaluator."""
+
+    def __init__(self, relations=()):
+        self._relations = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation, *aliases):
+        self._relations[relation.name] = relation
+        for alias in aliases:
+            self._relations[alias] = relation
+        return relation
+
+    def get(self, name):
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown external relation {name!r}") from None
+
+    def __contains__(self, name):
+        return name in self._relations
+
+    def names(self):
+        return sorted(self._relations)
+
+    def copy(self):
+        registry = ExternalRegistry()
+        registry._relations = dict(self._relations)
+        return registry
+
+
+# ---------------------------------------------------------------------------
+# The standard library of reified built-ins (Example 1 / Fig. 15 / Fig. 20)
+# ---------------------------------------------------------------------------
+
+
+def _guard_numeric(fn):
+    def wrapped(known):
+        try:
+            return fn(known)
+        except TypeError:
+            return []
+
+    return wrapped
+
+
+def _minus_relation():
+    return ExternalRelation(
+        "Minus",
+        ("left", "right", "out"),
+        {
+            ("left", "right"): _guard_numeric(
+                lambda k: [{**k, "out": k["left"] - k["right"]}]
+            ),
+            ("left", "out"): _guard_numeric(
+                lambda k: [{**k, "right": k["left"] - k["out"]}]
+            ),
+            ("right", "out"): _guard_numeric(
+                lambda k: [{**k, "left": k["right"] + k["out"]}]
+            ),
+            ("left", "right", "out"): _guard_numeric(
+                lambda k: [k] if k["left"] - k["right"] == k["out"] else []
+            ),
+        },
+    )
+
+
+def _add_relation():
+    return ExternalRelation(
+        "Add",
+        ("left", "right", "out"),
+        {
+            ("left", "right"): _guard_numeric(
+                lambda k: [{**k, "out": k["left"] + k["right"]}]
+            ),
+            ("left", "out"): _guard_numeric(
+                lambda k: [{**k, "right": k["out"] - k["left"]}]
+            ),
+            ("right", "out"): _guard_numeric(
+                lambda k: [{**k, "left": k["out"] - k["right"]}]
+            ),
+            ("left", "right", "out"): _guard_numeric(
+                lambda k: [k] if k["left"] + k["right"] == k["out"] else []
+            ),
+        },
+    )
+
+
+def _times_relation():
+    """Multiplication with positional attribute names, as in Fig. 20."""
+
+    def divide(product, factor):
+        if factor == 0:
+            return []
+        quotient = product / factor
+        if isinstance(product, int) and isinstance(factor, int) and product % factor == 0:
+            quotient = product // factor
+        return [quotient]
+
+    return ExternalRelation(
+        "Times",
+        ("$1", "$2", "out"),
+        {
+            ("$1", "$2"): _guard_numeric(lambda k: [{**k, "out": k["$1"] * k["$2"]}]),
+            ("$1", "out"): _guard_numeric(
+                lambda k: [{**k, "$2": q} for q in divide(k["out"], k["$1"])]
+            ),
+            ("$2", "out"): _guard_numeric(
+                lambda k: [{**k, "$1": q} for q in divide(k["out"], k["$2"])]
+            ),
+            ("$1", "$2", "out"): _guard_numeric(
+                lambda k: [k] if k["$1"] * k["$2"] == k["out"] else []
+            ),
+        },
+    )
+
+
+def _comparison_relation(name, op):
+    """Boolean externals: both operands must be bound (check-only pattern)."""
+
+    def check(known):
+        if compare(known["left"], op, known["right"], three_valued=False):
+            return [dict(known)]
+        return []
+
+    return ExternalRelation(name, ("left", "right"), {("left", "right"): check})
+
+
+def _concat_relation():
+    return ExternalRelation(
+        "Concat",
+        ("left", "right", "out"),
+        {
+            ("left", "right"): lambda k: [
+                {**k, "out": str(k["left"]) + str(k["right"])}
+            ],
+            ("left", "right", "out"): lambda k: (
+                [k] if str(k["left"]) + str(k["right"]) == k["out"] else []
+            ),
+        },
+    )
+
+
+def standard_registry():
+    """The registry of built-ins used throughout the paper's examples.
+
+    Symbolic aliases mirror the paper's figures: ``"-"`` for Minus, ``"*"``
+    for Times (Fig. 20), ``">"`` for Bigger (Fig. 15).
+    """
+    registry = ExternalRegistry()
+    registry.add(_minus_relation(), "-")
+    registry.add(_add_relation(), "+")
+    registry.add(_times_relation(), "*")
+    registry.add(_comparison_relation("Bigger", ">"), ">")
+    registry.add(_comparison_relation("Smaller", "<"), "<")
+    registry.add(_comparison_relation("BiggerEq", ">="), ">=")
+    registry.add(_comparison_relation("SmallerEq", "<="), "<=")
+    registry.add(_comparison_relation("Equals", "="), "=")
+    registry.add(_concat_relation())
+    return registry

@@ -1,0 +1,320 @@
+"""Least-fixed-point evaluation of programs with defined relations.
+
+Section 2.9 of the paper: ARC supports recursion with the same
+least-fixed-point semantics as Datalog, expressed in the named perspective —
+a recursive relation is defined by a single collection whose body is the
+disjunction of its rules.
+
+This module materializes a program's definitions bottom-up:
+
+1. definitions are classified (abstract definitions are registered as
+   :class:`~repro.engine.abstract.AbstractSource` access-pattern modules,
+   never materialized);
+2. the dependency graph over defined names is condensed into strongly
+   connected components, evaluated in topological order;
+3. non-recursive components evaluate once; recursive components iterate
+   **naive** or **semi-naive** fixpoint under set semantics until no
+   relation changes.
+
+The validator's stratification check guarantees monotonicity (no recursion
+through negation or aggregation), so the iteration converges on finite
+inputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core import nodes as n
+from ..core.validator import dependency_graph, validate
+from ..data.relation import Relation
+from ..errors import EvaluationError, ValidationError
+from .abstract import AbstractSource
+
+
+def materialize_program(program, evaluator, *, seminaive=True):
+    """Fill ``evaluator.defined`` / ``evaluator.abstract`` from *program*."""
+    report = validate(program, allow_abstract=True)
+    stratification_errors = [i for i in report.errors() if i.code == "stratification"]
+    if stratification_errors:
+        raise ValidationError("; ".join(str(i) for i in stratification_errors))
+
+    abstract_names = _abstract_names(program)
+    for name in abstract_names:
+        evaluator.abstract[name] = AbstractSource(program.definitions[name], evaluator)
+
+    concrete = {
+        name: definition
+        for name, definition in program.definitions.items()
+        if name not in abstract_names
+    }
+    graph = {
+        name: [
+            target
+            for target, _ in dependency_graph(program).get(name, [])
+            if target in concrete
+        ]
+        for name in concrete
+    }
+    for component in _topological_sccs(graph):
+        recursive = len(component) > 1 or any(
+            name in graph[name] for name in component
+        )
+        if not recursive:
+            name = component[0]
+            evaluator.defined[name] = _evaluate_definition(concrete[name], evaluator)
+        else:
+            _solve_recursive(component, concrete, evaluator, seminaive=seminaive)
+
+
+def _abstract_names(program):
+    names = set()
+    for name, definition in program.definitions.items():
+        report = validate(definition, allow_abstract=True)
+        if report.is_abstract:
+            names.add(name)
+    return names
+
+
+def _evaluate_definition(definition, evaluator):
+    counter = evaluator._eval_collection(definition, {})
+    return _relation_of(definition.head, counter, evaluator)
+
+
+def _relation_of(head, counter, evaluator):
+    relation = Relation(head.name, head.attrs)
+    for row, mult in counter.items():
+        relation.add(row, 1 if evaluator.conventions.is_set else mult)
+    return relation
+
+
+def _solve_recursive(component, definitions, evaluator, *, seminaive):
+    """Naive or semi-naive least fixed point over one recursive component.
+
+    Recursion is evaluated under set semantics regardless of the bag
+    convention (the standard Datalog choice; bag recursion generally has no
+    finite fixed point).
+    """
+    if seminaive:
+        return _solve_seminaive(component, definitions, evaluator)
+    return _solve_naive(component, definitions, evaluator)
+
+
+def _solve_naive(component, definitions, evaluator):
+    """Re-evaluate every definition against the full relations until no
+    relation grows — the textbook naive iteration."""
+    for name in component:
+        head = definitions[name].head
+        evaluator.defined[name] = Relation(name, head.attrs)
+
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        if iterations > 100_000:
+            raise EvaluationError(
+                f"fixpoint for {sorted(component)} did not converge"
+            )
+        changed = False
+        for name in component:
+            definition = definitions[name]
+            counter = evaluator._eval_collection(definition, {})
+            new_rows = set(counter)
+            old_relation = evaluator.defined[name]
+            old_rows = set(old_relation.iter_distinct())
+            union = old_rows | new_rows
+            if union != old_rows:
+                changed = True
+                merged = Relation(name, definition.head.attrs)
+                for row in union:
+                    merged.add(row)
+                evaluator.defined[name] = merged
+    return iterations
+
+
+def _solve_seminaive(component, definitions, evaluator):
+    """Semi-naive iteration: recursive disjuncts are re-evaluated once per
+    recursive *occurrence*, with that occurrence restricted to the previous
+    iteration's delta.
+
+    Every new derivation must use at least one newly derived fact, so
+    replacing one recursive reference by the delta (and keeping the full
+    relation for the others) covers all new tuples; it may re-derive a few
+    known ones, which the union discards.  This is the standard inflationary
+    semi-naive variant without rule stratification.
+    """
+    component_set = set(component)
+    base_disjuncts = {}
+    recursive_disjuncts = {}
+    for name in component:
+        definition = definitions[name]
+        disjuncts = (
+            definition.body.children_list
+            if isinstance(definition.body, n.Or)
+            else [definition.body]
+        )
+        base_disjuncts[name] = [
+            d for d in disjuncts if not _references(d, component_set)
+        ]
+        recursive_disjuncts[name] = [
+            d for d in disjuncts if _references(d, component_set)
+        ]
+
+    delta_name = {name: f"Δ{name}" for name in component}
+
+    # Iteration 0: base (non-recursive) disjuncts only.
+    deltas = {}
+    for name in component:
+        head = definitions[name].head
+        relation = Relation(name, head.attrs)
+        for disjunct in base_disjuncts[name]:
+            partial = n.Collection(n.Head(name, head.attrs), disjunct)
+            for row in evaluator._eval_collection(partial, {}):
+                relation.add(row)
+        evaluator.defined[name] = relation.distinct()
+        deltas[name] = set(relation.iter_distinct())
+
+    iterations = 0
+    while any(deltas.values()):
+        iterations += 1
+        if iterations > 100_000:
+            raise EvaluationError(
+                f"fixpoint for {sorted(component)} did not converge"
+            )
+        # Expose the deltas as relations the rewritten disjuncts can read.
+        for name in component:
+            delta_rel = Relation(delta_name[name], definitions[name].head.attrs)
+            for row in deltas[name]:
+                delta_rel.add(row)
+            evaluator.defined[delta_name[name]] = delta_rel
+        new_deltas = {name: set() for name in component}
+        for name in component:
+            head = definitions[name].head
+            known = set(evaluator.defined[name].iter_distinct())
+            for disjunct in recursive_disjuncts[name]:
+                for variant in _delta_variants(disjunct, component_set, delta_name):
+                    partial = n.Collection(n.Head(name, head.attrs), variant)
+                    for row in evaluator._eval_collection(partial, {}):
+                        if row not in known:
+                            known.add(row)
+                            new_deltas[name].add(row)
+        for name in component:
+            if new_deltas[name]:
+                merged = Relation(name, definitions[name].head.attrs)
+                for row in set(evaluator.defined[name].iter_distinct()) | new_deltas[name]:
+                    merged.add(row)
+                evaluator.defined[name] = merged
+        deltas = new_deltas
+    for name in component:
+        evaluator.defined.pop(delta_name[name], None)
+    return iterations
+
+
+def _references(formula, names):
+    return any(
+        isinstance(node, n.RelationRef) and node.name in names
+        for node in formula.walk()
+    )
+
+
+def _delta_variants(disjunct, component_set, delta_name):
+    """One copy of *disjunct* per recursive occurrence, with exactly that
+    occurrence redirected to its delta relation."""
+    occurrences = [
+        node
+        for node in disjunct.walk()
+        if isinstance(node, n.RelationRef) and node.name in component_set
+    ]
+    for target_index in range(len(occurrences)):
+        seen = [0]
+
+        def redirect(node, target=target_index):
+            if isinstance(node, n.RelationRef) and node.name in component_set:
+                index = seen[0]
+                seen[0] += 1
+                if index == target:
+                    return n.RelationRef(delta_name[node.name])
+            return node
+
+        yield n.transform(disjunct, redirect)
+
+
+def transitive_closure_reference(pairs):
+    """Reference transitive closure used by tests/benchmarks (Warshall-style).
+
+    *pairs* is an iterable of (source, target); returns the set of reachable
+    (source, target) pairs — the paper's ancestor query (16).
+    """
+    edges = set(pairs)
+    adjacency = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+    closure = set()
+    for start in adjacency:
+        stack = list(adjacency[start])
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closure.add((start, node))
+            stack.extend(adjacency.get(node, ()))
+    return closure
+
+
+def _topological_sccs(graph):
+    """SCCs of *graph* in dependency (topological) order."""
+    sccs = _tarjan(graph)
+    # Tarjan emits components in reverse topological order of the
+    # condensation; dependencies must be evaluated first.
+    return sccs
+
+
+def _tarjan(graph):
+    index_counter = [0]
+    stack, on_stack = [], set()
+    index, lowlink = {}, {}
+    result = []
+
+    def strongconnect(root):
+        work = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = graph.get(node, [])
+            while child_index < len(successors):
+                succ = successors[child_index]
+                child_index += 1
+                if succ not in index:
+                    work[-1] = (node, child_index)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    component.append(top)
+                    if top == node:
+                        break
+                result.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for node in graph:
+        if node not in index:
+            strongconnect(node)
+    return result

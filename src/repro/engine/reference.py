@@ -1,0 +1,239 @@
+"""A brute-force reference evaluator for differential testing.
+
+This module re-implements ARC's semantics for the first-order fragment
+(conjunction, disjunction, negation, nested existentials — no grouping, no
+join annotations, no externals) in the most direct way possible: full
+cartesian enumeration of all binding environments with no short-circuiting,
+no deferred resolution, and no structural cleverness.
+
+It exists purely as an *oracle*: the production evaluator
+(:mod:`repro.engine.evaluator`) is checked against it on randomized
+queries and instances (``tests/test_differential.py``).  Keeping the two
+implementations as different as possible maximizes the chance that a bug
+in either is caught by disagreement.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..core import nodes as n
+from ..core.conventions import SET_CONVENTIONS
+from ..data.relation import Relation, Tuple
+from ..data.values import Truth, arithmetic, compare, is_null, t_and, t_not, t_or
+from ..errors import EvaluationError
+
+
+def reference_evaluate(node, database, conventions=SET_CONVENTIONS):
+    """Evaluate *node* (Collection or Sentence) by exhaustive enumeration.
+
+    Restricted to the first-order fragment; raises
+    :class:`~repro.errors.EvaluationError` on grouping operators, join
+    annotations, aggregates, or relation references that are not base
+    tables.
+    """
+    oracle = _Oracle(database, conventions)
+    if isinstance(node, n.Collection):
+        return oracle.collection(node, {})
+    if isinstance(node, n.Sentence):
+        return oracle.truth(node.body, {})
+    raise EvaluationError(f"reference evaluator cannot handle {type(node).__name__}")
+
+
+class _Oracle:
+    def __init__(self, database, conventions):
+        self._db = database
+        self._conventions = conventions
+
+    def collection(self, coll, env):
+        self._check_supported(coll)
+        relation = Relation(coll.head.name, coll.head.attrs)
+        for assigns, mult in self._solutions(coll.body, env, coll.head):
+            relation.add(Tuple(assigns), mult)
+        if self._conventions.is_set:
+            return relation.distinct()
+        return relation
+
+    # -- enumeration -----------------------------------------------------------
+
+    def _rows(self, source, env):
+        if isinstance(source, n.Collection):
+            nested = self.collection(source, env)
+            if self._conventions.is_set:
+                return [(row, 1) for row in nested.iter_distinct()]
+            return list(nested.counter().items())
+        relation = self._db[source.name]
+        if self._conventions.is_set:
+            return [(row, 1) for row in relation.iter_distinct()]
+        return list(relation.counter().items())
+
+    def _environments(self, bindings, env):
+        """All full environments for *bindings*, eagerly materialized.
+
+        Lateral semantics: later sources are evaluated under each earlier
+        partial environment (so nested collections may correlate).
+        """
+        partials = [(dict(env), 1)]
+        for binding in bindings:
+            extended = []
+            for partial_env, mult in partials:
+                for row, row_mult in self._rows(binding.source, partial_env):
+                    new_env = dict(partial_env)
+                    new_env[binding.var] = row
+                    extended.append((new_env, mult * row_mult))
+            partials = extended
+        return partials
+
+    def _solutions(self, formula, env, head):
+        if isinstance(formula, n.Or):
+            for child in formula.children_list:
+                yield from self._solutions(child, env, head)
+            return
+        if isinstance(formula, n.Quantifier):
+            conjuncts = n.conjuncts(formula.body)
+            assignments = []
+            rest = []
+            for conjunct in conjuncts:
+                target = self._assignment(conjunct, head)
+                if target is not None:
+                    assignments.append(target)
+                else:
+                    rest.append(conjunct)
+            emitters = [c for c in rest if self._contains_assignment(c, head)]
+            booleans = [c for c in rest if c not in emitters]
+            for env2, mult in self._environments(formula.bindings, env):
+                truth = Truth.TRUE
+                for conjunct in booleans:
+                    truth = t_and(truth, self.truth(conjunct, env2))
+                if truth is not Truth.TRUE:
+                    continue
+                base = {}
+                consistent = True
+                for attr, expr in assignments:
+                    value = self._expr(expr, env2)
+                    if attr in base and base[attr] != value:
+                        consistent = False
+                        break
+                    base[attr] = value
+                if not consistent:
+                    continue
+                if emitters:
+                    witnesses = set()
+                    for emitter in emitters:
+                        for sub, _ in self._solutions(emitter, env2, head):
+                            merged = dict(base)
+                            ok = True
+                            for key, value in sub.items():
+                                if key in merged and merged[key] != value:
+                                    ok = False
+                                    break
+                                merged[key] = value
+                            if ok:
+                                witnesses.add(Tuple(merged))
+                    for witness in witnesses:
+                        yield witness.as_dict(), mult
+                else:
+                    yield base, mult
+            return
+        raise EvaluationError(
+            f"reference evaluator: unsupported solution node {type(formula).__name__}"
+        )
+
+    # -- booleans ------------------------------------------------------------------
+
+    def truth(self, formula, env):
+        if isinstance(formula, n.Comparison):
+            return compare(
+                self._expr(formula.left, env),
+                formula.op,
+                self._expr(formula.right, env),
+                three_valued=self._conventions.three_valued,
+            )
+        if isinstance(formula, n.IsNull):
+            result = Truth.of(is_null(self._expr(formula.expr, env)))
+            return t_not(result) if formula.negated else result
+        if isinstance(formula, n.BoolConst):
+            return Truth.TRUE if formula.value else Truth.FALSE
+        if isinstance(formula, n.And):
+            result = Truth.TRUE
+            for child in formula.children_list:
+                result = t_and(result, self.truth(child, env))
+            return result
+        if isinstance(formula, n.Or):
+            result = Truth.FALSE
+            for child in formula.children_list:
+                result = t_or(result, self.truth(child, env))
+            return result
+        if isinstance(formula, n.Not):
+            return t_not(self.truth(formula.child, env))
+        if isinstance(formula, n.Quantifier):
+            result = Truth.FALSE
+            for env2, _ in self._environments(formula.bindings, env):
+                result = t_or(result, self.truth(formula.body, env2))
+            return result
+        raise EvaluationError(
+            f"reference evaluator: unsupported boolean node {type(formula).__name__}"
+        )
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, expr, env):
+        if isinstance(expr, n.Const):
+            return expr.value
+        if isinstance(expr, n.Attr):
+            if expr.var not in env:
+                raise EvaluationError(f"unbound variable {expr.var!r}")
+            return env[expr.var][expr.attr]
+        if isinstance(expr, n.Arith):
+            return arithmetic(
+                expr.op, self._expr(expr.left, env), self._expr(expr.right, env)
+            )
+        raise EvaluationError(
+            f"reference evaluator: unsupported expression {type(expr).__name__}"
+        )
+
+    # -- helpers -------------------------------------------------------------------------
+
+    @staticmethod
+    def _assignment(conjunct, head):
+        if not isinstance(conjunct, n.Comparison) or conjunct.op != "=":
+            return None
+        for side, other in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if (
+                isinstance(side, n.Attr)
+                and side.var == head.name
+                and side.attr in head.attrs
+                and not (
+                    isinstance(other, n.Attr)
+                    and other.var == head.name
+                )
+            ):
+                return (side.attr, other)
+        return None
+
+    def _contains_assignment(self, formula, head):
+        def walk(node, negated):
+            if isinstance(node, n.Comparison):
+                return not negated and self._assignment(node, head) is not None
+            if isinstance(node, (n.And, n.Or)):
+                return any(walk(c, negated) for c in node.children_list)
+            if isinstance(node, n.Not):
+                return walk(node.child, True)
+            if isinstance(node, n.Quantifier):
+                return walk(node.body, negated)
+            return False
+
+        return walk(formula, False)
+
+    @staticmethod
+    def _check_supported(coll):
+        for node in coll.walk():
+            if isinstance(node, n.Grouping):
+                raise EvaluationError("reference evaluator: no grouping support")
+            if isinstance(node, n.JoinExpr):
+                raise EvaluationError("reference evaluator: no join annotations")
+            if isinstance(node, n.AggCall):
+                raise EvaluationError("reference evaluator: no aggregates")

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ARC reference implementation.
+
+Every user-visible failure raises a subclass of :class:`ArcError` so that
+applications embedding the library can catch one base class.  The hierarchy
+mirrors the pipeline stages: parsing, linking (name resolution), validation
+(scoping / grouping / safety rules), and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ArcError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParseError(ArcError):
+    """A textual modality (comprehension syntax, SQL, Datalog, ...) failed to parse.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the failure.
+    line, column:
+        1-based position of the offending token when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+
+
+class LinkError(ArcError):
+    """Name resolution failed: an identifier has no binding in any enclosing scope."""
+
+
+class ValidationError(ArcError):
+    """A structurally well-formed query violates ARC's semantic rules.
+
+    Examples: a head attribute never assigned, an aggregation predicate in a
+    scope without a grouping operator, an unsafe (non-range-restricted)
+    query, or recursion through negation/aggregation.
+    """
+
+
+class EvaluationError(ArcError):
+    """The evaluator could not compute a result (e.g. an external relation's
+    access patterns cannot be satisfied from the bound attributes)."""
+
+
+class SchemaError(ArcError):
+    """A relation was used with the wrong attributes or a catalog lookup failed."""
+
+
+class ConventionError(ArcError):
+    """An operation is undefined under the active :class:`~repro.core.conventions.Conventions`."""
+
+
+class RewriteError(ArcError):
+    """A rewrite was requested that is not applicable (or not semantics-preserving)
+    for the given query and conventions."""

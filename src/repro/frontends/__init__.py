@@ -1,0 +1,9 @@
+"""Frontends: surface languages embedded into ARC.
+
+Each frontend parses a user-facing relational language and translates it
+into ARC's core nodes, preserving the query's *relational pattern* — the
+paper's Rosetta-Stone role (Sections 2.5, 3).  Submodules are imported
+directly (``from repro.frontends import sql``) to keep import costs low.
+"""
+
+__all__ = ["sql", "datalog", "trc", "rel"]

@@ -1,0 +1,520 @@
+"""Datalog / Soufflé frontend: positional rules embedded into ARC.
+
+Supports the constructs the paper discusses (Sections 2.5, 2.6, 2.9):
+
+* plain rules with shared variables, constants, and ``_`` wildcards::
+
+      A(x, y) :- P(x, y).
+      A(x, y) :- P(x, z), A(z, y).
+
+* negated atoms ``!R(x)`` (stratification is checked downstream);
+* comparisons ``x < y``, ``x = 3``;
+* Soufflé aggregates, both in rule bodies and in heads::
+
+      Q(ak, sm) :- R(ak, _), sm = sum b : {S(a, b), a < ak}.     -- (15)
+      Q(a, sum b : {R(a, b)}) :- R(a, _).                        -- (6)
+
+The translation realizes the paper's observation that Soufflé aggregation is
+a **from-the-outside-in (FOI)** pattern: each aggregate becomes a correlated
+lateral collection with ``γ∅``; grouping keys are the outer variables the
+aggregate body mentions ("you cannot export information from within the body
+of an aggregate").
+
+Multiple rules with the same head predicate become a single ARC collection
+whose body is their disjunction (Section 2.9), and recursion is evaluated by
+least fixed point.
+"""
+
+from __future__ import annotations
+
+from itertools import count as _counter
+
+from ..core import nodes as n
+from ..core.lexer import EOF, IDENT, KEYWORD, NUMBER, STRING, SYMBOL, Token, tokenize
+from ..errors import ParseError
+
+AGGREGATE_WORDS = {"sum", "count", "min", "max", "avg", "mean"}
+
+
+# ---------------------------------------------------------------------------
+# Rule AST
+# ---------------------------------------------------------------------------
+
+
+class Atom:
+    """``R(t1, ..., tk)`` — args are _Var, _Const, or _Wildcard."""
+
+    def __init__(self, predicate, args, negated=False):
+        self.predicate = predicate
+        self.args = args
+        self.negated = negated
+
+
+class CompareLit:
+    def __init__(self, left, op, right):
+        self.left = left
+        self.op = op
+        self.right = right
+
+
+class AggLit:
+    """``target = func v : { atoms / comparisons }`` (target None in heads)."""
+
+    def __init__(self, target, func, value_var, body):
+        self.target = target
+        self.func = func
+        self.value_var = value_var
+        self.body = body  # list of Atom | CompareLit
+
+
+class _Var:
+    def __init__(self, name):
+        self.name = name
+
+
+class _Const:
+    def __init__(self, value):
+        self.value = value
+
+
+class _Wildcard:
+    pass
+
+
+class Rule:
+    def __init__(self, head_predicate, head_args, body):
+        self.head_predicate = head_predicate
+        self.head_args = head_args  # list of _Var | _Const | AggLit
+        self.body = body  # list of Atom | CompareLit | AggLit
+
+
+# ---------------------------------------------------------------------------
+# Parser (reuses the core lexer; Datalog's "!" is tokenized manually)
+# ---------------------------------------------------------------------------
+
+
+def parse_rules(text):
+    """Parse a Datalog program into a list of Rules."""
+    # The shared lexer has no "!" token; normalize Soufflé negation first.
+    text = text.replace("!", " not ")
+    tokens = tokenize(text)
+    return _RuleParser(tokens).parse_program()
+
+
+class _RuleParser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self, offset=0):
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self):
+        token = self._peek()
+        if token.type != EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, symbol):
+        token = self._next()
+        if not token.is_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, got {token.value!r}", token.line, token.column
+            )
+        return token
+
+    def parse_program(self):
+        rules = []
+        while self._peek().type != EOF:
+            rules.append(self._parse_rule())
+        return rules
+
+    def _parse_rule(self):
+        predicate, args = self._parse_head()
+        body = []
+        token = self._peek()
+        if token.is_symbol(":") and self._peek(1).is_symbol("-"):
+            self._next()
+            self._next()
+            body = self._parse_body()
+        self._expect(".")
+        return Rule(predicate, args, body)
+
+    def _parse_head(self):
+        token = self._next()
+        if token.type != IDENT:
+            raise ParseError(
+                f"expected predicate name, got {token.value!r}", token.line, token.column
+            )
+        predicate = token.value
+        self._expect("(")
+        args = []
+        if not self._peek().is_symbol(")"):
+            while True:
+                args.append(self._parse_head_arg())
+                if self._peek().is_symbol(","):
+                    self._next()
+                    continue
+                break
+        self._expect(")")
+        return predicate, args
+
+    def _parse_head_arg(self):
+        token = self._peek()
+        if token.type == IDENT and token.value in AGGREGATE_WORDS:
+            return self._parse_aggregate(target=None)
+        return self._parse_term()
+
+    def _parse_term(self):
+        token = self._next()
+        if token.type == IDENT:
+            if token.value == "_":
+                return _Wildcard()
+            return _Var(token.value)
+        if token.type == NUMBER:
+            value = float(token.value) if "." in token.value else int(token.value)
+            return _Const(value)
+        if token.type == STRING:
+            return _Const(token.value)
+        if token.is_symbol("-") and self._peek().type == NUMBER:
+            number = self._next()
+            value = float(number.value) if "." in number.value else int(number.value)
+            return _Const(-value)
+        raise ParseError(
+            f"expected term, got {token.value!r}", token.line, token.column
+        )
+
+    def _parse_body(self):
+        literals = [self._parse_literal()]
+        while self._peek().is_symbol(","):
+            self._next()
+            literals.append(self._parse_literal())
+        return literals
+
+    def _parse_atom(self):
+        token = self._next()
+        if token.type != IDENT:
+            raise ParseError(
+                f"expected predicate name, got {token.value!r}",
+                token.line,
+                token.column,
+            )
+        predicate = token.value
+        self._expect("(")
+        args = []
+        if not self._peek().is_symbol(")"):
+            while True:
+                args.append(self._parse_term())
+                if self._peek().is_symbol(","):
+                    self._next()
+                    continue
+                break
+        self._expect(")")
+        return Atom(predicate, args)
+
+    def _parse_literal(self):
+        token = self._peek()
+        if token.is_keyword("not"):
+            self._next()
+            atom = self._parse_atom()
+            atom.negated = True
+            return atom
+        if token.type == IDENT and self._peek(1).is_symbol("(") and token.value not in AGGREGATE_WORDS:
+            return self._parse_atom()
+        # Comparison or aggregate assignment: term op term | var = agg ...
+        left = self._parse_term()
+        op_token = self._next()
+        op = op_token.value
+        if op_token.is_symbol("<", ">") and self._peek().is_symbol("="):
+            self._next()
+            op += "="
+        if op not in ("=", "<", "<=", ">", ">=", "<>", "!="):
+            raise ParseError(
+                f"expected comparison operator, got {op!r}",
+                op_token.line,
+                op_token.column,
+            )
+        next_token = self._peek()
+        if (
+            op == "="
+            and next_token.type == IDENT
+            and next_token.value in AGGREGATE_WORDS
+        ):
+            if not isinstance(left, _Var):
+                raise ParseError("aggregate target must be a variable")
+            return self._parse_aggregate(target=left.name)
+        right = self._parse_term()
+        return CompareLit(left, op, right)
+
+    def _parse_aggregate(self, target):
+        func_token = self._next()
+        func = {"mean": "avg"}.get(func_token.value, func_token.value)
+        value_var = None
+        if not self._peek().is_symbol(":"):
+            term = self._parse_term()
+            if not isinstance(term, _Var):
+                raise ParseError("aggregate value must be a variable")
+            value_var = term.name
+        self._expect(":")
+        self._expect("{")
+        body = self._parse_body()
+        self._expect("}")
+        return AggLit(target, func, value_var, body)
+
+
+# ---------------------------------------------------------------------------
+# Translation to ARC
+# ---------------------------------------------------------------------------
+
+
+def to_arc(text, *, database=None):
+    """Parse Datalog rules and translate them into an ARC Program.
+
+    ``database`` supplies attribute names for base predicates (positional
+    arguments are matched against the stored schema); without it, base
+    predicates get positional attribute names ``a1..ak``.
+    """
+    rules = parse_rules(text)
+    return translate_rules(rules, database=database)
+
+
+def translate_rules(rules, *, database=None):
+    translator = _DatalogTranslator(rules, database)
+    return translator.translate()
+
+
+class _DatalogTranslator:
+    def __init__(self, rules, database):
+        self._rules = rules
+        self._database = database
+        self._ids = _counter(1)
+        self._head_schemas = self._infer_head_schemas()
+
+    def _fresh(self, prefix):
+        return f"{prefix}{next(self._ids)}"
+
+    def _infer_head_schemas(self):
+        """Defined predicate -> attribute names (from first rule's head vars)."""
+        schemas = {}
+        for rule in self._rules:
+            if rule.head_predicate in schemas:
+                if len(schemas[rule.head_predicate]) != len(rule.head_args):
+                    raise ParseError(
+                        f"predicate {rule.head_predicate!r} used with "
+                        "inconsistent arities"
+                    )
+                continue
+            attrs = []
+            for index, arg in enumerate(rule.head_args, start=1):
+                if isinstance(arg, _Var):
+                    attrs.append(arg.name)
+                else:
+                    attrs.append(f"c{index}")
+            if len(set(attrs)) != len(attrs):
+                attrs = [f"c{i}" for i in range(1, len(attrs) + 1)]
+            schemas[rule.head_predicate] = tuple(attrs)
+        return schemas
+
+    def _relation_schema(self, predicate, arity):
+        if predicate in self._head_schemas:
+            schema = self._head_schemas[predicate]
+        elif self._database is not None and predicate in self._database:
+            schema = tuple(self._database[predicate].schema)
+        else:
+            schema = tuple(f"a{i}" for i in range(1, arity + 1))
+        if len(schema) != arity:
+            raise ParseError(
+                f"predicate {predicate!r} used with arity {arity}, but its "
+                f"schema is {schema}"
+            )
+        return schema
+
+    def translate(self):
+        by_head = {}
+        for rule in self._rules:
+            by_head.setdefault(rule.head_predicate, []).append(rule)
+        definitions = {}
+        last = None
+        for predicate, rules in by_head.items():
+            bodies = [self._translate_rule(rule) for rule in rules]
+            collection = n.Collection(
+                n.Head(predicate, self._head_schemas[predicate]), n.make_or(bodies)
+            )
+            definitions[predicate] = collection
+            last = predicate
+        return n.Program(definitions, last)
+
+    def _translate_rule(self, rule):
+        head = rule.head_predicate
+        head_attrs = self._head_schemas[head]
+        bindings = []
+        conjuncts = []
+        var_map = {}  # datalog var -> Attr
+
+        positives = [l for l in rule.body if isinstance(l, Atom) and not l.negated]
+        negatives = [l for l in rule.body if isinstance(l, Atom) and l.negated]
+        comparisons = [l for l in rule.body if isinstance(l, CompareLit)]
+        aggregates = [l for l in rule.body if isinstance(l, AggLit)]
+
+        for atom in positives:
+            bindings.append(self._bind_atom(atom, var_map, conjuncts))
+        for comparison in comparisons:
+            conjuncts.append(self._translate_comparison(comparison, var_map))
+        for atom in negatives:
+            conjuncts.append(self._translate_negated(atom, var_map))
+        for aggregate in aggregates:
+            binding, value_attr = self._translate_aggregate(aggregate, var_map)
+            bindings.append(binding)
+            var_map[aggregate.target] = n.Attr(binding.var, value_attr)
+
+        assignments = []
+        for attr, arg in zip(head_attrs, rule.head_args):
+            if isinstance(arg, _Var):
+                if arg.name not in var_map:
+                    raise ParseError(
+                        f"head variable {arg.name!r} is not bound in the body "
+                        f"of a rule for {head!r}"
+                    )
+                assignments.append(
+                    n.Comparison(n.Attr(head, attr), "=", var_map[arg.name])
+                )
+            elif isinstance(arg, _Const):
+                assignments.append(n.Comparison(n.Attr(head, attr), "=", n.Const(arg.value)))
+            elif isinstance(arg, AggLit):
+                binding, value_attr = self._translate_aggregate(arg, var_map)
+                bindings.append(binding)
+                assignments.append(
+                    n.Comparison(n.Attr(head, attr), "=", n.Attr(binding.var, value_attr))
+                )
+            else:
+                raise ParseError("wildcard not allowed in rule head")
+
+        return n.Quantifier(bindings, n.make_and(conjuncts + assignments))
+
+    def _bind_atom(self, atom, var_map, conjuncts):
+        schema = self._relation_schema(atom.predicate, len(atom.args))
+        var = self._fresh(atom.predicate.lower()[:1] or "r")
+        for attr, arg in zip(schema, atom.args):
+            if isinstance(arg, _Wildcard):
+                continue
+            if isinstance(arg, _Const):
+                conjuncts.append(
+                    n.Comparison(n.Attr(var, attr), "=", n.Const(arg.value))
+                )
+            elif isinstance(arg, _Var):
+                if arg.name in var_map:
+                    conjuncts.append(
+                        n.Comparison(n.Attr(var, attr), "=", var_map[arg.name])
+                    )
+                else:
+                    var_map[arg.name] = n.Attr(var, attr)
+        return n.Binding(var, n.RelationRef(atom.predicate))
+
+    def _translate_negated(self, atom, var_map):
+        schema = self._relation_schema(atom.predicate, len(atom.args))
+        var = self._fresh(atom.predicate.lower()[:1] or "r")
+        equalities = []
+        for attr, arg in zip(schema, atom.args):
+            if isinstance(arg, _Wildcard):
+                continue
+            if isinstance(arg, _Const):
+                equalities.append(n.Comparison(n.Attr(var, attr), "=", n.Const(arg.value)))
+            elif isinstance(arg, _Var):
+                if arg.name not in var_map:
+                    raise ParseError(
+                        f"variable {arg.name!r} in a negated atom must be "
+                        "bound by a positive atom (range restriction)"
+                    )
+                equalities.append(n.Comparison(n.Attr(var, attr), "=", var_map[arg.name]))
+        quant = n.Quantifier(
+            [n.Binding(var, n.RelationRef(atom.predicate))], n.make_and(equalities)
+        )
+        return n.Not(quant)
+
+    def _translate_comparison(self, comparison, var_map):
+        return n.Comparison(
+            self._term_expr(comparison.left, var_map),
+            comparison.op,
+            self._term_expr(comparison.right, var_map),
+        )
+
+    def _term_expr(self, term, var_map):
+        if isinstance(term, _Const):
+            return n.Const(term.value)
+        if isinstance(term, _Var):
+            if term.name not in var_map:
+                raise ParseError(f"unbound variable {term.name!r} in comparison")
+            return var_map[term.name]
+        raise ParseError("wildcard not allowed in comparison")
+
+    def _translate_aggregate(self, aggregate, outer_var_map):
+        """Soufflé aggregate -> correlated lateral collection with γ∅ (FOI).
+
+        Variables already bound outside are correlated into the aggregate
+        body; variables bound only inside stay local (Soufflé's rule that
+        groundings do not escape the aggregate scope).
+        """
+        inner_name = self._fresh("X")
+        value_attr = "val"
+        inner_map = {}
+        inner_bindings = []
+        inner_conjuncts = []
+        for literal in aggregate.body:
+            if isinstance(literal, Atom):
+                if literal.negated:
+                    inner_conjuncts.append(
+                        self._translate_negated_inner(literal, inner_map, outer_var_map)
+                    )
+                else:
+                    inner_bindings.append(
+                        self._bind_atom_inner(
+                            literal, inner_map, outer_var_map, inner_conjuncts
+                        )
+                    )
+            elif isinstance(literal, CompareLit):
+                merged = {**outer_var_map, **inner_map}
+                inner_conjuncts.append(self._translate_comparison(literal, merged))
+            else:
+                raise ParseError("nested aggregates are not supported")
+        if aggregate.value_var is None:
+            agg_expr = n.AggCall("count", None)
+        else:
+            if aggregate.value_var not in inner_map:
+                raise ParseError(
+                    f"aggregate value variable {aggregate.value_var!r} is not "
+                    "bound inside the aggregate body"
+                )
+            agg_expr = n.AggCall(aggregate.func, inner_map[aggregate.value_var])
+        inner_conjuncts.append(
+            n.Comparison(n.Attr(inner_name, value_attr), "=", agg_expr)
+        )
+        quant = n.Quantifier(inner_bindings, n.make_and(inner_conjuncts), n.Grouping(()))
+        collection = n.Collection(n.Head(inner_name, (value_attr,)), quant)
+        var = self._fresh("x")
+        return n.Binding(var, collection), value_attr
+
+    def _bind_atom_inner(self, atom, inner_map, outer_var_map, conjuncts):
+        schema = self._relation_schema(atom.predicate, len(atom.args))
+        var = self._fresh(atom.predicate.lower()[:1] or "r")
+        for attr, arg in zip(schema, atom.args):
+            if isinstance(arg, _Wildcard):
+                continue
+            if isinstance(arg, _Const):
+                conjuncts.append(n.Comparison(n.Attr(var, attr), "=", n.Const(arg.value)))
+            elif isinstance(arg, _Var):
+                if arg.name in inner_map:
+                    conjuncts.append(
+                        n.Comparison(n.Attr(var, attr), "=", inner_map[arg.name])
+                    )
+                elif arg.name in outer_var_map:
+                    # Correlation with the outer rule: the FOI pattern.
+                    conjuncts.append(
+                        n.Comparison(n.Attr(var, attr), "=", outer_var_map[arg.name])
+                    )
+                else:
+                    inner_map[arg.name] = n.Attr(var, attr)
+        return n.Binding(var, n.RelationRef(atom.predicate))
+
+    def _translate_negated_inner(self, atom, inner_map, outer_var_map):
+        merged = {**outer_var_map, **inner_map}
+        return self._translate_negated(atom, merged)

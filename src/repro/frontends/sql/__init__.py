@@ -1,0 +1,7 @@
+"""SQL frontend: parse the paper's SQL subset and embed it into ARC."""
+
+from .parser import parse_sql
+from .translate import to_arc, translate, SqlTranslator
+from . import ast
+
+__all__ = ["parse_sql", "to_arc", "translate", "SqlTranslator", "ast"]

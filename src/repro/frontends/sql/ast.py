@@ -1,0 +1,152 @@
+"""SQL abstract syntax for the paper's SQL subset.
+
+This is deliberately a *concrete-syntax-shaped* AST (joins under FROM,
+select lists with aliases, scalar subqueries in expressions): the point of
+the paper is that such ASTs are not abstract enough, and
+:mod:`repro.frontends.sql.translate` maps them onto ARC's semantics-first
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions ------------------------------------------------------------
+
+
+@dataclass
+class ColumnRef:
+    table: str | None  # qualifier, None for unqualified references
+    column: str
+
+
+@dataclass
+class Literal:
+    value: object
+
+
+@dataclass
+class BinaryOp:
+    op: str  # + - * / %
+    left: object
+    right: object
+
+
+@dataclass
+class FuncCall:
+    name: str  # aggregate name, lowercased
+    arg: object | None  # None for count(*)
+    distinct: bool = False
+
+
+@dataclass
+class ScalarSubquery:
+    query: "SelectStmt"
+
+
+# -- conditions ------------------------------------------------------------------
+
+
+@dataclass
+class Comparison:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class IsNullPred:
+    expr: object
+    negated: bool = False
+
+
+@dataclass
+class InPredicate:
+    expr: object
+    query: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class ExistsPred:
+    query: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class AndCond:
+    parts: list
+
+
+@dataclass
+class OrCond:
+    parts: list
+
+
+@dataclass
+class NotCond:
+    part: object
+
+
+@dataclass
+class BoolLiteral:
+    value: bool
+
+
+# -- FROM items --------------------------------------------------------------------
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def var(self):
+        return self.alias or self.name
+
+
+@dataclass
+class DerivedTable:
+    query: "SelectStmt"
+    alias: str
+    lateral: bool = False
+
+    @property
+    def var(self):
+        return self.alias
+
+
+@dataclass
+class JoinedTable:
+    kind: str  # "inner" | "left" | "full" | "cross"
+    left: object
+    right: object
+    condition: object | None = None  # None for CROSS JOIN / ON true
+
+
+# -- statements -----------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: object
+    alias: str | None = None
+
+
+@dataclass
+class SelectStmt:
+    items: list = field(default_factory=list)
+    distinct: bool = False
+    from_items: list = field(default_factory=list)  # TableRef | DerivedTable | JoinedTable
+    where: object | None = None
+    group_by: list = field(default_factory=list)
+    having: object | None = None
+    into: str | None = None
+
+
+@dataclass
+class UnionStmt:
+    branches: list  # of SelectStmt
+    all: bool = False

@@ -1,0 +1,166 @@
+"""SQL tokenizer for the subset used throughout the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ParseError
+
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "as",
+    "on",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "outer",
+    "cross",
+    "lateral",
+    "union",
+    "all",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "in",
+    "is",
+    "null",
+    "true",
+    "false",
+    "into",
+    "like",
+    "between",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "asc",
+    "desc",
+    "limit",
+    "with",
+    "recursive",
+}
+
+_MULTI = ("<>", "!=", "<=", ">=", "||")
+_SINGLE = set("(),.*=<>+-/%;")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def is_symbol(self, *symbols):
+        return self.type == SYMBOL and self.value in symbols
+
+    def is_keyword(self, *keywords):
+        return self.type == KEYWORD and self.value in keywords
+
+
+def tokenize(text):
+    """Tokenize SQL text; keywords are case-insensitive, identifiers keep case.
+
+    Double-quoted identifiers are supported (needed for the paper's reified
+    operator relations like ``"-"`` and ``">"``, Fig. 15b).
+    """
+    tokens = []
+    line, column, i, size = 1, 1, 0, len(text)
+
+    def advance(count):
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < size and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < size:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text[i : i + 2] == "--":
+            while i < size and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        two = text[i : i + 2]
+        if two in _MULTI:
+            tokens.append(Token(SYMBOL, two, start_line, start_column))
+            advance(2)
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < size and text[j] != "'":
+                buf.append(text[j])
+                j += 1
+            if j >= size:
+                raise ParseError("unterminated string literal", start_line, start_column)
+            tokens.append(Token(STRING, "".join(buf), start_line, start_column))
+            advance(j + 1 - i)
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < size and text[j] != '"':
+                buf.append(text[j])
+                j += 1
+            if j >= size:
+                raise ParseError("unterminated quoted identifier", start_line, start_column)
+            tokens.append(Token(IDENT, "".join(buf), start_line, start_column))
+            advance(j + 1 - i)
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < size and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    if j + 1 >= size or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line, start_column))
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < size and (text[j].isalnum() or text[j] in "_$"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, start_line, start_column))
+            else:
+                tokens.append(Token(IDENT, word, start_line, start_column))
+            advance(j - i)
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(SYMBOL, ch, start_line, start_column))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {ch!r} in SQL", start_line, start_column)
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens

@@ -1,0 +1,6 @@
+"""NL -> ARC -> SQL pipeline (the paper's proposed NL2SQL architecture)."""
+
+from .pipeline import Nl2ArcPipeline, PipelineResult
+from .templates import TemplateGrammar, default_grammar
+
+__all__ = ["Nl2ArcPipeline", "PipelineResult", "TemplateGrammar", "default_grammar"]

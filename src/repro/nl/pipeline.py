@@ -1,0 +1,79 @@
+"""The NL2SQL architecture the paper proposes, end-to-end.
+
+    natural language --generate--> ARC --validate--> --render--> SQL
+                                    |                    |
+                                    +---- ALT / higraph modalities for
+                                          human verification
+
+Every stage is observable: the :class:`PipelineResult` carries the ARC
+query, the validation report, the ALT text a machine would diff, the
+higraph a human would inspect, the rendered SQL, and (when a database is
+supplied) the executed result — so "intent-based evaluation" (Section 4)
+can compare at the semantic-structure level rather than the string level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..backends.comprehension import render as render_comprehension
+from ..backends.sql_render import to_sql
+from ..core.alt import render_alt
+from ..core.conventions import SQL_CONVENTIONS
+from ..core.higraph import build_higraph, render_ascii
+from ..core.validator import validate
+from ..engine import evaluate
+from .templates import default_grammar
+
+
+@dataclass
+class PipelineResult:
+    request: str
+    matched_rule: str | None = None
+    arc: object = None
+    comprehension: str | None = None
+    alt: str | None = None
+    higraph: str | None = None
+    sql: str | None = None
+    validation: object = None
+    result: object = None
+    error: str | None = None
+
+    @property
+    def ok(self):
+        return self.error is None and (self.validation is None or self.validation.ok)
+
+
+class Nl2ArcPipeline:
+    """Generate -> validate -> render -> (optionally) execute."""
+
+    def __init__(self, grammar=None, database=None, conventions=SQL_CONVENTIONS):
+        self.grammar = grammar or default_grammar()
+        self.database = database
+        self.conventions = conventions
+
+    def run(self, request, *, execute=True):
+        result = PipelineResult(request)
+        try:
+            arc, rule = self.grammar.generate(request)
+        except LookupError as exc:
+            result.error = str(exc)
+            return result
+        result.matched_rule = rule
+        result.arc = arc
+        result.comprehension = render_comprehension(arc)
+        result.alt = render_alt(arc, include_links=True)
+        result.higraph = render_ascii(build_higraph(arc, database=self.database))
+        result.validation = validate(arc, database=self.database)
+        if not result.validation.ok:
+            result.error = "validation failed: " + "; ".join(
+                str(issue) for issue in result.validation.errors()
+            )
+            return result
+        result.sql = to_sql(arc)
+        if execute and self.database is not None:
+            result.result = evaluate(arc, self.database, self.conventions)
+        return result
+
+    def batch(self, requests, *, execute=True):
+        return [self.run(request, execute=execute) for request in requests]

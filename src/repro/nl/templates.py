@@ -1,0 +1,288 @@
+"""Template grammar mapping natural-language requests to ARC builders.
+
+The paper proposes that NL2SQL systems should "generate a structurally
+constrained representation, which can be validated (well-scoped variables,
+grouping legality, correlation shape) and then rendered to SQL" (Section 4).
+The environment here is offline, so the *generator* stage is a deterministic
+template grammar rather than an LLM — the substitution is documented in
+DESIGN.md §5; the pipeline stages downstream of generation (validate ->
+render) are exactly the ones the paper describes, and they are what the
+architecture claim is about.
+
+A :class:`TemplateGrammar` holds rules: a matcher over a normalized token
+sequence plus a builder producing an ARC collection against a schema
+description.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..core import builder as b
+from ..core import nodes as n
+
+
+@dataclass
+class SchemaInfo:
+    """Minimal semantic annotations the templates need.
+
+    Attributes
+    ----------
+    fact_table / fact_alias:
+        The main entity table (e.g. employees).
+    group_attr:
+        The categorical attribute used by "per <group>" requests.
+    measure_attr:
+        The numeric attribute used by aggregates.
+    entity_attr:
+        The attribute naming the entity (e.g. employee name).
+    """
+
+    fact_table: str
+    group_attr: str
+    measure_attr: str
+    entity_attr: str
+    fact_alias: str = "t"
+
+
+class TemplateGrammar:
+    def __init__(self, schema):
+        self.schema = schema
+        self.rules = []  # (regex, builder fn, description)
+
+    def add(self, pattern, build, description):
+        self.rules.append((re.compile(pattern, re.IGNORECASE), build, description))
+
+    def generate(self, text):
+        """Return (collection, rule description) for the first matching rule.
+
+        Raises LookupError when no template matches — the pipeline surfaces
+        this as a generation failure (the NL2SQL analogue of an LLM refusing
+        or producing unparseable output).
+        """
+        normalized = " ".join(text.lower().split())
+        for regex, build, description in self.rules:
+            match = regex.search(normalized)
+            if match:
+                return build(self.schema, match), description
+        raise LookupError(f"no template matches request: {text!r}")
+
+
+AGG_WORDS = {
+    "average": "avg",
+    "avg": "avg",
+    "mean": "avg",
+    "total": "sum",
+    "sum": "sum",
+    "maximum": "max",
+    "max": "max",
+    "highest": "max",
+    "minimum": "min",
+    "min": "min",
+    "lowest": "min",
+    "number": "count",
+    "count": "count",
+}
+
+_AGG_PATTERN = "|".join(sorted(AGG_WORDS))
+
+
+def _agg_per_group(schema, match):
+    """"average salary per department" -> FIO grouped aggregate (Fig. 4)."""
+    func = AGG_WORDS[match.group(1)]
+    var = schema.fact_alias
+    agg_arg = b.attr2(var, schema.measure_attr)
+    agg = n.AggCall(func, agg_arg) if func != "count" else n.AggCall("count", agg_arg)
+    return b.collection(
+        "Q",
+        [schema.group_attr, "value"],
+        b.exists(
+            [b.bind(var, schema.fact_table)],
+            b.conj(
+                b.eq(b.attr2("Q", schema.group_attr), b.attr2(var, schema.group_attr)),
+                n.Comparison(n.Attr("Q", "value"), "=", agg),
+            ),
+            grouping=b.grouping(b.attr2(var, schema.group_attr)),
+        ),
+    )
+
+
+def _groups_with_total_at_least(schema, match):
+    """"departments with total salary at least 100" -> grouped + HAVING
+    (the paper's running example, Fig. 6)."""
+    threshold = float(match.group(2)) if "." in match.group(2) else int(match.group(2))
+    func = AGG_WORDS[match.group(1)]
+    var = schema.fact_alias
+    inner_name = "X"
+    agg = n.AggCall(func, b.attr2(var, schema.measure_attr))
+    inner = b.collection(
+        inner_name,
+        [schema.group_attr, "sm"],
+        b.exists(
+            [b.bind(var, schema.fact_table)],
+            b.conj(
+                b.eq(
+                    b.attr2(inner_name, schema.group_attr),
+                    b.attr2(var, schema.group_attr),
+                ),
+                n.Comparison(n.Attr(inner_name, "sm"), "=", agg),
+            ),
+            grouping=b.grouping(b.attr2(var, schema.group_attr)),
+        ),
+    )
+    return b.collection(
+        "Q",
+        [schema.group_attr],
+        b.exists(
+            [n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2("Q", schema.group_attr), b.attr2("x", schema.group_attr)),
+                b.gte(b.attr2("x", "sm"), b.const(threshold)),
+            ),
+        ),
+    )
+
+
+def _entities_above_group_average(schema, match):
+    """"employees earning more than their department average" -> correlated
+    FOI aggregate (the paper's nested-correlation family)."""
+    var = schema.fact_alias
+    inner_name = "X"
+    inner_var = f"{var}2"
+    inner = b.collection(
+        inner_name,
+        ["av"],
+        b.exists(
+            [b.bind(inner_var, schema.fact_table)],
+            b.conj(
+                b.eq(
+                    b.attr2(inner_var, schema.group_attr),
+                    b.attr2(var, schema.group_attr),
+                ),
+                n.Comparison(
+                    n.Attr(inner_name, "av"),
+                    "=",
+                    n.AggCall("avg", b.attr2(inner_var, schema.measure_attr)),
+                ),
+            ),
+            grouping=b.grouping(),
+        ),
+    )
+    return b.collection(
+        "Q",
+        [schema.entity_attr],
+        b.exists(
+            [b.bind(var, schema.fact_table), n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2("Q", schema.entity_attr), b.attr2(var, schema.entity_attr)),
+                b.gt(b.attr2(var, schema.measure_attr), b.attr2("x", "av")),
+            ),
+        ),
+    )
+
+
+def _entities_in_group(schema, match):
+    """"employees in the marketing department" -> selection."""
+    value = match.group(1).strip()
+    var = schema.fact_alias
+    return b.collection(
+        "Q",
+        [schema.entity_attr],
+        b.exists(
+            [b.bind(var, schema.fact_table)],
+            b.conj(
+                b.eq(b.attr2("Q", schema.entity_attr), b.attr2(var, schema.entity_attr)),
+                b.eq(b.attr2(var, schema.group_attr), b.const(value)),
+            ),
+        ),
+    )
+
+
+def _entities_without_match(schema, match):
+    """"departments without any employee earning over 100" -> antijoin."""
+    threshold = float(match.group(1)) if "." in match.group(1) else int(match.group(1))
+    var = schema.fact_alias
+    other = f"{var}2"
+    return b.collection(
+        "Q",
+        [schema.group_attr],
+        b.exists(
+            [b.bind(var, schema.fact_table)],
+            b.conj(
+                b.eq(b.attr2("Q", schema.group_attr), b.attr2(var, schema.group_attr)),
+                b.neg(
+                    b.exists(
+                        [b.bind(other, schema.fact_table)],
+                        b.conj(
+                            b.eq(
+                                b.attr2(other, schema.group_attr),
+                                b.attr2(var, schema.group_attr),
+                            ),
+                            b.gt(
+                                b.attr2(other, schema.measure_attr),
+                                b.const(threshold),
+                            ),
+                        ),
+                    )
+                ),
+            ),
+            grouping=b.grouping(b.attr2(var, schema.group_attr)),
+        ),
+    )
+
+
+def _count_all(schema, match):
+    var = schema.fact_alias
+    return b.collection(
+        "Q",
+        ["ct"],
+        b.exists(
+            [b.bind(var, schema.fact_table)],
+            n.Comparison(n.Attr("Q", "ct"), "=", n.AggCall("count", None)),
+            grouping=b.grouping(),
+        ),
+    )
+
+
+def default_grammar(schema=None):
+    """The demo grammar over an employees(name, dept, salary) schema."""
+    schema = schema or SchemaInfo(
+        fact_table="Employee",
+        group_attr="dept",
+        measure_attr="salary",
+        entity_attr="name",
+        fact_alias="e",
+    )
+    grammar = TemplateGrammar(schema)
+    grammar.add(
+        rf"({_AGG_PATTERN}) (?:of )?\w+ (?:per|by|for each) \w+",
+        _agg_per_group,
+        "grouped aggregate (FIO)",
+    )
+    grammar.add(
+        rf"\w+ with ({_AGG_PATTERN}) \w+ (?:at least|of at least|>=) (\d+(?:\.\d+)?)",
+        _groups_with_total_at_least,
+        "grouped aggregate with HAVING",
+    )
+    grammar.add(
+        r"(?:earning|paid|making) (?:more|higher) than their \w+ average",
+        _entities_above_group_average,
+        "correlated FOI aggregate",
+    )
+    grammar.add(
+        r"without any \w+ (?:earning|paid|making) (?:over|more than) (\d+(?:\.\d+)?)",
+        _entities_without_match,
+        "antijoin",
+    )
+    grammar.add(
+        r"in the (\w+) (?:department|group|team)",
+        _entities_in_group,
+        "selection",
+    )
+    grammar.add(
+        r"how many \w+|count (?:of|all) \w+",
+        _count_all,
+        "count over all rows",
+    )
+    return grammar

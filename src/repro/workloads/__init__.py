@@ -1,0 +1,5 @@
+"""Paper workloads: example queries, instances, and sweep generators."""
+
+from . import instances, paper_examples, sweeps
+
+__all__ = ["instances", "paper_examples", "sweeps"]

@@ -1,0 +1,174 @@
+"""The concrete database instances the paper's examples run on.
+
+Every instance mentioned in the paper text is reproduced here exactly:
+
+* the **count-bug instance** R(9, 0) with empty S (Section 3.2);
+* the **conventions instance** R = {(1, 2)}, S = ∅ (Section 2.6);
+* a NULL-bearing S for the NOT IN discussion (Section 2.10, Fig. 11);
+* employee/department payrolls for Fig. 6 (threshold 100);
+* the drinkers/beers Likes table for the unique-set query (Example 2),
+  built so exactly one drinker likes a unique set of beers;
+* the outer-join instance for Fig. 12;
+* sample R/S/T with reified arithmetic for Fig. 15.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..data.values import NULL
+
+
+def count_bug_instance():
+    """R(id, q) = {(9, 0)}, S(id, d) = ∅ — v1/v3 return {9}, v2 returns {}."""
+    db = Database()
+    db.create("R", ("id", "q"), [(9, 0)])
+    db.create("S", ("id", "d"), [])
+    return db
+
+
+def count_bug_populated(*, n_outer=8):
+    """A populated variant where all three versions agree (R.id is a key)."""
+    db = Database()
+    rows_r = []
+    rows_s = []
+    for i in range(n_outer):
+        expected = i % 4  # some rows satisfy r.q = count, some do not
+        rows_r.append((i, expected))
+        for j in range(i % 3):
+            rows_s.append((i, f"d{j}"))
+    db.create("R", ("id", "q"), rows_r)
+    db.create("S", ("id", "d"), rows_s)
+    return db
+
+
+def conventions_instance():
+    """R = {(1, 2)}, S = ∅ (Section 2.6): sum over empty -> NULL vs 0."""
+    db = Database()
+    db.create("R", ("a", "b"), [(1, 2)])
+    db.create("S", ("a", "b"), [])
+    return db
+
+
+def not_in_instance(*, with_null=True):
+    """R/S unary tables; S contains a NULL row when *with_null* (Fig. 11)."""
+    db = Database()
+    db.create("R", ("A",), [(1,), (2,), (3,)])
+    rows = [(1,), (NULL,)] if with_null else [(1,)]
+    db.create("S", ("A",), rows)
+    return db
+
+
+def payroll_instance():
+    """The Fig. 6 running example: departments, employees, salaries.
+
+    Department cs pays total 110 (> 100, avg 55); department ee pays total
+    90 (filtered out by HAVING sum > 100).
+    """
+    db = Database()
+    db.create(
+        "R",
+        ("empl", "dept"),
+        [("ann", "cs"), ("bob", "cs"), ("cyd", "ee")],
+    )
+    db.create(
+        "S",
+        ("empl", "sal"),
+        [("ann", 60), ("bob", 50), ("cyd", 90)],
+    )
+    return db
+
+
+def likes_instance():
+    """Example 2: bob is the only drinker with a unique set of beers
+    (alice and carol like exactly {ipa, stout})."""
+    db = Database()
+    db.create(
+        "L",
+        ("d", "b"),
+        [
+            ("alice", "ipa"),
+            ("alice", "stout"),
+            ("bob", "ipa"),
+            ("carol", "ipa"),
+            ("carol", "stout"),
+        ],
+    )
+    # The SQL figures use the full names Likes(drinker, beer).
+    db.create(
+        "Likes",
+        ("drinker", "beer"),
+        [(row["d"], row["b"]) for row in db["L"]],
+    )
+    return db
+
+
+def outer_join_instance():
+    """Fig. 12: R rows with h = 11 join S on y; others are null-padded."""
+    db = Database()
+    db.create(
+        "R",
+        ("m", "y", "h"),
+        [(1, 100, 11), (2, 200, 12), (3, 300, 11), (4, 400, 11)],
+    )
+    db.create("S", ("y", "n", "q"), [(100, "x", 0), (300, "z", 0)])
+    return db
+
+
+def arithmetic_instance():
+    """Fig. 15: R.B - S.B > T.B has exactly one witness (10 - 4 = 6 > 5)."""
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 10), (2, 3)])
+    db.create("S", ("B",), [(4,)])
+    db.create("T", ("B",), [(5,)])
+    return db
+
+
+def ancestor_instance():
+    """Fig. 10: a small parent chain with a branch."""
+    db = Database()
+    db.create(
+        "P",
+        ("s", "t"),
+        [("a", "b"), ("b", "c"), ("c", "d"), ("b", "e")],
+    )
+    return db
+
+
+def lateral_instance():
+    """Fig. 3: X/Y tables for the nested-comprehension lateral example."""
+    db = Database()
+    db.create("X", ("A",), [(1,), (5,), (9,)])
+    db.create("Y", ("A",), [(2,), (4,), (6,), (8,)])
+    return db
+
+
+def boolean_instance(*, satisfied=True):
+    """Fig. 9: R(id, q) vs counts in S(id, d).
+
+    With ``satisfied=True`` the quota 2 is met by 3 matching S rows, so
+    eq. (13) (∃ r meeting its quota) and eq. (14) (no r exceeding its
+    count) are both TRUE; with one S row both are FALSE.
+    """
+    db = Database()
+    db.create("R", ("id", "q"), [(1, 2)])
+    rows = [(1, "x"), (1, "y"), (1, "z")] if satisfied else [(1, "x")]
+    db.create("S", ("id", "d"), rows)
+    return db
+
+
+def employees_demo():
+    """Schema for the NL pipeline demo: Employee(name, dept, salary)."""
+    db = Database()
+    db.create(
+        "Employee",
+        ("name", "dept", "salary"),
+        [
+            ("ann", "marketing", 60),
+            ("bob", "marketing", 45),
+            ("cyd", "engineering", 90),
+            ("dan", "engineering", 70),
+            ("eva", "engineering", 110),
+            ("fay", "sales", 40),
+        ],
+    )
+    return db

@@ -1,0 +1,130 @@
+"""Parameter sweeps for the scalability benchmarks (experiment E21).
+
+A vision paper has no performance tables, but a reference implementation
+needs a documented performance envelope: how evaluation cost grows with
+relation size, join width, nesting depth, and query size, and how the
+naive fixpoint scales with graph size.  These generators produce the
+swept workloads; ``benchmarks/bench_e21_scalability.py`` runs them.
+"""
+
+from __future__ import annotations
+
+from ..core import builder as b
+from ..core import nodes as n
+from ..data import generators
+from ..data.database import Database
+
+
+def join_chain_query(width, head_name="Q"):
+    """An equi-join of *width* relations R0 ⋈ R1 ⋈ ... projected to one column."""
+    bindings = [b.bind(f"r{i}", f"R{i}") for i in range(width)]
+    conjuncts = [b.eq(b.attr2(head_name, "A"), b.attr2("r0", "A" if width else "A"))]
+    db_attrs = []
+    for i in range(width):
+        left_attr = chr(ord("A") + (i % 26))
+        db_attrs.append(left_attr)
+    conjuncts = [b.eq(b.attr2(head_name, "out"), n.Attr("r0", db_attrs[0]))]
+    for i in range(width - 1):
+        shared = chr(ord("A") + ((i + 1) % 26))
+        conjuncts.append(b.eq(n.Attr(f"r{i}", shared), n.Attr(f"r{i + 1}", shared)))
+    return b.collection(head_name, ["out"], b.exists(bindings, b.conj(*conjuncts)))
+
+
+def nested_negation_query(depth, head_name="Q"):
+    """Alternating ¬∃ nesting of *depth* scopes over a single binary relation.
+
+    Depth 4 with the Likes schema is exactly the unique-set query family
+    (Fig. 17); higher depths stress scope handling.
+    """
+    innermost = b.eq(b.attr2(f"l{depth}", "b"), b.attr2(f"l{depth - 1}", "b"))
+    formula = innermost
+    for level in range(depth, 1, -1):
+        formula = b.neg(
+            b.exists(
+                [b.bind(f"l{level}", "L")],
+                b.conj(
+                    b.eq(b.attr2(f"l{level}", "d"), b.attr2(f"l{level - 1}", "d")),
+                    formula,
+                ),
+            )
+        )
+        innermost = formula
+    return b.collection(
+        head_name,
+        ["d"],
+        b.exists(
+            [b.bind("l1", "L")],
+            b.conj(b.eq(b.attr2(head_name, "d"), b.attr2("l1", "d")), formula),
+        ),
+    )
+
+
+def grouped_aggregate_query(head_name="Q"):
+    """The FIO grouped sum over R(A, B) used for size sweeps."""
+    return b.collection(
+        head_name,
+        ["A", "sm"],
+        b.exists(
+            [b.bind("r", "R")],
+            b.conj(
+                b.eq(b.attr2(head_name, "A"), b.attr2("r", "A")),
+                n.Comparison(n.Attr(head_name, "sm"), "=", b.sum_(b.attr2("r", "B"))),
+            ),
+            grouping=b.grouping(b.attr2("r", "A")),
+        ),
+    )
+
+
+def lateral_query(head_name="Q"):
+    """The correlated FOI sum (Fig. 13b shape) used for size sweeps."""
+    inner = b.collection(
+        "X",
+        ["sm"],
+        b.exists(
+            [b.bind("s", "S")],
+            b.conj(
+                b.lt(b.attr2("s", "A"), b.attr2("r", "A")),
+                n.Comparison(n.Attr("X", "sm"), "=", b.sum_(b.attr2("s", "B"))),
+            ),
+            grouping=b.grouping(),
+        ),
+    )
+    return b.collection(
+        head_name,
+        ["A", "sm"],
+        b.exists(
+            [b.bind("r", "R"), n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2(head_name, "A"), b.attr2("r", "A")),
+                b.eq(b.attr2(head_name, "sm"), b.attr2("x", "sm")),
+            ),
+        ),
+    )
+
+
+def size_sweep_database(n_rows, *, domain=None, seed=0):
+    """R(A, B) and S(A, B) with *n_rows* each over a proportional domain."""
+    domain = domain or max(4, n_rows // 4)
+    db = Database()
+    db.add(generators.binary_relation("R", n_rows, domain=domain, seed=seed))
+    db.add(generators.binary_relation("S", n_rows, domain=domain, seed=seed + 1))
+    return db
+
+
+def deep_query_text(depth):
+    """Comprehension text with *depth* nested lateral collections (parser sweep)."""
+    inner = "{X0(v) | ∃s0 ∈ S[X0.v = s0.B]}"
+    for level in range(1, depth):
+        inner = (
+            f"{{X{level}(v) | ∃s{level} ∈ S, w{level} ∈ {inner}"
+            f"[X{level}.v = s{level}.B ∧ w{level}.v <= s{level}.B]}}"
+        )
+    return f"{{Q(v) | ∃r ∈ R, w ∈ {inner}[Q.v = w.v]}}"
+
+
+def wide_query_text(n_predicates):
+    """Comprehension text with *n_predicates* conjuncts (parser sweep)."""
+    predicates = " ∧ ".join(
+        [f"Q.A = r.A"] + [f"r.B <> {i}" for i in range(n_predicates)]
+    )
+    return f"{{Q(A) | ∃r ∈ R[{predicates}]}}"

@@ -1,0 +1,83 @@
+"""Canonicalization: invariance under renaming, reordering, orientation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.canonical import canonical_text, canonicalize
+from repro.core import nodes as n
+from repro.core.parser import parse
+
+from ..core.test_roundtrip import collections
+
+
+class TestInvariances:
+    def test_variable_renaming(self):
+        a = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        b = parse("{Q(A) | ∃foo ∈ R, bar ∈ S[Q.A = foo.A ∧ foo.B = bar.B]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_conjunct_order(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 1 ∧ r.C = 2]}")
+        b = parse("{Q(A) | ∃r ∈ R[r.C = 2 ∧ Q.A = r.A ∧ r.B = 1]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_binding_order(self):
+        a = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        b = parse("{Q(A) | ∃s ∈ S, r ∈ R[Q.A = r.A ∧ r.B = s.B]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_comparison_orientation(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 1]}")
+        b = parse("{Q(A) | ∃r ∈ R[r.A = Q.A ∧ 1 = r.B]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_gt_becomes_lt(self):
+        a = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B > s.B]}")
+        b = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ s.B < r.B]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_neq_spelling(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B != 1]}")
+        b = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B <> 1]}")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_different_semantics_stay_apart(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃s ∈ S[r.B = s.B]]}")
+        b = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[r.B = s.B])]}")
+        assert canonical_text(a) != canonical_text(b)
+
+    def test_relation_names_matter_by_default(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b = parse("{Q(A) | ∃r ∈ S[Q.A = r.A]}")
+        assert canonical_text(a) != canonical_text(b)
+
+    def test_anonymize_relations(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b = parse("{Q(A) | ∃r ∈ S[Q.A = r.A]}")
+        assert canonical_text(a, anonymize_relations=True) == canonical_text(
+            b, anonymize_relations=True
+        )
+
+    def test_original_not_mutated(self):
+        a = parse("{Q(A) | ∃zz ∈ R[Q.A = zz.A]}")
+        canonicalize(a)
+        assert a.body.bindings[0].var == "zz"
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(collections())
+    def test_idempotent(self, coll):
+        once = canonical_text(coll)
+        twice = canonical_text(parse(once))
+        assert once == twice
+
+    @settings(max_examples=30, deadline=None)
+    @given(collections())
+    def test_canonical_form_parses(self, coll):
+        parse(canonical_text(coll))
+
+    @settings(max_examples=20, deadline=None)
+    @given(collections())
+    def test_clone_has_same_canonical_form(self, coll):
+        assert canonical_text(coll) == canonical_text(n.clone(coll))

@@ -1,0 +1,122 @@
+"""Intent-based similarity: fingerprints, similarity scores, the E19 claims."""
+
+import pytest
+
+from repro.analysis import (
+    feature_similarity,
+    fingerprint,
+    pattern_equal,
+    pattern_summary,
+    same_pattern,
+    similarity,
+    similarity_report,
+    surface_similarity,
+)
+from repro.core.parser import parse
+from repro.workloads import paper_examples
+
+
+class TestFingerprints:
+    def test_stable(self):
+        a = paper_examples.arc("eq1")
+        assert fingerprint(a) == fingerprint(paper_examples.arc("eq1"))
+
+    def test_renaming_invariant(self):
+        a = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        b = parse("{Q(A) | ∃x ∈ S, w ∈ R[Q.A = w.A ∧ x.B = w.B]}")
+        assert same_pattern(a, b)
+
+    def test_distinguishes_semantics(self):
+        semi = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃s ∈ S[r.B = s.B]]}")
+        anti = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[r.B = s.B])]}")
+        assert not same_pattern(semi, anti)
+
+    def test_shape_fingerprint(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b = parse("{Q(A) | ∃r ∈ T99[Q.A = r.A]}")
+        assert not same_pattern(a, b)
+        assert same_pattern(a, b, anonymize_relations=True)
+
+
+class TestSimilarity:
+    def test_equal_is_one(self):
+        a = paper_examples.arc("eq3")
+        assert similarity(a, a) == 1.0
+
+    def test_range(self):
+        a = paper_examples.arc("eq1")
+        b = paper_examples.arc("eq22")
+        assert 0.0 <= similarity(a, b) < 1.0
+
+    def test_symmetry(self):
+        a = paper_examples.arc("eq3")
+        b = paper_examples.arc("eq7")
+        assert similarity(a, b) == pytest.approx(similarity(b, a))
+
+    def test_close_patterns_score_higher(self):
+        base = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 1]}")
+        near = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 2]}")
+        far = paper_examples.arc("eq22")
+        assert similarity(base, near) > similarity(base, far)
+
+
+class TestPaperClaim:
+    """Section 1: surface syntax is a poor proxy for intent."""
+
+    def test_equivalent_queries_with_different_surface(self):
+        """Scalar-subquery and lateral-join SQL differ textually but map to
+        the same ARC pattern (Figs. 5a/5b)."""
+        from repro.data import Database
+        from repro.frontends.sql import to_arc
+
+        db = Database()
+        db.create("R", ("A", "B"))
+        sql_a = paper_examples.SQL["fig5a"]
+        sql_b = paper_examples.SQL["fig5b"]
+        arc_a = to_arc(sql_a, database=db)
+        arc_b = to_arc(sql_b, database=db)
+        assert pattern_equal(arc_a, arc_b)
+        assert surface_similarity(sql_a, sql_b) < 0.8
+
+    def test_similar_surface_different_semantics(self):
+        """EXISTS vs NOT EXISTS: one token apart, opposite meaning."""
+        sql_a = "select R.A from R where exists (select 1 from S where S.A = R.A)"
+        sql_b = "select R.A from R where not exists (select 1 from S where S.A = R.A)"
+        assert surface_similarity(sql_a, sql_b) > 0.9
+        from repro.data import Database
+        from repro.frontends.sql import to_arc
+
+        db = Database()
+        db.create("R", ("A",))
+        db.create("S", ("A",))
+        arc_a = to_arc(sql_a, database=db)
+        arc_b = to_arc(sql_b, database=db)
+        assert not pattern_equal(arc_a, arc_b)
+        assert similarity(arc_a, arc_b) < 1.0
+
+
+class TestFeatureSummary:
+    def test_summary_counts(self):
+        # eq. (22) quantifies l1..l6 (6 scopes) under 5 negations.
+        features = pattern_summary(paper_examples.arc("eq22"))
+        assert features["negations"] == 5
+        assert features["scopes"] == 6
+
+    def test_feature_similarity_bounds(self):
+        a = paper_examples.arc("eq1")
+        b = paper_examples.arc("eq3")
+        score = feature_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert feature_similarity(a, a) == 1.0
+
+    def test_report(self):
+        a = paper_examples.arc("eq3")
+        b = paper_examples.arc("eq7")
+        report = similarity_report(a, b, sql_a="select 1", sql_b="select 2")
+        assert set(report) >= {
+            "pattern_equal",
+            "intent_similarity",
+            "canonical_a",
+            "surface_similarity",
+        }
+        assert not report["pattern_equal"]

@@ -1,0 +1,131 @@
+"""Tests for corpus-level analysis and intent-based benchmark scoring."""
+
+import pytest
+
+from repro.analysis import QueryCorpus, score_candidate
+from repro.core.parser import parse
+from repro.data import Database
+from repro.frontends.sql import to_arc
+from repro.workloads import paper_examples
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create("R", ("A", "B"))
+    database.create("S", ("B", "C"))
+    return database
+
+
+@pytest.fixture
+def corpus(db):
+    corpus = QueryCorpus()
+    corpus.add("join", to_arc("select R.A from R, S where R.B = S.B", database=db))
+    corpus.add(
+        "join_renamed", to_arc("select x.A from R x, S y where x.B = y.B", database=db)
+    )
+    corpus.add(
+        "semi",
+        to_arc(
+            "select R.A from R where exists (select 1 from S where S.B = R.B)",
+            database=db,
+        ),
+    )
+    corpus.add(
+        "anti",
+        to_arc(
+            "select R.A from R where not exists (select 1 from S where S.B = R.B)",
+            database=db,
+        ),
+    )
+    corpus.add(
+        "grouped",
+        to_arc("select R.A, sum(R.B) sm from R group by R.A", database=db),
+    )
+    return corpus
+
+
+class TestCorpus:
+    def test_basic_accounting(self, corpus):
+        assert len(corpus) == 5
+        assert "join" in corpus
+        assert corpus.names() == ["anti", "grouped", "join", "join_renamed", "semi"]
+
+    def test_duplicate_rejected(self, corpus, db):
+        with pytest.raises(ValueError):
+            corpus.add("join", to_arc("select R.A from R", database=db))
+
+    def test_pattern_classes(self, corpus):
+        classes = corpus.pattern_classes()
+        assert ["join", "join_renamed"] in classes
+        assert ["semi"] in classes and ["anti"] in classes
+
+    def test_histogram(self, corpus):
+        histogram = corpus.pattern_histogram()
+        assert histogram.get("semijoin") == 1
+        assert histogram.get("antijoin") == 1
+        assert histogram.get("fio-aggregation") == 1
+
+    def test_similarity_matrix_properties(self, corpus):
+        matrix = corpus.similarity_matrix()
+        for name in corpus.names():
+            assert matrix[(name, name)] == 1.0
+        for (a, b), score in matrix.items():
+            assert matrix[(b, a)] == score
+            assert 0.0 <= score <= 1.0
+
+    def test_nearest(self, corpus, db):
+        probe = to_arc("select R.A from R, S where R.B = S.B and R.A < 5", database=db)
+        ranked = corpus.nearest(probe, k=2)
+        assert ranked[0][0] in ("join", "join_renamed")
+
+    def test_feature_table(self, corpus):
+        table = corpus.feature_table()
+        assert table["anti"]["negations"] == 1
+        assert table["grouped"]["grouping_scopes"] == 1
+
+
+class TestBenchmarkScoring:
+    def test_exact(self, db):
+        gold = to_arc("select R.A from R, S where R.B = S.B", database=db)
+        candidate = to_arc("select x.A from R x, S y where y.B = x.B", database=db)
+        score = score_candidate(gold, candidate)
+        assert score.exact_pattern and score.grade == "exact"
+
+    def test_shape_only(self, db):
+        db.create("T", ("A", "B"))
+        db.create("U", ("B", "C"))
+        gold = to_arc("select R.A from R, S where R.B = S.B", database=db)
+        candidate = to_arc("select T.A from T, U where T.B = U.B", database=db)
+        score = score_candidate(gold, candidate)
+        assert not score.exact_pattern and score.same_shape
+        assert score.grade == "pattern"
+
+    def test_partial(self, db):
+        gold = to_arc("select R.A from R, S where R.B = S.B", database=db)
+        candidate = to_arc(
+            "select R.A from R, S where R.B = S.B and R.A < 3", database=db
+        )
+        score = score_candidate(gold, candidate)
+        assert not score.same_shape
+        assert score.intent_similarity > 0.7
+        assert score.grade == "partial"
+
+    def test_miss_with_pattern_diagnosis(self, db):
+        gold = to_arc(
+            "select R.A from R where not exists (select 1 from S where S.B = R.B)",
+            database=db,
+        )
+        candidate = to_arc(
+            "select R.A, sum(R.B) sm from R group by R.A", database=db
+        )
+        score = score_candidate(gold, candidate)
+        assert "antijoin" in score.missing_patterns
+        assert "fio-aggregation" in score.spurious_patterns
+
+    def test_paper_examples_scored(self):
+        gold = paper_examples.arc("eq3")
+        candidate = paper_examples.arc("eq7")
+        score = score_candidate(gold, candidate)
+        assert not score.exact_pattern
+        assert "foi-aggregation" in score.spurious_patterns

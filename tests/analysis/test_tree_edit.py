@@ -1,0 +1,103 @@
+"""Zhang–Shasha tree edit distance: correctness and metric properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.tree_edit import (
+    LabelTree,
+    arc_distance,
+    from_arc,
+    tree_edit_distance,
+)
+from repro.core.parser import parse
+
+
+def leaf(label):
+    return LabelTree(label)
+
+
+class TestKnownDistances:
+    def test_identical(self):
+        a = LabelTree("f", [leaf("a"), leaf("b")])
+        b = LabelTree("f", [leaf("a"), leaf("b")])
+        assert tree_edit_distance(a, b) == 0
+
+    def test_relabel(self):
+        a = LabelTree("f", [leaf("a")])
+        b = LabelTree("f", [leaf("x")])
+        assert tree_edit_distance(a, b) == 1
+
+    def test_insert(self):
+        a = LabelTree("f", [leaf("a")])
+        b = LabelTree("f", [leaf("a"), leaf("b")])
+        assert tree_edit_distance(a, b) == 1
+
+    def test_delete_subtree(self):
+        a = LabelTree("f", [LabelTree("g", [leaf("a"), leaf("b")])])
+        b = LabelTree("f", [])
+        assert tree_edit_distance(a, b) == 3
+
+    def test_classic_zhang_shasha_example(self):
+        # The d->c relabel plus node moves from the original paper's example.
+        a = LabelTree(
+            "f", [LabelTree("d", [leaf("a"), LabelTree("c", [leaf("b")])]), leaf("e")]
+        )
+        b = LabelTree(
+            "f", [LabelTree("c", [LabelTree("d", [leaf("a"), leaf("b")])]), leaf("e")]
+        )
+        assert tree_edit_distance(a, b) == 2
+
+    def test_single_nodes(self):
+        assert tree_edit_distance(leaf("a"), leaf("a")) == 0
+        assert tree_edit_distance(leaf("a"), leaf("b")) == 1
+
+
+label_trees = st.recursive(
+    st.builds(LabelTree, st.sampled_from("abcde")),
+    lambda children: st.builds(
+        LabelTree, st.sampled_from("fgh"), st.lists(children, max_size=3)
+    ),
+    max_leaves=8,
+)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(label_trees)
+    def test_identity(self, tree):
+        assert tree_edit_distance(tree, tree) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_trees, label_trees)
+    def test_symmetry(self, a, b):
+        assert tree_edit_distance(a, b) == tree_edit_distance(b, a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(label_trees, label_trees, label_trees)
+    def test_triangle_inequality(self, a, b, c):
+        ab = tree_edit_distance(a, b)
+        bc = tree_edit_distance(b, c)
+        ac = tree_edit_distance(a, c)
+        assert ac <= ab + bc
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_trees, label_trees)
+    def test_bounded_by_sizes(self, a, b):
+        assert tree_edit_distance(a, b) <= a.size() + b.size()
+
+
+class TestArcDistance:
+    def test_renaming_invariant(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b = parse("{Q(A) | ∃zz ∈ R[Q.A = zz.A]}")
+        assert arc_distance(a, b) == 0
+
+    def test_extra_predicate_costs_little(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 1]}")
+        assert 0 < arc_distance(a, b) <= 3
+
+    def test_from_arc_labels(self):
+        tree = from_arc(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        assert tree.label == "COLLECTION"
+        assert tree.size() >= 4

@@ -1,0 +1,74 @@
+"""Targeted tests for the comprehension renderer (beyond round-trip props)."""
+
+import pytest
+
+from repro.backends.comprehension import render, render_ascii
+from repro.core import nodes as n
+from repro.core.parser import parse
+
+
+class TestRendering:
+    def test_paper_eq1_verbatim(self):
+        text = "{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}"
+        assert render(parse(text)) == text
+
+    def test_grouping_rendering(self):
+        text = "{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}"
+        assert render(parse(text)) == text
+
+    def test_gamma_empty(self):
+        text = "{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}"
+        assert render(parse(text)) == text
+
+    def test_join_annotation(self):
+        text = (
+            "{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11, s))"
+            "[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}"
+        )
+        assert render(parse(text)) == text
+
+    def test_negated_quantifier_compact(self):
+        text = "¬∃r ∈ R[r.A = 1]"
+        assert render(parse(text)) == text
+
+    def test_negated_formula_parenthesized(self):
+        text = render(parse("∃r ∈ R[¬(r.A = 1 ∧ r.B = 2)]"))
+        assert "¬(" in text
+
+    def test_or_inside_and_parenthesized(self):
+        rendered = render(parse("{Q(A) | ∃r ∈ R[(r.A = 1 ∨ r.A = 2) ∧ Q.A = r.A]}"))
+        assert "(" in rendered
+        reparsed = parse(rendered)
+        assert isinstance(reparsed.body.body, n.And)
+
+    def test_ascii_render(self):
+        text = render_ascii(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        assert "exists" in text and "∃" not in text
+
+    def test_string_null_bool_constants(self):
+        text = render(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 'x' ∧ r.C = null ∧ r.D = true]}")
+        )
+        assert "'x'" in text and "null" in text and "true" in text
+
+    def test_quoted_relation_name(self):
+        text = render(parse("{Q(o) | ∃f ∈ '*'[Q.o = f.out ∧ f.$1 = 2 ∧ f.$2 = 3]}"))
+        assert "'*'" in text
+        assert render(parse(text)) == text
+
+    def test_program_rendering(self):
+        program = parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")
+        text = render(program)
+        assert text.startswith("V := ") and text.endswith("main V")
+
+    def test_sentence_program_main(self):
+        program = n.Program({}, n.Sentence(parse("∃r ∈ R[r.A = 1]").body))
+        assert render(program) == "∃r ∈ R[r.A = 1]"
+
+    def test_countdistinct_rendering(self):
+        text = "{Q(c) | ∃r ∈ R, γ ∅[Q.c = countdistinct(r.A)]}"
+        assert render(parse(text)) == text
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            render("not a node")

@@ -1,0 +1,49 @@
+"""Shared fixtures: paper instances and common databases."""
+
+import pytest
+
+from repro.data import Database
+from repro.workloads import instances
+
+
+@pytest.fixture
+def rs_db():
+    """R(A,B) joined to S(B,C): the eq. (1) shape."""
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 10), (2, 20), (3, 30)])
+    db.create("S", ("B", "C"), [(10, 0), (20, 5), (30, 0)])
+    return db
+
+
+@pytest.fixture
+def grouped_db():
+    """R(A,B) with duplicate groups for aggregate tests."""
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 10), (1, 20), (2, 5)])
+    db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+    return db
+
+
+@pytest.fixture
+def count_bug_db():
+    return instances.count_bug_instance()
+
+
+@pytest.fixture
+def payroll_db():
+    return instances.payroll_instance()
+
+
+@pytest.fixture
+def likes_db():
+    return instances.likes_instance()
+
+
+@pytest.fixture
+def ancestor_db():
+    return instances.ancestor_instance()
+
+
+def rows_as_tuples(relation):
+    """Deterministic list of plain tuples in schema order (test helper)."""
+    return [tuple(row[a] for a in relation.schema) for row in relation.sorted_rows()]

@@ -1,0 +1,95 @@
+"""Tests for the ALT modality rendering (the paper's box-drawing style)."""
+
+from repro.core.alt import render_alt
+from repro.core.parser import parse
+
+
+class TestFigures:
+    def test_fig2a_exact(self):
+        """The linked ALT of eq. (1) matches Fig. 2a line by line."""
+        query = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+        expected = "\n".join(
+            [
+                "COLLECTION",
+                "├─ HEAD: Q(A)",
+                "└─ QUANTIFIER ∃",
+                "   ├─ BINDING: r ∈ R",
+                "   ├─ BINDING: s ∈ S",
+                "   └─ AND ∧",
+                "      ├─ PREDICATE: Q.A = r.A",
+                "      ├─ PREDICATE: r.B = s.B",
+                "      └─ PREDICATE: s.C = 0",
+            ]
+        )
+        assert render_alt(query) == expected
+
+    def test_fig4b_grouping_line(self):
+        query = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        text = render_alt(query)
+        assert "├─ GROUPING: r.A" in text
+        assert "└─ PREDICATE: Q.sm = sum(r.B)" in text
+
+    def test_fig5c_nested_collection(self):
+        query = parse(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅"
+            "[r2.A = r.A ∧ X.sm = sum(r2.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        text = render_alt(query)
+        assert "BINDING: x ∈ " in text
+        assert "GROUPING: ∅" in text
+        assert text.count("COLLECTION") == 2
+
+    def test_fig21i_join_line(self):
+        query = parse(
+            "{X(id, ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s)"
+            "[X.id = r2.id ∧ X.ct = count(s.d) ∧ r2.id = s.id]}"
+        )
+        text = render_alt(query)
+        assert "├─ JOIN: left(r2, s)" in text
+        assert "├─ GROUPING: r2.id" in text
+
+    def test_recursion_fig10(self):
+        query = parse(
+            "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+            "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}"
+        )
+        text = render_alt(query)
+        assert "OR ∨" in text
+        assert text.count("QUANTIFIER ∃") == 2
+
+
+class TestLinks:
+    def test_links_section(self):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        text = render_alt(query, include_links=True)
+        assert "LINKS:" in text
+        assert "Q.A -> head Q" in text
+        assert "r.A -> binding r" in text
+
+    def test_unlinkable_query_degrades(self):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = z.A]}")
+        text = render_alt(query, include_links=True)
+        assert "unlinkable" in text
+
+
+class TestShapes:
+    def test_sentence(self):
+        text = render_alt(parse("¬∃r ∈ R[r.A = 1]"))
+        assert text.startswith("SENTENCE")
+        assert "NOT ¬" in text
+
+    def test_program(self):
+        text = render_alt(
+            parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")
+        )
+        assert text.startswith("PROGRAM")
+        assert "DEFINE: V" in text
+        assert "MAIN: V" in text
+
+    def test_is_null_predicate(self):
+        text = render_alt(parse("∃r ∈ R[r.A is null]"))
+        assert "PREDICATE: r.A is null" in text
+
+    def test_count_star(self):
+        text = render_alt(parse("{Q(c) | ∃r ∈ R, γ ∅[Q.c = count(*)]}"))
+        assert "count(*)" in text

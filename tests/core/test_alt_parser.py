@@ -1,0 +1,90 @@
+"""The ALT modality is lossless: parse_alt(render_alt(q)) ≡ q."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import nodes as n
+from repro.core.alt import render_alt
+from repro.core.alt_parser import parse_alt
+from repro.core.parser import parse
+from repro.errors import ParseError
+from repro.workloads import paper_examples
+
+from .test_roundtrip import collections
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("key", paper_examples.all_arc_keys())
+    def test_every_paper_query_roundtrips(self, key):
+        query = paper_examples.arc(key)
+        reparsed = parse_alt(render_alt(query))
+        assert n.structurally_equal(query, reparsed), key
+
+    def test_fig2a_text_parses(self):
+        text = "\n".join(
+            [
+                "COLLECTION",
+                "├─ HEAD: Q(A)",
+                "└─ QUANTIFIER ∃",
+                "   ├─ BINDING: r ∈ R",
+                "   ├─ BINDING: s ∈ S",
+                "   └─ AND ∧",
+                "      ├─ PREDICATE: Q.A = r.A",
+                "      ├─ PREDICATE: r.B = s.B",
+                "      └─ PREDICATE: s.C = 0",
+            ]
+        )
+        query = parse_alt(text)
+        expected = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+        assert n.structurally_equal(query, expected)
+
+    def test_links_section_ignored(self):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        text = render_alt(query, include_links=True)
+        assert n.structurally_equal(parse_alt(text), query)
+
+    def test_grouping_and_join_lines(self):
+        query = parse(
+            "{X(id, ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s)"
+            "[X.id = r2.id ∧ X.ct = count(s.d) ∧ r2.id = s.id]}"
+        )
+        assert n.structurally_equal(parse_alt(render_alt(query)), query)
+
+    def test_sentence_roundtrip(self):
+        sentence = parse("¬∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q > count(s.d)]]")
+        assert n.structurally_equal(parse_alt(render_alt(sentence)), sentence)
+
+    def test_program_roundtrip(self):
+        program = parse(
+            "V := {V(A) | ∃r ∈ R[V.A = r.A]} ;\n{Q(A) | ∃v ∈ V[Q.A = v.A]}"
+        )
+        reparsed = parse_alt(render_alt(program))
+        assert isinstance(reparsed, n.Program)
+        assert n.structurally_equal(program, reparsed)
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_alt("")
+
+    def test_orphan_line(self):
+        with pytest.raises(ParseError):
+            parse_alt("COLLECTION\n         └─ PREDICATE: a.b = 1")
+
+    def test_non_branch_line(self):
+        with pytest.raises(ParseError):
+            parse_alt("COLLECTION\nnot a branch")
+
+    def test_missing_head(self):
+        with pytest.raises(ParseError):
+            parse_alt("COLLECTION\n├─ PREDICATE: a.b = 1\n└─ AND ∧")
+
+
+class TestProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(collections())
+    def test_random_trees_roundtrip(self, coll):
+        text = render_alt(coll)
+        reparsed = parse_alt(text)
+        assert n.structurally_equal(coll, reparsed), text

@@ -1,0 +1,135 @@
+"""Tests for the programmatic AST builder helpers."""
+
+import pytest
+
+from repro.backends.comprehension import render
+from repro.core import builder as b
+from repro.core import nodes as n
+from repro.core.parser import parse
+
+
+class TestBuilder:
+    def test_matches_parsed_query(self):
+        built = b.collection(
+            "Q",
+            ["A"],
+            b.exists(
+                [b.bind("r", "R"), b.bind("s", "S")],
+                b.conj(
+                    b.eq(b.attr("Q.A"), b.attr("r.A")),
+                    b.eq(b.attr("r.B"), b.attr("s.B")),
+                    b.eq(b.attr("s.C"), b.const(0)),
+                ),
+            ),
+        )
+        parsed = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+        assert n.structurally_equal(built, parsed)
+
+    def test_string_coercion(self):
+        predicate = b.eq("r.A", 5)
+        assert isinstance(predicate.left, n.Attr)
+        assert isinstance(predicate.right, n.Const)
+
+    def test_attr_requires_dot(self):
+        with pytest.raises(ValueError):
+            b.attr("nodot")
+
+    def test_comparison_helpers(self):
+        assert b.lt("r.A", "s.B").op == "<"
+        assert b.lte("r.A", 1).op == "<="
+        assert b.gt("r.A", 1).op == ">"
+        assert b.gte("r.A", 1).op == ">="
+        assert b.neq("r.A", 1).op == "<>"
+
+    def test_aggregate_helpers(self):
+        assert b.sum_("r.B").func == "sum"
+        assert b.count().arg is None
+        assert b.avg("r.B").func == "avg"
+        assert b.min_("r.B").func == "min"
+        assert b.max_("r.B").func == "max"
+
+    def test_grouping_empty_and_keys(self):
+        assert b.grouping().keys == ()
+        grouping = b.grouping("r.A", "r.B")
+        assert len(grouping.keys) == 2
+
+    def test_join_builders(self):
+        join = b.left("r", b.inner(11, "s"))
+        assert join.kind == "left"
+        assert isinstance(join.children_list[1].children_list[0], n.JoinConst)
+
+    def test_program_builder(self):
+        program = b.program({"V": b.collection("V", ["A"], b.exists([b.bind("r", "R")], b.eq("V.A", "r.A")))}, "V")
+        assert program.resolve_main().head.name == "V"
+
+    def test_rendered_builder_output_parses(self):
+        built = b.collection(
+            "Q",
+            ["A", "sm"],
+            b.exists(
+                [b.bind("r", "R")],
+                b.conj(
+                    b.eq("Q.A", "r.A"),
+                    n.Comparison(b.attr("Q.sm"), "=", b.sum_("r.B")),
+                ),
+                grouping=b.grouping("r.A"),
+            ),
+        )
+        assert n.structurally_equal(parse(render(built)), built)
+
+
+class TestNodeInvariants:
+    def test_unknown_comparison_op(self):
+        with pytest.raises(ValueError):
+            n.Comparison(n.Const(1), "~", n.Const(2))
+
+    def test_unknown_arith_op(self):
+        with pytest.raises(ValueError):
+            n.Arith("^", n.Const(1), n.Const(2))
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            n.AggCall("median", n.Const(1))
+
+    def test_aggregate_requires_arg(self):
+        with pytest.raises(ValueError):
+            n.AggCall("sum", None)
+
+    def test_make_and_collapses(self):
+        assert isinstance(n.make_and([]), n.BoolConst)
+        single = n.Comparison(n.Const(1), "=", n.Const(1))
+        assert n.make_and([single]) is single
+        nested = n.make_and([n.And([single]), n.BoolConst(True)])
+        assert nested is single
+
+    def test_make_or_collapses(self):
+        assert isinstance(n.make_or([]), n.BoolConst)
+        single = n.Comparison(n.Const(1), "=", n.Const(1))
+        assert n.make_or([single]) is single
+
+    def test_conjuncts_flattening(self):
+        a = n.Comparison(n.Const(1), "=", n.Const(1))
+        b_ = n.Comparison(n.Const(2), "=", n.Const(2))
+        c = n.Comparison(n.Const(3), "=", n.Const(3))
+        nested = n.And([a, n.And([b_, c])])
+        assert n.conjuncts(nested) == [a, b_, c]
+
+    def test_walk_preorder(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        nodes = list(coll.walk())
+        assert nodes[0] is coll
+
+    def test_vars_used(self):
+        coll = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        assert n.vars_used(coll) == {"Q", "r", "s"}
+
+    def test_structural_equality_ignores_identity(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b_ = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        assert a is not b_
+        assert n.structurally_equal(a, b_)
+
+    def test_structural_inequality(self):
+        a = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        b_ = parse("{Q(A) | ∃r ∈ S[Q.A = r.A]}")
+        assert not n.structurally_equal(a, b_)

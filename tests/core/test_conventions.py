@@ -1,0 +1,50 @@
+"""Tests for the Conventions record and its presets."""
+
+from repro.core.conventions import (
+    Conventions,
+    EmptyAggregate,
+    NullComparison,
+    Semantics,
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+
+
+class TestPresets:
+    def test_sql(self):
+        assert SQL_CONVENTIONS.is_bag
+        assert SQL_CONVENTIONS.empty_aggregate is EmptyAggregate.NULL
+        assert SQL_CONVENTIONS.three_valued
+
+    def test_souffle(self):
+        assert SOUFFLE_CONVENTIONS.is_set
+        assert SOUFFLE_CONVENTIONS.empty_aggregate is EmptyAggregate.ZERO
+        assert not SOUFFLE_CONVENTIONS.three_valued
+
+    def test_set_default(self):
+        assert SET_CONVENTIONS.is_set
+        assert Conventions() == SET_CONVENTIONS
+
+
+class TestSwitching:
+    def test_with_flips_one_switch(self):
+        flipped = SET_CONVENTIONS.with_(semantics=Semantics.BAG)
+        assert flipped.is_bag
+        assert flipped.empty_aggregate is SET_CONVENTIONS.empty_aggregate
+
+    def test_immutability(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SET_CONVENTIONS.semantics = Semantics.BAG
+
+    def test_describe(self):
+        text = SQL_CONVENTIONS.describe()
+        assert "bag" in text and "null" in text and "3vl" in text
+
+    def test_equality_and_hash(self):
+        assert SET_CONVENTIONS == Conventions()
+        assert hash(SET_CONVENTIONS) == hash(Conventions())
+        assert SET_CONVENTIONS != SQL_CONVENTIONS

@@ -1,0 +1,146 @@
+"""Tests for the diagrammatic higraph modality."""
+
+from repro.core.higraph import build_higraph, render_ascii, render_svg
+from repro.core.parser import parse
+from repro.data import Database
+
+
+def regions_by_kind(higraph):
+    kinds = {}
+    for region in higraph.all_regions():
+        kinds.setdefault(region.kind, []).append(region)
+    return kinds
+
+
+class TestStructure:
+    def test_basic_regions(self):
+        h = build_higraph(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        kinds = regions_by_kind(h)
+        assert len(kinds["canvas"]) == 1
+        assert len(kinds["collection"]) == 1
+        assert len(kinds["quantifier"]) == 1
+
+    def test_negation_region(self):
+        h = build_higraph(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        )
+        assert "negation" in regions_by_kind(h)
+
+    def test_grouping_scope_double_border(self):
+        h = build_higraph(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        quantifier = regions_by_kind(h)["quantifier"][0]
+        assert quantifier.double_border
+        table = quantifier.tables[0]
+        assert "A" in table.grouped_attrs
+
+    def test_edge_kinds(self):
+        h = build_higraph(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        kinds = {e.kind for e in h.edges}
+        assert "assignment" in kinds
+        assert "aggregation" in kinds
+
+    def test_selection_constant_becomes_literal(self):
+        h = build_higraph(parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.C = 0]}"))
+        literals = [l for region in h.all_regions() for l in region.literals]
+        assert any("0" in l.text for l in literals)
+
+    def test_optional_side_marker(self):
+        h = build_higraph(
+            parse(
+                "{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11, s))"
+                "[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}"
+            )
+        )
+        tables = {t.var: t for t in h.all_tables()}
+        assert tables["s"].optional and not tables["r"].optional
+
+    def test_full_join_both_optional(self):
+        h = build_higraph(
+            parse("{Q(a) | ∃r ∈ R, s ∈ S, full(r, s)[Q.a = r.A ∧ r.B = s.B]}")
+        )
+        tables = {t.var: t for t in h.all_tables()}
+        assert tables["r"].optional and tables["s"].optional
+
+    def test_schema_from_database(self):
+        db = Database()
+        db.create("R", ("A", "B", "C"))
+        h = build_higraph(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), database=db)
+        table = next(iter(h.all_tables()))
+        assert table.attrs == ("A", "B", "C")
+
+    def test_nested_collection_region(self):
+        h = build_higraph(
+            parse(
+                "{Q(sm) | ∃x ∈ {X(sm) | ∃s ∈ S, γ ∅[X.sm = sum(s.B)]}"
+                "[Q.sm = x.sm]}"
+            )
+        )
+        assert len(regions_by_kind(h)["collection"]) == 2
+
+    def test_disjunct_regions(self):
+        h = build_higraph(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A] ∨ ∃s ∈ S[Q.A = s.A]}")
+        )
+        assert len(regions_by_kind(h)["disjunct"]) == 2
+
+
+class TestRenderers:
+    def test_ascii_contains_tables_and_edges(self):
+        h = build_higraph(parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}"))
+        text = render_ascii(h)
+        assert "r: R" in text and "s: S" in text
+        assert "edges:" in text
+        assert "◄──" in text  # assignment arrow
+
+    def test_ascii_double_border_marker(self):
+        h = build_higraph(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        assert "══" in render_ascii(h)
+
+    def test_ascii_deterministic(self):
+        query = "{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}"
+        a = render_ascii(build_higraph(parse(query)))
+        b = render_ascii(build_higraph(parse(query)))
+        assert a == b
+
+    def test_svg_well_formed(self):
+        h = build_higraph(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        svg = render_svg(h)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") >= 3
+
+    def test_svg_escapes_labels(self):
+        h = build_higraph(parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B < 3]}"))
+        svg = render_svg(h)
+        assert "&lt;" in svg or "<text" in svg
+
+
+class TestPrograms:
+    def test_program_diagrams_definitions_and_main(self):
+        from repro.core.parser import parse
+
+        program = parse(
+            "V := {V(A) | ∃r ∈ R[V.A = r.A]} ;\n{Q(A) | ∃v ∈ V[Q.A = v.A]}"
+        )
+        h = build_higraph(program)
+        kinds = regions_by_kind(h)
+        assert len(kinds["collection"]) == 2  # the view and the main query
+
+    def test_program_with_abstract_module(self):
+        from repro.core.parser import parse
+
+        program = parse(
+            "Sub := {Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])} ;\n"
+            "{Q(d) | ∃l1 ∈ L, s1 ∈ Sub[Q.d = l1.d ∧ s1.l = l1.d ∧ s1.r = l1.d]}"
+        )
+        h = build_higraph(program)
+        text = render_ascii(h)
+        assert "Sub" in text

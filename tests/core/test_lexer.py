@@ -1,0 +1,81 @@
+"""Tests for the shared comprehension-syntax lexer."""
+
+import pytest
+
+from repro.core.lexer import EOF, IDENT, KEYWORD, NUMBER, STRING, literal_value, tokenize
+from repro.data.values import NULL
+from repro.errors import ParseError
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type != EOF]
+
+
+class TestUnicode:
+    def test_symbols_normalize_to_keywords(self):
+        assert kinds("∃ ∈ ∧ ∨ ¬ γ ∅") == [
+            (KEYWORD, "exists"),
+            (KEYWORD, "in"),
+            (KEYWORD, "and"),
+            (KEYWORD, "or"),
+            (KEYWORD, "not"),
+            (KEYWORD, "gamma"),
+            (KEYWORD, "empty"),
+        ]
+
+    def test_ascii_words_equal_unicode(self):
+        assert kinds("exists in and or not gamma empty") == kinds("∃ ∈ ∧ ∨ ¬ γ ∅")
+
+    def test_case_insensitive_keywords(self):
+        assert kinds("EXISTS")[0] == (KEYWORD, "exists")
+
+
+class TestTokens:
+    def test_identifiers(self):
+        assert kinds("r2 foo_bar $1")[0] == (IDENT, "r2")
+        assert kinds("$1") == [(IDENT, "$1")]
+
+    def test_numbers(self):
+        assert kinds("42") == [(NUMBER, "42")]
+        assert kinds("3.5") == [(NUMBER, "3.5")]
+
+    def test_number_then_attribute_dot(self):
+        # "r.1" style and "1." followed by non-digit must not merge.
+        tokens = kinds("x.2")
+        assert tokens == [(IDENT, "x"), ("SYMBOL", "."), (NUMBER, "2")]
+
+    def test_strings(self):
+        assert kinds("'hello world'") == [(STRING, "hello world")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_comments(self):
+        assert kinds("a # comment\nb") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_multichar_symbols(self):
+        assert [v for _, v in kinds("<> != <= >= :=")] == ["<>", "!=", "<=", ">=", ":="]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("@")
+
+
+class TestLiteralValue:
+    def test_values(self):
+        assert literal_value(tokenize("5")[0]) == 5
+        assert literal_value(tokenize("5.5")[0]) == 5.5
+        assert literal_value(tokenize("'x'")[0]) == "x"
+        assert literal_value(tokenize("true")[0]) is True
+        assert literal_value(tokenize("false")[0]) is False
+        assert literal_value(tokenize("null")[0]) is NULL
+
+    def test_non_literal(self):
+        with pytest.raises(ParseError):
+            literal_value(tokenize("foo")[0])

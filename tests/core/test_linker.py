@@ -1,0 +1,148 @@
+"""Tests for name resolution and predicate classification (the linked ALT)."""
+
+import pytest
+
+from repro.core import nodes as n
+from repro.core.linker import ASSIGNMENT, COMPARISON, link
+from repro.core.parser import parse
+from repro.errors import LinkError
+
+
+def predicates_of(result):
+    return {
+        f"{_t(p.left)} {p.op} {_t(p.right)}": p
+        for p in result.roles
+        if isinstance(p, n.Comparison)
+    }
+
+
+def _t(expr):
+    from repro.core.alt import _expr_text
+
+    return _expr_text(expr)
+
+
+class TestResolution:
+    def test_attrs_resolve_to_bindings(self):
+        result = link(parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}"))
+        targets = {
+            f"{a.var}.{a.attr}": d for a, d in result.resolutions.items()
+        }
+        assert isinstance(targets["r.A"], n.Binding)
+        assert isinstance(targets["s.B"], n.Binding)
+        assert isinstance(targets["Q.A"], n.Head)
+
+    def test_unbound_variable(self):
+        with pytest.raises(LinkError):
+            link(parse("{Q(A) | ∃r ∈ R[Q.A = z.A]}"))
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(LinkError):
+            link(parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃r ∈ S[r.B = 1]]}"))
+
+    def test_duplicate_binding_in_scope(self):
+        with pytest.raises(LinkError):
+            link(parse("{Q(A) | ∃r ∈ R, r ∈ S[Q.A = r.A]}"))
+
+    def test_lateral_sees_earlier_bindings(self):
+        query = parse(
+            "{Q(A) | ∃x ∈ X, z ∈ {Z(B) | ∃y ∈ Y[Z.B = y.A ∧ x.A < y.A]}"
+            "[Q.A = z.B]}"
+        )
+        result = link(query)  # must not raise: x is visible inside Z
+        assert result.relation_names() == ["X", "Y"]
+
+    def test_recursion_head_reference(self):
+        query = parse(
+            "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+            "∃p2 ∈ P, a2 ∈ A[A.s = p2.s ∧ p2.t = a2.s ∧ A.t = a2.t]}"
+        )
+        result = link(query)
+        assert "A" in result.relation_names()
+
+    def test_head_attr_must_exist(self):
+        with pytest.raises(LinkError):
+            link(parse("{Q(A) | ∃r ∈ R[Q.B = r.A ∧ Q.A = r.A]}"))
+
+
+class TestClassification:
+    def test_assignment_vs_comparison(self):
+        result = link(parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}"))
+        predicates = predicates_of(result)
+        assert result.is_assignment(predicates["Q.A = r.A"])
+        assert not result.is_assignment(predicates["r.B = s.B"])
+        assert not result.is_assignment(predicates["s.C = 0"])
+
+    def test_assignment_target(self):
+        result = link(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        predicate = next(iter(result.roles))
+        head, attr = result.assignment_target(predicate)
+        assert head.name == "Q" and attr == "A"
+
+    def test_reversed_assignment(self):
+        result = link(parse("{Q(A) | ∃r ∈ R[r.A = Q.A]}"))
+        predicate = next(iter(result.roles))
+        assert result.is_assignment(predicate)
+
+    def test_aggregation_predicate(self):
+        result = link(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        predicates = predicates_of(result)
+        agg = predicates["Q.sm = sum(r.B)"]
+        assert result.is_aggregation(agg)
+        assert result.is_assignment(agg)
+
+    def test_aggregate_comparison_not_assignment(self):
+        result = link(
+            parse("∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]")
+        )
+        predicates = predicates_of(result)
+        test = predicates["r.q = count(s.d)"]
+        assert result.is_aggregation(test)
+        assert not result.is_assignment(test)
+
+    def test_head_param_under_negation_is_comparison(self):
+        result = link(
+            parse(
+                "{S(l, r) | ¬(∃x ∈ L[x.d = S.l ∧ ¬(∃y ∈ L[y.b = x.b ∧ y.d = S.r])])}"
+            )
+        )
+        assert result.head_params  # S.l / S.r read as inputs
+        for predicate in result.roles:
+            assert not result.is_assignment(predicate)
+
+
+class TestScopes:
+    def test_scope_tree_depth(self):
+        result = link(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        )
+        root = result.root_scope
+        assert root.depth() == 0
+        quant_scope = root.children[0]
+        inner = quant_scope.children[0]
+        assert inner.depth() == 2
+
+    def test_lookup_innermost_out(self):
+        result = link(parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃s ∈ S[s.B = r.B]]}"))
+        inner = result.root_scope.children[0].children[0]
+        assert isinstance(inner.lookup("s"), n.Binding)
+        assert isinstance(inner.lookup("r"), n.Binding)
+        assert isinstance(inner.lookup("Q"), n.Head)
+        assert inner.lookup("zzz") is None
+
+    def test_links_listing(self):
+        result = link(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        assert len(result.links()) == 2  # Q.A and r.A
+
+    def test_join_annotation_links(self):
+        result = link(
+            parse("{Q(A) | ∃r ∈ R, s ∈ S, left(r, s)[Q.A = r.A ∧ r.B = s.B]}")
+        )
+        join_vars = [a for a in result.resolutions if isinstance(a, n.JoinVar)]
+        assert len(join_vars) == 2
+
+    def test_join_annotation_unbound_var(self):
+        with pytest.raises(LinkError):
+            link(parse("{Q(A) | ∃r ∈ R, left(r, zz)[Q.A = r.A]}"))

@@ -1,0 +1,205 @@
+"""Tests for the comprehension-syntax parser."""
+
+import pytest
+
+from repro.core import nodes as n
+from repro.core.parser import parse, parse_collection, parse_program, parse_sentence
+from repro.errors import ParseError
+
+
+class TestCollections:
+    def test_simple(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        assert isinstance(coll, n.Collection)
+        assert coll.head.name == "Q"
+        assert coll.head.attrs == ("A",)
+        assert isinstance(coll.body, n.Quantifier)
+
+    def test_shared_quantifier(self):
+        coll = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A]}")
+        assert [b.var for b in coll.body.bindings] == ["r", "s"]
+
+    def test_ascii_spelling(self):
+        a = parse("{Q(A) | exists r in R[Q.A = r.A and r.B = 0]}")
+        b = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 0]}")
+        assert n.structurally_equal(a, b)
+
+    def test_empty_head(self):
+        coll = parse("{Q() | ∃r ∈ R[r.A = 1]}")
+        assert coll.head.attrs == ()
+
+    def test_nested_collection_binding(self):
+        coll = parse("{Q(B) | ∃z ∈ {Z(B) | ∃y ∈ Y[Z.B = y.A]}[Q.B = z.B]}")
+        binding = coll.body.bindings[0]
+        assert isinstance(binding.source, n.Collection)
+        assert binding.source.head.name == "Z"
+
+    def test_disjunction_body(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A] ∨ ∃s ∈ S[Q.A = s.A]}")
+        assert isinstance(coll.body, n.Or)
+        assert len(coll.body.children_list) == 2
+
+    def test_negation(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        conjuncts = n.conjuncts(coll.body.body)
+        assert any(isinstance(c, n.Not) for c in conjuncts)
+
+    def test_parenthesized_formula_vs_expression(self):
+        coll = parse("{Q(A) | ∃r ∈ R[(r.A = 1 ∨ r.A = 2) ∧ Q.A = r.A]}")
+        assert isinstance(coll.body.body, n.And)
+        coll2 = parse("{Q(A) | ∃r ∈ R[(r.A + 1) * 2 = 4 ∧ Q.A = r.A]}")
+        comparison = n.conjuncts(coll2.body.body)[0]
+        assert isinstance(comparison.left, n.Arith)
+
+
+class TestGrouping:
+    def test_single_key(self):
+        coll = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        grouping = coll.body.grouping
+        assert grouping is not None
+        assert len(grouping.keys) == 1
+
+    def test_multiple_keys(self):
+        coll = parse("{Q(A, B) | ∃r ∈ R, γ r.A, r.B[Q.A = r.A ∧ Q.B = r.B]}")
+        assert len(coll.body.grouping.keys) == 2
+
+    def test_empty_gamma(self):
+        coll = parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}")
+        assert coll.body.grouping.keys == ()
+
+    def test_gamma_parens_form(self):
+        coll = parse("{Q(sm) | exists r in R, gamma()[Q.sm = sum(r.B)]}")
+        assert coll.body.grouping.keys == ()
+
+    def test_keys_then_binding(self):
+        coll = parse(
+            "{Q(A) | ∃r ∈ R, γ r.A, s ∈ S[Q.A = r.A ∧ s.A = r.A]}"
+        )
+        assert len(coll.body.grouping.keys) == 1
+        assert len(coll.body.bindings) == 2
+
+
+class TestJoinAnnotations:
+    def test_left_join(self):
+        coll = parse("{Q(A) | ∃r ∈ R, s ∈ S, left(r, s)[Q.A = r.A]}")
+        join = coll.body.join
+        assert join.kind == "left"
+        assert [c.var for c in join.children_list] == ["r", "s"]
+
+    def test_literal_leaf(self):
+        coll = parse("{Q(A) | ∃r ∈ R, s ∈ S, left(r, inner(11, s))[Q.A = r.A]}")
+        inner_node = coll.body.join.children_list[1]
+        assert isinstance(inner_node.children_list[0], n.JoinConst)
+        assert inner_node.children_list[0].value == 11
+
+    def test_binary_constraint(self):
+        with pytest.raises(ValueError):
+            n.Join("left", [n.JoinVar("a"), n.JoinVar("b"), n.JoinVar("c")])
+
+
+class TestExpressions:
+    def test_precedence(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A + r.B * 2]}")
+        expr = coll.body.body.right if hasattr(coll.body.body, "right") else None
+        assert isinstance(expr, n.Arith)
+        assert expr.op == "+"
+        assert isinstance(expr.right, n.Arith)
+
+    def test_negative_literal(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = -5]}")
+        comparison = n.conjuncts(coll.body.body)[1]
+        assert comparison.right.value == -5
+
+    def test_aggregates(self):
+        coll = parse("{Q(c) | ∃r ∈ R, γ ∅[Q.c = count(*)]}")
+        agg = coll.body.body.right
+        assert isinstance(agg, n.AggCall)
+        assert agg.arg is None
+
+    def test_aggregate_with_arithmetic_arg(self):
+        coll = parse("{Q(v) | ∃a ∈ A, γ ∅[Q.v = sum(a.x * a.y)]}")
+        agg = coll.body.body.right
+        assert isinstance(agg.arg, n.Arith)
+
+    def test_is_null(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B is null]}")
+        assert any(isinstance(c, n.IsNull) for c in n.conjuncts(coll.body.body))
+
+    def test_is_not_null(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B is not null]}")
+        isnull = n.conjuncts(coll.body.body)[1]
+        assert isnull.negated
+
+    def test_string_and_null_literals(self):
+        coll = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B = 'x' ∧ r.C = null]}")
+        comparisons = n.conjuncts(coll.body.body)
+        assert comparisons[1].right.value == "x"
+
+
+class TestSentences:
+    def test_exists_sentence(self):
+        sentence = parse("∃r ∈ R[r.A = 1]")
+        assert isinstance(sentence, n.Sentence)
+
+    def test_negated_sentence(self):
+        sentence = parse("¬∃r ∈ R[r.A = 1]")
+        assert isinstance(sentence.body, n.Not)
+
+    def test_parse_sentence_rejects_collection(self):
+        with pytest.raises(ParseError):
+            parse_sentence("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+
+    def test_parse_collection_rejects_sentence(self):
+        with pytest.raises(ParseError):
+            parse_collection("∃r ∈ R[r.A = 1]")
+
+
+class TestPrograms:
+    def test_definitions_and_main(self):
+        program = parse(
+            "V := {V(A) | ∃r ∈ R[V.A = r.A]} ;\n{Q(A) | ∃v ∈ V[Q.A = v.A]}"
+        )
+        assert isinstance(program, n.Program)
+        assert "V" in program.definitions
+        assert isinstance(program.main, n.Collection)
+
+    def test_main_by_name(self):
+        program = parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")
+        assert program.main == "V"
+        assert program.resolve_main() is program.definitions["V"]
+
+    def test_definitions_only_defaults_to_last(self):
+        program = parse(
+            "V := {V(A) | ∃r ∈ R[V.A = r.A]} ;\nW := {W(A) | ∃v ∈ V[W.A = v.A]} ;"
+        )
+        assert program.main == "W"
+
+    def test_parse_program_wraps_collection(self):
+        program = parse_program("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        assert isinstance(program, n.Program)
+        assert not program.definitions
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{Q(A) | ∃r ∈ R[Q.A = r.A]",  # missing brace
+            "{Q(A) ∃r ∈ R[Q.A = r.A]}",  # missing |
+            "{Q(A) | ∃r ∈ R[Q.A =]}",  # missing rhs
+            "{Q(A) | ∃[Q.A = 1]}",  # missing binding
+            "{Q(A) | ∃r ∈ R[Q.A = r.A]} trailing",
+            "{Q(A) | r.A = 1 =}",
+        ],
+    )
+    def test_parse_errors(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse("{Q(A) | ∃r ∈ R[Q.A @ r.A]}")
+        except ParseError as exc:
+            assert exc.line == 1
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,203 @@
+"""Tests for pattern-level rewrites and their applicability conditions."""
+
+import pytest
+
+from repro.core import rewrites
+from repro.core.conventions import (
+    Conventions,
+    NullComparison,
+    SET_CONVENTIONS,
+    Semantics,
+)
+from repro.core.parser import parse
+from repro.data import Database, NULL
+from repro.engine import evaluate
+from repro.errors import RewriteError
+from repro.workloads import instances
+
+BAG = Conventions(semantics=Semantics.BAG)
+TWO_VL = SET_CONVENTIONS.with_(null_comparison=NullComparison.TWO_VALUED)
+
+
+class TestUnnest:
+    def test_unnest_merges_scopes(self):
+        nested = parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}")
+        flat = rewrites.unnest(nested)
+        assert len(flat.body.bindings) == 2
+
+    def test_equivalent_under_set(self, rs_db):
+        nested = parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}")
+        flat = rewrites.unnest(nested)
+        assert evaluate(nested, rs_db).set_equal(evaluate(flat, rs_db))
+
+    def test_refused_under_bag(self):
+        nested = parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}")
+        with pytest.raises(RewriteError):
+            rewrites.unnest(nested, BAG)
+
+    def test_bag_difference_is_real(self):
+        """The refusal is justified: multiplicities actually differ."""
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 5)])
+        db.create("S", ("B",), [(5,), (5,)])
+        nested = parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}")
+        flat = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        assert len(evaluate(nested, db, BAG)) == 1
+        assert len(evaluate(flat, db, BAG)) == 2
+
+    def test_grouping_scope_not_merged(self):
+        query = parse(
+            "{Q(id) | ∃r ∈ R[Q.id = r.id ∧ ∃s ∈ S, γ ∅"
+            "[r.id = s.id ∧ r.q = count(s.d)]]}"
+        )
+        result = rewrites.unnest(query)
+        # γ∅ scope must survive: it is not a plain existential.
+        assert "γ" in __import__("repro.backends.comprehension", fromlist=["render"]).render(result)
+
+
+class TestNestExistential:
+    def test_roundtrip_with_unnest(self, rs_db):
+        flat = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+        nested = rewrites.nest_existential(flat, ["s"])
+        assert evaluate(flat, rs_db).set_equal(evaluate(nested, rs_db))
+        back = rewrites.unnest(nested)
+        assert len(back.body.bindings) == 2
+
+    def test_unknown_variable(self):
+        flat = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        with pytest.raises(RewriteError):
+            rewrites.nest_existential(flat, ["zz"])
+
+
+class TestNotInRewrite:
+    def test_adds_null_checks(self):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        rewritten = rewrites.not_in_to_not_exists(query)
+        from repro.backends.comprehension import render
+
+        text = render(rewritten)
+        assert "is null" in text
+
+    def test_2vl_equivalence_with_nulls(self):
+        db = instances.not_in_instance(with_null=True)
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        rewritten = rewrites.not_in_to_not_exists(query)
+        assert evaluate(query, db, SET_CONVENTIONS).set_equal(
+            evaluate(rewritten, db, TWO_VL)
+        )
+
+    def test_2vl_equivalence_without_nulls(self):
+        db = instances.not_in_instance(with_null=False)
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        rewritten = rewrites.not_in_to_not_exists(query)
+        assert evaluate(query, db, SET_CONVENTIONS).set_equal(
+            evaluate(rewritten, db, TWO_VL)
+        )
+
+
+class TestDistinctAsGrouping:
+    def test_adds_grouping(self):
+        query = parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B]}")
+        rewritten = rewrites.distinct_as_grouping(query)
+        assert rewritten.body.grouping is not None
+        assert len(rewritten.body.grouping.keys) == 2
+
+    def test_dedupes_under_bag(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2), (1, 2), (3, 4)])
+        query = parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B]}")
+        rewritten = rewrites.distinct_as_grouping(query)
+        assert len(evaluate(query, db, BAG)) == 3
+        assert len(evaluate(rewritten, db, BAG)) == 2
+
+    def test_requires_plain_assignments(self):
+        query = parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}")
+        # Already grouped: returned unchanged.
+        assert rewrites.distinct_as_grouping(query) is query
+
+
+class TestCountBugRewrites:
+    def test_naive_rewrite_exhibits_bug(self, count_bug_db):
+        v1 = parse(
+            "{Q(id) | ∃r ∈ R[Q.id = r.id ∧ "
+            "∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]}"
+        )
+        v2 = rewrites.decorrelate_scalar_naive(v1)
+        assert [t["id"] for t in evaluate(v1, count_bug_db)] == [9]
+        assert evaluate(v2, count_bug_db).is_empty()
+
+    def test_correct_rewrite_preserves(self, count_bug_db):
+        v1 = parse(
+            "{Q(id) | ∃r ∈ R[Q.id = r.id ∧ "
+            "∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]}"
+        )
+        v3 = rewrites.decorrelate_scalar(v1)
+        assert evaluate(v1, count_bug_db).set_equal(evaluate(v3, count_bug_db))
+
+    def test_all_versions_agree_on_populated_instance(self):
+        db = instances.count_bug_populated()
+        v1 = parse(
+            "{Q(id) | ∃r ∈ R[Q.id = r.id ∧ "
+            "∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]}"
+        )
+        v2 = rewrites.decorrelate_scalar_naive(v1)
+        v3 = rewrites.decorrelate_scalar(v1)
+        r1, r3 = evaluate(v1, db), evaluate(v3, db)
+        assert r1.set_equal(r3)
+        # v2 may differ exactly on ids with empty S-groups and q = 0.
+        r2 = evaluate(v2, db)
+        missing = set(r1.iter_distinct()) - set(r2.iter_distinct())
+        for tup in missing:
+            matching = [s for s in db["S"] if s["id"] == tup["id"]]
+            assert not matching
+
+    def test_shape_mismatch_raises(self):
+        plain = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        with pytest.raises(RewriteError):
+            rewrites.decorrelate_scalar(plain)
+
+
+class TestInlineAbstract:
+    def test_inline_equivalence(self, likes_db):
+        program = parse(
+            "Sub := {Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])} ;\n"
+            "{Q(d) | ∃l1 ∈ L[Q.d = l1.d ∧ ¬(∃l2 ∈ L, s1 ∈ Sub, s2 ∈ Sub"
+            "[l2.d <> l1.d ∧ s1.l = l1.d ∧ s1.r = l2.d ∧ "
+            "s2.l = l2.d ∧ s2.r = l1.d])]}"
+        )
+        inlined = rewrites.inline_abstract(program)
+        assert not inlined.definitions  # Sub is gone
+        assert evaluate(program, likes_db).set_equal(evaluate(inlined, likes_db))
+
+    def test_inline_matches_monolithic_pattern(self, likes_db):
+        from repro.analysis import same_pattern
+
+        program = parse(
+            "Sub := {Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])} ;\n"
+            "{Q(d) | ∃l1 ∈ L[Q.d = l1.d ∧ ¬(∃l2 ∈ L, s1 ∈ Sub, s2 ∈ Sub"
+            "[l2.d <> l1.d ∧ s1.l = l1.d ∧ s1.r = l2.d ∧ "
+            "s2.l = l2.d ∧ s2.r = l1.d])]}"
+        )
+        inlined = rewrites.inline_abstract(program).resolve_main()
+        monolithic = parse(
+            "{Q(d) | ∃l1 ∈ L[Q.d = l1.d ∧ "
+            "¬(∃l2 ∈ L[l2.d <> l1.d ∧ "
+            "¬(∃l3 ∈ L[l3.d = l2.d ∧ ¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = l1.d])]) ∧ "
+            "¬(∃l5 ∈ L[l5.d = l1.d ∧ ¬(∃l6 ∈ L[l6.d = l2.d ∧ l6.b = l5.b])])])]}"
+        )
+        assert evaluate(inlined, likes_db).set_equal(evaluate(monolithic, likes_db))
+
+    def test_no_abstract_definitions_is_identity(self):
+        program = parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")
+        assert rewrites.inline_abstract(program) is program
+
+    def test_underdetermined_attributes_raise(self):
+        program = parse(
+            "Sub := {Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])} ;\n"
+            "{Q(d) | ∃l1 ∈ L, s1 ∈ Sub[Q.d = l1.d ∧ s1.l = l1.d]}"
+        )
+        with pytest.raises(RewriteError):
+            rewrites.inline_abstract(program)

@@ -1,0 +1,137 @@
+"""Property-based round-trip tests: render(parse(x)) is a fixed point.
+
+A hypothesis strategy generates random well-formed ARC ASTs; rendering then
+reparsing must reproduce a structurally identical tree, in both the Unicode
+and ASCII spellings of the comprehension modality.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backends.comprehension import render, render_ascii
+from repro.core import nodes as n
+from repro.core.parser import parse
+
+
+# -- AST strategies ----------------------------------------------------------
+
+attr_names = st.sampled_from(["A", "B", "C", "d", "val"])
+relation_names = st.sampled_from(["R", "S", "T", "L"])
+
+
+def exprs(var_pool):
+    base = st.one_of(
+        st.builds(n.Attr, st.sampled_from(var_pool), attr_names),
+        st.builds(n.Const, st.integers(min_value=-9, max_value=9)),
+        st.builds(n.Const, st.sampled_from(["x", "y"])),
+    )
+    return st.recursive(
+        base,
+        lambda inner: st.builds(
+            n.Arith, st.sampled_from(["+", "-", "*"]), inner, inner
+        ),
+        max_leaves=4,
+    )
+
+
+def comparisons(var_pool, head=None):
+    ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    plain = st.builds(n.Comparison, exprs(var_pool), ops, exprs(var_pool))
+    if head is None:
+        return plain
+    assignment = st.builds(
+        lambda attr, expr: n.Comparison(n.Attr(head.name, attr), "=", expr),
+        st.sampled_from(list(head.attrs)),
+        exprs(var_pool),
+    )
+    return st.one_of(plain, assignment)
+
+
+@st.composite
+def quantifiers(draw, depth=0, outer_vars=(), head=None):
+    n_bindings = draw(st.integers(min_value=1, max_value=3))
+    offset = len(outer_vars)
+    bindings = []
+    var_pool = list(outer_vars)
+    for index in range(n_bindings):
+        var = f"v{offset + index}"
+        if depth < 1 and draw(st.booleans()) and draw(st.booleans()):
+            source = draw(collections(depth=depth + 1, outer_vars=tuple(var_pool)))
+        else:
+            source = n.RelationRef(draw(relation_names))
+        bindings.append(n.Binding(var, source))
+        var_pool.append(var)
+    n_predicates = draw(st.integers(min_value=1, max_value=3))
+    conjuncts = [
+        draw(comparisons(var_pool, head)) for _ in range(n_predicates)
+    ]
+    if draw(st.booleans()) and depth < 2:
+        inner = draw(
+            quantifiers(depth=depth + 1, outer_vars=tuple(var_pool), head=None)
+        )
+        conjuncts.append(n.Not(inner) if draw(st.booleans()) else inner)
+    grouping = None
+    if draw(st.booleans()) and draw(st.booleans()):
+        keys = tuple(
+            n.Attr(b.var, draw(attr_names))
+            for b in bindings
+            if isinstance(b.source, n.RelationRef)
+        )
+        grouping = n.Grouping(keys)
+    body = n.make_and(conjuncts)
+    return n.Quantifier(bindings, body, grouping)
+
+
+@st.composite
+def collections(draw, depth=0, outer_vars=()):
+    n_attrs = draw(st.integers(min_value=1, max_value=3))
+    head = n.Head(f"H{depth}", tuple(f"a{i}" for i in range(n_attrs)))
+    quant = draw(quantifiers(depth=depth, outer_vars=outer_vars, head=head))
+    # Guarantee each head attribute is assigned at least once so that the
+    # tree is also validator-friendly (not required for round-trips).
+    conjuncts = n.conjuncts(quant.body)
+    for attr in head.attrs:
+        conjuncts.append(
+            n.Comparison(
+                n.Attr(head.name, attr),
+                "=",
+                n.Attr(quant.bindings[0].var, "A"),
+            )
+        )
+    rebuilt = n.Quantifier(quant.bindings, n.make_and(conjuncts), quant.grouping)
+    return n.Collection(head, rebuilt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections())
+def test_unicode_roundtrip(coll):
+    text = render(coll)
+    reparsed = parse(text)
+    assert n.structurally_equal(coll, reparsed), text
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections())
+def test_ascii_roundtrip(coll):
+    text = render_ascii(coll)
+    reparsed = parse(text)
+    assert n.structurally_equal(coll, reparsed), text
+
+
+@settings(max_examples=25, deadline=None)
+@given(collections())
+def test_render_is_stable(coll):
+    once = render(coll)
+    twice = render(parse(once))
+    assert once == twice
+
+
+@settings(max_examples=20, deadline=None)
+@given(collections())
+def test_clone_preserves_structure(coll):
+    assert n.structurally_equal(coll, n.clone(coll))
+
+
+@settings(max_examples=20, deadline=None)
+@given(collections())
+def test_transform_identity(coll):
+    assert n.structurally_equal(coll, n.transform(coll, lambda x: x))

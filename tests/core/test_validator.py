@@ -1,0 +1,179 @@
+"""Tests for ARC's semantic validation rules."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.validator import dependency_graph, validate
+from repro.data import Database
+from repro.engine import standard_registry
+from repro.errors import ValidationError
+
+
+def codes(report):
+    return {issue.code for issue in report.errors()}
+
+
+class TestHeads:
+    def test_valid_query(self):
+        report = validate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        assert report.ok and not report.is_abstract
+
+    def test_unassigned_head_attr(self):
+        report = validate(parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A]}"))
+        assert "head-unassigned" in codes(report)
+
+    def test_or_branch_must_assign_all(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A] ∨ ∃s ∈ S[s.A = 1]}")
+        )
+        assert "head-unassigned" in codes(report)
+
+    def test_or_both_branches_assign(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ R[Q.A = r.A] ∨ ∃s ∈ S[Q.A = s.A]}")
+        )
+        assert report.ok
+
+    def test_abstract_detected(self):
+        sub = parse(
+            "{S(l, r) | ¬(∃x ∈ L[x.d = S.l ∧ ¬(∃y ∈ L[y.b = x.b ∧ y.d = S.r])])}"
+        )
+        report = validate(sub)
+        assert report.is_abstract and not report.ok
+        allowed = validate(sub, allow_abstract=True)
+        assert allowed.ok and allowed.is_abstract
+
+    def test_raise_if_errors(self):
+        report = validate(parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A]}"))
+        with pytest.raises(ValidationError):
+            report.raise_if_errors()
+
+
+class TestGroupingRules:
+    def test_aggregate_requires_grouping(self):
+        report = validate(parse("{Q(sm) | ∃r ∈ R[Q.sm = sum(r.B)]}"))
+        assert "grouping-required" in codes(report)
+
+    def test_grouping_scope_accepted(self):
+        report = validate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        assert report.ok
+
+    def test_empty_gamma_accepted(self):
+        report = validate(parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}"))
+        assert report.ok
+
+    def test_grouping_without_aggregate_is_dedup(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ R, γ r.A[Q.A = r.A]}")
+        )
+        assert report.ok
+
+    def test_nested_aggregate_rejected(self):
+        report = validate(
+            parse("{Q(x) | ∃r ∈ R, γ ∅[Q.x = sum(count(r.B) + 1)]}")
+        )
+        assert "nested-aggregate" in codes(report)
+
+    def test_grouping_key_must_be_bound(self):
+        report = validate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ z.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        )
+        assert not report.ok
+
+    def test_aggregate_in_inner_scope_owned_there(self):
+        # The aggregate belongs to the inner γ∅ scope, not the outer one.
+        report = validate(
+            parse(
+                "{Q(id) | ∃r ∈ R[Q.id = r.id ∧ "
+                "∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]}"
+            )
+        )
+        assert report.ok
+
+
+class TestJoins:
+    def test_join_var_must_be_bound(self):
+        report = validate(parse("{Q(A) | ∃r ∈ R, left(r, s)[Q.A = r.A]}"))
+        assert not report.ok
+
+    def test_duplicate_join_var(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ R, s ∈ S, inner(r, r, s)[Q.A = r.A]}")
+        )
+        assert "join-duplicate" in codes(report)
+
+    def test_partial_annotation_warns(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, left(r, s)[Q.A = r.A]}")
+        )
+        assert report.ok
+        assert any(i.code == "join-partial" for i in report.warnings())
+
+
+class TestRelationClassification:
+    def test_kinds(self):
+        db = Database()
+        db.create("R", ("A", "B"))
+        program = parse(
+            "V := {V(A) | ∃r ∈ R[V.A = r.A]} ;\n"
+            "{Q(A) | ∃v ∈ V, f ∈ Minus[Q.A = v.A ∧ f.left = v.A ∧ "
+            "f.right = 0 ∧ f.out = 1]}"
+        )
+        report = validate(program, database=db, externals=standard_registry())
+        assert report.relation_kinds["R"] == "base"
+        assert report.relation_kinds["V"] == "defined"
+        assert report.relation_kinds["Minus"] == "external"
+
+    def test_unknown_relation_with_database(self):
+        report = validate(
+            parse("{Q(A) | ∃r ∈ Missing[Q.A = r.A]}"), database=Database()
+        )
+        assert "unknown-relation" in codes(report)
+
+    def test_self_reference(self):
+        query = parse(
+            "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+            "∃p2 ∈ P, a2 ∈ A[A.s = p2.s ∧ p2.t = a2.s ∧ A.t = a2.t]}"
+        )
+        report = validate(query)
+        assert report.relation_kinds["A"] == "self"
+
+
+class TestStratification:
+    def test_monotone_recursion_ok(self):
+        program = parse(
+            "A := {A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+            "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]} ; main A"
+        )
+        assert validate(program).ok
+
+    def test_negative_recursion_rejected(self):
+        program = parse(
+            "B := {B(x) | ∃p ∈ P[B.x = p.s ∧ ¬(∃b ∈ B[b.x = p.t])]} ; main B"
+        )
+        assert "stratification" in codes(validate(program))
+
+    def test_mutual_negative_recursion_rejected(self):
+        program = parse(
+            "A := {A(x) | ∃p ∈ P[A.x = p.s ∧ ¬(∃b ∈ B[b.x = p.s])]} ;\n"
+            "B := {B(x) | ∃p ∈ P, a ∈ A[B.x = p.s ∧ a.x = p.s]} ; main B"
+        )
+        assert "stratification" in codes(validate(program))
+
+    def test_negation_of_lower_stratum_ok(self):
+        program = parse(
+            "V := {V(x) | ∃p ∈ P[V.x = p.s]} ;\n"
+            "W := {W(x) | ∃p ∈ P[W.x = p.t ∧ ¬(∃v ∈ V[v.x = p.t])]} ; main W"
+        )
+        assert validate(program).ok
+
+    def test_dependency_graph(self):
+        program = parse(
+            "V := {V(x) | ∃p ∈ P[V.x = p.s]} ;\n"
+            "W := {W(x) | ∃v ∈ V[W.x = v.x]} ; main W"
+        )
+        graph = dependency_graph(program)
+        assert ("P", True) in graph["V"]
+        assert ("V", True) in graph["W"]

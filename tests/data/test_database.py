@@ -1,0 +1,115 @@
+"""Tests for the Database catalog, generators, and CSV IO."""
+
+import io
+
+import pytest
+
+from repro.data import Database, Relation, NULL, csvio, generators
+from repro.errors import SchemaError
+
+
+class TestDatabase:
+    def test_create_and_get(self):
+        db = Database()
+        rel = db.create("R", ("A",), [(1,)])
+        assert db.get("R") is rel
+        assert db["R"] is rel
+        assert "R" in db
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Database().get("missing")
+
+    def test_add_requires_relation(self):
+        with pytest.raises(SchemaError):
+            Database().add("not a relation")
+
+    def test_replace(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        db.create("R", ("A",), [(1,), (2,)])
+        assert len(db["R"]) == 2
+
+    def test_names_sorted(self):
+        db = Database()
+        db.create("Z", ("A",))
+        db.create("A", ("A",))
+        assert db.names() == ["A", "Z"]
+
+    def test_copy_shares_relations(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        clone = db.copy()
+        clone.drop("R")
+        assert "R" in db and "R" not in clone
+
+
+class TestGenerators:
+    def test_binary_relation_deterministic(self):
+        a = generators.binary_relation("R", 50, seed=7)
+        b = generators.binary_relation("R", 50, seed=7)
+        assert a == b
+
+    def test_binary_relation_nulls(self):
+        rel = generators.binary_relation("R", 200, seed=1, null_rate=0.5)
+        has_null = any(
+            any(row[a] is NULL for a in rel.schema) for row in rel.iter_distinct()
+        )
+        assert has_null
+
+    def test_chain_database(self):
+        db = generators.chain_database(3, 10, seed=2)
+        assert db.names() == ["R0", "R1", "R2"]
+        assert db["R0"].schema == ("A", "B")
+        assert db["R1"].schema == ("B", "C")
+
+    def test_payroll_database(self):
+        db = generators.payroll_database(10, 3, seed=3)
+        assert len(db["R"]) == 10
+        assert len(db["S"]) == 10
+
+    def test_likes_every_drinker_likes_something(self):
+        db = generators.likes_database(8, 5, seed=4)
+        drinkers = {row["drinker"] for row in db["Likes"]}
+        assert len(drinkers) == 8
+
+    def test_parent_edges_acyclic(self):
+        db = generators.parent_edges(30, seed=5, extra_edges=10)
+        for row in db["P"]:
+            assert int(row["s"][1:]) < int(row["t"][1:])
+
+    def test_sparse_matrix(self):
+        rel = generators.sparse_matrix("A", 5, 4, density=1.0, seed=6)
+        assert len(rel) == 20
+        dense = generators.matrix_to_dense(rel, 5, 4)
+        assert len(dense) == 5 and len(dense[0]) == 4
+
+
+class TestCsvIo:
+    def test_roundtrip(self):
+        rel = Relation("R", ("A", "B"), [(1, "x"), (2, NULL)])
+        text = csvio.write_csv(rel)
+        back = csvio.read_csv(io.StringIO(text), "R")
+        assert back == rel
+
+    def test_type_inference(self):
+        text = "A,B,C\n1,1.5,hello\n2,2.5,world\n"
+        rel = csvio.read_csv(io.StringIO(text), "R")
+        row = rel.sorted_rows()[0]
+        assert isinstance(row["A"], int)
+        assert isinstance(row["B"], float)
+        assert isinstance(row["C"], str)
+
+    def test_empty_cells_become_null(self):
+        rel = csvio.read_csv(io.StringIO("A,B\n1,\n"), "R")
+        assert rel.sorted_rows()[0]["B"] is NULL
+
+    def test_no_header_error(self):
+        with pytest.raises(ValueError):
+            csvio.read_csv(io.StringIO(""), "R")
+
+    def test_file_roundtrip(self, tmp_path):
+        rel = Relation("R", ("A",), [(1,), (2,)])
+        path = tmp_path / "r.csv"
+        csvio.write_csv(rel, str(path))
+        assert csvio.read_csv(str(path), "R") == rel

@@ -1,0 +1,169 @@
+"""Unit and property tests for Tuple and Relation (set/bag duality)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import NULL, Relation, Tuple
+from repro.errors import SchemaError
+
+values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["a", "b", "c"]),
+    st.just(NULL),
+)
+rows2 = st.lists(st.tuples(values, values), max_size=12)
+
+
+class TestTuple:
+    def test_getitem(self):
+        t = Tuple({"A": 1, "B": "x"})
+        assert t["A"] == 1
+        assert t["B"] == "x"
+
+    def test_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            Tuple({"A": 1})["B"]
+
+    def test_equality_is_name_based(self):
+        assert Tuple({"A": 1, "B": 2}) == Tuple({"B": 2, "A": 1})
+
+    def test_hash_consistent(self):
+        assert hash(Tuple({"A": 1})) == hash(Tuple({"A": 1}))
+
+    def test_project(self):
+        t = Tuple({"A": 1, "B": 2, "C": 3})
+        assert t.project(["A", "C"]) == Tuple({"A": 1, "C": 3})
+
+    def test_rename(self):
+        t = Tuple({"A": 1}).rename({"A": "Z"})
+        assert t["Z"] == 1
+
+    def test_merged(self):
+        merged = Tuple({"A": 1}).merged(Tuple({"B": 2}))
+        assert merged == Tuple({"A": 1, "B": 2})
+
+    def test_null_values_hashable(self):
+        assert Tuple({"A": NULL}) == Tuple({"A": NULL})
+
+
+class TestRelationConstruction:
+    def test_positional_rows(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        assert len(r) == 2
+
+    def test_dict_rows(self):
+        r = Relation("R", ("A",), [{"A": 1}])
+        assert Tuple({"A": 1}) in r
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "B"), [(1,)])
+
+    def test_missing_dict_attr(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "B"), [{"A": 1}])
+
+    def test_duplicate_schema(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "A"))
+
+    def test_negative_multiplicity(self):
+        r = Relation("R", ("A",))
+        with pytest.raises(ValueError):
+            r.add((1,), multiplicity=-1)
+
+    def test_zero_multiplicity_is_noop(self):
+        r = Relation("R", ("A",))
+        r.add((1,), multiplicity=0)
+        assert r.is_empty()
+
+
+class TestBagSemantics:
+    def test_multiplicity(self):
+        r = Relation("R", ("A",), [(1,), (1,), (2,)])
+        assert r.multiplicity((1,)) == 2
+        assert len(r) == 3
+        assert r.distinct_count() == 2
+
+    def test_distinct(self):
+        r = Relation("R", ("A",), [(1,), (1,)])
+        assert len(r.distinct()) == 1
+
+    def test_bag_iteration_counts_duplicates(self):
+        r = Relation("R", ("A",), [(1,), (1,)])
+        assert sum(1 for _ in r) == 2
+        assert sum(1 for _ in r.iter_distinct()) == 1
+
+    def test_bag_equality(self):
+        a = Relation("R", ("A",), [(1,), (1,)])
+        b = Relation("S", ("A",), [(1,), (1,)])
+        c = Relation("T", ("A",), [(1,)])
+        assert a == b
+        assert a != c
+        assert a.set_equal(c)
+
+
+class TestDerivations:
+    def test_rename(self):
+        r = Relation("R", ("A",), [(1,)]).rename({"A": "Z"})
+        assert r.schema == ("Z",)
+        assert Tuple({"Z": 1}) in r
+
+    def test_project_keeps_multiplicity(self):
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2)])
+        p = r.project(["A"])
+        assert p.multiplicity((1,)) == 2
+
+    def test_select(self):
+        r = Relation("R", ("A",), [(1,), (2,), (3,)])
+        assert len(r.select(lambda t: t["A"] > 1)) == 2
+
+    def test_union_all(self):
+        a = Relation("R", ("A",), [(1,)])
+        b = Relation("S", ("A",), [(1,), (2,)])
+        assert len(a.union(b)) == 3
+        assert len(a.union(b, all=False)) == 2
+
+    def test_union_schema_mismatch(self):
+        a = Relation("R", ("A",), [(1,)])
+        b = Relation("S", ("B",), [(1,)])
+        with pytest.raises(SchemaError):
+            a.union(b)
+
+    @given(rows2)
+    def test_distinct_idempotent(self, rows):
+        r = Relation("R", ("A", "B"), rows)
+        assert r.distinct() == r.distinct().distinct()
+
+    @given(rows2)
+    def test_distinct_multiplicities_are_one(self, rows):
+        r = Relation("R", ("A", "B"), rows).distinct()
+        assert all(mult == 1 for mult in r.counter().values())
+
+    @given(rows2, rows2)
+    def test_union_cardinality(self, rows_a, rows_b):
+        a = Relation("R", ("A", "B"), rows_a)
+        b = Relation("S", ("A", "B"), rows_b)
+        assert len(a.union(b)) == len(a) + len(b)
+
+    @given(rows2)
+    def test_projection_cardinality_preserved(self, rows):
+        r = Relation("R", ("A", "B"), rows)
+        assert len(r.project(["A"])) == len(r)
+
+
+class TestDisplay:
+    def test_sorted_rows_deterministic(self):
+        r = Relation("R", ("A",), [(3,), (1,), (NULL,), (2,)])
+        ordered = [t["A"] for t in r.sorted_rows()]
+        assert ordered[0] is NULL
+        assert ordered[1:] == [1, 2, 3]
+
+    def test_to_table(self):
+        r = Relation("R", ("A", "B"), [(1, NULL)])
+        table = r.to_table()
+        assert "A" in table and "NULL" in table
+
+    def test_to_table_truncation(self):
+        r = Relation("R", ("A",), [(i,) for i in range(60)])
+        assert "more rows" in r.to_table(max_rows=10)

@@ -1,0 +1,172 @@
+"""Unit and property tests for the value domain and 3VL algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.values import (
+    FALSE,
+    NULL,
+    TRUE,
+    UNKNOWN,
+    Truth,
+    arithmetic,
+    compare,
+    is_null,
+    sort_key,
+    t_and,
+    t_not,
+    t_or,
+)
+
+truths = st.sampled_from([TRUE, FALSE, UNKNOWN])
+
+
+class TestNull:
+    def test_singleton(self):
+        from repro.data.values import _NullType
+
+        assert _NullType() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_null_equals_only_itself(self):
+        assert NULL == NULL
+        assert NULL != 0
+        assert NULL != ""
+
+    def test_null_hashable(self):
+        assert hash(NULL) == hash(NULL)
+        assert len({NULL, NULL}) == 1
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+
+class TestTruth:
+    def test_ordering(self):
+        assert FALSE < UNKNOWN < TRUE
+
+    def test_bool_collapse(self):
+        assert bool(TRUE)
+        assert not bool(UNKNOWN)
+        assert not bool(FALSE)
+
+    def test_of(self):
+        assert Truth.of(True) is TRUE
+        assert Truth.of(False) is FALSE
+        assert Truth.of(NULL) is UNKNOWN
+
+    def test_not(self):
+        assert t_not(TRUE) is FALSE
+        assert t_not(FALSE) is TRUE
+        assert t_not(UNKNOWN) is UNKNOWN
+
+    def test_and_or_basics(self):
+        assert t_and(TRUE, TRUE) is TRUE
+        assert t_and(TRUE, UNKNOWN) is UNKNOWN
+        assert t_and(FALSE, UNKNOWN) is FALSE
+        assert t_or(FALSE, FALSE) is FALSE
+        assert t_or(FALSE, UNKNOWN) is UNKNOWN
+        assert t_or(TRUE, UNKNOWN) is TRUE
+
+    @given(truths, truths)
+    def test_kleene_and_is_min(self, a, b):
+        assert t_and(a, b) is min(a, b)
+
+    @given(truths, truths)
+    def test_kleene_or_is_max(self, a, b):
+        assert t_or(a, b) is max(a, b)
+
+    @given(truths, truths)
+    def test_de_morgan(self, a, b):
+        assert t_not(t_and(a, b)) is t_or(t_not(a), t_not(b))
+        assert t_not(t_or(a, b)) is t_and(t_not(a), t_not(b))
+
+    @given(truths)
+    def test_double_negation(self, a):
+        assert t_not(t_not(a)) is a
+
+    @given(truths, truths, truths)
+    def test_associativity(self, a, b, c):
+        assert t_and(t_and(a, b), c) is t_and(a, t_and(b, c))
+        assert t_or(t_or(a, b), c) is t_or(a, t_or(b, c))
+
+
+class TestCompare:
+    def test_basic_comparisons(self):
+        assert compare(1, "=", 1) is TRUE
+        assert compare(1, "<", 2) is TRUE
+        assert compare(2, "<=", 1) is FALSE
+        assert compare(1, "<>", 2) is TRUE
+        assert compare("a", "<", "b") is TRUE
+
+    def test_null_three_valued(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert compare(NULL, op, 1) is UNKNOWN
+            assert compare(1, op, NULL) is UNKNOWN
+            assert compare(NULL, op, NULL) is UNKNOWN
+
+    def test_null_two_valued(self):
+        assert compare(NULL, "=", NULL, three_valued=False) is TRUE
+        assert compare(NULL, "=", 1, three_valued=False) is FALSE
+        assert compare(NULL, "<>", 1, three_valued=False) is TRUE
+        assert compare(NULL, "<", 1, three_valued=False) is TRUE  # NULL sorts first
+
+    def test_heterogeneous(self):
+        assert compare("a", "=", 1) is FALSE
+        assert compare("a", "<>", 1) is TRUE
+        assert compare("a", "<", 1) is FALSE
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            compare(1, "~", 2)
+
+    @given(st.integers(), st.integers())
+    def test_trichotomy(self, a, b):
+        results = [compare(a, "<", b), compare(a, "=", b), compare(b, "<", a)]
+        assert results.count(TRUE) == 1
+
+
+class TestArithmetic:
+    def test_operators(self):
+        assert arithmetic("+", 2, 3) == 5
+        assert arithmetic("-", 2, 3) == -1
+        assert arithmetic("*", 2, 3) == 6
+        assert arithmetic("/", 6, 3) == 2
+        assert arithmetic("%", 7, 3) == 1
+
+    def test_null_propagates(self):
+        for op in "+-*/%":
+            assert is_null(arithmetic(op, NULL, 1))
+            assert is_null(arithmetic(op, 1, NULL))
+
+    def test_division_by_zero_is_null(self):
+        assert is_null(arithmetic("/", 1, 0))
+        assert is_null(arithmetic("%", 1, 0))
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            arithmetic("^", 1, 2)
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    def test_plus_minus_inverse(self, a, b):
+        assert arithmetic("-", arithmetic("+", a, b), b) == a
+
+
+class TestSortKey:
+    def test_null_first(self):
+        values = ["b", 3, NULL, 1, "a", True]
+        ordered = sorted(values, key=sort_key)
+        assert is_null(ordered[0])
+
+    def test_total_order_over_mixed(self):
+        values = [NULL, "x", 2, False, 1.5]
+        sorted(values, key=sort_key)  # must not raise

@@ -1,0 +1,91 @@
+"""Abstract relations: membership tests and functional completion."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import Evaluator, evaluate
+from repro.engine.abstract import AbstractSource
+from repro.errors import EvaluationError
+
+from ..conftest import rows_as_tuples
+
+
+class TestMembershipAccess:
+    def test_unique_set_query(self, likes_db):
+        program = parse(
+            "Sub := {Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])} ;\n"
+            "{Q(d) | ∃l1 ∈ L[Q.d = l1.d ∧ ¬(∃l2 ∈ L, s1 ∈ Sub, s2 ∈ Sub"
+            "[l2.d <> l1.d ∧ s1.l = l1.d ∧ s1.r = l2.d ∧ "
+            "s2.l = l2.d ∧ s2.r = l1.d])]}"
+        )
+        assert rows_as_tuples(evaluate(program, likes_db)) == [("bob",)]
+
+    def test_matches_monolithic_form(self, likes_db):
+        from repro.workloads import paper_examples
+
+        modular = parse(paper_examples.ARC["eq23_24"])
+        monolithic = paper_examples.arc("eq22")
+        assert evaluate(modular, likes_db).set_equal(
+            evaluate(monolithic, likes_db)
+        )
+
+    def test_direct_membership_calls(self, likes_db):
+        definition = parse(
+            "{Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])}"
+        )
+        evaluator = Evaluator(likes_db)
+        source = AbstractSource(definition, evaluator)
+        # bob likes {ipa} ⊆ alice's {ipa, stout}
+        assert source.complete({"l": "bob", "r": "alice"}) == [
+            {"l": "bob", "r": "alice"}
+        ]
+        # alice's {ipa, stout} ⊄ bob's {ipa}
+        assert source.complete({"l": "alice", "r": "bob"}) == []
+
+    def test_underdetermined_raises(self, likes_db):
+        definition = parse(
+            "{Sub(l, r) | ¬(∃l3 ∈ L[l3.d = Sub.l ∧ "
+            "¬(∃l4 ∈ L[l4.b = l3.b ∧ l4.d = Sub.r])])}"
+        )
+        evaluator = Evaluator(likes_db)
+        source = AbstractSource(definition, evaluator)
+        assert not source.resolvable({"l": "bob"})
+        with pytest.raises(EvaluationError):
+            source.complete({"l": "bob"})
+
+
+class TestFunctionalAccess:
+    def test_minus_style_definition(self):
+        """A comprehension-defined Minus (Example 1) derives its output."""
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (2, 3)])
+        program = parse(
+            "MyMinus := {MyMinus(l, r, o) | MyMinus.o = MyMinus.l - MyMinus.r} ;\n"
+            "{Q(A, o) | ∃x ∈ R, f ∈ MyMinus[Q.A = x.A ∧ Q.o = f.o ∧ "
+            "f.l = x.B ∧ f.r = 1]}"
+        )
+        assert rows_as_tuples(evaluate(program, db)) == [(1, 9), (2, 2)]
+
+    def test_functional_membership_check(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        definition = parse(
+            "{MyMinus(l, r, o) | MyMinus.o = MyMinus.l - MyMinus.r}"
+        )
+        evaluator = Evaluator(db)
+        source = AbstractSource(definition, evaluator)
+        assert source.complete({"l": 5, "r": 3, "o": 2})
+        assert source.complete({"l": 5, "r": 3, "o": 99}) == []
+        assert source.complete({"l": 5, "r": 3}) == [{"l": 5, "r": 3, "o": 2}]
+
+    def test_resolvable_reports_derivability(self):
+        db = Database()
+        definition = parse(
+            "{MyMinus(l, r, o) | MyMinus.o = MyMinus.l - MyMinus.r}"
+        )
+        source = AbstractSource(definition, Evaluator(db))
+        assert source.resolvable({"l": 1, "r": 2})
+        assert not source.resolvable({"o": 1})

@@ -1,0 +1,107 @@
+"""Unit tests for the aggregate fold functions and their conventions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conventions import Conventions, EmptyAggregate, SET_CONVENTIONS
+from repro.data.values import NULL, is_null
+from repro.engine.aggregates import aggregate, count_rows
+from repro.errors import EvaluationError
+
+ZERO = Conventions(empty_aggregate=EmptyAggregate.ZERO)
+
+
+def pairs(values):
+    return [(v, 1) for v in values]
+
+
+class TestBasicFolds:
+    def test_sum(self):
+        assert aggregate("sum", pairs([1, 2, 3]), SET_CONVENTIONS) == 6
+
+    def test_count(self):
+        assert aggregate("count", pairs([1, 2, NULL]), SET_CONVENTIONS) == 2
+
+    def test_avg(self):
+        assert aggregate("avg", pairs([1, 2, 3]), SET_CONVENTIONS) == 2
+
+    def test_min_max(self):
+        assert aggregate("min", pairs([3, 1, 2]), SET_CONVENTIONS) == 1
+        assert aggregate("max", pairs([3, 1, 2]), SET_CONVENTIONS) == 3
+
+    def test_multiplicities(self):
+        assert aggregate("sum", [(5, 3)], SET_CONVENTIONS) == 15
+        assert aggregate("count", [(5, 3)], SET_CONVENTIONS) == 3
+        assert aggregate("avg", [(4, 1), (8, 3)], SET_CONVENTIONS) == 7
+
+    def test_count_rows(self):
+        assert count_rows([1, 2, 3]) == 6
+
+
+class TestNullHandling:
+    def test_nulls_skipped(self):
+        assert aggregate("sum", pairs([1, NULL, 2]), SET_CONVENTIONS) == 3
+        assert aggregate("min", pairs([NULL, 5]), SET_CONVENTIONS) == 5
+
+    def test_all_null_is_empty(self):
+        assert is_null(aggregate("sum", pairs([NULL, NULL]), SET_CONVENTIONS))
+
+    def test_count_all_null_is_zero(self):
+        assert aggregate("count", pairs([NULL]), SET_CONVENTIONS) == 0
+
+
+class TestEmptyConvention:
+    @pytest.mark.parametrize("func", ["sum", "avg", "min", "max"])
+    def test_empty_null_convention(self, func):
+        assert is_null(aggregate(func, [], SET_CONVENTIONS))
+
+    @pytest.mark.parametrize("func", ["sum", "avg", "min", "max"])
+    def test_empty_zero_convention(self, func):
+        assert aggregate(func, [], ZERO) == 0
+
+    def test_count_always_zero(self):
+        assert aggregate("count", [], SET_CONVENTIONS) == 0
+        assert aggregate("count", [], ZERO) == 0
+
+
+class TestDistinctVariants:
+    def test_sumdistinct(self):
+        assert aggregate("sumdistinct", pairs([5, 5, 3]), SET_CONVENTIONS) == 8
+
+    def test_countdistinct(self):
+        assert aggregate("countdistinct", pairs([5, 5, 3]), SET_CONVENTIONS) == 2
+
+    def test_avgdistinct(self):
+        assert aggregate("avgdistinct", pairs([4, 4, 8]), SET_CONVENTIONS) == 6
+
+    def test_distinct_ignores_multiplicity(self):
+        assert aggregate("sumdistinct", [(5, 10)], SET_CONVENTIONS) == 5
+
+
+class TestErrors:
+    def test_unknown_aggregate(self):
+        with pytest.raises(EvaluationError):
+            aggregate("median", pairs([1]), SET_CONVENTIONS)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_sum_matches_python(self, values):
+        assert aggregate("sum", pairs(values), SET_CONVENTIONS) == sum(values)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_min_le_avg_le_max(self, values):
+        low = aggregate("min", pairs(values), SET_CONVENTIONS)
+        mid = aggregate("avg", pairs(values), SET_CONVENTIONS)
+        high = aggregate("max", pairs(values), SET_CONVENTIONS)
+        assert low <= mid <= high
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1))
+    def test_distinct_sum_le_sum(self, values):
+        assert aggregate("sumdistinct", pairs(values), SET_CONVENTIONS) <= aggregate(
+            "sum", pairs(values), SET_CONVENTIONS
+        )
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50)))
+    def test_count_is_length_of_non_null(self, values):
+        assert aggregate("count", pairs(values), SET_CONVENTIONS) == len(values)

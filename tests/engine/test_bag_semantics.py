@@ -1,0 +1,119 @@
+"""Bag-vs-set conventions: multiplicities, nesting, dedup (Section 2.7)."""
+
+import pytest
+
+from repro.core.conventions import Conventions, Semantics, SET_CONVENTIONS, SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+
+BAG = Conventions(semantics=Semantics.BAG)
+
+
+@pytest.fixture
+def dup_db():
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 5), (1, 5), (2, 6)])
+    db.create("S", ("B",), [(5,), (5,), (6,)])
+    return db
+
+
+class TestMultiplicities:
+    def test_projection_keeps_duplicates_under_bag(self, dup_db):
+        result = evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), dup_db, BAG)
+        assert result.multiplicity((1,)) == 2
+
+    def test_projection_dedupes_under_set(self, dup_db):
+        result = evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), dup_db, SET_CONVENTIONS)
+        assert result.multiplicity((1,)) == 1
+
+    def test_join_multiplies(self, dup_db):
+        result = evaluate(
+            parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}"), dup_db, BAG
+        )
+        # (1,5) x2 joins (5,) x2 -> 4; (2,6) joins (6,) -> 1
+        assert result.multiplicity((1,)) == 4
+        assert result.multiplicity((2,)) == 1
+
+    def test_nested_exists_is_semijoin(self, dup_db):
+        nested = evaluate(
+            parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}"), dup_db, BAG
+        )
+        # Once per R occurrence, not per pair.
+        assert nested.multiplicity((1,)) == 2
+
+    def test_union_all_adds(self, dup_db):
+        result = evaluate(
+            parse("{Q(B) | ∃r ∈ R[Q.B = r.B] ∨ ∃s ∈ S[Q.B = s.B]}"), dup_db, BAG
+        )
+        assert result.multiplicity((5,)) == 4
+
+    def test_aggregate_counts_duplicates(self, dup_db):
+        result = evaluate(
+            parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}"), dup_db, BAG
+        )
+        assert result.sorted_rows()[0]["sm"] == 16
+
+    def test_aggregate_over_distinct_under_set(self, dup_db):
+        result = evaluate(
+            parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}"), dup_db, SET_CONVENTIONS
+        )
+        assert result.sorted_rows()[0]["sm"] == 11
+
+    def test_group_emits_one_row_per_group(self, dup_db):
+        result = evaluate(
+            parse("{Q(A, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.ct = count(*)]}"),
+            dup_db,
+            BAG,
+        )
+        assert result.multiplicity({"A": 1, "ct": 2}) == 1
+
+
+class TestSqlConventions:
+    def test_sql_is_bag(self, dup_db):
+        result = evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), dup_db, SQL_CONVENTIONS)
+        assert len(result) == 3
+
+    def test_scalar_lateral_per_outer_tuple(self):
+        """Fig. 13: the lateral form evaluates once per outer *tuple*."""
+        db = Database()
+        db.create("R", ("A",), [(1,), (1,), (2,)])
+        db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+        lateral = parse(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        result = evaluate(lateral, db, SQL_CONVENTIONS)
+        assert result.multiplicity({"A": 1, "sm": 7}) == 2
+
+    def test_left_join_groupby_collapses_duplicates(self):
+        """Fig. 13c is NOT equivalent under bag semantics: duplicates in R
+        fall into one group (sum doubled, multiplicity collapsed)."""
+        db = Database()
+        db.create("R", ("A",), [(1,), (1,), (2,)])
+        db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+        ljgb = parse(
+            "{Q(A, sm) | ∃x ∈ {X(A, sm) | ∃r2 ∈ R, s ∈ S, γ r2.A, left(r2, s)"
+            "[X.A = r2.A ∧ X.sm = sum(s.B) ∧ s.A < r2.A]}"
+            "[Q.A = x.A ∧ Q.sm = x.sm]}"
+        )
+        result = evaluate(ljgb, db, SQL_CONVENTIONS)
+        assert result.multiplicity({"A": 1, "sm": 7}) == 0  # wrong value
+        assert result.multiplicity({"A": 1, "sm": 14}) == 1  # collapsed group
+
+    def test_both_agree_without_duplicates(self):
+        db = Database()
+        db.create("R", ("A",), [(1,), (2,)])
+        db.create("S", ("A", "B"), [(0, 7), (1, 3)])
+        lateral = parse(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        ljgb = parse(
+            "{Q(A, sm) | ∃x ∈ {X(A, sm) | ∃r2 ∈ R, s ∈ S, γ r2.A, left(r2, s)"
+            "[X.A = r2.A ∧ X.sm = sum(s.B) ∧ s.A < r2.A]}"
+            "[Q.A = x.A ∧ Q.sm = x.sm]}"
+        )
+        a = evaluate(lateral, db, SQL_CONVENTIONS)
+        b = evaluate(ljgb, db, SQL_CONVENTIONS)
+        assert a == b

@@ -1,0 +1,93 @@
+"""The count bug (Section 3.2): versions 1/2/3 on the paper's instance.
+
+These are the paper's central executable claims: on R(9, 0) with S = ∅,
+version 1 (correlated scalar test) returns {9}, version 2 (naive
+decorrelation) returns {}, and version 3 (left-join decorrelation)
+returns {9}.
+"""
+
+import pytest
+
+from repro.core.conventions import SQL_CONVENTIONS, SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.engine import evaluate
+from repro.workloads import instances, paper_examples
+
+from ..conftest import rows_as_tuples
+
+
+@pytest.fixture
+def versions():
+    return (
+        paper_examples.arc("eq27"),
+        paper_examples.arc("eq28"),
+        paper_examples.arc("eq29"),
+    )
+
+
+class TestPaperInstance:
+    def test_v1_returns_nine(self, count_bug_db, versions):
+        assert rows_as_tuples(evaluate(versions[0], count_bug_db)) == [(9,)]
+
+    def test_v2_returns_empty(self, count_bug_db, versions):
+        assert evaluate(versions[1], count_bug_db).is_empty()
+
+    def test_v3_returns_nine(self, count_bug_db, versions):
+        assert rows_as_tuples(evaluate(versions[2], count_bug_db)) == [(9,)]
+
+    def test_same_under_bag_conventions(self, count_bug_db, versions):
+        v1, v2, v3 = versions
+        assert rows_as_tuples(evaluate(v1, count_bug_db, SQL_CONVENTIONS)) == [(9,)]
+        assert evaluate(v2, count_bug_db, SQL_CONVENTIONS).is_empty()
+        assert rows_as_tuples(evaluate(v3, count_bug_db, SQL_CONVENTIONS)) == [(9,)]
+
+
+class TestPopulatedInstance:
+    def test_v1_v3_always_agree(self, versions):
+        db = instances.count_bug_populated()
+        v1, _, v3 = versions
+        assert evaluate(v1, db).set_equal(evaluate(v3, db))
+
+    def test_v2_differs_exactly_on_empty_groups(self, versions):
+        db = instances.count_bug_populated()
+        v1, v2, _ = versions
+        r1 = {row["id"] for row in evaluate(v1, db)}
+        r2 = {row["id"] for row in evaluate(v2, db)}
+        assert r2 <= r1
+        for missing in r1 - r2:
+            assert not [s for s in db["S"] if s["id"] == missing]
+
+    def test_versions_agree_when_s_covers_all_ids(self, versions):
+        from repro.data import Database
+
+        db = Database()
+        db.create("R", ("id", "q"), [(1, 2), (2, 0)])
+        db.create("S", ("id", "d"), [(1, "a"), (1, "b"), (2, "c")])
+        v1, v2, v3 = versions
+        r1 = evaluate(v1, db)
+        # id=2 has q=0 but count=1 -> excluded; id=1 has q=2=count -> included
+        assert rows_as_tuples(r1) == [(1,)]
+        assert r1.set_equal(evaluate(v2, db))
+        assert r1.set_equal(evaluate(v3, db))
+
+
+class TestViaSqlFrontend:
+    """The same three behaviours via the paper's SQL texts (Fig. 21a-c)."""
+
+    def test_sql_versions(self, count_bug_db):
+        from repro.frontends.sql import to_arc
+
+        v1 = to_arc(paper_examples.SQL["fig21a"], database=count_bug_db)
+        v2 = to_arc(paper_examples.SQL["fig21b"], database=count_bug_db)
+        v3 = to_arc(paper_examples.SQL["fig21c"], database=count_bug_db)
+        assert rows_as_tuples(evaluate(v1, count_bug_db, SQL_CONVENTIONS)) == [(9,)]
+        assert evaluate(v2, count_bug_db, SQL_CONVENTIONS).is_empty()
+        assert rows_as_tuples(evaluate(v3, count_bug_db, SQL_CONVENTIONS)) == [(9,)]
+
+    def test_sql_matches_arc_patterns(self, count_bug_db, versions):
+        """The SQL translations are pattern-equal to the paper's ARC forms."""
+        from repro.analysis import same_pattern
+        from repro.frontends.sql import to_arc
+
+        v1_sql = to_arc(paper_examples.SQL["fig21a"], database=count_bug_db)
+        assert same_pattern(v1_sql, versions[0])

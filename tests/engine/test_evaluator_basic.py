@@ -1,0 +1,139 @@
+"""Basic evaluator semantics: selection, projection, joins, nesting, 3VL."""
+
+import pytest
+
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL, Truth
+from repro.engine import Evaluator, evaluate
+from repro.errors import EvaluationError
+
+from ..conftest import rows_as_tuples
+
+
+class TestSelectionProjection:
+    def test_projection(self, rs_db):
+        result = evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), rs_db)
+        assert rows_as_tuples(result) == [(1,), (2,), (3,)]
+
+    def test_selection_constant(self, rs_db):
+        result = evaluate(parse("{Q(B) | ∃s ∈ S[Q.B = s.B ∧ s.C = 0]}"), rs_db)
+        assert rows_as_tuples(result) == [(10,), (30,)]
+
+    def test_rename_via_assignment(self, rs_db):
+        result = evaluate(parse("{Q(X) | ∃r ∈ R[Q.X = r.A]}"), rs_db)
+        assert result.schema == ("X",)
+
+    def test_computed_head(self, rs_db):
+        result = evaluate(parse("{Q(twice) | ∃r ∈ R[Q.twice = r.A * 2]}"), rs_db)
+        assert rows_as_tuples(result) == [(2,), (4,), (6,)]
+
+    def test_constant_head(self, rs_db):
+        result = evaluate(parse("{Q(K) | ∃r ∈ R[Q.K = 7 ∧ r.A = 1]}"), rs_db)
+        assert rows_as_tuples(result) == [(7,)]
+
+    def test_empty_result(self, rs_db):
+        result = evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.A > 99]}"), rs_db)
+        assert result.is_empty()
+
+
+class TestJoins:
+    def test_equijoin(self, rs_db):
+        result = evaluate(
+            parse("{Q(A, C) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ Q.C = s.C ∧ r.B = s.B]}"),
+            rs_db,
+        )
+        assert rows_as_tuples(result) == [(1, 0), (2, 5), (3, 0)]
+
+    def test_theta_join(self, rs_db):
+        result = evaluate(
+            parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B < s.B]}"), rs_db
+        )
+        assert rows_as_tuples(result) == [(1,), (2,)]
+
+    def test_cross_product_cardinality(self, rs_db):
+        result = evaluate(
+            parse("{Q(A, B) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ Q.B = s.B]}"), rs_db
+        )
+        assert len(result) == 9
+
+    def test_self_join(self, rs_db):
+        result = evaluate(
+            parse("{Q(A) | ∃r ∈ R, r2 ∈ R[Q.A = r.A ∧ r.A < r2.A]}"), rs_db
+        )
+        assert rows_as_tuples(result) == [(1,), (2,)]
+
+
+class TestNesting:
+    def test_lateral_correlation(self):
+        db = Database()
+        db.create("X", ("A",), [(1,), (5,), (9,)])
+        db.create("Y", ("A",), [(2,), (4,), (6,), (8,)])
+        query = parse(
+            "{Q(A, B) | ∃x ∈ X, z ∈ {Z(B) | ∃y ∈ Y[Z.B = y.A ∧ x.A < y.A]}"
+            "[Q.A = x.A ∧ Q.B = z.B]}"
+        )
+        result = evaluate(query, db)
+        assert rows_as_tuples(result) == [
+            (1, 2), (1, 4), (1, 6), (1, 8), (5, 6), (5, 8),
+        ]
+
+    def test_empty_lateral_drops_outer(self, rs_db):
+        query = parse(
+            "{Q(A) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ s.B > 99]}[Q.A = r.A]}"
+        )
+        assert evaluate(query, rs_db).is_empty()
+
+    def test_semijoin(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃s ∈ S[r.B = s.B ∧ s.C = 0]]}")
+        assert rows_as_tuples(evaluate(query, rs_db)) == [(1,), (3,)]
+
+    def test_antijoin(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[r.B = s.B ∧ s.C = 0])]}")
+        assert rows_as_tuples(evaluate(query, rs_db)) == [(2,)]
+
+
+class TestDisjunction:
+    def test_union_of_rules(self, rs_db):
+        query = parse("{Q(v) | ∃r ∈ R[Q.v = r.A] ∨ ∃s ∈ S[Q.v = s.C]}")
+        assert rows_as_tuples(evaluate(query, rs_db)) == [(0,), (1,), (2,), (3,), (5,)]
+
+    def test_row_level_or(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ (r.A = 1 ∨ r.A = 3)]}")
+        assert rows_as_tuples(evaluate(query, rs_db)) == [(1,), (3,)]
+
+
+class TestSentences:
+    def test_true_sentence(self, rs_db):
+        assert evaluate(parse("∃r ∈ R[r.A = 1]"), rs_db) is Truth.TRUE
+
+    def test_false_sentence(self, rs_db):
+        assert evaluate(parse("∃r ∈ R[r.A = 99]"), rs_db) is Truth.FALSE
+
+    def test_negated_sentence(self, rs_db):
+        assert evaluate(parse("¬∃r ∈ R[r.A = 99]"), rs_db) is Truth.TRUE
+
+    def test_unknown_sentence(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,)])
+        assert evaluate(parse("∃r ∈ R[r.A = 1]"), db) is Truth.UNKNOWN
+
+
+class TestErrors:
+    def test_unknown_relation(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("{Q(A) | ∃r ∈ Nope[Q.A = r.A]}"), Database())
+
+    def test_unassigned_head(self, rs_db):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A]}"), rs_db)
+
+    def test_aggregate_without_grouping(self, rs_db):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("{Q(sm) | ∃r ∈ R[Q.sm = sum(r.B)]}"), rs_db)
+
+    def test_evaluator_reuse(self, rs_db):
+        evaluator = Evaluator(rs_db, SET_CONVENTIONS)
+        a = evaluator.evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"))
+        b = evaluator.evaluate(parse("{Q(B) | ∃s ∈ S[Q.B = s.B]}"))
+        assert len(a) == 3 and len(b) == 3

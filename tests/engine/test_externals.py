@@ -1,0 +1,138 @@
+"""External relations: access patterns, chained resolution, safety errors."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+from repro.engine.externals import (
+    ExternalRegistry,
+    ExternalRelation,
+    standard_registry,
+)
+from repro.errors import EvaluationError, SchemaError
+
+from ..conftest import rows_as_tuples
+
+
+@pytest.fixture
+def rst_db():
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 10), (2, 3)])
+    db.create("S", ("B",), [(4,)])
+    db.create("T", ("B",), [(5,)])
+    return db
+
+
+class TestAccessPatterns:
+    def test_minus_forward(self):
+        minus = standard_registry().get("Minus")
+        assert minus.complete({"left": 5, "right": 3}) == [
+            {"left": 5, "right": 3, "out": 2}
+        ]
+
+    def test_minus_inverse_patterns(self):
+        minus = standard_registry().get("Minus")
+        assert minus.complete({"left": 5, "out": 2}) == [
+            {"left": 5, "out": 2, "right": 3}
+        ]
+        assert minus.complete({"right": 3, "out": 2}) == [
+            {"right": 3, "out": 2, "left": 5}
+        ]
+
+    def test_membership_check(self):
+        minus = standard_registry().get("Minus")
+        assert minus.complete({"left": 5, "right": 3, "out": 2})
+        assert minus.complete({"left": 5, "right": 3, "out": 99}) == []
+
+    def test_accepts(self):
+        minus = standard_registry().get("Minus")
+        assert minus.accepts({"left", "right"})
+        assert not minus.accepts({"left"})
+
+    def test_null_inputs_yield_nothing(self):
+        from repro.data.values import NULL
+
+        minus = standard_registry().get("Minus")
+        assert minus.complete({"left": NULL, "right": 3}) == []
+
+    def test_comparison_relation_is_check_only(self):
+        bigger = standard_registry().get(">")
+        assert bigger.complete({"left": 5, "right": 3}) == [{"left": 5, "right": 3}]
+        assert bigger.complete({"left": 3, "right": 5}) == []
+        with pytest.raises(EvaluationError):
+            bigger.complete({"left": 5})
+
+    def test_times_division_pattern(self):
+        times = standard_registry().get("*")
+        assert times.complete({"$1": 3, "out": 12}) == [{"$1": 3, "out": 12, "$2": 4}]
+        assert times.complete({"$1": 0, "out": 12}) == []
+
+    def test_aliases(self):
+        registry = standard_registry()
+        assert registry.get("-") is registry.get("Minus")
+        assert registry.get("+") is registry.get("Add")
+        assert "Concat" in registry
+
+    def test_unknown_external(self):
+        with pytest.raises(SchemaError):
+            standard_registry().get("Frobnicate")
+
+
+class TestQueriesWithExternals:
+    def test_eq20_reified_minus(self, rst_db):
+        query = parse(
+            "{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus"
+            "[Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ f.out > t.B]}"
+        )
+        assert rows_as_tuples(evaluate(query, rst_db)) == [(1,)]
+
+    def test_eq19_inline_equals_eq20_reified(self, rst_db):
+        inline = parse(
+            "{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T[Q.A = r.A ∧ r.B - s.B > t.B]}"
+        )
+        reified = parse(
+            "{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus"
+            "[Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ f.out > t.B]}"
+        )
+        assert evaluate(inline, rst_db).set_equal(evaluate(reified, rst_db))
+
+    def test_eq21_chained_externals(self, rst_db):
+        query = parse(
+            "{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus, g ∈ Bigger"
+            "[Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ "
+            "f.out = g.left ∧ g.right = t.B]}"
+        )
+        assert rows_as_tuples(evaluate(query, rst_db)) == [(1,)]
+
+    def test_unresolvable_external_is_unsafe(self, rst_db):
+        query = parse("{Q(o) | ∃f ∈ Minus[Q.o = f.out ∧ f.left = 1]}")
+        with pytest.raises(EvaluationError, match="unsafe|access pattern"):
+            evaluate(query, rst_db)
+
+    def test_external_output_binding(self, rst_db):
+        query = parse(
+            "{Q(o) | ∃r ∈ R, f ∈ Minus[Q.o = f.out ∧ f.left = r.B ∧ f.right = 1]}"
+        )
+        assert rows_as_tuples(evaluate(query, rst_db)) == [(2,), (9,)]
+
+    def test_custom_external(self):
+        double = ExternalRelation(
+            "Double",
+            ("x", "y"),
+            {("x",): lambda k: [{**k, "y": k["x"] * 2}]},
+        )
+        registry = ExternalRegistry([double])
+        db = Database()
+        db.create("R", ("A",), [(1,), (2,)])
+        query = parse("{Q(y) | ∃r ∈ R, d ∈ Double[Q.y = d.y ∧ d.x = r.A]}")
+        assert rows_as_tuples(evaluate(query, db, externals=registry)) == [(2,), (4,)]
+
+    def test_incomplete_pattern_output_raises(self):
+        bad = ExternalRelation("Bad", ("x", "y"), {("x",): lambda k: [{"x": k["x"]}]})
+        registry = ExternalRegistry([bad])
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        query = parse("{Q(y) | ∃r ∈ R, b ∈ Bad[Q.y = b.y ∧ b.x = r.A]}")
+        with pytest.raises(EvaluationError, match="undetermined"):
+            evaluate(query, db, externals=registry)

@@ -1,0 +1,186 @@
+"""Grouping scopes: FIO, FOI, γ∅, multiple aggregates, HAVING-like filters."""
+
+import pytest
+
+from repro.core.conventions import SET_CONVENTIONS, SOUFFLE_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL, Truth, is_null
+from repro.engine import evaluate
+
+from ..conftest import rows_as_tuples
+
+
+class TestFio:
+    def test_grouped_sum(self, grouped_db):
+        result = evaluate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}"),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 30), (2, 5)]
+
+    def test_multiple_aggregates_share_scope(self, grouped_db):
+        result = evaluate(
+            parse(
+                "{Q(A, sm, mx, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ "
+                "Q.sm = sum(r.B) ∧ Q.mx = max(r.B) ∧ Q.ct = count(r.B)]}"
+            ),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 30, 20, 2), (2, 5, 5, 1)]
+
+    def test_avg_min(self, grouped_db):
+        result = evaluate(
+            parse("{Q(A, av, mn) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.av = avg(r.B) ∧ Q.mn = min(r.B)]}"),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 15.0, 10), (2, 5.0, 5)]
+
+    def test_count_star(self, grouped_db):
+        result = evaluate(
+            parse("{Q(A, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.ct = count(*)]}"),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 2), (2, 1)]
+
+    def test_gamma_empty_over_all(self, grouped_db):
+        result = evaluate(
+            parse("{Q(sm) | ∃r ∈ R, γ ∅[Q.sm = sum(r.B)]}"), grouped_db
+        )
+        assert rows_as_tuples(result) == [(35,)]
+
+    def test_gamma_empty_on_empty_input_yields_one_group(self):
+        db = Database()
+        db.create("R", ("A", "B"), [])
+        result = evaluate(parse("{Q(ct) | ∃r ∈ R, γ ∅[Q.ct = count(r.B)]}"), db)
+        assert rows_as_tuples(result) == [(0,)]
+
+    def test_keyed_grouping_on_empty_input_yields_no_groups(self):
+        db = Database()
+        db.create("R", ("A", "B"), [])
+        result = evaluate(
+            parse("{Q(A, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.ct = count(r.B)]}"), db
+        )
+        assert result.is_empty()
+
+    def test_group_keys_with_nulls_group_together(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(NULL, 1), (NULL, 2), (3, 3)])
+        result = evaluate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}"), db
+        )
+        rows = rows_as_tuples(result)
+        assert len(rows) == 2
+        assert (3, 3) in rows
+
+    def test_row_filter_applies_before_grouping(self, grouped_db):
+        result = evaluate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B) ∧ r.B > 5]}"),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 30)]
+
+    def test_grouping_expression_key(self, grouped_db):
+        result = evaluate(
+            parse("{Q(par, ct) | ∃r ∈ R, γ ∅[Q.par = 1 ∧ Q.ct = count(r.B)]}"),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1, 3)]
+
+
+class TestAggregateFilters:
+    def test_having_like_comparison(self, grouped_db):
+        result = evaluate(
+            parse(
+                "{Q(A) | ∃x ∈ {X(A, sm) | ∃r ∈ R, γ r.A[X.A = r.A ∧ X.sm = sum(r.B)]}"
+                "[Q.A = x.A ∧ x.sm > 10]}"
+            ),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1,)]
+
+    def test_aggregate_comparison_in_scope(self, grouped_db):
+        """An aggregation comparison predicate filters groups directly."""
+        result = evaluate(
+            parse(
+                "{Q(A) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ sum(r.B) > 10]}"
+            ),
+            grouped_db,
+        )
+        assert rows_as_tuples(result) == [(1,)]
+
+
+class TestFoi:
+    def test_foi_equals_fio(self, grouped_db):
+        fio = evaluate(
+            parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}"),
+            grouped_db,
+        )
+        foi = evaluate(
+            parse(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅"
+                "[r2.A = r.A ∧ X.sm = sum(r2.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+            ),
+            grouped_db,
+        )
+        assert fio.set_equal(foi)
+
+    def test_foi_empty_group_produces_null(self, grouped_db):
+        result = evaluate(
+            parse(
+                "{Q(A, sm) | ∃s ∈ S, x ∈ {X(sm) | ∃r ∈ R, γ ∅"
+                "[r.A > 99 ∧ X.sm = sum(r.B)]}[Q.A = s.A ∧ Q.sm = x.sm]}"
+            ),
+            grouped_db,
+        )
+        assert all(is_null(row["sm"]) for row in result)
+
+    def test_foi_empty_group_zero_under_souffle(self, grouped_db):
+        result = evaluate(
+            parse(
+                "{Q(A, sm) | ∃s ∈ S, x ∈ {X(sm) | ∃r ∈ R, γ ∅"
+                "[r.A > 99 ∧ X.sm = sum(r.B)]}[Q.A = s.A ∧ Q.sm = x.sm]}"
+            ),
+            grouped_db,
+            SOUFFLE_CONVENTIONS,
+        )
+        assert all(row["sm"] == 0 for row in result)
+
+
+class TestBooleanGrouping:
+    def test_eq13_true(self):
+        db = Database()
+        db.create("R", ("id", "q"), [(1, 2)])
+        db.create("S", ("id", "d"), [(1, "x"), (1, "y"), (1, "z")])
+        sentence = parse("∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q <= count(s.d)]]")
+        assert evaluate(sentence, db) is Truth.TRUE
+
+    def test_eq14_dual(self):
+        db = Database()
+        db.create("R", ("id", "q"), [(1, 2)])
+        db.create("S", ("id", "d"), [(1, "x"), (1, "y"), (1, "z")])
+        sentence = parse("¬∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q > count(s.d)]]")
+        assert evaluate(sentence, db) is Truth.TRUE
+
+    def test_eq13_false_when_count_short(self):
+        db = Database()
+        db.create("R", ("id", "q"), [(1, 5)])
+        db.create("S", ("id", "d"), [(1, "x")])
+        sentence = parse("∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q <= count(s.d)]]")
+        assert evaluate(sentence, db) is Truth.FALSE
+
+    def test_grouped_boolean_with_keys(self, grouped_db):
+        sentence = parse("∃s ∈ S[∃r ∈ R, γ r.A[r.A = s.A ∧ sum(r.B) > 10]]")
+        assert evaluate(sentence, grouped_db) is Truth.TRUE
+
+
+class TestDeduplication:
+    def test_grouping_as_distinct(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2), (1, 2), (3, 4)])
+        from repro.core.conventions import Conventions, Semantics
+
+        bag = Conventions(semantics=Semantics.BAG)
+        result = evaluate(
+            parse("{Q(A, B) | ∃r ∈ R, γ r.A, r.B[Q.A = r.A ∧ Q.B = r.B]}"), db, bag
+        )
+        assert len(result) == 2

@@ -1,0 +1,111 @@
+"""NULL handling: 3VL vs 2VL conventions, NOT IN, IS NULL (Section 2.10)."""
+
+import pytest
+
+from repro.core.conventions import NullComparison, SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL, Truth
+from repro.engine import evaluate
+from repro.workloads import instances
+
+from ..conftest import rows_as_tuples
+
+TWO_VL = SET_CONVENTIONS.with_(null_comparison=NullComparison.TWO_VALUED)
+
+
+class TestNotIn:
+    def test_not_in_with_null_is_empty(self):
+        """Fig. 11: NOT IN returns nothing when S contains a NULL."""
+        db = instances.not_in_instance(with_null=True)
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        assert evaluate(query, db).is_empty()
+
+    def test_not_in_without_null(self):
+        db = instances.not_in_instance(with_null=False)
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}")
+        assert rows_as_tuples(evaluate(query, db)) == [(2,), (3,)]
+
+    def test_in_with_null_still_matches(self):
+        db = instances.not_in_instance(with_null=True)
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ∃s ∈ S[s.A = r.A]]}")
+        assert rows_as_tuples(evaluate(query, db)) == [(1,)]
+
+    def test_eq17_rewrite_matches_under_both_logics(self):
+        db = instances.not_in_instance(with_null=True)
+        rewritten = parse(
+            "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ "
+            "¬(∃s ∈ S[s.A = r.A ∨ s.A is null ∨ r.A is null])]}"
+        )
+        assert evaluate(rewritten, db, SET_CONVENTIONS).is_empty()
+        assert evaluate(rewritten, db, TWO_VL).is_empty()
+
+
+class TestThreeValuedPropagation:
+    def test_comparison_with_null_filters_row(self):
+        db = Database()
+        db.create("R", ("A",), [(1,), (NULL,)])
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.A = 1]}")
+        assert rows_as_tuples(evaluate(query, db)) == [(1,)]
+
+    def test_negated_unknown_still_filters(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,)])
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(r.A = 1)]}")
+        assert evaluate(query, db).is_empty()
+
+    def test_exists_unknown(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,)])
+        assert evaluate(parse("∃r ∈ R[r.A = 1]"), db) is Truth.UNKNOWN
+        assert evaluate(parse("¬∃r ∈ R[r.A = 1]"), db) is Truth.UNKNOWN
+
+    def test_or_rescues_unknown(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(NULL, 1)])
+        query = parse("{Q(B) | ∃r ∈ R[Q.B = r.B ∧ (r.A = 1 ∨ r.B = 1)]}")
+        assert rows_as_tuples(evaluate(query, db)) == [(1,)]
+
+    def test_two_valued_null_equality(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,), (1,)])
+        db.create("S", ("A",), [(NULL,)])
+        query = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.A = s.A]}")
+        assert evaluate(query, db, SET_CONVENTIONS).is_empty()
+        result = evaluate(query, db, TWO_VL)
+        assert len(result) == 1  # NULL = NULL holds in 2VL
+
+
+class TestIsNull:
+    def test_is_null_predicate(self):
+        db = Database()
+        db.create("R", ("A",), [(1,), (NULL,)])
+        query = parse("{Q(K) | ∃r ∈ R[Q.K = 1 ∧ r.A is null]}")
+        assert len(evaluate(query, db)) == 1
+
+    def test_is_not_null_predicate(self):
+        db = Database()
+        db.create("R", ("A",), [(1,), (NULL,)])
+        query = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.A is not null]}")
+        assert rows_as_tuples(evaluate(query, db)) == [(1,)]
+
+    def test_is_null_is_two_valued_even_in_3vl(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,)])
+        assert evaluate(parse("∃r ∈ R[r.A is null]"), db) is Truth.TRUE
+
+
+class TestNullArithmetic:
+    def test_null_propagates_into_head(self):
+        db = Database()
+        db.create("R", ("A",), [(NULL,)])
+        result = evaluate(parse("{Q(v) | ∃r ∈ R[Q.v = r.A + 1]}"), db)
+        assert rows_as_tuples(result) == [(NULL,)]
+
+    def test_aggregate_skips_null_rows(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 5), (1, NULL)])
+        result = evaluate(
+            parse("{Q(A, sm, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B) ∧ Q.ct = count(r.B)]}"),
+            db,
+        )
+        assert rows_as_tuples(result) == [(1, 5, 1)]

@@ -1,0 +1,150 @@
+"""Join-annotation evaluation: left/full/inner trees, literal leaves,
+condition assignment, null padding (Section 2.11)."""
+
+import pytest
+
+from repro.core.conventions import Conventions, Semantics
+from repro.core.parser import parse
+from repro.data import Database, NULL, is_null
+from repro.engine import evaluate
+
+from ..conftest import rows_as_tuples
+
+BAG = Conventions(semantics=Semantics.BAG)
+
+
+@pytest.fixture
+def lr_db():
+    db = Database()
+    db.create("L", ("a", "b"), [(1, 10), (2, 20), (3, 30)])
+    db.create("R", ("b", "c"), [(10, "x"), (30, "z"), (99, "w")])
+    return db
+
+
+class TestLeftJoin:
+    def test_matching_and_padded(self, lr_db):
+        query = parse(
+            "{Q(a, c) | ∃l ∈ L, r ∈ R, left(l, r)[Q.a = l.a ∧ Q.c = r.c ∧ l.b = r.b]}"
+        )
+        assert rows_as_tuples(evaluate(query, lr_db)) == [
+            (1, "x"), (2, NULL), (3, "z"),
+        ]
+
+    def test_unpreserved_right_rows_dropped(self, lr_db):
+        query = parse(
+            "{Q(c) | ∃l ∈ L, r ∈ R, left(l, r)[Q.c = r.c ∧ l.b = r.b]}"
+        )
+        values = {row["c"] for row in evaluate(query, lr_db)}
+        assert "w" not in values
+
+    def test_right_only_filter_acts_as_on_condition(self, lr_db):
+        # A conjunct referencing only the optional side filters its rows
+        # *before* matching: unmatched left rows survive null-padded.
+        query = parse(
+            "{Q(a, c) | ∃l ∈ L, r ∈ R, left(l, r)"
+            "[Q.a = l.a ∧ Q.c = r.c ∧ l.b = r.b ∧ r.c = 'x']}"
+        )
+        assert rows_as_tuples(evaluate(query, lr_db)) == [
+            (1, "x"), (2, NULL), (3, NULL),
+        ]
+
+    def test_multiplicities_under_bag(self):
+        db = Database()
+        db.create("L", ("a",), [(1,), (1,)])
+        db.create("R", ("a",), [(1,), (1,), (1,)])
+        query = parse("{Q(a) | ∃l ∈ L, r ∈ R, left(l, r)[Q.a = l.a ∧ l.a = r.a]}")
+        assert len(evaluate(query, db, BAG)) == 6
+
+
+class TestLiteralLeaf:
+    def test_fig12_semantics(self):
+        db = Database()
+        db.create("R", ("m", "y", "h"), [(1, 100, 11), (2, 200, 12), (3, 300, 11)])
+        db.create("S", ("y", "n"), [(100, "x"), (200, "y2"), (300, "z")])
+        query = parse(
+            "{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11, s))"
+            "[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}"
+        )
+        # Row 2 has h=12: it fails the ON condition but is preserved.
+        assert rows_as_tuples(evaluate(query, db)) == [
+            (1, "x"), (2, NULL), (3, "z"),
+        ]
+
+    def test_without_literal_leaf_becomes_filter(self):
+        db = Database()
+        db.create("R", ("m", "y", "h"), [(1, 100, 11), (2, 200, 12)])
+        db.create("S", ("y", "n"), [(100, "x"), (200, "y2")])
+        query = parse(
+            "{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, s)"
+            "[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}"
+        )
+        # h = 11 covers only the preserved leaf -> enumeration filter:
+        # row 2 disappears entirely.
+        assert rows_as_tuples(evaluate(query, db)) == [(1, "x")]
+
+
+class TestFullJoin:
+    def test_both_sides_padded(self, lr_db):
+        query = parse(
+            "{Q(a, c) | ∃l ∈ L, r ∈ R, full(l, r)[Q.a = l.a ∧ Q.c = r.c ∧ l.b = r.b]}"
+        )
+        rows = rows_as_tuples(evaluate(query, lr_db))
+        assert (2, NULL) in rows  # left-unmatched
+        assert (NULL, "w") in rows  # right-unmatched
+        assert len(rows) == 4
+
+
+class TestNestedAnnotations:
+    def test_inner_then_left(self):
+        db = Database()
+        db.create("R", ("a",), [(1,), (2,)])
+        db.create("S", ("a", "b"), [(1, 10)])
+        db.create("T", ("b",), [(10,)])
+        query = parse(
+            "{Q(a, b) | ∃r ∈ R, s ∈ S, t ∈ T, left(r, inner(s, t))"
+            "[Q.a = r.a ∧ Q.b = t.b ∧ r.a = s.a ∧ s.b = t.b]}"
+        )
+        assert rows_as_tuples(evaluate(query, db)) == [(1, 10), (2, NULL)]
+
+    def test_left_of_left(self):
+        db = Database()
+        db.create("R", ("a",), [(1,), (2,)])
+        db.create("S", ("a",), [(1,)])
+        db.create("T", ("a",), [])
+        query = parse(
+            "{Q(a, b, c) | ∃r ∈ R, s ∈ S, t ∈ T, left(left(r, s), t)"
+            "[Q.a = r.a ∧ Q.b = s.a ∧ Q.c = t.a ∧ r.a = s.a ∧ s.a = t.a]}"
+        )
+        rows = rows_as_tuples(evaluate(query, db))
+        assert (1, 1, NULL) in rows and (2, NULL, NULL) in rows
+
+    def test_uncovered_bindings_cross_joined(self):
+        db = Database()
+        db.create("R", ("a",), [(1,)])
+        db.create("S", ("a",), [])
+        db.create("U", ("k",), [(7,), (8,)])
+        query = parse(
+            "{Q(a, k) | ∃r ∈ R, s ∈ S, u ∈ U, left(r, s)"
+            "[Q.a = r.a ∧ Q.k = u.k ∧ r.a = s.a]}"
+        )
+        assert len(evaluate(query, db)) == 2
+
+
+class TestPaddedValues:
+    def test_null_row_attributes_are_null(self, lr_db):
+        query = parse(
+            "{Q(a, c) | ∃l ∈ L, r ∈ R, left(l, r)[Q.a = l.a ∧ Q.c = r.c ∧ l.b = r.b]}"
+        )
+        padded = [row for row in evaluate(query, lr_db) if is_null(row["c"])]
+        assert len(padded) == 1
+
+    def test_count_ignores_padded(self):
+        """Fig. 21c: count over the padded side yields 0, not 1."""
+        db = Database()
+        db.create("R", ("id",), [(9,)])
+        db.create("S", ("id", "d"), [])
+        query = parse(
+            "{Q(id, ct) | ∃s ∈ S, r ∈ R, γ r.id, left(r, s)"
+            "[Q.id = r.id ∧ Q.ct = count(s.d) ∧ r.id = s.id]}"
+        )
+        assert rows_as_tuples(evaluate(query, db)) == [(9, 0)]

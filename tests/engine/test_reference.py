@@ -1,0 +1,59 @@
+"""Direct tests of the brute-force reference oracle (beyond differential)."""
+
+import pytest
+
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, Truth
+from repro.engine.reference import reference_evaluate
+from repro.errors import EvaluationError
+
+from ..conftest import rows_as_tuples
+
+
+class TestBasics:
+    def test_projection(self, rs_db):
+        result = reference_evaluate(parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}"), rs_db)
+        assert rows_as_tuples(result) == [(1,), (2,), (3,)]
+
+    def test_join(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+        assert rows_as_tuples(reference_evaluate(query, rs_db)) == [(1,), (3,)]
+
+    def test_sentence(self, rs_db):
+        assert reference_evaluate(parse("∃r ∈ R[r.A = 1]"), rs_db) is Truth.TRUE
+
+    def test_lateral_nested_collection(self, rs_db):
+        query = parse(
+            "{Q(A) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ s.B = r.B]}"
+            "[Q.A = r.A]}"
+        )
+        result = reference_evaluate(query, rs_db)
+        assert rows_as_tuples(result) == [(1,), (2,), (3,)]
+
+    def test_disjunction(self, rs_db):
+        query = parse("{Q(v) | ∃r ∈ R[Q.v = r.A] ∨ ∃s ∈ S[Q.v = s.C]}")
+        result = reference_evaluate(query, rs_db)
+        assert rows_as_tuples(result) == [(0,), (1,), (2,), (3,), (5,)]
+
+
+class TestUnsupported:
+    def test_grouping_rejected(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R, γ r.A[Q.A = r.A]}")
+        with pytest.raises(EvaluationError, match="grouping"):
+            reference_evaluate(query, rs_db)
+
+    def test_aggregates_rejected(self, rs_db):
+        query = parse("{Q(s) | ∃r ∈ R, γ ∅[Q.s = sum(r.B)]}")
+        with pytest.raises(EvaluationError):
+            reference_evaluate(query, rs_db)
+
+    def test_join_annotations_rejected(self, rs_db):
+        query = parse("{Q(A) | ∃r ∈ R, s ∈ S, left(r, s)[Q.A = r.A ∧ r.B = s.B]}")
+        with pytest.raises(EvaluationError, match="join"):
+            reference_evaluate(query, rs_db)
+
+    def test_program_rejected(self, rs_db):
+        program = parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")
+        with pytest.raises(EvaluationError):
+            reference_evaluate(program, rs_db)

@@ -1,0 +1,166 @@
+"""Datalog/Soufflé frontend tests."""
+
+import pytest
+
+from repro.core import nodes as n
+from repro.core.conventions import SOUFFLE_CONVENTIONS
+from repro.data import Database
+from repro.engine import evaluate
+from repro.errors import ParseError
+from repro.frontends import datalog
+
+from ..conftest import rows_as_tuples
+
+
+class TestParsing:
+    def test_fact(self):
+        rules = datalog.parse_rules("Base(1, 'x').")
+        assert rules[0].head_predicate == "Base"
+        assert not rules[0].body
+
+    def test_rule(self):
+        rules = datalog.parse_rules("Q(x) :- R(x, y), S(y).")
+        assert len(rules[0].body) == 2
+
+    def test_wildcard_and_constant(self):
+        rules = datalog.parse_rules("Q(x) :- R(x, _, 3).")
+        atom = rules[0].body[0]
+        assert isinstance(atom.args[1], datalog._Wildcard)
+        assert atom.args[2].value == 3
+
+    def test_negation_bang_and_not(self):
+        for text in ("Q(x) :- R(x), !S(x).", "Q(x) :- R(x), not S(x)."):
+            rules = datalog.parse_rules(text)
+            assert rules[0].body[1].negated
+
+    def test_comparison(self):
+        rules = datalog.parse_rules("Q(x) :- R(x, y), x < y.")
+        assert isinstance(rules[0].body[1], datalog.CompareLit)
+
+    def test_body_aggregate(self):
+        rules = datalog.parse_rules("Q(a, s) :- R(a, _), s = sum b : {S(a, b)}.")
+        agg = rules[0].body[1]
+        assert isinstance(agg, datalog.AggLit)
+        assert agg.target == "s" and agg.func == "sum"
+
+    def test_head_aggregate(self):
+        rules = datalog.parse_rules("Q(a, sum b : {R(a, b)}) :- R(a, _).")
+        assert isinstance(rules[0].head_args[1], datalog.AggLit)
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            datalog.parse_rules("Q(x) :- R(x)")
+
+
+class TestTranslation:
+    def test_join_via_shared_variable(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (2, 20)])
+        db.create("S", ("b", "c"), [(10, "x")])
+        program = datalog.to_arc("Q(x, z) :- R(x, y), S(y, z).", database=db)
+        result = evaluate(program, db, SOUFFLE_CONVENTIONS)
+        assert rows_as_tuples(result) == [(1, "x")]
+
+    def test_constants_become_selections(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (2, 20)])
+        program = datalog.to_arc("Q(x) :- R(x, 10).", database=db)
+        assert rows_as_tuples(evaluate(program, db, SOUFFLE_CONVENTIONS)) == [(1,)]
+
+    def test_recursion(self, ancestor_db):
+        program = datalog.to_arc(
+            "A(x, y) :- P(x, y).\nA(x, y) :- P(x, z), A(z, y).",
+            database=ancestor_db,
+        )
+        result = evaluate(program, ancestor_db, SOUFFLE_CONVENTIONS)
+        pairs = {(row["x"], row["y"]) for row in result}
+        assert ("a", "d") in pairs and ("a", "e") in pairs
+
+    def test_multiple_rules_become_disjunction(self, ancestor_db):
+        program = datalog.to_arc(
+            "A(x, y) :- P(x, y).\nA(x, y) :- P(x, z), A(z, y).",
+            database=ancestor_db,
+        )
+        definition = program.definitions["A"]
+        assert isinstance(definition.body, n.Or)
+
+    def test_negation(self):
+        db = Database()
+        db.create("R", ("x",), [(1,), (2,), (3,)])
+        db.create("S", ("x",), [(2,)])
+        program = datalog.to_arc("T(x) :- R(x), !S(x).", database=db)
+        assert rows_as_tuples(evaluate(program, db, SOUFFLE_CONVENTIONS)) == [(1,), (3,)]
+
+    def test_unbound_negated_variable_rejected(self):
+        with pytest.raises(ParseError, match="range restriction"):
+            datalog.to_arc("Q(x) :- R(x), !S(y).")
+
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(ParseError, match="not bound"):
+            datalog.to_arc("Q(x, y) :- R(x).")
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(ParseError, match="arities"):
+            datalog.to_arc("Q(x) :- R(x).\nQ(x, y) :- R(x), R(y).")
+
+
+class TestAggregates:
+    def test_eq15_body_aggregate_foi_pattern(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 2)])
+        db.create("S", ("a", "b"), [])
+        program = datalog.to_arc(
+            "Q(ak, sm) :- R(ak, _), sm = sum b : {S(a, b), a < ak}.", database=db
+        )
+        # Soufflé conventions: sum over empty = 0, so (1, 0).
+        result = evaluate(program, db, SOUFFLE_CONVENTIONS)
+        assert rows_as_tuples(result) == [(1, 0)]
+        # The FOI shape: a correlated lateral collection with γ∅.
+        definition = program.definitions["Q"]
+        laterals = [
+            b
+            for node in definition.walk()
+            if isinstance(node, n.Quantifier)
+            for b in node.bindings
+            if isinstance(b.source, n.Collection)
+        ]
+        assert laterals
+        inner = laterals[0].source.body
+        assert inner.grouping is not None and inner.grouping.keys == ()
+
+    def test_eq6_head_aggregate(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (1, 20), (2, 5)])
+        program = datalog.to_arc("Q(a, sum b : {R(a, b)}) :- R(a, _).", database=db)
+        result = evaluate(program, db, SOUFFLE_CONVENTIONS)
+        assert rows_as_tuples(result) == [(1, 30), (2, 5)]
+
+    def test_count_aggregate(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (1, 20), (2, 5)])
+        program = datalog.to_arc(
+            "Q(a, c) :- R(a, _), c = count : {R(a, b)}.", database=db
+        )
+        assert rows_as_tuples(evaluate(program, db, SOUFFLE_CONVENTIONS)) == [
+            (1, 2),
+            (2, 1),
+        ]
+
+    def test_correlation_does_not_escape(self):
+        """Soufflé rule: groundings inside an aggregate stay inside."""
+        db = Database()
+        db.create("R", ("a",), [(1,)])
+        db.create("S", ("a", "b"), [(1, 5), (2, 7)])
+        program = datalog.to_arc(
+            "Q(x, s) :- R(x), s = sum b : {S(x, b)}.", database=db
+        )
+        # Only S rows with a = x = 1 are summed.
+        assert rows_as_tuples(evaluate(program, db, SOUFFLE_CONVENTIONS)) == [(1, 5)]
+
+    def test_min_max_aggregates(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (1, 20)])
+        program = datalog.to_arc(
+            "Q(a, m) :- R(a, _), m = max b : {R(a, b)}.", database=db
+        )
+        assert rows_as_tuples(evaluate(program, db, SOUFFLE_CONVENTIONS)) == [(1, 20)]

@@ -1,0 +1,118 @@
+"""Rel mini-frontend tests: the FIO-with-per-aggregate-scope pattern."""
+
+import pytest
+
+from repro.core import nodes as n
+from repro.data import Database
+from repro.engine import evaluate
+from repro.errors import ParseError
+from repro.frontends import rel
+
+from ..conftest import rows_as_tuples
+
+
+class TestParsing:
+    def test_simple_def(self):
+        defs = rel.parse_rel("def Q(a, sm) : sm = sum[(b) : R(a, b)]")
+        assert defs[0].name == "Q"
+        assert defs[0].params == ["a", "sm"]
+        agg = defs[0].literals[0]
+        assert agg.func == "sum" and agg.target == "sm"
+
+    def test_average_alias(self):
+        defs = rel.parse_rel("def Q(d, av) : av = average[(e, s) : R(e, d)]")
+        assert defs[0].literals[0].func == "avg"
+
+    def test_aggregate_comparison(self):
+        defs = rel.parse_rel("def Q(d) : sum[(e, s) : R(e, d)] > 100")
+        agg = defs[0].literals[0]
+        assert agg.target is None and agg.op == ">"
+
+    def test_multi_atom_body(self):
+        defs = rel.parse_rel(
+            "def Q(d, av) : av = avg[(e, s) : R(e, d) and S(e, s)]"
+        )
+        assert len(defs[0].literals[0].body) == 2
+
+    def test_bad_syntax(self):
+        with pytest.raises(ParseError):
+            rel.parse_rel("def Q(a) a = sum[(b) : R(a, b)]")
+
+
+class TestTranslation:
+    def test_simple_grouped_aggregate(self):
+        db = Database()
+        db.create("R", ("a", "b"), [(1, 10), (1, 20), (2, 5)])
+        arc = rel.to_arc("def Q(a, sm) : sm = sum[(b) : R(a, b)]", database=db)
+        assert rows_as_tuples(evaluate(arc, db)) == [(1, 30), (2, 5)]
+
+    def test_eq11_multiple_aggregates(self, payroll_db):
+        arc = rel.to_arc(
+            "def Q(d, av) : av = average[(e, s) : R(e, d) and S(e, s)] and "
+            "sum[(e, s) : R(e, d) and S(e, s)] > 100",
+            database=payroll_db,
+        )
+        assert rows_as_tuples(evaluate(arc, payroll_db)) == [("cs", 55.0)]
+
+    def test_one_scope_per_aggregate(self, payroll_db):
+        """The Rel legacy the paper highlights: each aggregate gets its own
+        collection (eq. (12)), unlike SQL's shared scope (eq. (8))."""
+        arc = rel.to_arc(
+            "def Q(d, av) : av = average[(e, s) : R(e, d) and S(e, s)] and "
+            "sum[(e, s) : R(e, d) and S(e, s)] > 100",
+            database=payroll_db,
+        )
+        nested = [
+            b for b in arc.body.bindings if isinstance(b.source, n.Collection)
+        ]
+        assert len(nested) == 2  # one per aggregate
+
+    def test_aggregates_return_grouping_keys(self, payroll_db):
+        """Rel is FIO: each aggregate collection exports its keys."""
+        arc = rel.to_arc(
+            "def Q(d, av) : av = average[(e, s) : R(e, d) and S(e, s)]",
+            database=payroll_db,
+        )
+        nested = next(
+            b.source for b in arc.body.bindings if isinstance(b.source, n.Collection)
+        )
+        assert "d" in nested.head.attrs
+
+    def test_matches_sql_result(self, payroll_db):
+        from repro.frontends.sql import to_arc as sql_to_arc
+
+        rel_arc = rel.to_arc(
+            "def Q(d, av) : av = average[(e, s) : R(e, d) and S(e, s)] and "
+            "sum[(e, s) : R(e, d) and S(e, s)] > 100",
+            database=payroll_db,
+        )
+        sql_arc = sql_to_arc(
+            "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl "
+            "group by R.dept having sum(S.sal) > 100",
+            database=payroll_db,
+        )
+        rel_result = evaluate(rel_arc, payroll_db)
+        sql_result = evaluate(sql_arc, payroll_db)
+        assert sorted(tuple(sorted(t.as_dict().values(), key=str)) for t in rel_result) == \
+            sorted(tuple(sorted(t.as_dict().values(), key=str)) for t in sql_result)
+
+    def test_different_pattern_than_sql(self, payroll_db):
+        """Same results, different relational pattern — the paper's point."""
+        from repro.analysis import same_pattern
+        from repro.frontends.sql import to_arc as sql_to_arc
+
+        rel_arc = rel.to_arc(
+            "def Q(d, av) : av = average[(e, s) : R(e, d) and S(e, s)] and "
+            "sum[(e, s) : R(e, d) and S(e, s)] > 100",
+            database=payroll_db,
+        )
+        sql_arc = sql_to_arc(
+            "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl "
+            "group by R.dept having sum(S.sal) > 100",
+            database=payroll_db,
+        )
+        assert not same_pattern(rel_arc, sql_arc, anonymize_relations=True)
+
+    def test_unbound_head_var_rejected(self):
+        with pytest.raises(ParseError, match="never bound"):
+            rel.to_arc("def Q(a, b) : a = sum[(x) : R(a, x)]")

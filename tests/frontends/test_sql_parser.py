@@ -1,0 +1,192 @@
+"""Tests for the SQL subset parser (AST shapes, not translation)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontends.sql import ast, parse_sql
+
+
+class TestSelect:
+    def test_basic(self):
+        stmt = parse_sql("select R.A from R")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 1
+        assert isinstance(stmt.from_items[0], ast.TableRef)
+
+    def test_aliases(self):
+        stmt = parse_sql("select R.A as x, R.B y from R as r1")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "r1"
+
+    def test_distinct(self):
+        assert parse_sql("select distinct R.A from R").distinct
+
+    def test_into(self):
+        assert parse_sql("select R.A into V from R").into == "V"
+
+    def test_star(self):
+        stmt = parse_sql("select * from R")
+        assert stmt.items[0].expr.column == "*"
+
+    def test_unqualified_column(self):
+        stmt = parse_sql("select A from R")
+        assert stmt.items[0].expr.table is None
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "select R.A, sum(R.B) from R group by R.A having sum(R.B) > 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.Comparison)
+
+    def test_trailing_semicolon(self):
+        parse_sql("select R.A from R;")
+
+    def test_comments(self):
+        parse_sql("select R.A -- comment\nfrom R")
+
+
+class TestFromClause:
+    def test_comma_list(self):
+        stmt = parse_sql("select R.A from R, S, T")
+        assert len(stmt.from_items) == 3
+
+    def test_inner_join(self):
+        stmt = parse_sql("select R.A from R join S on R.B = S.B")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinedTable)
+        assert join.kind == "inner"
+        assert isinstance(join.condition, ast.Comparison)
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("select R.A from R left outer join S on R.B = S.B")
+        assert stmt.from_items[0].kind == "left"
+
+    def test_full_join(self):
+        stmt = parse_sql("select R.A from R full join S on R.B = S.B")
+        assert stmt.from_items[0].kind == "full"
+
+    def test_cross_join(self):
+        stmt = parse_sql("select R.A from R cross join S")
+        assert stmt.from_items[0].kind == "cross"
+
+    def test_join_lateral(self):
+        stmt = parse_sql(
+            "select R.A from R join lateral (select S.B from S) X on true"
+        )
+        join = stmt.from_items[0]
+        assert join.right.lateral
+        assert join.condition is None  # ON true normalizes away
+
+    def test_derived_table(self):
+        stmt = parse_sql("select X.A from (select R.A from R) as X")
+        assert isinstance(stmt.from_items[0], ast.DerivedTable)
+
+    def test_derived_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_sql("select 1 from (select R.A from R)")
+
+    def test_chained_joins(self):
+        stmt = parse_sql(
+            "select R.A from R join S on R.B = S.B left join T on S.C = T.C"
+        )
+        outer = stmt.from_items[0]
+        assert outer.kind == "left"
+        assert outer.left.kind == "inner"
+
+    def test_quoted_identifiers(self):
+        stmt = parse_sql('select R.A from R, "-" where R.B = "-".left')
+        assert stmt.from_items[1].name == "-"
+
+
+class TestConditions:
+    def test_and_or_not(self):
+        stmt = parse_sql("select R.A from R where not (R.A = 1 or R.B = 2) and R.C = 3")
+        assert isinstance(stmt.where, ast.AndCond)
+
+    def test_exists(self):
+        stmt = parse_sql("select R.A from R where exists (select 1 from S)")
+        assert isinstance(stmt.where, ast.ExistsPred)
+
+    def test_not_exists(self):
+        stmt = parse_sql("select R.A from R where not exists (select 1 from S)")
+        assert stmt.where.negated
+
+    def test_in_and_not_in(self):
+        stmt = parse_sql("select R.A from R where R.A in (select S.A from S)")
+        assert isinstance(stmt.where, ast.InPredicate)
+        stmt2 = parse_sql("select R.A from R where R.A not in (select S.A from S)")
+        assert stmt2.where.negated
+
+    def test_is_null(self):
+        stmt = parse_sql("select R.A from R where R.A is null")
+        assert isinstance(stmt.where, ast.IsNullPred)
+        stmt2 = parse_sql("select R.A from R where R.A is not null")
+        assert stmt2.where.negated
+
+    def test_scalar_subquery_comparison(self):
+        stmt = parse_sql(
+            "select R.A from R where R.q = (select count(S.d) from S)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("select R.A + R.B * 2 from R")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_aggregates(self):
+        stmt = parse_sql("select count(*), sum(R.B), count(distinct R.A) from R")
+        assert stmt.items[0].expr.arg is None
+        assert stmt.items[2].expr.distinct
+
+    def test_literals(self):
+        stmt = parse_sql("select 1, 2.5, 'x', null, true from R")
+        values = [item.expr.value for item in stmt.items]
+        assert values[0] == 1 and values[1] == 2.5 and values[2] == "x"
+
+    def test_negative_number(self):
+        stmt = parse_sql("select -5 from R")
+        assert stmt.items[0].expr.value == -5
+
+    def test_scalar_subquery_item(self):
+        stmt = parse_sql("select R.A, (select sum(S.B) from S) sm from R")
+        assert isinstance(stmt.items[1].expr, ast.ScalarSubquery)
+
+
+class TestUnion:
+    def test_union(self):
+        stmt = parse_sql("select R.A from R union select S.A from S")
+        assert isinstance(stmt, ast.UnionStmt)
+        assert not stmt.all
+
+    def test_union_all(self):
+        stmt = parse_sql("select R.A from R union all select S.A from S")
+        assert stmt.all
+
+    def test_mixed_union_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql(
+                "select R.A from R union select S.A from S union all select T.A from T"
+            )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select",
+            "select R.A from",
+            "select R.A from R where",
+            "select R.A from R where R.A",
+            "select R.A from R group by",
+            "select R.A from R extra garbage",
+        ],
+    )
+    def test_parse_errors(self, sql):
+        with pytest.raises(ParseError):
+            parse_sql(sql)

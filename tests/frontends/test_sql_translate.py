@@ -1,0 +1,248 @@
+"""SQL -> ARC translation: pattern shapes and execution results."""
+
+import pytest
+
+from repro.backends.comprehension import render
+from repro.core import nodes as n
+from repro.core.conventions import SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.core.validator import validate
+from repro.data import Database, NULL
+from repro.engine import evaluate
+from repro.errors import ParseError
+from repro.frontends.sql import to_arc
+
+from ..conftest import rows_as_tuples
+
+
+def check(sql, db, expected_rows=None, conventions=SQL_CONVENTIONS):
+    arc = to_arc(sql, database=db)
+    report = validate(arc, database=db)
+    assert report.ok, [str(i) for i in report.issues]
+    result = evaluate(arc, db, conventions)
+    if expected_rows is not None:
+        assert rows_as_tuples(result) == expected_rows
+    return arc, result
+
+
+class TestBasics:
+    def test_projection(self, rs_db):
+        check("select R.A from R", rs_db, [(1,), (2,), (3,)])
+
+    def test_where(self, rs_db):
+        check("select S.B from S where S.C = 0", rs_db, [(10,), (30,)])
+
+    def test_join(self, rs_db):
+        check(
+            "select R.A, S.C from R, S where R.B = S.B",
+            rs_db,
+            [(1, 0), (2, 5), (3, 0)],
+        )
+
+    def test_explicit_inner_join(self, rs_db):
+        arc, result = check(
+            "select R.A from R join S on R.B = S.B", rs_db, [(1,), (2,), (3,)]
+        )
+
+    def test_alias(self, rs_db):
+        check("select x.A from R x where x.A = 1", rs_db, [(1,)])
+
+    def test_unqualified_with_schema(self, rs_db):
+        check("select A from R where A > 1", rs_db, [(2,), (3,)])
+
+    def test_unqualified_without_schema_single_table(self):
+        arc = to_arc("select A from R")
+        assert isinstance(arc, n.Collection)
+
+    def test_ambiguous_unqualified(self, grouped_db):
+        with pytest.raises(ParseError, match="ambiguous"):
+            to_arc("select A from R, S", database=grouped_db)
+
+    def test_arithmetic_item(self, rs_db):
+        check("select R.A * 10 as v from R where R.A = 1", rs_db, [(10,)])
+
+    def test_distinct(self, grouped_db):
+        check("select distinct R.A from R", grouped_db, [(1,), (2,)])
+
+
+class TestAggregation:
+    def test_group_by_fio_pattern(self, grouped_db):
+        arc, result = check(
+            "select R.A, sum(R.B) sm from R group by R.A",
+            grouped_db,
+            [(1, 30), (2, 5)],
+        )
+        expected = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        from repro.analysis import same_pattern
+
+        assert same_pattern(arc, expected)
+
+    def test_aggregate_without_group_by(self, grouped_db):
+        arc, result = check("select sum(R.B) sm from R", grouped_db, [(35,)])
+        assert arc.body.grouping is not None
+        assert arc.body.grouping.keys == ()
+
+    def test_count_star(self, grouped_db):
+        check("select count(*) c from R", grouped_db, [(3,)])
+
+    def test_count_distinct(self, grouped_db):
+        check("select count(distinct R.A) c from R", grouped_db, [(2,)])
+
+    def test_having_wrapper_pattern(self, payroll_db):
+        arc, result = check(
+            "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl "
+            "group by R.dept having sum(S.sal) > 100",
+            payroll_db,
+            [("cs", 55.0)],
+        )
+        # eq. (8): an outer scope selecting from an inner grouped collection.
+        assert isinstance(arc.body.bindings[0].source, n.Collection)
+
+    def test_having_on_unprojected_key(self, payroll_db):
+        arc, result = check(
+            "select avg(S.sal) av from R, S where R.empl = S.empl "
+            "group by R.dept having R.dept = 'cs'",
+            payroll_db,
+            [(55.0,)],
+        )
+
+
+class TestSubqueries:
+    def test_exists(self, rs_db):
+        check(
+            "select R.A from R where exists (select 1 from S where S.B = R.B and S.C = 0)",
+            rs_db,
+            [(1,), (3,)],
+        )
+
+    def test_not_exists(self, rs_db):
+        check(
+            "select R.A from R where not exists (select 1 from S where S.B = R.B and S.C = 0)",
+            rs_db,
+            [(2,)],
+        )
+
+    def test_in(self, rs_db):
+        check(
+            "select R.A from R where R.B in (select S.B from S where S.C = 0)",
+            rs_db,
+            [(1,), (3,)],
+        )
+
+    def test_not_in_null_semantics(self):
+        db = Database()
+        db.create("R", ("A",), [(1,), (2,)])
+        db.create("S", ("A",), [(1,), (NULL,)])
+        arc, result = check(
+            "select R.A from R where R.A not in (select S.A from S)", db
+        )
+        assert result.is_empty()
+
+    def test_scalar_in_where_is_boolean_gamma(self, count_bug_db):
+        arc, result = check(
+            "select R.id from R where R.q = "
+            "(select count(S.d) from S where S.id = R.id)",
+            count_bug_db,
+            [(9,)],
+        )
+        inner = [f for f in n.conjuncts(arc.body.body) if isinstance(f, n.Quantifier)]
+        assert inner and inner[0].grouping is not None
+        assert inner[0].grouping.keys == ()
+
+    def test_scalar_in_select_is_lateral(self, grouped_db):
+        arc, result = check(
+            "select R.A, (select sum(S.B) sm from S where S.A < R.A) sm from R",
+            grouped_db,
+            [(1, 7), (1, 7), (2, 10)],
+        )
+        laterals = [
+            b for b in arc.body.bindings if isinstance(b.source, n.Collection)
+        ]
+        assert laterals
+
+    def test_correlated_lateral_join(self, grouped_db):
+        check(
+            "select R.A, X.sm from R join lateral "
+            "(select sum(S.B) sm from S where S.A < R.A) X on true",
+            grouped_db,
+            [(1, 7), (1, 7), (2, 10)],
+        )
+
+
+class TestOuterJoins:
+    def test_left_join(self):
+        db = Database()
+        db.create("L", ("a", "b"), [(1, 10), (2, 20)])
+        db.create("R", ("b", "c"), [(10, "x")])
+        check(
+            "select L.a, R.c from L left join R on L.b = R.b",
+            db,
+            [(1, "x"), (2, NULL)],
+        )
+
+    def test_fig12_literal_device_applied(self):
+        db = Database()
+        db.create("R", ("m", "y", "h"), [(1, 100, 11), (2, 200, 12)])
+        db.create("S", ("y", "n"), [(100, "x"), (200, "w")])
+        arc, result = check(
+            "select R.m, S.n from R left outer join S on (R.h = 11 and R.y = S.y)",
+            db,
+            [(1, "x"), (2, NULL)],
+        )
+        consts = [j for j in arc.body.join.walk() if isinstance(j, n.JoinConst)]
+        assert [c.value for c in consts] == [11]
+
+    def test_full_join(self):
+        db = Database()
+        db.create("L", ("a",), [(1,), (2,)])
+        db.create("R", ("a",), [(2,), (3,)])
+        arc, result = check(
+            "select L.a, R.a as b from L full join R on L.a = R.a", db
+        )
+        assert len(result) == 3
+
+
+class TestUnionAndBoolean:
+    def test_union_distinct(self, rs_db):
+        check(
+            "select R.A as v from R union select S.C as v from S",
+            rs_db,
+            [(0,), (1,), (2,), (3,), (5,)],
+        )
+
+    def test_union_all_keeps_duplicates(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        db.create("S", ("A",), [(1,)])
+        arc, result = check("select R.A from R union all select S.A from S", db)
+        assert len(result) == 2
+
+    def test_boolean_select_exists(self, count_bug_db):
+        from repro.data import Truth
+
+        arc = to_arc(
+            "select exists (select 1 from R where R.q = 0)", database=count_bug_db
+        )
+        assert isinstance(arc, n.Sentence)
+        assert evaluate(arc, count_bug_db) is Truth.TRUE
+
+    def test_select_into_produces_program(self, rs_db):
+        arc = to_arc("select R.A into V from R", database=rs_db)
+        assert isinstance(arc, n.Program)
+        assert "V" in arc.definitions
+        result = evaluate(arc, rs_db, SQL_CONVENTIONS)
+        assert result.name == "V"
+
+
+class TestReifiedOperators:
+    def test_fig15b(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (2, 3)])
+        db.create("S", ("B",), [(4,)])
+        db.create("T", ("B",), [(5,)])
+        check(
+            'select R.A from R, S, T, ">", "-" where R.B = "-".left '
+            'and S.B = "-".right and ">".left = "-".out and ">".right = T.B',
+            db,
+            [(1,)],
+        )

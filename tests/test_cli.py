@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import Relation, csvio
+
+
+@pytest.fixture
+def csv_r(tmp_path):
+    rel = Relation("R", ("A", "B"), [(1, 10), (2, 20), (3, 30)])
+    path = tmp_path / "r.csv"
+    csvio.write_csv(rel, str(path))
+    return f"{path}:R"
+
+
+class TestTranslate:
+    def test_arc_to_alt(self, capsys):
+        code = main(["translate", "--to", "alt", "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COLLECTION" in out and "BINDING: r ∈ R" in out
+
+    def test_sql_to_arc(self, capsys):
+        code = main(
+            ["translate", "--from", "sql", "--to", "arc", "select R.A from R"]
+        )
+        assert code == 0
+        assert "∃" in capsys.readouterr().out
+
+    def test_arc_to_sql(self, capsys):
+        code = main(["translate", "--to", "sql", "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 0
+        assert "select" in capsys.readouterr().out
+
+    def test_datalog_to_higraph(self, capsys):
+        code = main(
+            ["translate", "--from", "datalog", "--to", "higraph", "Q(x) :- R(x)."]
+        )
+        assert code == 0
+        assert "canvas" in capsys.readouterr().out
+
+    def test_trc_normalization(self, capsys):
+        code = main(
+            ["translate", "--from", "trc", "{r.A | r ∈ R}"]
+        )
+        assert code == 0
+        assert "Q.A = r.A" in capsys.readouterr().out
+
+    def test_svg_output(self, capsys):
+        code = main(["translate", "--to", "svg", "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_parse_error_exit_code(self, capsys):
+        code = main(["translate", "{broken"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid(self, capsys):
+        code = main(["validate", "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid(self, capsys):
+        code = main(["validate", "{Q(sm) | ∃r ∈ R[Q.sm = sum(r.B)]}"])
+        assert code == 1
+        assert "grouping-required" in capsys.readouterr().out
+
+    def test_abstract_allowed(self, capsys):
+        query = "{S(l) | ¬(∃x ∈ L[x.d = S.l])}"
+        assert main(["validate", query]) == 1
+        assert main(["validate", "--allow-abstract", query]) == 0
+
+
+class TestEval:
+    def test_eval_csv(self, capsys, csv_r):
+        code = main(
+            ["eval", "--db", csv_r, "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 10]}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2" in out and "3" in out
+
+    def test_eval_sql_with_conventions(self, capsys, csv_r):
+        code = main(
+            [
+                "eval",
+                "--from",
+                "sql",
+                "--db",
+                csv_r,
+                "--conventions",
+                "sql",
+                "select sum(R.B) sm from R",
+            ]
+        )
+        assert code == 0
+        assert "60" in capsys.readouterr().out
+
+    def test_sentence_prints_truth(self, capsys, csv_r):
+        code = main(["eval", "--db", csv_r, "∃r ∈ R[r.A = 1]"])
+        assert code == 0
+        assert "TRUE" in capsys.readouterr().out
+
+
+class TestPatterns:
+    def test_patterns_report(self, capsys):
+        code = main(
+            [
+                "patterns",
+                "--from",
+                "sql",
+                "select R.A from R where not exists (select 1 from S where S.A = R.A)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "antijoin" in out and "fingerprint:" in out
+
+    def test_bad_db_spec(self, capsys):
+        code = main(["eval", "--db", "nocolon", "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 2

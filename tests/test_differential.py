@@ -1,0 +1,153 @@
+"""Differential testing: production evaluator vs brute-force oracle.
+
+Random first-order queries (conjunction, disjunction, negation, nested
+existentials, NULLs) are generated with hypothesis and evaluated by both
+the production evaluator and the deliberately naive reference oracle; any
+disagreement is a bug in one of them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import nodes as n
+from repro.core.conventions import Conventions, NullComparison, SET_CONVENTIONS, Semantics
+from repro.data import Database, NULL
+from repro.engine import evaluate
+from repro.engine.reference import reference_evaluate
+
+BAG = Conventions(semantics=Semantics.BAG)
+TWO_VL = SET_CONVENTIONS.with_(null_comparison=NullComparison.TWO_VALUED)
+
+values = st.one_of(
+    st.integers(min_value=0, max_value=4),
+    st.just(NULL),
+)
+rows2 = st.lists(st.tuples(values, values), max_size=6)
+
+SCHEMAS = {"R": ("A", "B"), "S": ("A", "B")}
+
+
+def make_db(rows_r, rows_s):
+    db = Database()
+    db.create("R", SCHEMAS["R"], rows_r)
+    db.create("S", SCHEMAS["S"], rows_s)
+    return db
+
+
+# -- query strategy ----------------------------------------------------------
+
+
+@st.composite
+def fo_queries(draw, depth=0, outer_vars=()):
+    """Random first-order collections over R(A,B) / S(A,B)."""
+    var = f"v{len(outer_vars)}"
+    relation = draw(st.sampled_from(["R", "S"]))
+    var_pool = list(outer_vars) + [var]
+
+    def attr_expr():
+        chosen = draw(st.sampled_from(var_pool))
+        return n.Attr(chosen, draw(st.sampled_from(["A", "B"])))
+
+    def leaf_expr():
+        if draw(st.booleans()):
+            return attr_expr()
+        return n.Const(draw(st.integers(min_value=0, max_value=4)))
+
+    conjuncts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        op = draw(st.sampled_from(["=", "<>", "<", "<="]))
+        conjuncts.append(n.Comparison(leaf_expr(), op, leaf_expr()))
+    if draw(st.booleans()) and depth < 2:
+        inner = draw(inner_tests(depth=depth + 1, outer_vars=tuple(var_pool)))
+        conjuncts.append(inner)
+    if draw(st.booleans()):
+        conjuncts.append(n.IsNull(attr_expr(), draw(st.booleans())))
+    head_expr = attr_expr()
+    conjuncts.append(n.Comparison(n.Attr("Q", "out"), "=", head_expr))
+    body = n.Quantifier(
+        [n.Binding(var, n.RelationRef(relation))], n.make_and(conjuncts)
+    )
+    return n.Collection(n.Head("Q", ("out",)), body)
+
+
+@st.composite
+def inner_tests(draw, depth, outer_vars):
+    """A boolean nested quantifier, possibly negated, possibly with an Or."""
+    var = f"v{len(outer_vars)}"
+    relation = draw(st.sampled_from(["R", "S"]))
+    var_pool = list(outer_vars) + [var]
+
+    def attr_expr():
+        chosen = draw(st.sampled_from(var_pool))
+        return n.Attr(chosen, draw(st.sampled_from(["A", "B"])))
+
+    predicates = [
+        n.Comparison(
+            attr_expr(),
+            draw(st.sampled_from(["=", "<>", "<"])),
+            attr_expr(),
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    ]
+    body = n.make_and(predicates) if draw(st.booleans()) else n.make_or(predicates)
+    quant = n.Quantifier([n.Binding(var, n.RelationRef(relation))], body)
+    if draw(st.booleans()):
+        return n.Not(quant)
+    return quant
+
+
+# -- differential properties -----------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(fo_queries(), rows2, rows2)
+def test_set_semantics_agreement(query, rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    production = evaluate(query, db, SET_CONVENTIONS)
+    oracle = reference_evaluate(query, db, SET_CONVENTIONS)
+    assert production == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(fo_queries(), rows2, rows2)
+def test_bag_semantics_agreement(query, rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    production = evaluate(query, db, BAG)
+    oracle = reference_evaluate(query, db, BAG)
+    assert production == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(fo_queries(), rows2, rows2)
+def test_two_valued_agreement(query, rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    production = evaluate(query, db, TWO_VL)
+    oracle = reference_evaluate(query, db, TWO_VL)
+    assert production == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows2, rows2, st.integers(min_value=0, max_value=4))
+def test_sentence_agreement(rows_r, rows_s, constant):
+    from repro.core.parser import parse
+
+    db = make_db(rows_r, rows_s)
+    sentence = parse(
+        f"∃r ∈ R[r.A = {constant} ∧ ¬(∃s ∈ S[s.B = r.B])]"
+    )
+    assert evaluate(sentence, db, SET_CONVENTIONS) == reference_evaluate(
+        sentence, db, SET_CONVENTIONS
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows2, rows2)
+def test_nested_emitter_agreement(rows_r, rows_s):
+    """The §2.7 semijoin-multiplicity rule agrees between implementations."""
+    from repro.core.parser import parse
+
+    db = make_db(rows_r, rows_s)
+    query = parse("{Q(out) | ∃r ∈ R[∃s ∈ S[Q.out = r.A ∧ r.B = s.B]]}")
+    for conventions in (SET_CONVENTIONS, BAG):
+        assert evaluate(query, db, conventions) == reference_evaluate(
+            query, db, conventions
+        )

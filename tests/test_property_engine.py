@@ -1,0 +1,172 @@
+"""Property-based tests of evaluator invariants over random instances.
+
+Each property is one of the paper's semantic claims, checked on generated
+databases:
+
+* set-semantics results equal deduplicated bag-semantics results;
+* unnesting preserves set semantics;
+* FIO and FOI aggregation agree (Section 2.5);
+* SQL translation agrees with hand-written ARC on conjunctive queries;
+* γ∅ always yields exactly one row; keyed grouping yields one row per
+  distinct key;
+* the recursive ancestor program equals the reference transitive closure.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conventions import Conventions, SET_CONVENTIONS, Semantics
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+from repro.engine.fixpoint import transitive_closure_reference
+
+BAG = Conventions(semantics=Semantics.BAG)
+
+small_int = st.integers(min_value=0, max_value=6)
+rows_ab = st.lists(st.tuples(small_int, small_int), max_size=10)
+
+
+def make_db(rows_r, rows_s):
+    db = Database()
+    db.create("R", ("A", "B"), rows_r)
+    db.create("S", ("B", "C"), rows_s)
+    return db
+
+
+JOIN_QUERY = "{Q(A, C) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ Q.C = s.C ∧ r.B = s.B]}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab, rows_ab)
+def test_set_equals_deduped_bag(rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    query = parse(JOIN_QUERY)
+    set_result = evaluate(query, db, SET_CONVENTIONS)
+    bag_result = evaluate(query, db, BAG)
+    assert set_result == bag_result.distinct()
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab, rows_ab)
+def test_unnesting_preserves_set_semantics(rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    nested = parse("{Q(A) | ∃r ∈ R[∃s ∈ S[Q.A = r.A ∧ r.B = s.B]]}")
+    flat = parse("{Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B]}")
+    assert evaluate(nested, db).set_equal(evaluate(flat, db))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab)
+def test_fio_equals_foi(rows_r):
+    db = Database()
+    db.create("R", ("A", "B"), rows_r)
+    fio = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+    foi = parse(
+        "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅"
+        "[r2.A = r.A ∧ X.sm = sum(r2.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+    )
+    assert evaluate(fio, db).set_equal(evaluate(foi, db))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab)
+def test_grouped_sum_matches_python(rows_r):
+    db = Database()
+    db.create("R", ("A", "B"), rows_r)
+    query = parse("{Q(A, sm) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+    result = evaluate(query, db, BAG)
+    expected = {}
+    for a, b in rows_r:
+        expected[a] = expected.get(a, 0) + b
+    produced = {row["A"]: row["sm"] for row in result}
+    assert produced == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab, rows_ab)
+def test_sql_translation_agrees(rows_r, rows_s):
+    from repro.frontends.sql import to_arc
+
+    db = make_db(rows_r, rows_s)
+    arc = parse(JOIN_QUERY)
+    from_sql = to_arc(
+        "select R.A, S.C from R, S where R.B = S.B", database=db
+    )
+    assert evaluate(arc, db, BAG) == evaluate(from_sql, db, BAG)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab)
+def test_gamma_empty_always_one_row(rows_r):
+    db = Database()
+    db.create("R", ("A", "B"), rows_r)
+    query = parse("{Q(ct) | ∃r ∈ R, γ ∅[Q.ct = count(*)]}")
+    result = evaluate(query, db, BAG)
+    assert len(result) == 1
+    # Bag semantics: count(*) counts duplicate rows.
+    assert result.sorted_rows()[0]["ct"] == len(rows_r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_ab)
+def test_keyed_grouping_one_row_per_key(rows_r):
+    db = Database()
+    db.create("R", ("A", "B"), rows_r)
+    query = parse("{Q(A, ct) | ∃r ∈ R, γ r.A[Q.A = r.A ∧ Q.ct = count(*)]}")
+    result = evaluate(query, db, BAG)
+    assert len(result) == len({a for a, _ in rows_r})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(small_int, small_int), max_size=8))
+def test_ancestor_matches_reference_closure(edges):
+    db = Database()
+    db.create("P", ("s", "t"), edges)
+    query = parse(
+        "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+        "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}"
+    )
+    result = evaluate(query, db)
+    assert {(row["s"], row["t"]) for row in result} == transitive_closure_reference(
+        set(edges)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_ab, rows_ab)
+def test_semijoin_antijoin_partition(rows_r, rows_s):
+    """Every R.A value appears in exactly one of semijoin/antijoin results."""
+    db = make_db(rows_r, rows_s)
+    semi = parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B ∧ ∃s ∈ S[r.B = s.B]]}")
+    anti = parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B ∧ ¬(∃s ∈ S[r.B = s.B])]}")
+    all_rows = evaluate(parse("{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B]}"), db)
+    semi_result = evaluate(semi, db)
+    anti_result = evaluate(anti, db)
+    union = semi_result.union(anti_result, all=False)
+    assert union.set_equal(all_rows)
+    overlap = set(semi_result.iter_distinct()) & set(anti_result.iter_distinct())
+    assert not overlap
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_ab, rows_ab)
+def test_left_join_preserves_left_keys(rows_r, rows_s):
+    db = make_db(rows_r, rows_s)
+    left = parse(
+        "{Q(A, C) | ∃r ∈ R, s ∈ S, left(r, s)[Q.A = r.A ∧ Q.C = s.C ∧ r.B = s.B]}"
+    )
+    result = evaluate(left, db)
+    left_keys = {a for a, _ in rows_r}
+    assert {row["A"] for row in result} == left_keys
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_ab, rows_ab)
+def test_de_morgan_on_queries(rows_r, rows_s):
+    """¬(∃s P) ≡ the complement filter: R splits exactly."""
+    db = make_db(rows_r, rows_s)
+    direct = parse("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[r.B = s.B ∧ s.C = 0])]}")
+    result = evaluate(direct, db)
+    s_zero = {b for b, c in rows_s if c == 0}
+    expected = {a for a, b in rows_r if b not in s_zero}
+    assert {row["A"] for row in result} == expected

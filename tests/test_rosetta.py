@@ -1,0 +1,222 @@
+"""Cross-language integration: ARC as the Rosetta Stone.
+
+The paper's thesis is that one abstract calculus can embed the patterns of
+SQL, Datalog/Soufflé, Rel, and TRC.  These tests express the *same intent*
+in every frontend and check that the ARC embeddings (i) produce the same
+answers under the right conventions and (ii) expose the pattern differences
+the paper names (FIO vs FOI, shared vs per-aggregate scopes).
+"""
+
+import pytest
+
+from repro.analysis import detect_patterns, same_pattern
+from repro.core.conventions import SET_CONVENTIONS, SOUFFLE_CONVENTIONS, SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+from repro.frontends import datalog, rel, trc
+from repro.frontends.sql import to_arc as sql_to_arc
+from repro.workloads import instances, paper_examples
+
+
+def values_set(relation):
+    """Order-insensitive comparison across differing attribute names."""
+    return {
+        tuple(row[a] for a in relation.schema) for row in relation.iter_distinct()
+    }
+
+
+class TestConjunctiveQuery:
+    """eq. (1) expressed in ARC, TRC, and SQL."""
+
+    def test_three_frontends_agree(self, rs_db):
+        arc = paper_examples.arc("eq1")
+        from_trc = trc.to_arc("{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]}")
+        from_sql = sql_to_arc(
+            "select R.A from R, S where R.B = S.B and S.C = 0", database=rs_db
+        )
+        results = [
+            evaluate(q, rs_db, SET_CONVENTIONS) for q in (arc, from_trc, from_sql)
+        ]
+        assert values_set(results[0]) == values_set(results[1]) == values_set(results[2])
+
+    def test_sql_form_is_pattern_equal_to_arc(self, rs_db):
+        arc = paper_examples.arc("eq1")
+        from_sql = sql_to_arc(
+            "select R.A from R, S where R.B = S.B and S.C = 0", database=rs_db
+        )
+        assert same_pattern(arc, from_sql)
+
+
+class TestGroupedAggregate:
+    """Fig. 4/5: the same aggregate in FIO (SQL) and FOI (Soufflé) styles."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (1, 20), (2, 5)])
+        return db
+
+    def test_all_four_agree(self, db):
+        fio = paper_examples.arc("eq3")
+        foi = paper_examples.arc("eq7")
+        from_sql = sql_to_arc(
+            "select R.A, sum(R.B) sm from R group by R.A", database=db
+        )
+        from_souffle = datalog.to_arc(
+            "Q(a, sum b : {R(a, b)}) :- R(a, _).", database=db
+        )
+        from_rel = rel.to_arc("def Q(a, sm) : sm = sum[(b) : R(a, b)]", database=db)
+        results = [
+            evaluate(q, db, SET_CONVENTIONS)
+            for q in (fio, foi, from_sql, from_souffle, from_rel)
+        ]
+        reference = values_set(results[0])
+        for result in results[1:]:
+            assert values_set(result) == reference
+
+    def test_fio_foi_patterns_differ(self):
+        fio = paper_examples.arc("eq3")
+        foi = paper_examples.arc("eq7")
+        assert not same_pattern(fio, foi, anonymize_relations=True)
+        assert "fio-aggregation" in detect_patterns(fio)
+        assert "foi-aggregation" in detect_patterns(foi)
+
+    def test_souffle_translation_follows_foi(self, db):
+        from_souffle = datalog.to_arc(
+            "Q(a, sum b : {R(a, b)}) :- R(a, _).", database=db
+        )
+        assert "foi-aggregation" in detect_patterns(from_souffle)
+
+    def test_sql_translation_follows_fio(self, db):
+        from_sql = sql_to_arc(
+            "select R.A, sum(R.B) sm from R group by R.A", database=db
+        )
+        assert "fio-aggregation" in detect_patterns(from_sql)
+
+
+class TestMultipleAggregates:
+    """Fig. 6/7/8: one query, three pattern-distinct formalisms (eqs. 8/10/12)."""
+
+    def test_results_agree(self, payroll_db):
+        shapes = [
+            paper_examples.arc("eq8"),
+            paper_examples.arc("eq10"),
+            paper_examples.arc("eq12"),
+            sql_to_arc(paper_examples.SQL["fig6a"], database=payroll_db),
+            rel.to_arc(paper_examples.REL["eq11"], database=payroll_db),
+        ]
+        results = [evaluate(q, payroll_db, SET_CONVENTIONS) for q in shapes]
+        reference = values_set(results[0])
+        for result in results[1:]:
+            assert values_set(result) == reference
+        assert reference == {("cs", 55.0)}
+
+    def test_patterns_pairwise_distinct(self):
+        eq8 = paper_examples.arc("eq8")
+        eq10 = paper_examples.arc("eq10")
+        eq12 = paper_examples.arc("eq12")
+        assert not same_pattern(eq8, eq10, anonymize_relations=True)
+        assert not same_pattern(eq8, eq12, anonymize_relations=True)
+        assert not same_pattern(eq10, eq12, anonymize_relations=True)
+
+    def test_sql_matches_eq8_pattern(self, payroll_db):
+        from_sql = sql_to_arc(paper_examples.SQL["fig6a"], database=payroll_db)
+        assert same_pattern(from_sql, paper_examples.arc("eq8"), anonymize_relations=True)
+
+
+class TestRecursion:
+    def test_arc_and_datalog_agree(self, ancestor_db):
+        arc = paper_examples.arc("eq16")
+        from_datalog = datalog.to_arc(
+            paper_examples.DATALOG["fig10"], database=ancestor_db
+        )
+        a = evaluate(arc, ancestor_db, SET_CONVENTIONS)
+        b = evaluate(from_datalog, ancestor_db, SOUFFLE_CONVENTIONS)
+        assert values_set(a) == values_set(b)
+
+
+class TestUniqueSet:
+    def test_monolithic_modular_and_sql_agree(self, likes_db):
+        monolithic = paper_examples.arc("eq22")
+        modular = parse(paper_examples.ARC["eq23_24"])
+        from_sql = sql_to_arc(paper_examples.SQL["fig17"], database=likes_db)
+        results = [
+            evaluate(monolithic, likes_db, SET_CONVENTIONS),
+            evaluate(modular, likes_db, SET_CONVENTIONS),
+            evaluate(from_sql, likes_db, SQL_CONVENTIONS),
+        ]
+        for result in results:
+            assert values_set(result) == {("bob",)}
+
+    def test_on_generated_instances(self):
+        from repro.data import generators
+
+        for seed in range(3):
+            db = generators.likes_database(5, 4, seed=seed)
+            db.add(db["Likes"].rename({"drinker": "d", "beer": "b"}, name="L"))
+            monolithic = paper_examples.arc("eq22")
+            modular = parse(paper_examples.ARC["eq23_24"])
+            a = evaluate(monolithic, db, SET_CONVENTIONS)
+            b = evaluate(modular, db, SET_CONVENTIONS)
+            assert a.set_equal(b)
+            # Cross-check against a direct Python computation.
+            sets = {}
+            for row in db["L"]:
+                sets.setdefault(row["d"], set()).add(row["b"])
+            expected = {
+                d for d, beers in sets.items()
+                if sum(1 for other in sets.values() if other == beers) == 1
+            }
+            assert {row["d"] for row in a} == expected
+
+
+class TestConventionsAcrossLanguages:
+    """Section 2.6: same relational pattern, different conventions."""
+
+    def test_eq15_sql_vs_souffle(self):
+        db = instances.conventions_instance()
+        arc = paper_examples.arc("eq15")
+        from repro.data import NULL
+
+        sql_style = evaluate(arc, db, SET_CONVENTIONS)
+        souffle_style = evaluate(arc, db, SOUFFLE_CONVENTIONS)
+        assert values_set(sql_style) == {(1, NULL)}
+        assert values_set(souffle_style) == {(1, 0)}
+
+    def test_datalog_frontend_same_pattern_as_arc(self):
+        db = instances.conventions_instance()
+        from_souffle = datalog.to_arc(paper_examples.DATALOG["eq15"], database=db)
+        arc = paper_examples.arc("eq15")
+        assert same_pattern(from_souffle, arc, anonymize_relations=True)
+
+
+class TestMatrixMultiplication:
+    def test_against_numpy(self):
+        import numpy as np
+
+        from repro.data import generators
+
+        rng_seed = 3
+        a_rel = generators.sparse_matrix("A", 6, 5, density=0.5, seed=rng_seed)
+        b_rel = generators.sparse_matrix("B", 5, 4, density=0.5, seed=rng_seed + 1)
+        db = Database([a_rel, b_rel])
+        result = evaluate(paper_examples.arc("eq25_arc"), db, SET_CONVENTIONS)
+        dense_a = np.array(generators.matrix_to_dense(a_rel, 6, 5))
+        dense_b = np.array(generators.matrix_to_dense(b_rel, 5, 4))
+        expected = dense_a @ dense_b
+        produced = np.zeros_like(expected)
+        for row in result:
+            produced[row["row"], row["col"]] = row["val"]
+        # Sparse encoding omits zero cells; compare non-zero structure.
+        assert (produced == expected * (expected != 0)).all()
+
+    def test_external_star_form_matches(self):
+        from repro.data import generators
+
+        a_rel = generators.sparse_matrix("A", 4, 4, density=0.6, seed=9)
+        b_rel = generators.sparse_matrix("B", 4, 3, density=0.6, seed=10)
+        db = Database([a_rel, b_rel])
+        inline = evaluate(paper_examples.arc("eq25_arc"), db, SET_CONVENTIONS)
+        reified = evaluate(paper_examples.arc("eq26"), db, SET_CONVENTIONS)
+        assert inline.set_equal(reified)

@@ -1,0 +1,266 @@
+"""End-to-end scenario: a realistic multi-table schema worked across the
+whole library.
+
+A small university database (students, courses, enrollments, prerequisites)
+exercised with a dozen queries spanning every frontend and every feature
+family: joins, semijoins/antijoins, division, grouped aggregates with
+HAVING, correlated scalars, outer joins, recursion over prerequisites,
+NULL grades, conventions, rewrites, and pattern analysis — each answer
+cross-checked against a direct Python computation.
+"""
+
+import pytest
+
+from repro.core import rewrites
+from repro.core.conventions import SET_CONVENTIONS, SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database, NULL
+from repro.engine import evaluate
+from repro.frontends import datalog
+from repro.frontends.sql import to_arc
+
+STUDENTS = [
+    ("s1", "ada", "cs"),
+    ("s2", "bob", "cs"),
+    ("s3", "cyd", "math"),
+    ("s4", "dee", "math"),
+    ("s5", "eli", "bio"),
+]
+COURSES = [
+    ("c1", "intro", 4),
+    ("c2", "algo", 6),
+    ("c3", "db", 6),
+    ("c4", "ml", 8),
+    ("c5", "stats", 4),
+]
+# (student, course, grade); NULL = enrolled, not graded yet.
+ENROLLED = [
+    ("s1", "c1", 1.0),
+    ("s1", "c2", 1.3),
+    ("s1", "c3", 1.0),
+    ("s1", "c4", NULL),
+    ("s2", "c1", 2.0),
+    ("s2", "c3", 2.3),
+    ("s3", "c1", 1.7),
+    ("s3", "c5", 1.0),
+    ("s4", "c5", 3.0),
+]
+PREREQ = [
+    ("c1", "c2"),
+    ("c2", "c4"),
+    ("c1", "c3"),
+    ("c3", "c4"),
+    ("c5", "c4"),
+]
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create("Student", ("sid", "name", "major"), STUDENTS)
+    database.create("Course", ("cid", "title", "credits"), COURSES)
+    database.create("Enrolled", ("sid", "cid", "grade"), ENROLLED)
+    database.create("Prereq", ("pre", "post"), PREREQ)
+    return database
+
+
+def names(result, attr="name"):
+    return sorted(row[attr] for row in result.iter_distinct())
+
+
+class TestJoins:
+    def test_students_in_db_course(self, db):
+        query = to_arc(
+            "select Student.name from Student, Enrolled "
+            "where Student.sid = Enrolled.sid and Enrolled.cid = 'c3'",
+            database=db,
+        )
+        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["ada", "bob"]
+
+    def test_semijoin_enrolled_anywhere(self, db):
+        query = parse(
+            "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
+            "∃e ∈ Enrolled[e.sid = s.sid]]}"
+        )
+        assert names(evaluate(query, db)) == ["ada", "bob", "cyd", "dee"]
+
+    def test_antijoin_never_enrolled(self, db):
+        query = to_arc(
+            "select Student.name from Student where not exists "
+            "(select 1 from Enrolled where Enrolled.sid = Student.sid)",
+            database=db,
+        )
+        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["eli"]
+
+    def test_division_took_every_4_credit_course(self, db):
+        """Students enrolled in *all* 4-credit courses (c1 and c5)."""
+        query = parse(
+            "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
+            "¬(∃c ∈ Course[c.credits = 4 ∧ "
+            "¬(∃e ∈ Enrolled[e.sid = s.sid ∧ e.cid = c.cid])])]}"
+        )
+        expected = []
+        four_credit = {cid for cid, _, cr in COURSES if cr == 4}
+        for sid, name, _ in STUDENTS:
+            taken = {c for s, c, _ in ENROLLED if s == sid}
+            if four_credit <= taken:
+                expected.append(name)
+        assert names(evaluate(query, db)) == sorted(expected)
+        from repro.analysis import detect_patterns
+
+        assert "division" in detect_patterns(query)
+
+
+class TestAggregates:
+    def test_gpa_per_student(self, db):
+        """NULL grades are skipped by avg — SQL semantics."""
+        query = to_arc(
+            "select Enrolled.sid, avg(Enrolled.grade) gpa from Enrolled "
+            "group by Enrolled.sid",
+            database=db,
+        )
+        result = evaluate(query, db, SQL_CONVENTIONS)
+        produced = {row["sid"]: round(row["gpa"], 2) for row in result}
+        expected = {}
+        for sid in {s for s, _, _ in ENROLLED}:
+            grades = [g for s, _, g in ENROLLED if s == sid and g is not NULL]
+            expected[sid] = round(sum(grades) / len(grades), 2)
+        assert produced == expected
+
+    def test_busy_students_having(self, db):
+        query = to_arc(
+            "select Enrolled.sid, count(*) ct from Enrolled "
+            "group by Enrolled.sid having count(*) >= 2",
+            database=db,
+        )
+        result = evaluate(query, db, SQL_CONVENTIONS)
+        assert {row["sid"] for row in result} == {"s1", "s2", "s3"}
+
+    def test_correlated_scalar_count(self, db):
+        """Students whose enrollment count equals the number of courses in
+        their major's intro track — the count-bug pattern shape, safely."""
+        query = to_arc(
+            "select Student.name from Student where 0 = "
+            "(select count(Enrolled.grade) from Enrolled "
+            "where Enrolled.sid = Student.sid and Enrolled.grade is not null)",
+            database=db,
+        )
+        # eli (never enrolled) has count 0 — the γ∅ scope keeps the row.
+        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["eli"]
+
+    def test_souffle_rule_total_credits(self, db):
+        program = datalog.to_arc(
+            "Total(s, t) :- Enrolled(s, _, _), "
+            "t = sum c : {Enrolled(s, x, _), Course(x, _, c)}.",
+            database=db,
+        )
+        result = evaluate(program, db, SET_CONVENTIONS)
+        produced = {row["s"]: row["t"] for row in result}
+        credits = {cid: cr for cid, _, cr in COURSES}
+        expected = {}
+        for sid in {s for s, _, _ in ENROLLED}:
+            taken = {c for s, c, _ in ENROLLED if s == sid}
+            expected[sid] = sum(credits[c] for c in taken)
+        assert produced == expected
+
+
+class TestOuterJoinAndNulls:
+    def test_left_join_keeps_ungraded(self, db):
+        query = parse(
+            "{Q(name, cid) | ∃s ∈ Student, e ∈ Enrolled, left(s, e)"
+            "[Q.name = s.name ∧ Q.cid = e.cid ∧ s.sid = e.sid]}"
+        )
+        result = evaluate(query, db, SQL_CONVENTIONS)
+        eli_rows = [row for row in result if row["name"] == "eli"]
+        assert len(eli_rows) == 1 and eli_rows[0]["cid"] is NULL
+
+    def test_not_in_with_null_grades(self, db):
+        """grade NOT IN (...) over a column with NULLs: 3VL at work."""
+        query = to_arc(
+            "select Enrolled.sid from Enrolled where Enrolled.grade not in "
+            "(select E2.grade from Enrolled E2 where E2.sid = 's1')",
+            database=db,
+        )
+        # s1 has a NULL grade, so every NOT IN test is poisoned: empty.
+        assert evaluate(query, db, SQL_CONVENTIONS).is_empty()
+
+
+class TestRecursion:
+    def test_transitive_prerequisites(self, db):
+        query = parse(
+            "{A(pre, post) | ∃p ∈ Prereq[A.pre = p.pre ∧ A.post = p.post] ∨ "
+            "∃p ∈ Prereq, a2 ∈ A[A.pre = p.pre ∧ p.post = a2.pre ∧ "
+            "A.post = a2.post]}"
+        )
+        result = evaluate(query, db)
+        pairs = {(row["pre"], row["post"]) for row in result}
+        assert ("c1", "c4") in pairs  # c1 -> c2 -> c4
+        assert ("c5", "c4") in pairs
+        assert ("c4", "c1") not in pairs
+
+    def test_ready_for_ml(self, db):
+        """Students who completed every (transitive) prerequisite of c4."""
+        program = parse(
+            "A := {A(pre, post) | ∃p ∈ Prereq[A.pre = p.pre ∧ A.post = p.post] ∨ "
+            "∃p ∈ Prereq, a2 ∈ A[A.pre = p.pre ∧ p.post = a2.pre ∧ "
+            "A.post = a2.post]} ;\n"
+            "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
+            "¬(∃a ∈ A[a.post = 'c4' ∧ "
+            "¬(∃e ∈ Enrolled[e.sid = s.sid ∧ e.cid = a.pre ∧ "
+            "e.grade is not null])])]}"
+        )
+        result = evaluate(program, db)
+        # ada completed c1, c2, c3 but not c5 (a prereq of c4): not ready.
+        prereqs_of_c4 = {"c1", "c2", "c3", "c5"}
+        expected = []
+        for sid, name, _ in STUDENTS:
+            done = {c for s, c, g in ENROLLED if s == sid and g is not NULL}
+            if prereqs_of_c4 <= done:
+                expected.append(name)
+        assert names(result) == sorted(expected)
+
+
+class TestRewritesAndAnalysis:
+    def test_unnest_preserves_semijoin(self, db):
+        nested = parse(
+            "{Q(name) | ∃s ∈ Student[∃e ∈ Enrolled"
+            "[Q.name = s.name ∧ e.sid = s.sid]]}"
+        )
+        flat = rewrites.unnest(nested)
+        assert evaluate(nested, db).set_equal(evaluate(flat, db))
+
+    def test_cross_language_pattern_match(self, db):
+        from repro.analysis import same_pattern
+
+        sql_form = to_arc(
+            "select Enrolled.sid, count(*) ct from Enrolled group by Enrolled.sid",
+            database=db,
+        )
+        arc_form = parse(
+            "{Q(sid, ct) | ∃e ∈ Enrolled, γ e.sid"
+            "[Q.sid = e.sid ∧ Q.ct = count(*)]}"
+        )
+        assert same_pattern(sql_form, arc_form)
+
+    def test_corpus_over_scenario(self, db):
+        from repro.analysis import QueryCorpus
+
+        corpus = QueryCorpus()
+        corpus.add(
+            "antijoin",
+            to_arc(
+                "select Student.name from Student where not exists "
+                "(select 1 from Enrolled where Enrolled.sid = Student.sid)",
+                database=db,
+            ),
+        )
+        corpus.add(
+            "grouped",
+            to_arc(
+                "select Enrolled.sid, count(*) ct from Enrolled group by Enrolled.sid",
+                database=db,
+            ),
+        )
+        histogram = corpus.pattern_histogram()
+        assert histogram["antijoin"] == 1
+        assert histogram["fio-aggregation"] == 1
