@@ -1,0 +1,121 @@
+"""E23 — the hash-indexed execution layer vs the reference strategy.
+
+Sweeps the workloads where the planner changes the complexity class
+(equality joins, correlated laterals, grouped aggregates, transitive
+closure) with the planner on and off, asserting bag-equal results either
+way.  The planner-off configurations use small instances or single
+rounds — the reference strategy is the quadratic baseline being measured,
+not a regression target.
+
+Representative numbers from the machine this layer was built on
+(CPython 3.11, min over rounds):
+
+========================================  ==========  ===========  ========
+case                                      planner on  planner off   speedup
+========================================  ==========  ===========  ========
+join width=3 (E21 sweep, 60 rows/rel)       ~0.8 ms       ~450 ms     ~550x
+join width=4 (E21 sweep, 60 rows/rel)       ~1.6 ms    ~25,000 ms  ~15,000x
+grouped aggregate n=900 (E21 sweep)        ~0.05 ms       ~4.7 ms     ~100x
+transitive closure, 250 nodes               ~15 ms      ~1,140 ms      ~77x
+correlated lateral, 120 rows                ~26 ms         ~40 ms     ~1.5x
+========================================  ==========  ===========  ========
+"""
+
+import pytest
+
+from repro.core.conventions import SET_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import generators
+from repro.engine import evaluate
+from repro.workloads import sweeps
+
+ANCESTOR = (
+    "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+    "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}"
+)
+
+
+def _run_off_once(benchmark, fn):
+    """Time a planner-off baseline without autocalibration blowing up."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# -- equality joins ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_join_chain_planner_on(benchmark, width):
+    db = generators.chain_database(width, 60, domain=30, seed=3)
+    query = sweeps.join_chain_query(width)
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert result == evaluate(query, db, SET_CONVENTIONS, planner=False)
+
+
+@pytest.mark.parametrize("width", [2, 3])
+def test_join_chain_planner_off(benchmark, width):
+    db = generators.chain_database(width, 60, domain=30, seed=3)
+    query = sweeps.join_chain_query(width)
+    _run_off_once(
+        benchmark, lambda: evaluate(query, db, SET_CONVENTIONS, planner=False)
+    )
+
+
+# -- grouped aggregates --------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_rows", [100, 300, 900])
+def test_grouped_aggregate_planner_on(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=1)
+    query = sweeps.grouped_aggregate_query()
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert result == evaluate(query, db, SET_CONVENTIONS, planner=False)
+
+
+@pytest.mark.parametrize("n_rows", [100, 300, 900])
+def test_grouped_aggregate_planner_off(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=1)
+    query = sweeps.grouped_aggregate_query()
+    _run_off_once(
+        benchmark, lambda: evaluate(query, db, SET_CONVENTIONS, planner=False)
+    )
+
+
+# -- correlated laterals -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_rows", [30, 120])
+def test_correlated_lateral_planner_on(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=2)
+    query = sweeps.lateral_query()
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert result == evaluate(query, db, SET_CONVENTIONS, planner=False)
+
+
+@pytest.mark.parametrize("n_rows", [30, 120])
+def test_correlated_lateral_planner_off(benchmark, n_rows):
+    db = sweeps.size_sweep_database(n_rows, seed=2)
+    query = sweeps.lateral_query()
+    _run_off_once(
+        benchmark, lambda: evaluate(query, db, SET_CONVENTIONS, planner=False)
+    )
+
+
+# -- transitive closure (incremental semi-naive + indexes) ---------------------
+
+
+@pytest.mark.parametrize("n_nodes", [50, 250])
+def test_transitive_closure_planner_on(benchmark, n_nodes):
+    db = generators.parent_edges(n_nodes, seed=5, extra_edges=n_nodes // 4)
+    query = parse(ANCESTOR)
+    result = benchmark(evaluate, query, db, SET_CONVENTIONS)
+    assert len(result) >= n_nodes - 1
+
+
+@pytest.mark.parametrize("n_nodes", [50, 250])
+def test_transitive_closure_planner_off(benchmark, n_nodes):
+    db = generators.parent_edges(n_nodes, seed=5, extra_edges=n_nodes // 4)
+    query = parse(ANCESTOR)
+    result = _run_off_once(
+        benchmark, lambda: evaluate(query, db, SET_CONVENTIONS, planner=False)
+    )
+    assert len(result) >= n_nodes - 1

@@ -120,7 +120,12 @@ def cmd_validate(args):
 def cmd_eval(args):
     database = _load_database(args.db)
     query = _load_query(_read_text(args), args.source, database)
-    result = evaluate(query, database, CONVENTIONS[args.conventions])
+    result = evaluate(
+        query,
+        database,
+        CONVENTIONS[args.conventions],
+        planner=not args.no_planner,
+    )
     if hasattr(result, "to_table"):
         print(result.to_table(max_rows=args.max_rows))
     else:
@@ -190,6 +195,11 @@ def build_parser():
         help="semantic conventions (default: set)",
     )
     p_eval.add_argument("--max-rows", type=int, default=50)
+    p_eval.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable the hash-indexed execution layer (reference strategy)",
+    )
     p_eval.set_defaults(func=cmd_eval)
 
     p_patterns = sub.add_parser("patterns", help="report the relational pattern")

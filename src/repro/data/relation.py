@@ -10,6 +10,7 @@ conventions decide when duplicates are collapsed.
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
 
 from ..errors import SchemaError
@@ -47,7 +48,20 @@ class Tuple:
 
     def project(self, attrs):
         """Return a new tuple restricted to *attrs*."""
+        if len(attrs) == len(self._values) and self._values.keys() == set(attrs):
+            return self
         return Tuple({a: self[a] for a in attrs})
+
+    @classmethod
+    def _adopt(cls, values):
+        """Fast constructor taking ownership of *values* (no copy).
+
+        Internal: callers must not mutate *values* afterwards.
+        """
+        tup = cls.__new__(cls)
+        tup._values = values
+        tup._hash = hash(frozenset(values.items()))
+        return tup
 
     def rename(self, mapping):
         """Return a new tuple with attributes renamed per *mapping* (old -> new)."""
@@ -91,7 +105,12 @@ class Relation:
         self.schema = tuple(schema)
         if len(set(self.schema)) != len(self.schema):
             raise SchemaError(f"relation {name!r} has duplicate attributes {self.schema}")
+        self._schema_set = frozenset(self.schema)
         self._rows = Counter()
+        self._indexes = {}  # attrs tuple -> {key tuple: [(Tuple, mult), ...]}
+        # Derived results (e.g. materialized aggregates) keyed weakly by the
+        # owning plan object; invalidated together with the indexes.
+        self._derived = weakref.WeakKeyDictionary()
         for row in rows:
             self.add(row)
 
@@ -99,7 +118,10 @@ class Relation:
 
     def _coerce(self, row):
         if isinstance(row, Tuple):
-            missing = set(self.schema) - row.attributes()
+            values = row._values
+            if values.keys() == self._schema_set:
+                return row
+            missing = self._schema_set - values.keys()
             if missing:
                 raise SchemaError(f"row for {self.name!r} missing attributes {sorted(missing)}")
             return row.project(self.schema)
@@ -116,12 +138,16 @@ class Relation:
         return Tuple(dict(zip(self.schema, row)))
 
     def add(self, row, multiplicity=1):
-        """Insert *row* with the given multiplicity."""
+        """Insert *row* with the given multiplicity (invalidates cached indexes)."""
         if multiplicity < 0:
             raise ValueError("multiplicity must be non-negative")
         coerced = self._coerce(row)
         if multiplicity:
             self._rows[coerced] += multiplicity
+            if self._indexes:
+                self._indexes.clear()
+            if len(self._derived):
+                self._derived.clear()
         return coerced
 
     @classmethod
@@ -130,6 +156,69 @@ class Relation:
         for row, mult in counter.items():
             rel.add(row, mult)
         return rel
+
+    @classmethod
+    def _adopt_counter(cls, name, schema, counter):
+        """Take ownership of a Tuple -> multiplicity Counter without coercion.
+
+        Internal fast path: every key must already be a :class:`Tuple` whose
+        attributes exactly match *schema* (the evaluator's head-built rows
+        satisfy this by construction).
+        """
+        rel = cls(name, schema)
+        rel._rows = counter
+        return rel
+
+    # -- hash indexes ------------------------------------------------------
+
+    def index_on(self, attrs):
+        """Return (building and caching on demand) a hash index over *attrs*.
+
+        The index maps a tuple of attribute values to the list of
+        ``(row, multiplicity)`` pairs sharing those values, enabling O(1)
+        equality probes instead of full scans.  Indexes are invalidated by
+        :meth:`add` and lazily rebuilt on the next probe.
+        """
+        attrs = tuple(attrs)
+        index = self._indexes.get(attrs)
+        if index is None:
+            unknown = set(attrs) - self._schema_set
+            if unknown:
+                raise SchemaError(
+                    f"cannot index {self.name!r} on {sorted(unknown)}; "
+                    f"schema is {self.schema}"
+                )
+            index = {}
+            if len(attrs) == 1:
+                attr = attrs[0]
+                for row, mult in self._rows.items():
+                    key = (row._values[attr],)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [(row, mult)]
+                    else:
+                        bucket.append((row, mult))
+            else:
+                for row, mult in self._rows.items():
+                    values = row._values
+                    key = tuple(values[a] for a in attrs)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [(row, mult)]
+                    else:
+                        bucket.append((row, mult))
+            self._indexes[attrs] = index
+        return index
+
+    def derived_get(self, owner, tag):
+        """A cached derived result for *owner* (a plan object), or None."""
+        per_owner = self._derived.get(owner)
+        return None if per_owner is None else per_owner.get(tag)
+
+    def derived_put(self, owner, tag, value):
+        """Cache a derived result; dropped when the relation changes."""
+        self._derived.setdefault(owner, {})[tag] = value
+        return value
 
     # -- inspection --------------------------------------------------------
 
@@ -182,10 +271,9 @@ class Relation:
 
     def distinct(self, name=None):
         """Return the deduplicated (set-semantics) version of this relation."""
-        rel = Relation(name or self.name, self.schema)
-        for row in self._rows:
-            rel.add(row)
-        return rel
+        return Relation._adopt_counter(
+            name or self.name, self.schema, Counter(dict.fromkeys(self._rows, 1))
+        )
 
     def rename(self, mapping, name=None):
         new_schema = [mapping.get(a, a) for a in self.schema]
@@ -195,6 +283,11 @@ class Relation:
         return rel
 
     def project(self, attrs, name=None, *, dedupe=False):
+        if set(attrs) == self._schema_set:
+            # Attribute-preserving projection: rows are unchanged (access is
+            # name-based), only the display schema order may differ.
+            rel = Relation._adopt_counter(name or self.name, attrs, Counter(self._rows))
+            return rel.distinct() if dedupe else rel
         rel = Relation(name or self.name, attrs)
         for row, mult in self._rows.items():
             rel.add(row.project(attrs), 1 if dedupe else mult)

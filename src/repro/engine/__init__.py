@@ -1,14 +1,16 @@
-"""The ARC reference evaluator and its supporting machinery."""
+"""The ARC evaluator, its planner, and supporting machinery."""
 
 from .evaluator import Evaluator, evaluate
 from .externals import ExternalRegistry, ExternalRelation, standard_registry
 from .abstract import AbstractSource
+from .planner import ExecutionStats
 from .reference import reference_evaluate
-from . import aggregates, fixpoint, joins
+from . import aggregates, fixpoint, joins, planner
 
 __all__ = [
     "Evaluator",
     "evaluate",
+    "ExecutionStats",
     "ExternalRegistry",
     "ExternalRelation",
     "standard_registry",
@@ -17,4 +19,5 @@ __all__ = [
     "aggregates",
     "fixpoint",
     "joins",
+    "planner",
 ]

@@ -31,6 +31,7 @@ Semantics implemented (see DESIGN.md §4 for the full decision list):
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
 
 from ..core import nodes as n
@@ -50,16 +51,40 @@ from ..data.values import (
 from ..errors import EvaluationError
 from . import aggregates as agg_lib
 from .externals import ExternalRegistry, standard_registry
-from .joins import ConditionAssignment, enumerate_annotation
+from .joins import ConditionAssignment, annotation_vars, enumerate_annotation
+from .planner import (
+    ExecutionStats,
+    compile_bindings,
+    compile_scope,
+    plan_entry,
+    scope_assumptions,
+)
 
 
-def evaluate(node, database, conventions=SET_CONVENTIONS, externals=None):
+_RELATION_REFS_CACHE = weakref.WeakKeyDictionary()
+
+
+def _relation_refs(node):
+    """Names of every RelationRef in the subtree (weakly memoized)."""
+    refs = _RELATION_REFS_CACHE.get(node)
+    if refs is None:
+        refs = frozenset(
+            child.name for child in node.walk() if isinstance(child, n.RelationRef)
+        )
+        _RELATION_REFS_CACHE[node] = refs
+    return refs
+
+
+def evaluate(node, database, conventions=SET_CONVENTIONS, externals=None, *, planner=True):
     """Evaluate *node* against *database* under *conventions*.
 
     Returns a :class:`~repro.data.relation.Relation` for collections and
     programs, and a :class:`~repro.data.values.Truth` for sentences.
+    ``planner=False`` disables the hash-indexed execution layer and runs
+    the paper's reference nested-loop strategy instead (the escape hatch
+    used by the differential harness).
     """
-    return Evaluator(database, conventions, externals).evaluate(node)
+    return Evaluator(database, conventions, externals, planner=planner).evaluate(node)
 
 
 class _JoinContext:
@@ -98,12 +123,21 @@ class _ScopePlan:
 class Evaluator:
     """Evaluates ARC nodes against a catalog, honouring the conventions."""
 
-    def __init__(self, database=None, conventions=SET_CONVENTIONS, externals=None):
+    def __init__(
+        self,
+        database=None,
+        conventions=SET_CONVENTIONS,
+        externals=None,
+        *,
+        planner=True,
+    ):
         self.database = database if database is not None else Database()
         self.conventions = conventions
         self.externals = externals if externals is not None else standard_registry()
         self.defined = {}  # name -> materialized Relation
         self.abstract = {}  # name -> AbstractSource
+        self.planner = planner
+        self.stats = ExecutionStats()
         self._head_stack = []
 
     # -- public API -----------------------------------------------------------
@@ -150,38 +184,57 @@ class Evaluator:
         name = coll.head.name
         if name in self.database or name in self.externals:
             return False
-        return any(
-            isinstance(node, n.RelationRef) and node.name == name
-            for node in coll.walk()
-        )
+        return name in _relation_refs(coll)
 
     # -- collections -------------------------------------------------------------
 
     def _relation_from_counter(self, head, counter):
-        relation = Relation(head.name, head.attrs)
-        for row, mult in counter.items():
-            relation.add(row, 1 if self.conventions.is_set else mult)
-        return relation
+        # Rows produced by _eval_collection are Tuples built over exactly
+        # the head attributes (and already set-normalized when the set
+        # convention applies), so the relation adopts the counter unchecked.
+        return Relation._adopt_counter(head.name, head.attrs, counter)
 
     def _eval_collection(self, coll, env):
         """Evaluate a collection under *env*; returns Counter[Tuple]."""
-        out = Counter()
         self._head_stack.append(coll.head)
         try:
-            for assigns, mult in self._solutions(coll.body, env, top=True):
-                missing = set(coll.head.attrs) - set(assigns)
-                if missing:
-                    raise EvaluationError(
-                        f"collection {coll.head.name!r}: head attributes "
-                        f"{sorted(missing)} were never assigned"
-                    )
-                row = Tuple({a: assigns[a] for a in coll.head.attrs})
-                out[row] += mult
+            out = self._fused_grouped_counter(coll, env)
+            if out is None:
+                out = Counter()
+                for assigns, mult in self._solutions(coll.body, env, top=True):
+                    missing = set(coll.head.attrs) - set(assigns)
+                    if missing:
+                        raise EvaluationError(
+                            f"collection {coll.head.name!r}: head attributes "
+                            f"{sorted(missing)} were never assigned"
+                        )
+                    row = Tuple({a: assigns[a] for a in coll.head.attrs})
+                    out[row] += mult
         finally:
             self._head_stack.pop()
         if self.conventions.is_set:
             return Counter(dict.fromkeys(out, 1))
         return out
+
+    def _fused_grouped_counter(self, coll, env):
+        """Whole-collection fast path for a single grouped-scope body.
+
+        Returns a Counter, or None when the shape is not fusable (the
+        generic path then also surfaces any head-coverage errors).
+        """
+        body = coll.body
+        if (
+            not self.planner
+            or not isinstance(body, n.Quantifier)
+            or body.grouping is None
+            or body.join is not None
+        ):
+            return None
+        plan = self._plan_scope(body)
+        if plan.emitters:
+            return None
+        compiled = self._compile_scope(body, plan)
+        return compiled.grouped_counter(self, env, frozenset(coll.head.attrs))
 
     # -- solutions (emitting evaluation) ------------------------------------------
 
@@ -315,6 +368,11 @@ class Evaluator:
             raise EvaluationError(
                 "a grouping scope cannot contain nested emitting formulas"
             )
+        if self.planner and quant.join is None:
+            fused = self._compile_scope(quant, plan).grouped_rows(self, env)
+            if fused is not None:
+                yield from fused
+                return
         rows = list(self._combos(quant, plan, env, strict=True))
         keys = quant.grouping.keys
         groups = {}
@@ -398,7 +456,69 @@ class Evaluator:
 
     # -- scope planning -----------------------------------------------------------
 
+    def _head_key(self):
+        """Cache key for head-dependent classifications of a scope."""
+        if not self._head_stack:
+            return None
+        head = self._head_stack[-1]
+        return (head.name, head.attrs)
+
     def _plan_scope(self, quant):
+        entry = plan_entry(quant)
+        key = self._head_key()
+        plan = entry.scope_plans.get(key)
+        if plan is None:
+            plan = self._classify_scope(quant)
+            entry.scope_plans[key] = plan
+        return plan
+
+    def _cached_variant(self, variants, bindings, build):
+        """The plan in *variants* matching the current catalog assumptions,
+        compiling (and evicting the oldest of >4 variants) on a miss."""
+        assumptions = scope_assumptions(self, bindings)
+        for compiled in variants:
+            if compiled.assumptions == assumptions:
+                self.stats.plan_cache_hits += 1
+                return compiled
+        compiled = build()
+        variants.append(compiled)
+        if len(variants) > 4:
+            variants.pop(0)
+        return compiled
+
+    def _compile_scope(self, quant, plan):
+        """Cached compilation of one scope (per AST node and head context)."""
+        entry = plan_entry(quant)
+        key = self._head_key()
+        variants = entry.compiled.get(key)
+        if variants is None:
+            variants = entry.compiled[key] = []
+        return self._cached_variant(
+            variants, quant.bindings, lambda: compile_scope(self, quant, plan)
+        )
+
+    def _join_plan(self, quant, plan):
+        """Cached condition assignment (+ uncovered-binding sub-plan)."""
+        entry = plan_entry(quant)
+        key = self._head_key()
+        record = entry.join_plans.get(key)
+        if record is None:
+            assignment = ConditionAssignment(quant.join, plan.row_formulas)
+            covered = annotation_vars(quant.join)
+            uncovered = [b for b in quant.bindings if b.var not in covered]
+            record = (assignment, uncovered, [])
+            entry.join_plans[key] = record
+        assignment, uncovered, variants = record
+        sub = None
+        if self.planner:
+            sub = self._cached_variant(
+                variants,
+                uncovered,
+                lambda: compile_bindings(self, uncovered, assignment.residual),
+            )
+        return assignment, uncovered, sub
+
+    def _classify_scope(self, quant):
         plan = _ScopePlan()
         for conjunct in n.conjuncts(quant.body):
             if isinstance(conjunct, n.Comparison):
@@ -472,19 +592,21 @@ class Evaluator:
         (env2, mult, truth) triples with the Kleene conjunction of the row
         formulas (boolean scopes need UNKNOWN propagation).
         """
-        bindings_by_var = {b.var: b for b in quant.bindings}
         if quant.join is not None:
-            assignment = ConditionAssignment(quant.join, plan.row_formulas)
-            ctx = _JoinContext(self, bindings_by_var)
-            from .joins import annotation_vars
-
-            covered = annotation_vars(quant.join)
-            uncovered = [b for b in quant.bindings if b.var not in covered]
+            assignment, uncovered, sub = self._join_plan(quant, plan)
+            ctx = _JoinContext(self, {b.var: b for b in quant.bindings})
             for delta, mult in enumerate_annotation(quant.join, env, ctx, assignment):
                 env2 = {**env, **delta}
-                yield from self._extend_with_bindings(
-                    uncovered, assignment.residual, env2, mult, strict=strict
-                )
+                if sub is not None and strict:
+                    yield from sub.execute(self, env2, mult)
+                else:
+                    yield from self._extend_with_bindings(
+                        uncovered, assignment.residual, env2, mult, strict=strict
+                    )
+            return
+        if strict and self.planner:
+            compiled = self._compile_scope(quant, plan)
+            yield from compiled.execute(self, env)
             return
         yield from self._extend_with_bindings(
             list(quant.bindings), plan.row_formulas, env, 1, strict=strict
@@ -583,6 +705,20 @@ class Evaluator:
             return False
         return name in self.abstract or name in self.externals
 
+    def _resolve_relation(self, name):
+        """The stored relation *name* currently denotes (defined wins)."""
+        relation = self.defined.get(name)
+        if relation is not None:
+            return relation
+        if name in self.database:
+            return self.database[name]
+        if name in self.abstract or name in self.externals:
+            raise EvaluationError(
+                f"relation {name!r} has no stored extension and must be "
+                "resolved through access patterns"
+            )
+        raise EvaluationError(f"unknown relation {name!r}")
+
     def _binding_rows(self, binding, env):
         """Enumerate (row, mult) for one binding, laterally under *env*."""
         if isinstance(binding.source, n.Collection):
@@ -590,18 +726,7 @@ class Evaluator:
             for row, mult in counter.items():
                 yield row, mult
             return
-        name = binding.source.name
-        if name in self.defined:
-            relation = self.defined[name]
-        elif name in self.database:
-            relation = self.database[name]
-        elif name in self.abstract or name in self.externals:
-            raise EvaluationError(
-                f"relation {name!r} has no stored extension and must be "
-                "resolved through access patterns"
-            )
-        else:
-            raise EvaluationError(f"unknown relation {name!r}")
+        relation = self._resolve_relation(binding.source.name)
         if self.conventions.is_set:
             for row in relation.iter_distinct():
                 yield row, 1

@@ -77,15 +77,10 @@ def _abstract_names(program):
 
 
 def _evaluate_definition(definition, evaluator):
+    # _eval_collection already applies set-normalization and yields
+    # head-schema Tuples, so the relation can adopt the counter directly.
     counter = evaluator._eval_collection(definition, {})
-    return _relation_of(definition.head, counter, evaluator)
-
-
-def _relation_of(head, counter, evaluator):
-    relation = Relation(head.name, head.attrs)
-    for row, mult in counter.items():
-        relation.add(row, 1 if evaluator.conventions.is_set else mult)
-    return relation
+    return evaluator._relation_from_counter(definition.head, counter)
 
 
 def _solve_recursive(component, definitions, evaluator, *, seminaive):
@@ -133,46 +128,68 @@ def _solve_naive(component, definitions, evaluator):
 
 
 def _solve_seminaive(component, definitions, evaluator):
-    """Semi-naive iteration: recursive disjuncts are re-evaluated once per
-    recursive *occurrence*, with that occurrence restricted to the previous
-    iteration's delta.
+    """Incremental semi-naive iteration.
 
+    Recursive disjuncts are re-evaluated once per recursive *occurrence*,
+    with that occurrence restricted to the previous iteration's delta.
     Every new derivation must use at least one newly derived fact, so
     replacing one recursive reference by the delta (and keeping the full
     relation for the others) covers all new tuples; it may re-derive a few
-    known ones, which the union discards.  This is the standard inflationary
-    semi-naive variant without rule stratification.
+    known ones, which the ``known`` check discards.  This is the standard
+    inflationary semi-naive variant without rule stratification.
+
+    The iteration state is maintained incrementally across rounds:
+
+    * the delta-rewritten disjunct variants (and their Collection wrappers)
+      are built **once per component**, not once per round, so the planner's
+      per-node plan cache stays hot across the whole fixpoint;
+    * each name's full relation is one :class:`Relation` object that grows
+      by ``add`` (hash indexes invalidate and lazily rebuild once per
+      round) instead of being rebuilt from scratch;
+    * the ``known`` sets of derived rows persist across rounds instead of
+      being re-materialized from the full relations.
     """
     component_set = set(component)
-    base_disjuncts = {}
-    recursive_disjuncts = {}
+    delta_name = {name: f"Δ{name}" for name in component}
+
+    base_parts = {}
+    delta_parts = {}
     for name in component:
         definition = definitions[name]
+        head = definition.head
         disjuncts = (
             definition.body.children_list
             if isinstance(definition.body, n.Or)
             else [definition.body]
         )
-        base_disjuncts[name] = [
-            d for d in disjuncts if not _references(d, component_set)
+        base_parts[name] = [
+            n.Collection(n.Head(name, head.attrs), disjunct)
+            for disjunct in disjuncts
+            if not _references(disjunct, component_set)
         ]
-        recursive_disjuncts[name] = [
-            d for d in disjuncts if _references(d, component_set)
+        delta_parts[name] = [
+            n.Collection(n.Head(name, head.attrs), variant)
+            for disjunct in disjuncts
+            if _references(disjunct, component_set)
+            for variant in _delta_variants(disjunct, component_set, delta_name)
         ]
-
-    delta_name = {name: f"Δ{name}" for name in component}
 
     # Iteration 0: base (non-recursive) disjuncts only.
+    known = {}
+    full = {}
     deltas = {}
     for name in component:
         head = definitions[name].head
+        rows = set()
+        for part in base_parts[name]:
+            rows.update(evaluator._eval_collection(part, {}))
         relation = Relation(name, head.attrs)
-        for disjunct in base_disjuncts[name]:
-            partial = n.Collection(n.Head(name, head.attrs), disjunct)
-            for row in evaluator._eval_collection(partial, {}):
-                relation.add(row)
-        evaluator.defined[name] = relation.distinct()
-        deltas[name] = set(relation.iter_distinct())
+        for row in rows:
+            relation.add(row)
+        evaluator.defined[name] = relation
+        full[name] = relation
+        known[name] = rows
+        deltas[name] = rows
 
     iterations = 0
     while any(deltas.values()):
@@ -189,21 +206,17 @@ def _solve_seminaive(component, definitions, evaluator):
             evaluator.defined[delta_name[name]] = delta_rel
         new_deltas = {name: set() for name in component}
         for name in component:
-            head = definitions[name].head
-            known = set(evaluator.defined[name].iter_distinct())
-            for disjunct in recursive_disjuncts[name]:
-                for variant in _delta_variants(disjunct, component_set, delta_name):
-                    partial = n.Collection(n.Head(name, head.attrs), variant)
-                    for row in evaluator._eval_collection(partial, {}):
-                        if row not in known:
-                            known.add(row)
-                            new_deltas[name].add(row)
+            seen = known[name]
+            fresh = new_deltas[name]
+            for part in delta_parts[name]:
+                for row in evaluator._eval_collection(part, {}):
+                    if row not in seen:
+                        seen.add(row)
+                        fresh.add(row)
         for name in component:
-            if new_deltas[name]:
-                merged = Relation(name, definitions[name].head.attrs)
-                for row in set(evaluator.defined[name].iter_distinct()) | new_deltas[name]:
-                    merged.add(row)
-                evaluator.defined[name] = merged
+            relation = full[name]
+            for row in new_deltas[name]:
+                relation.add(row)
         deltas = new_deltas
     for name in component:
         evaluator.defined.pop(delta_name[name], None)
