@@ -5,7 +5,26 @@ from setuptools import find_packages, setup
 setup(
     name="repro",
     version="0.1.0",
+    description=(
+        "ARC (Abstract Relational Calculus) reference implementation: "
+        "translator, multi-backend evaluator, and analysis toolkit"
+    ),
+    license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Database",
+        "Intended Audience :: Science/Research",
+    ],
 )

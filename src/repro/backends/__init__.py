@@ -1,4 +1,5 @@
-"""Rendering backends: ARC -> comprehension text, ARC -> SQL."""
+"""Rendering backends (ARC -> comprehension text, ARC -> SQL) and the
+executable-backend registry (:mod:`repro.backends.exec`)."""
 
 from . import comprehension
 

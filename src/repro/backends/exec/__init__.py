@@ -1,0 +1,41 @@
+"""Executable backends: registry, dispatch, and the SQLite offload engine."""
+
+from .registry import (
+    Backend,
+    BackendFallbackWarning,
+    BackendUnsupported,
+    PlannerBackend,
+    ReferenceBackend,
+    SqliteBackend,  # None when sqlite3 is unavailable (registry guards it)
+    available_backends,
+    get_backend,
+    register,
+    run_backend,
+)
+
+try:
+    from .sqlite_exec import (
+        catalog_fingerprint,
+        clear_catalog_cache,
+        connect_catalog,
+    )
+except ImportError:  # pragma: no cover - sqlite3 is stdlib everywhere we run
+    catalog_fingerprint = None
+    clear_catalog_cache = None
+    connect_catalog = None
+
+__all__ = [
+    "Backend",
+    "BackendFallbackWarning",
+    "BackendUnsupported",
+    "PlannerBackend",
+    "ReferenceBackend",
+    "SqliteBackend",
+    "available_backends",
+    "catalog_fingerprint",
+    "clear_catalog_cache",
+    "connect_catalog",
+    "get_backend",
+    "register",
+    "run_backend",
+]

@@ -1,0 +1,157 @@
+"""The executable-backend registry: pluggable engines behind ``evaluate``.
+
+The paper's Section 5 positions ARC as a hub between query languages;
+:mod:`repro.backends.sql_render` already produces executable SQL *text*, and
+this package turns that modality into an *engine*.  A backend is anything
+that can take an ARC node plus a catalog and produce the same answer the
+reference evaluator would:
+
+* ``reference`` — the paper's nested-loop strategy (``planner=False``), the
+  semantic oracle;
+* ``planner`` — the hash-indexed execution layer (the default engine);
+* ``sqlite`` — renders the node through ``to_sql`` and offloads execution
+  to a SQLite connection holding the loaded catalog
+  (:mod:`repro.backends.exec.sqlite_exec`).
+
+Backends advertise what they can honor through a ``capabilities`` probe;
+:func:`run_backend` dispatches to the requested backend and falls back to
+the planner — with a :class:`BackendFallbackWarning` — when the probe (or
+the engine itself, via :class:`BackendUnsupported`) reports a construct or
+convention the backend cannot evaluate faithfully.  The fallback keeps
+``evaluate(..., backend=...)`` total: every query answers, and the warning
+tells the caller which engine actually ran.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ...errors import EvaluationError
+
+
+class BackendUnsupported(EvaluationError):
+    """A backend cannot faithfully evaluate this query/catalog/conventions."""
+
+
+class BackendFallbackWarning(UserWarning):
+    """Dispatch substituted the planner for the requested backend."""
+
+
+class Backend:
+    """Protocol for an executable backend.
+
+    Subclasses set :attr:`name`, may override :meth:`capabilities` (return a
+    list of human-readable reasons the node cannot run — empty means fully
+    supported), and must implement :meth:`run`.
+    """
+
+    name = None
+
+    def capabilities(self, node, conventions, database=None):
+        """Reasons this backend cannot evaluate *node*; ``[]`` = supported."""
+        return []
+
+    def run(self, node, database, conventions, *, externals=None, **options):
+        """Evaluate *node*; returns a Relation (collections/programs) or Truth."""
+        raise NotImplementedError
+
+
+class ReferenceBackend(Backend):
+    """The paper's nested-loop strategy — the semantic oracle."""
+
+    name = "reference"
+
+    def run(self, node, database, conventions, *, externals=None, **options):
+        from ...engine.evaluator import evaluate
+
+        return evaluate(node, database, conventions, externals, planner=False)
+
+
+class PlannerBackend(Backend):
+    """The hash-indexed execution layer (the default engine)."""
+
+    name = "planner"
+
+    def run(self, node, database, conventions, *, externals=None, **options):
+        from ...engine.evaluator import evaluate
+
+        return evaluate(node, database, conventions, externals, planner=True)
+
+
+_REGISTRY = {}
+
+
+def register(backend):
+    """Register *backend* under its name (replacing any previous holder)."""
+    if not backend.name:
+        raise ValueError("backend must define a name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name):
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends():
+    return sorted(_REGISTRY)
+
+
+def run_backend(
+    node,
+    database,
+    conventions,
+    backend="planner",
+    *,
+    externals=None,
+    fallback=True,
+    **options,
+):
+    """Evaluate *node* on the named backend, falling back to the planner.
+
+    The fallback triggers when the backend's capability probe reports
+    problems or its ``run`` raises :class:`BackendUnsupported` (e.g. SQLite
+    rejecting a construct the static probe could not see).  ``fallback=False``
+    turns both into a raised :class:`BackendUnsupported` instead.
+    """
+    engine = get_backend(backend)
+    problems = engine.capabilities(node, conventions, database)
+    if not problems:
+        try:
+            return engine.run(
+                node, database, conventions, externals=externals, **options
+            )
+        except BackendUnsupported as exc:
+            problems = [str(exc)]
+    reason = "; ".join(problems)
+    if not fallback or engine.name == PlannerBackend.name:
+        raise BackendUnsupported(
+            f"backend {engine.name!r} cannot evaluate this query: {reason}"
+        )
+    warnings.warn(
+        f"backend {engine.name!r} cannot evaluate this query ({reason}); "
+        "falling back to the planner",
+        BackendFallbackWarning,
+        stacklevel=2,
+    )
+    return get_backend(PlannerBackend.name).run(
+        node, database, conventions, externals=externals
+    )
+
+
+register(ReferenceBackend())
+register(PlannerBackend())
+
+# SQLite ships with CPython, but gate the import so a stripped-down build
+# still exposes the pure-Python backends.
+try:
+    from .sqlite_exec import SqliteBackend
+except ImportError:  # pragma: no cover - sqlite3 is stdlib everywhere we run
+    SqliteBackend = None
+else:
+    register(SqliteBackend())

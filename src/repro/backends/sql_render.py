@@ -14,10 +14,19 @@ The inverse direction of the paper's planned ``SQL ↔ ARC`` translator
   a single aggregation comparison becomes a correlated scalar subquery
   (Fig. 21a); negation becomes NOT EXISTS;
 * top-level disjunction becomes UNION ALL; deduplicating grouping becomes
-  SELECT DISTINCT; recursion becomes WITH RECURSIVE.
+  SELECT DISTINCT; recursion becomes WITH RECURSIVE, with the recursive
+  disjuncts joined by set-based UNION — the engine's fixpoint materializes
+  recursive relations under set semantics (Section 2.9), and UNION is what
+  makes the SQL iteration terminate on cyclic data.
+
+Derived tables carry the ``lateral`` keyword only when the nested collection
+actually references outer bindings; uncorrelated subqueries render as plain
+parenthesized FROM items, which keeps them inside the fragment engines
+without LATERAL support (e.g. SQLite) can execute.
 
 The produced text parses back through :mod:`repro.frontends.sql` for the
-non-recursive fragment, enabling round-trip testing.
+non-recursive fragment, enabling round-trip testing, and executes on the
+SQLite offload backend (:mod:`repro.backends.exec.sqlite_exec`).
 """
 
 from __future__ import annotations
@@ -35,8 +44,48 @@ def to_sql(node, *, pretty=True):
     if isinstance(node, n.Collection):
         return renderer.render_collection(node)
     if isinstance(node, n.Sentence):
-        return f"select exists ({renderer.render_exists_body(node.body)})"
+        return renderer.render_sentence(node)
     raise RewriteError(f"cannot render {type(node).__name__} as SQL")
+
+
+def free_variables(node):
+    """Range variables referenced in *node* but not bound inside it.
+
+    A nested collection with free variables is *correlated*: its SQL
+    rendering needs LATERAL, and engines without LATERAL support cannot
+    execute it.  The analysis is scope-aware — a variable bound in a nested
+    sub-scope does not shadow an outer reference *outside* that sub-scope —
+    and collection head names count as bound (head-assignment predicates
+    reference them as ``Head.attr``).
+    """
+    return _free_vars(node, frozenset())
+
+
+def _free_vars(node, bound):
+    if isinstance(node, n.Attr):
+        return set() if node.var in bound else {node.var}
+    if isinstance(node, n.Collection):
+        return _free_vars(node.body, bound | {node.head.name})
+    if isinstance(node, n.Quantifier):
+        free = set()
+        scope = set(bound)
+        for binding in node.bindings:
+            # A binding's source sees earlier bindings of the same scope
+            # (lateral nesting), not itself.
+            free |= _free_vars(binding.source, frozenset(scope))
+            scope.add(binding.var)
+        inner = frozenset(scope)
+        free |= _free_vars(node.body, inner)
+        if node.grouping is not None:
+            for key in node.grouping.keys:
+                free |= _free_vars(key, inner)
+        return free
+    if not isinstance(node, n.Node):
+        return set()
+    free = set()
+    for child in node.children():
+        free |= _free_vars(child, bound)
+    return free
 
 
 class _SqlRenderer:
@@ -48,15 +97,19 @@ class _SqlRenderer:
         ctes = []
         recursive = False
         for name, definition in program.definitions.items():
-            if self._is_recursive(name, definition):
-                recursive = True
+            is_recursive = self._is_recursive(name, definition)
+            recursive = recursive or is_recursive
             attrs = ", ".join(definition.head.attrs)
-            ctes.append(f"{name}({attrs}) as (\n{self.render_collection(definition)}\n)")
+            # Recursive definitions iterate to a *set-based* least fixpoint
+            # (Section 2.9), so their disjuncts are joined by UNION — which
+            # also makes the SQL recursion terminate on cyclic inputs.
+            body = self.render_collection(definition, set_union=is_recursive)
+            ctes.append(f"{name}({attrs}) as (\n{body}\n)")
         main = program.resolve_main()
         if isinstance(program.main, str):
             main_sql = f"select * from {program.main}"
         elif isinstance(main, n.Sentence):
-            main_sql = f"select exists ({self.render_exists_body(main.body)})"
+            main_sql = self.render_sentence(main)
         else:
             main_sql = self.render_collection(main)
         keyword = "with recursive" if recursive else "with"
@@ -71,7 +124,7 @@ class _SqlRenderer:
 
     # -- collections ------------------------------------------------------------
 
-    def render_collection(self, coll):
+    def render_collection(self, coll, *, set_union=False):
         head = coll.head
         disjuncts = (
             coll.body.children_list if isinstance(coll.body, n.Or) else [coll.body]
@@ -84,7 +137,8 @@ class _SqlRenderer:
                     f"(got {type(disjunct).__name__})"
                 )
             selects.append(self._render_quantifier_select(head, disjunct))
-        return "\nunion all\n".join(selects)
+        separator = "\nunion\n" if set_union else "\nunion all\n"
+        return separator.join(selects)
 
     def _render_quantifier_select(self, head, quant):
         parts = self._split_scope(head, quant)
@@ -255,7 +309,8 @@ class _SqlRenderer:
             return f"{name} {binding.var}"
         sub = self.render_collection(binding.source)
         indented = "\n    ".join(sub.splitlines())
-        return f"lateral (\n    {indented}\n  ) {binding.var}"
+        keyword = "lateral " if free_variables(binding.source) else ""
+        return f"{keyword}(\n    {indented}\n  ) {binding.var}"
 
     # -- formulas -----------------------------------------------------------------------
 
@@ -323,15 +378,26 @@ class _SqlRenderer:
         indented = "\n   ".join(sql.splitlines())
         return f"exists (\n   {indented})"
 
-    def render_exists_body(self, body):
+    def render_sentence(self, sentence):
+        """A sentence becomes a one-value boolean SELECT.
+
+        Negations stay *outside* the quantifier rendering: wrapping the
+        boolean select in a further EXISTS would always be true (the inner
+        select always yields its one row), so ``¬∃`` renders directly as
+        ``select not exists (...)``.
+        """
+        return self._render_truth_select(sentence.body, negated=False)
+
+    def _render_truth_select(self, body, *, negated):
+        if isinstance(body, n.Not):
+            return self._render_truth_select(body.child, negated=not negated)
         if isinstance(body, n.Quantifier):
             text = self._render_boolean_quantifier(body)
-            if text.startswith("exists (") and text.endswith(")"):
-                return text[len("exists (") : -1].strip()
-            return f"select {text}"
-        if isinstance(body, n.Not) and isinstance(body.child, n.Quantifier):
-            inner = self.render_exists_body(body.child)
-            return f"select not exists ({inner})"
+            if text.startswith("exists ("):
+                keyword = "not exists" if negated else "exists"
+                return f"select {keyword} {text[len('exists '):]}"
+            # γ∅ scalar-subquery shape: a bare comparison.
+            return f"select not ({text})" if negated else f"select {text}"
         raise RewriteError("sentence body must be a (negated) quantifier")
 
     @staticmethod

@@ -6,6 +6,8 @@ Usage (see ``python -m repro --help``)::
     python -m repro translate --from arc --to sql "{Q(A) | ∃r ∈ R[Q.A = r.A]}"
     python -m repro validate "{Q(A, sm) | ∃r ∈ R[Q.sm = sum(r.B)]}"
     python -m repro eval --db data.csv:R "select R.A from R"
+    python -m repro eval --db data.csv:R --backend sqlite --conventions sql ...
+    python -m repro eval --db data.csv:R --db-file catalog.db ...  # warm restarts
     python -m repro patterns "select R.A from R where not exists (...)"
 
 Input languages: ``arc`` (comprehension syntax), ``alt`` (the box-drawing
@@ -120,11 +122,26 @@ def cmd_validate(args):
 def cmd_eval(args):
     database = _load_database(args.db)
     query = _load_query(_read_text(args), args.source, database)
+    backend = args.backend
+    if args.no_planner and backend is not None:
+        raise ArcError(
+            "--no-planner and --backend both select an engine; use "
+            "--backend reference instead of combining them"
+        )
+    if args.db_file and backend not in (None, "sqlite"):
+        raise ArcError(
+            f"--db-file persists a SQLite catalog; backend {backend!r} "
+            "would silently ignore it"
+        )
+    if backend is None and args.db_file:
+        backend = "sqlite"  # a persistent catalog implies the SQLite engine
     result = evaluate(
         query,
         database,
         CONVENTIONS[args.conventions],
         planner=not args.no_planner,
+        backend=backend,
+        db_file=args.db_file,
     )
     if hasattr(result, "to_table"):
         print(result.to_table(max_rows=args.max_rows))
@@ -199,6 +216,21 @@ def build_parser():
         "--no-planner",
         action="store_true",
         help="disable the hash-indexed execution layer (reference strategy)",
+    )
+    p_eval.add_argument(
+        "--backend",
+        default=None,
+        choices=["reference", "planner", "sqlite"],
+        help="executable backend (default: planner; sqlite offloads the "
+        "rendered SQL to a loaded SQLite catalog, falling back to the "
+        "planner for constructs it cannot honor)",
+    )
+    p_eval.add_argument(
+        "--db-file",
+        default=None,
+        metavar="PATH",
+        help="persist the SQLite catalog at PATH (implies --backend sqlite); "
+        "later runs against the unchanged catalog start warm",
     )
     p_eval.set_defaults(func=cmd_eval)
 

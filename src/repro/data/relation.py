@@ -108,6 +108,7 @@ class Relation:
         self._schema_set = frozenset(self.schema)
         self._rows = Counter()
         self._indexes = {}  # attrs tuple -> {key tuple: [(Tuple, mult), ...]}
+        self.index_builds = 0  # full index (re)builds; probes of a maintained index are free
         # Derived results (e.g. materialized aggregates) keyed weakly by the
         # owning plan object; invalidated together with the indexes.
         self._derived = weakref.WeakKeyDictionary()
@@ -157,6 +158,44 @@ class Relation:
             rel.add(row, mult)
         return rel
 
+    def extend_new(self, rows, multiplicity=1):
+        """Bulk-insert rows while *maintaining* cached hash indexes.
+
+        Unlike :meth:`add`, which invalidates every cached index, this
+        appends each new row to the matching index buckets in place — the
+        semi-naive fixpoint grows its full relations once per round, and
+        rebuilding their indexes each round would erase the benefit of
+        probing delta→full.  Rows already present fall back to plain
+        :meth:`add` (an extra bucket entry for an existing tuple would
+        double-count it), and derived-result caches are always dropped.
+        """
+        if multiplicity < 0:
+            raise ValueError("multiplicity must be non-negative")
+        coerced = [self._coerce(row) for row in rows]
+        if not coerced or not multiplicity:
+            return
+        if len(set(coerced)) != len(coerced) or any(
+            row in self._rows for row in coerced
+        ):
+            # Duplicates (within the batch or against stored rows) must
+            # *accumulate*; take the invalidating add() path.
+            for row in coerced:
+                self.add(row, multiplicity)
+            return
+        for row in coerced:
+            self._rows[row] = multiplicity
+        for attrs, index in self._indexes.items():
+            for row in coerced:
+                values = row._values
+                key = tuple(values[a] for a in attrs)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [(row, multiplicity)]
+                else:
+                    bucket.append((row, multiplicity))
+        if len(self._derived):
+            self._derived.clear()
+
     @classmethod
     def _adopt_counter(cls, name, schema, counter):
         """Take ownership of a Tuple -> multiplicity Counter without coercion.
@@ -182,6 +221,7 @@ class Relation:
         attrs = tuple(attrs)
         index = self._indexes.get(attrs)
         if index is None:
+            self.index_builds += 1
             unknown = set(attrs) - self._schema_set
             if unknown:
                 raise SchemaError(

@@ -75,7 +75,16 @@ def _relation_refs(node):
     return refs
 
 
-def evaluate(node, database, conventions=SET_CONVENTIONS, externals=None, *, planner=True):
+def evaluate(
+    node,
+    database,
+    conventions=SET_CONVENTIONS,
+    externals=None,
+    *,
+    planner=True,
+    backend=None,
+    db_file=None,
+):
     """Evaluate *node* against *database* under *conventions*.
 
     Returns a :class:`~repro.data.relation.Relation` for collections and
@@ -83,7 +92,26 @@ def evaluate(node, database, conventions=SET_CONVENTIONS, externals=None, *, pla
     ``planner=False`` disables the hash-indexed execution layer and runs
     the paper's reference nested-loop strategy instead (the escape hatch
     used by the differential harness).
+
+    ``backend`` selects an executable backend from the registry
+    (:mod:`repro.backends.exec`): ``"reference"``, ``"planner"``, or
+    ``"sqlite"`` — the latter offloads execution to a SQLite connection
+    holding the loaded catalog, falling back to the planner (with a
+    :class:`~repro.backends.exec.BackendFallbackWarning`) for constructs or
+    conventions it cannot honor.  ``db_file`` persists the SQLite catalog
+    on disk so later processes start warm.
     """
+    if backend is not None:
+        from ..backends.exec import run_backend
+
+        return run_backend(
+            node,
+            database,
+            conventions,
+            backend,
+            externals=externals,
+            db_file=db_file,
+        )
     return Evaluator(database, conventions, externals, planner=planner).evaluate(node)
 
 

@@ -144,8 +144,11 @@ def _solve_seminaive(component, definitions, evaluator):
       are built **once per component**, not once per round, so the planner's
       per-node plan cache stays hot across the whole fixpoint;
     * each name's full relation is one :class:`Relation` object that grows
-      by ``add`` (hash indexes invalidate and lazily rebuild once per
-      round) instead of being rebuilt from scratch;
+      by :meth:`~repro.data.relation.Relation.extend_new`, which appends the
+      round's delta rows to the cached hash indexes *in place* — the planner
+      probes delta→full without rebuilding full-relation indexes each round
+      (the per-round delta relations are small and re-indexed from scratch;
+      the full relations are large and maintained incrementally);
     * the ``known`` sets of derived rows persist across rounds instead of
       being re-materialized from the full relations.
     """
@@ -184,8 +187,7 @@ def _solve_seminaive(component, definitions, evaluator):
         for part in base_parts[name]:
             rows.update(evaluator._eval_collection(part, {}))
         relation = Relation(name, head.attrs)
-        for row in rows:
-            relation.add(row)
+        relation.extend_new(rows)
         evaluator.defined[name] = relation
         full[name] = relation
         known[name] = rows
@@ -201,8 +203,7 @@ def _solve_seminaive(component, definitions, evaluator):
         # Expose the deltas as relations the rewritten disjuncts can read.
         for name in component:
             delta_rel = Relation(delta_name[name], definitions[name].head.attrs)
-            for row in deltas[name]:
-                delta_rel.add(row)
+            delta_rel.extend_new(deltas[name])
             evaluator.defined[delta_name[name]] = delta_rel
         new_deltas = {name: set() for name in component}
         for name in component:
@@ -214,9 +215,9 @@ def _solve_seminaive(component, definitions, evaluator):
                         seen.add(row)
                         fresh.add(row)
         for name in component:
-            relation = full[name]
-            for row in new_deltas[name]:
-                relation.add(row)
+            # Delta-aware growth: append the fresh rows to the full
+            # relation's cached indexes instead of invalidating them.
+            full[name].extend_new(new_deltas[name])
         deltas = new_deltas
     for name in component:
         evaluator.defined.pop(delta_name[name], None)

@@ -68,6 +68,31 @@ class TestShapes:
         )
         assert "lateral (" in sql
 
+    def test_uncorrelated_derived_table_has_no_lateral(self):
+        # No reference to an outer binding: a plain derived table, which
+        # engines without LATERAL (e.g. SQLite) can execute.
+        sql = to_sql(
+            parse(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+                "[X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+            )
+        )
+        assert "lateral" not in sql
+        assert ") x" in sql
+
+    def test_shadowed_inner_variable_does_not_hide_correlation(self):
+        # The sub-subquery rebinds r; the outer-referencing `s.A = r.A` in
+        # the middle scope is still correlated, so lateral must survive
+        # (a scope-insensitive free-variable analysis would drop it).
+        sql = to_sql(
+            parse(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, "
+                "y ∈ {Y(c) | ∃r ∈ R2, γ ∅[Y.c = count(r.A)]}, γ ∅"
+                "[s.A = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+            )
+        )
+        assert "lateral (" in sql
+
     def test_left_join_with_literal_leaf(self):
         sql = to_sql(
             parse(
@@ -86,6 +111,14 @@ class TestShapes:
         sql = to_sql(parse("∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q = count(s.d)]]"))
         assert sql.startswith("select exists (")
 
+    def test_negated_sentence_is_not_exists(self):
+        # ¬∃ must render as `select not exists (...)` directly: wrapping the
+        # negation in a further EXISTS would always be true, because the
+        # inner boolean select always yields its one row.
+        sql = to_sql(parse("¬∃r ∈ R[∃s ∈ S, γ ∅[r.id = s.id ∧ r.q > count(s.d)]]"))
+        assert sql.startswith("select not exists (")
+        assert "exists (select not" not in sql
+
     def test_recursive_program_with_recursive(self):
         program = parse(
             "A := {A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
@@ -93,7 +126,10 @@ class TestShapes:
         )
         sql = to_sql(program)
         assert sql.startswith("with recursive A(s, t) as (")
-        assert "union all" in sql
+        # Recursive disjuncts iterate a *set-based* fixpoint (Section 2.9):
+        # UNION, not UNION ALL, so the SQL terminates on cyclic data.
+        assert "union all" not in sql
+        assert "\nunion\n" in sql
 
     def test_nonrecursive_program_plain_with(self):
         program = parse("V := {V(A) | ∃r ∈ R[V.A = r.A]} ; main V")

@@ -1,0 +1,368 @@
+"""Unit tests for the SQLite offload engine and the backend registry."""
+
+import sqlite3
+import warnings
+
+import pytest
+
+from repro.backends.exec import (
+    BackendFallbackWarning,
+    BackendUnsupported,
+    available_backends,
+    catalog_fingerprint,
+    clear_catalog_cache,
+    connect_catalog,
+    get_backend,
+    run_backend,
+)
+from repro.backends.exec import sqlite_exec
+from repro.core.conventions import (
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+from repro.core.parser import parse
+from repro.data import Database, NULL, Relation, Truth, csvio
+from repro.engine import evaluate
+from repro.errors import EvaluationError
+
+IDENTITY = "{Q(A, B) | ∃r ∈ R[Q.A = r.A ∧ Q.B = r.B]}"
+ANCESTOR = (
+    "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+    "∃p ∈ P, a2 ∈ A[A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_catalog_cache()
+    yield
+    clear_catalog_cache()
+
+
+def _mixed_db():
+    db = Database()
+    db.create(
+        "R",
+        ("A", "B"),
+        [(1, 1.5), (1, 1.5), ("x", NULL), (NULL, "y")],  # bag duplicate + NULLs
+    )
+    return db
+
+
+class TestValueMapping:
+    def test_round_trip_preserves_types_nulls_and_multiplicity(self):
+        db = _mixed_db()
+        result = evaluate(parse(IDENTITY), db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(parse(IDENTITY), db, SQL_CONVENTIONS, planner=False)
+        assert result.multiplicity({"A": 1, "B": 1.5}) == 2
+        assert any(r["B"] is NULL for r in result.iter_distinct())
+
+    def test_nan_values_are_rejected_not_silently_nulled(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(float("nan"), 1)])
+        with pytest.raises(BackendUnsupported, match="NaN"):
+            connect_catalog(db)
+
+    def test_unsupported_value_type_is_rejected(self):
+        db = Database()
+        db.create("R", ("A",), [((1, 2),)])  # a tuple-valued cell
+        with pytest.raises(BackendUnsupported, match="value"):
+            connect_catalog(db)
+
+    def test_case_colliding_relation_names_are_rejected(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        db.create("r", ("A",), [(2,)])
+        with pytest.raises(BackendUnsupported, match="collide"):
+            connect_catalog(db)
+
+    def test_meta_table_name_is_reserved(self, tmp_path):
+        db = Database()
+        db.create("__arc_catalog__", ("A",), [(1,)])
+        with pytest.raises(BackendUnsupported, match="reserved"):
+            connect_catalog(db, db_file=str(tmp_path / "c.db"))
+        # Through dispatch, the collision falls back instead of crashing.
+        query = parse("{Q(A) | ∃r ∈ __arc_catalog__[Q.A = r.A]}")
+        with pytest.warns(BackendFallbackWarning):
+            result = evaluate(
+                query,
+                db,
+                SQL_CONVENTIONS,
+                backend="sqlite",
+                db_file=str(tmp_path / "c.db"),
+            )
+        assert result == evaluate(query, db, SQL_CONVENTIONS, planner=False)
+
+
+class TestCatalogCache:
+    def test_warm_cache_reuses_the_loaded_connection(self):
+        db = _mixed_db()
+        query = parse(IDENTITY)
+        evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        loads = sqlite_exec.stats["loads"]
+        evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        assert sqlite_exec.stats["loads"] == loads
+        assert sqlite_exec.stats["hits"] >= 1
+
+    def test_equal_catalogs_share_a_fingerprint(self):
+        assert catalog_fingerprint(_mixed_db()) == catalog_fingerprint(_mixed_db())
+
+    def test_mutation_changes_the_fingerprint(self):
+        db = _mixed_db()
+        before = catalog_fingerprint(db)
+        db["R"].add((7, 7))
+        assert catalog_fingerprint(db) != before
+
+    def test_cache_is_bounded(self):
+        for i in range(sqlite_exec._CACHE_LIMIT + 3):
+            db = Database()
+            db.create("R", ("A",), [(i,)])
+            connect_catalog(db)
+        assert len(sqlite_exec._connections) == sqlite_exec._CACHE_LIMIT
+
+
+class TestDbFilePersistence:
+    def test_file_catalog_reloads_only_on_fingerprint_change(self, tmp_path):
+        path = str(tmp_path / "catalog.db")
+        db = _mixed_db()
+        query = parse(IDENTITY)
+        first = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite", db_file=path)
+        loads = sqlite_exec.stats["loads"]
+        # Second call (fresh connection, same file): warm start, no reload.
+        second = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite", db_file=path)
+        assert sqlite_exec.stats["loads"] == loads
+        assert first == second
+        # The tables really are on disk.
+        conn = sqlite3.connect(path)
+        assert conn.execute("select count(*) from R").fetchone()[0] == 4
+        conn.close()
+        # Mutation invalidates the stored fingerprint and reloads.
+        db["R"].add((8, 8))
+        evaluate(query, db, SQL_CONVENTIONS, backend="sqlite", db_file=path)
+        assert sqlite_exec.stats["loads"] == loads + 1
+
+
+class TestCapabilities:
+    def probe(self, text, db, conventions=SQL_CONVENTIONS):
+        return get_backend("sqlite").capabilities(parse(text), conventions, db)
+
+    def test_sql_conventions_fully_supported(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        assert self.probe(IDENTITY, db) == []
+
+    def test_non_sql_conventions_reported(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        assert any("set" in p for p in self.probe(IDENTITY, db, SET_CONVENTIONS))
+        problems = self.probe(IDENTITY, db, SOUFFLE_CONVENTIONS)
+        assert any("two-valued" in p for p in problems)
+        assert any("empty-aggregate" in p for p in problems)
+
+    def test_externals_reported(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        problems = self.probe(
+            "{Q(A) | ∃r ∈ R, f ∈ Minus[Q.A = r.A ∧ f.left = r.A ∧ "
+            "f.right = r.B ∧ f.out = 0]}",
+            db,
+        )
+        assert any("Minus" in p for p in problems)
+
+    def test_correlated_lateral_reported(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        db.create("S", ("A", "B"), [(1, 2)])
+        problems = self.probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}",
+            db,
+        )
+        assert any("LATERAL" in p for p in problems)
+
+    def test_division_reported(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        problems = self.probe("{Q(A) | ∃r ∈ R[Q.A = r.A / r.B]}", db)
+        assert any("division" in p for p in problems)
+
+    def test_negation_over_nulls_reported(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        db.create("S", ("A",), [(NULL,)])
+        problems = self.probe(
+            "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}", db
+        )
+        assert any("UNKNOWN" in p for p in problems)
+        # Null-free data: the same query is offloadable.
+        db2 = Database()
+        db2.create("R", ("A",), [(1,)])
+        db2.create("S", ("A",), [(2,)])
+        assert (
+            self.probe("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ ¬(∃s ∈ S[s.A = r.A])]}", db2)
+            == []
+        )
+
+
+class TestDispatch:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(EvaluationError, match="unknown backend"):
+            get_backend("duckdb")
+
+    def test_available_backends(self):
+        assert {"reference", "planner", "sqlite"} <= set(available_backends())
+
+    def test_fallback_disabled_raises(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2)])
+        with pytest.raises(BackendUnsupported):
+            run_backend(
+                parse(IDENTITY), db, SET_CONVENTIONS, "sqlite", fallback=False
+            )
+
+    def test_fallback_warns_and_matches_planner(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 2), (1, 2)])
+        with pytest.warns(BackendFallbackWarning):
+            result = evaluate(parse(IDENTITY), db, SET_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(parse(IDENTITY), db, SET_CONVENTIONS)
+
+    def test_runtime_rejection_falls_back(self):
+        """Constructs the static probe cannot see (nonlinear recursion) still
+        answer correctly via the runtime BackendUnsupported fallback."""
+        db = Database()
+        db.create("P", ("s", "t"), [("a", "b"), ("b", "c")])
+        nonlinear = parse(
+            "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+            "∃a1 ∈ A, a2 ∈ A[A.s = a1.s ∧ a1.t = a2.s ∧ A.t = a2.t]}"
+        )
+        with pytest.warns(BackendFallbackWarning, match="recursive"):
+            result = evaluate(nonlinear, db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(nonlinear, db, SQL_CONVENTIONS, planner=False)
+
+    def test_sentence_returns_truth(self):
+        db = Database()
+        db.create("R", ("A",), [(1,)])
+        db.create("S", ("A",), [(1,)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any fallback would fail the test
+            result = evaluate(
+                parse("∃r ∈ R[∃s ∈ S[s.A = r.A]]"),
+                db,
+                SQL_CONVENTIONS,
+                backend="sqlite",
+            )
+        assert result is Truth.TRUE
+
+
+class TestCli:
+    def _write_csv(self, tmp_path, name, schema, rows):
+        rel = Relation(name, schema, rows)
+        path = tmp_path / f"{name.lower()}.csv"
+        csvio.write_csv(rel, str(path))
+        return f"{path}:{name}"
+
+    def test_eval_backend_sqlite_from_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_csv(tmp_path, "R", ("A", "B"), [(1, 10), (2, 20)])
+        code = main(
+            [
+                "eval",
+                "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 15]}",
+                "--db",
+                spec,
+                "--conventions",
+                "sql",
+                "--backend",
+                "sqlite",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2" in out and "1" not in out.splitlines()[-1]
+
+    def test_eval_recursive_program_on_sqlite_from_csv(self, tmp_path, capsys):
+        """Acceptance: a WITH RECURSIVE program end-to-end from CSV."""
+        from repro.cli import main
+
+        spec = self._write_csv(
+            tmp_path, "P", ("s", "t"), [("a", "b"), ("b", "c"), ("c", "d")]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendFallbackWarning)
+            code = main(
+                [
+                    "eval",
+                    ANCESTOR,
+                    "--db",
+                    spec,
+                    "--conventions",
+                    "sql",
+                    "--backend",
+                    "sqlite",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "d" in out
+        assert out.count("\n") >= 6  # six closure pairs
+
+    def test_eval_db_file_implies_sqlite(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_csv(tmp_path, "R", ("A", "B"), [(1, 10)])
+        path = str(tmp_path / "catalog.db")
+        code = main(
+            [
+                "eval",
+                "{Q(A) | ∃r ∈ R[Q.A = r.A]}",
+                "--db",
+                spec,
+                "--conventions",
+                "sql",
+                "--db-file",
+                path,
+            ]
+        )
+        assert code == 0
+        conn = sqlite3.connect(path)
+        assert conn.execute("select count(*) from R").fetchone()[0] == 1
+        conn.close()
+
+    def test_parser_exposes_backend_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["eval", "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "--backend", "sqlite"]
+        )
+        assert args.backend == "sqlite"
+
+    def test_conflicting_engine_flags_are_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_csv(tmp_path, "R", ("A", "B"), [(1, 10)])
+        query = "{Q(A) | ∃r ∈ R[Q.A = r.A]}"
+        assert (
+            main(["eval", query, "--db", spec, "--no-planner", "--backend", "sqlite"])
+            == 2
+        )
+        assert "--no-planner" in capsys.readouterr().err
+        # --db-file with a non-sqlite backend would be silently ignored.
+        assert (
+            main(
+                [
+                    "eval",
+                    query,
+                    "--db",
+                    spec,
+                    "--backend",
+                    "planner",
+                    "--db-file",
+                    str(tmp_path / "c.db"),
+                ]
+            )
+            == 2
+        )
+        assert "--db-file" in capsys.readouterr().err

@@ -7,8 +7,10 @@ O(N) rows, not the O(N²) cross product — which is robust under slow CI
 machines where wall-clock assertions flake.
 """
 
+import pytest
+
 from repro.core.parser import parse
-from repro.data import Database
+from repro.data import Database, generators
 from repro.engine import Evaluator
 from repro.workloads import sweeps
 
@@ -77,6 +79,59 @@ def test_index_reuse_across_evaluations():
     second = Evaluator(db)
     second.evaluate(parse(JOIN))
     assert second.stats.index_probes <= N + 5
+
+
+def test_seminaive_probes_delta_into_maintained_full_index():
+    """Delta-aware fixpoint growth: the full relation's hash index must be
+    built once and *maintained* across semi-naive rounds (extend_new), not
+    invalidated and rebuilt every round by per-row add().
+
+    Nonlinear transitive closure probes the full relation from the delta
+    side each round, so a rebuild-per-round regression shows up directly in
+    the relation's index_builds counter.
+    """
+    db = generators.parent_edges(40, seed=7)
+    nonlinear = (
+        "{A(s, t) | ∃p ∈ P[A.s = p.s ∧ A.t = p.t] ∨ "
+        "∃a1 ∈ A, a2 ∈ A[A.s = a1.s ∧ a1.t = a2.s ∧ A.t = a2.t]}"
+    )
+    evaluator = Evaluator(db)
+    result = evaluator.evaluate(parse(nonlinear))
+    assert len(result) >= 39
+    full = evaluator.defined["A"]
+    assert full._indexes, "the delta variant should probe the full relation"
+    assert full.index_builds <= 2, full.index_builds
+    assert evaluator.stats.index_probes > 0
+
+
+def test_extend_new_maintains_existing_indexes():
+    rel = Database().create("R", ("A", "B"), [(1, 10), (2, 20)])
+    index = rel.index_on(("A",))
+    assert rel.index_builds == 1
+    rel.extend_new([(3, 30)])
+    assert rel.index_on(("A",)) is index  # no invalidation
+    assert rel.index_builds == 1
+    assert index[(3,)] == [(rel._coerce((3, 30)), 1)]
+    assert rel.multiplicity((3, 30)) == 1
+    # A duplicate row takes the safe add() path (indexes invalidate).
+    rel.extend_new([(3, 30)])
+    assert rel.multiplicity((3, 30)) == 2
+    assert rel.index_on(("A",)) is not index
+
+
+def test_extend_new_accumulates_intra_batch_duplicates():
+    db = Database()
+    rel = db.create("R", ("A", "B"), [(1, 10)])
+    rel.index_on(("A",))
+    rel.extend_new([(2, 20), (2, 20)])
+    assert rel.multiplicity((2, 20)) == 2
+    # Index and stored multiplicities must agree after the safe path.
+    bucket = rel.index_on(("A",))[(2,)]
+    assert sum(mult for _, mult in bucket) == 2
+    with pytest.raises(ValueError):
+        rel.extend_new([(9, 9)], multiplicity=-1)
+    rel.extend_new([(9, 9)], multiplicity=0)
+    assert (9, 9) not in rel
 
 
 def test_cli_exposes_no_planner_flag():
