@@ -34,7 +34,16 @@ class BackendUnsupported(EvaluationError):
 
 
 class BackendFallbackWarning(UserWarning):
-    """Dispatch substituted the planner for the requested backend."""
+    """Dispatch substituted the planner for the requested backend.
+
+    ``reasons`` carries the capability probe's findings verbatim, one entry
+    per failed capability, so callers (and tests) can inspect *which*
+    construct blocked the offload instead of parsing the message.
+    """
+
+    def __init__(self, message, reasons=()):
+        super().__init__(message)
+        self.reasons = tuple(reasons)
 
 
 class Backend:
@@ -47,8 +56,13 @@ class Backend:
 
     name = None
 
-    def capabilities(self, node, conventions, database=None):
-        """Reasons this backend cannot evaluate *node*; ``[]`` = supported."""
+    def capabilities(self, node, conventions, database=None, **options):
+        """Reasons this backend cannot evaluate *node*; ``[]`` = supported.
+
+        *options* receives the same keyword options as :meth:`run` (e.g.
+        ``decorrelate``), so the probe's verdict matches what the engine
+        will actually execute.
+        """
         return []
 
     def run(self, node, database, conventions, *, externals=None, **options):
@@ -72,10 +86,22 @@ class PlannerBackend(Backend):
 
     name = "planner"
 
-    def run(self, node, database, conventions, *, externals=None, **options):
+    def run(
+        self,
+        node,
+        database,
+        conventions,
+        *,
+        externals=None,
+        decorrelate=True,
+        **options,
+    ):
         from ...engine.evaluator import evaluate
 
-        return evaluate(node, database, conventions, externals, planner=True)
+        return evaluate(
+            node, database, conventions, externals, planner=True,
+            decorrelate=decorrelate,
+        )
 
 
 _REGISTRY = {}
@@ -120,7 +146,7 @@ def run_backend(
     turns both into a raised :class:`BackendUnsupported` instead.
     """
     engine = get_backend(backend)
-    problems = engine.capabilities(node, conventions, database)
+    problems = engine.capabilities(node, conventions, database, **options)
     if not problems:
         try:
             return engine.run(
@@ -134,13 +160,16 @@ def run_backend(
             f"backend {engine.name!r} cannot evaluate this query: {reason}"
         )
     warnings.warn(
-        f"backend {engine.name!r} cannot evaluate this query ({reason}); "
-        "falling back to the planner",
-        BackendFallbackWarning,
+        BackendFallbackWarning(
+            f"backend {engine.name!r} cannot evaluate this query ({reason}); "
+            "falling back to the planner",
+            problems,
+        ),
         stacklevel=2,
     )
+    options.pop("db_file", None)  # the planner has no catalog to persist
     return get_backend(PlannerBackend.name).run(
-        node, database, conventions, externals=externals
+        node, database, conventions, externals=externals, **options
     )
 
 

@@ -36,7 +36,10 @@ Capability probe
 * non-SQL conventions — set semantics, two-valued NULL comparisons, or the
   ZERO empty-aggregate convention;
 * relations without a stored extension (externals, abstract definitions);
-* correlated lateral subqueries (SQLite has no ``LATERAL``);
+* correlated lateral subqueries that survive the FOI → FIO decorrelation
+  pass (:func:`repro.engine.decorrelate.rewrite_for_sql`) *and* cannot be
+  inlined as correlated scalar subqueries — each reported with the binding
+  variable and the specific refusal, since SQLite has no ``LATERAL``;
 * ``/`` and ``%`` arithmetic (SQLite integer division/modulo differ from
   the engine's true division / Python modulo);
 * negated or sentence-level quantifiers over NULL-bearing sources — SQL's
@@ -58,9 +61,24 @@ from collections import Counter, OrderedDict
 from ...core import nodes as n
 from ...data.relation import Relation, Tuple
 from ...data.values import NULL, Truth, is_null, sort_key
+from ...engine.decorrelate import rewrite_for_sql
 from ...errors import RewriteError
-from ..sql_render import free_variables, to_sql
+from ..sql_render import free_variables, scalar_inlinable, to_sql
 from .registry import Backend, BackendUnsupported
+
+
+def _correlated_lateral_bindings(prepared):
+    """Correlated lateral bindings the renderer will emit with LATERAL."""
+    for sub in prepared.walk():
+        if not isinstance(sub, n.Quantifier):
+            continue
+        for binding in sub.bindings:
+            if (
+                isinstance(binding.source, n.Collection)
+                and free_variables(binding.source)
+                and scalar_inlinable(sub, binding) is not None
+            ):
+                yield binding
 
 _META_TABLE = "__arc_catalog__"
 _CACHE_LIMIT = 8
@@ -383,7 +401,9 @@ class SqliteBackend(Backend):
 
     name = "sqlite"
 
-    def capabilities(self, node, conventions, database=None):
+    def capabilities(
+        self, node, conventions, database=None, *, decorrelate=True, **options
+    ):
         problems = []
         if not conventions.is_bag:
             problems.append("set semantics (SQL evaluates bags)")
@@ -394,6 +414,15 @@ class SqliteBackend(Backend):
                 "ZERO empty-aggregate convention (SQLite returns NULL)"
             )
         prepared = _prepare(node, database)
+        if decorrelate:
+            prepared, leftover_laterals = rewrite_for_sql(prepared)
+        else:
+            # Mirror run(decorrelate=False): no rewrite happens, so every
+            # correlated lateral that is not scalar-inlined needs LATERAL.
+            leftover_laterals = [
+                (binding.var, "decorrelation disabled (--no-decorrelate)")
+                for binding in _correlated_lateral_bindings(prepared)
+            ]
         defined = (
             set(prepared.definitions) if isinstance(prepared, n.Program) else set()
         )
@@ -423,14 +452,11 @@ class SqliteBackend(Backend):
                 and "'" in sub.value
             ):
                 problems.append("string literal containing a quote")
-            elif (
-                isinstance(sub, n.Binding)
-                and isinstance(sub.source, n.Collection)
-                and free_variables(sub.source)
-            ):
-                problems.append(
-                    "correlated lateral subquery (SQLite has no LATERAL)"
-                )
+        for var, reason in leftover_laterals:
+            problems.append(
+                f"correlated lateral binding {var!r} needs LATERAL, which "
+                f"SQLite lacks: {reason}"
+            )
         hazard = _three_valued_hazard(prepared, database)
         if hazard:
             problems.append(hazard)
@@ -441,8 +467,20 @@ class SqliteBackend(Backend):
                 problems.append(f"not renderable as SQL ({exc})")
         return list(dict.fromkeys(problems))
 
-    def run(self, node, database, conventions, *, externals=None, db_file=None, **options):
+    def run(
+        self,
+        node,
+        database,
+        conventions,
+        *,
+        externals=None,
+        db_file=None,
+        decorrelate=True,
+        **options,
+    ):
         prepared = _prepare(node, database)
+        if decorrelate:
+            prepared, _ = rewrite_for_sql(prepared)
         try:
             sql = to_sql(prepared)
         except RewriteError as exc:

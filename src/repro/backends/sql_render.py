@@ -22,7 +22,15 @@ The inverse direction of the paper's planned ``SQL ↔ ARC`` translator
 Derived tables carry the ``lateral`` keyword only when the nested collection
 actually references outer bindings; uncorrelated subqueries render as plain
 parenthesized FROM items, which keeps them inside the fragment engines
-without LATERAL support (e.g. SQLite) can execute.
+without LATERAL support (e.g. SQLite) can execute.  A correlated γ∅ scope
+whose head is aggregate-only is not rendered as a FROM item at all: it is
+inlined as per-attribute *correlated scalar subqueries* (the paper's
+Fig. 5a/13a device, :func:`scalar_subquery_shape`) — a γ∅ scope emits
+exactly one row per outer row, which is precisely a scalar subquery's
+contract (including ``count`` over an empty group, where the group-by
+rewrite would hit the count bug).  Together with the FOI → FIO pass in
+:mod:`repro.engine.decorrelate`, this keeps every equality- or
+aggregate-correlated paper workload executable on engines without LATERAL.
 
 The produced text parses back through :mod:`repro.frontends.sql` for the
 non-recursive fragment, enabling round-trip testing, and executes on the
@@ -88,7 +96,89 @@ def _free_vars(node, bound):
     return free
 
 
+def scalar_subquery_shape(source):
+    """Why *source* cannot render as correlated scalar subqueries (or None).
+
+    The device applies to a γ∅ scope whose head attributes are all assigned
+    by aggregate expressions: such a scope emits exactly one row per outer
+    environment, so each head attribute is a scalar — rendered as its own
+    correlated subquery, which engines without LATERAL (SQLite) execute.
+    """
+    body = source.body
+    if not isinstance(body, n.Quantifier):
+        return "inner body is not a single quantifier scope"
+    if body.join is not None:
+        return "inner scope carries a join annotation"
+    if body.grouping is None or body.grouping.keys:
+        return "inner scope is not an aggregate-only γ∅ scope"
+    head = source.head
+    renderer = _SqlRenderer()
+    assignments, agg_assignments, agg_comparisons, row_formulas = (
+        renderer._split_scope(head, body)
+    )
+    if assignments:
+        return "non-aggregate head assignment in a γ∅ scope"
+    if agg_comparisons:
+        return "γ∅ aggregate comparison (the group may be filtered away)"
+    assigned = dict(agg_assignments)
+    if len(assigned) != len(agg_assignments):
+        return "duplicate head assignment"
+    missing = [attr for attr in head.attrs if attr not in assigned]
+    if missing:
+        return f"head attributes {missing} have no aggregate assignment"
+    for formula in row_formulas:
+        if head.name in n.vars_used(formula):
+            return "head attribute used outside an assignment"
+    return None
+
+
+def shadows_binding(quant, binding):
+    """Whether *quant* rebinds ``binding.var`` outside the binding's source.
+
+    Scalar-subquery inlining substitutes ``var.attr`` references throughout
+    the scope's rendering; a nested scope rebinding the same name would be
+    captured, so those shapes keep the lateral encoding.
+    """
+    target = binding.var
+
+    def scan(node):
+        if node is binding.source:
+            return False
+        if isinstance(node, n.Binding) and node is not binding and node.var == target:
+            return True
+        if isinstance(node, n.Collection) and node.head.name == target:
+            return True
+        return any(scan(child) for child in node.children())
+
+    return any(scan(child) for child in quant.children())
+
+
+def scalar_inlinable(quant, binding):
+    """Why the renderer will NOT inline *binding* as scalar subqueries.
+
+    Returns None when it will.  This is the renderer's own decision
+    procedure, shared with the SQLite capability probe
+    (:mod:`repro.engine.decorrelate`) so the probe never promises native
+    execution for a shape the renderer still emits as LATERAL.
+    """
+    reason = scalar_subquery_shape(binding.source)
+    if reason is not None:
+        return reason
+    if shadows_binding(quant, binding):
+        return f"the variable {binding.var!r} is rebound in the scope"
+    if quant.join is not None:
+        from ..engine.joins import annotation_vars
+
+        if binding.var in annotation_vars(quant.join):
+            return "the binding is an operand of a join annotation"
+    return None
+
+
 class _SqlRenderer:
+    def __init__(self):
+        #: Active scalar-subquery substitutions: (var, attr) -> SQL text.
+        self._scalar = {}
+
     # -- programs ------------------------------------------------------------
 
     def render_program(self, program):
@@ -144,7 +234,21 @@ class _SqlRenderer:
         parts = self._split_scope(head, quant)
         (assignments, agg_assignments, agg_comparisons, row_formulas) = parts
 
-        from_sql, on_consumed = self._render_from(quant)
+        eliminated, substitutions = self._scalar_eliminated(quant)
+        saved = self._scalar
+        if substitutions:
+            self._scalar = {**saved, **substitutions}
+        try:
+            return self._render_select_body(
+                head, quant, parts, eliminated
+            )
+        finally:
+            self._scalar = saved
+
+    def _render_select_body(self, head, quant, parts, eliminated):
+        (assignments, agg_assignments, agg_comparisons, row_formulas) = parts
+
+        from_sql, on_consumed = self._render_from(quant, skip=eliminated)
         where = [
             self._render_formula(f)
             for f in row_formulas
@@ -186,11 +290,66 @@ class _SqlRenderer:
                 )
 
         sql = f"select {distinct}" + ", ".join(select_items)
-        sql += f"\nfrom {from_sql}"
+        if from_sql:
+            sql += f"\nfrom {from_sql}"
         if where:
             sql += "\nwhere " + " and ".join(where)
         sql += group_by + having
         return sql
+
+    # -- correlated scalar subqueries -----------------------------------------
+
+    def _scalar_eliminated(self, quant):
+        """Bindings inlined as scalar subqueries: (ids to skip, substitutions).
+
+        A correlated γ∅ aggregate-only collection emits exactly one row per
+        outer environment, so each head attribute renders as a correlated
+        scalar subquery (Fig. 5a/13a) instead of a LATERAL FROM item.
+        Bindings are processed in scope order with the substitutions
+        installed progressively, so a later inlined binding referencing an
+        earlier one renders the reference as a *nested* scalar subquery
+        instead of naming an alias that was eliminated from FROM.
+        """
+        eliminated = set()
+        substitutions = {}
+        saved = self._scalar
+        try:
+            for binding in quant.bindings:
+                source = binding.source
+                if not isinstance(source, n.Collection) or not free_variables(
+                    source
+                ):
+                    continue
+                if scalar_inlinable(quant, binding) is not None:
+                    continue
+                self._scalar = {**saved, **substitutions}
+                for attr in source.head.attrs:
+                    substitutions[(binding.var, attr)] = (
+                        self._render_scalar_subquery(source, attr)
+                    )
+                eliminated.add(id(binding))
+        finally:
+            self._scalar = saved
+        return eliminated, substitutions
+
+    def _render_scalar_subquery(self, source, attr):
+        body = source.body
+        parts = self._split_scope(source.head, body)
+        _, agg_assignments, _, row_formulas = parts
+        expr = dict(agg_assignments)[attr]
+        from_sql, consumed = self._render_from(body)
+        where = [
+            self._render_formula(f)
+            for f in row_formulas
+            if id(f) not in consumed
+        ]
+        sub = f"select {self._render_expr(expr)}"
+        if from_sql:
+            sub += f"\nfrom {from_sql}"
+        if where:
+            sub += "\nwhere " + " and ".join(where)
+        indented = "\n   ".join(sub.splitlines())
+        return f"(\n   {indented})"
 
     def _split_scope(self, head, quant):
         assignments = []
@@ -230,12 +389,18 @@ class _SqlRenderer:
 
     # -- FROM / joins -----------------------------------------------------------------
 
-    def _render_from(self, quant):
-        """Render the FROM clause; returns (sql, ids of consumed conjuncts)."""
+    def _render_from(self, quant, skip=frozenset()):
+        """Render the FROM clause; returns (sql, ids of consumed conjuncts).
+
+        *skip* holds ids of bindings inlined as scalar subqueries (they are
+        not FROM items); an empty FROM renders as "" (a one-row select).
+        """
         bindings = {b.var: b for b in quant.bindings}
         consumed = set()
         if quant.join is None:
-            items = [self._render_binding(b) for b in quant.bindings]
+            items = [
+                self._render_binding(b) for b in quant.bindings if id(b) not in skip
+            ]
             return ",\n     ".join(items), consumed
 
         from ..engine.joins import ConditionAssignment, annotation_vars
@@ -280,7 +445,9 @@ class _SqlRenderer:
         text, leftover = render_ann(quant.join)
         if leftover:
             raise RewriteError("dangling join conditions in annotation rendering")
-        uncovered = [b for b in quant.bindings if b.var not in covered]
+        uncovered = [
+            b for b in quant.bindings if b.var not in covered and id(b) not in skip
+        ]
         items = [text] + [self._render_binding(b) for b in uncovered]
         return ",\n     ".join(items), consumed
 
@@ -342,6 +509,16 @@ class _SqlRenderer:
         raise RewriteError(f"cannot render formula {type(formula).__name__} as SQL")
 
     def _render_boolean_quantifier(self, quant):
+        eliminated, substitutions = self._scalar_eliminated(quant)
+        saved = self._scalar
+        if substitutions:
+            self._scalar = {**saved, **substitutions}
+        try:
+            return self._render_boolean_quantifier_body(quant, eliminated)
+        finally:
+            self._scalar = saved
+
+    def _render_boolean_quantifier_body(self, quant, eliminated):
         conjuncts = n.conjuncts(quant.body)
         agg_comparisons = [
             c
@@ -349,7 +526,7 @@ class _SqlRenderer:
             if isinstance(c, n.Comparison) and c.has_aggregate()
         ]
         row_formulas = [c for c in conjuncts if c not in agg_comparisons]
-        from_sql, consumed = self._render_from(quant)
+        from_sql, consumed = self._render_from(quant, skip=eliminated)
         where = [
             self._render_formula(f) for f in row_formulas if id(f) not in consumed
         ]
@@ -358,12 +535,16 @@ class _SqlRenderer:
             # (Fig. 21a / Fig. 9 pattern).
             predicate = agg_comparisons[0]
             agg_side, other_side, op = self._orient_aggregate(predicate)
-            sub = f"select {self._render_expr(agg_side)}\nfrom {from_sql}"
+            sub = f"select {self._render_expr(agg_side)}"
+            if from_sql:
+                sub += f"\nfrom {from_sql}"
             if where:
                 sub += "\nwhere " + " and ".join(where)
             indented = "\n   ".join(sub.splitlines())
             return f"{self._render_expr(other_side)} {op} (\n   {indented})"
-        sql = f"select 1\nfrom {from_sql}"
+        sql = "select 1"
+        if from_sql:
+            sql += f"\nfrom {from_sql}"
         if where:
             sql += "\nwhere " + " and ".join(where)
         if quant.grouping is not None:
@@ -413,6 +594,9 @@ class _SqlRenderer:
 
     def _render_expr(self, expr):
         if isinstance(expr, n.Attr):
+            inlined = self._scalar.get((expr.var, expr.attr))
+            if inlined is not None:
+                return inlined
             return f"{expr.var}.{expr.attr}"
         if isinstance(expr, n.Const):
             value = expr.value

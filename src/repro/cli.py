@@ -140,6 +140,7 @@ def cmd_eval(args):
         database,
         CONVENTIONS[args.conventions],
         planner=not args.no_planner,
+        decorrelate=not args.no_decorrelate,
         backend=backend,
         db_file=args.db_file,
     )
@@ -216,6 +217,13 @@ def build_parser():
         "--no-planner",
         action="store_true",
         help="disable the hash-indexed execution layer (reference strategy)",
+    )
+    p_eval.add_argument(
+        "--no-decorrelate",
+        action="store_true",
+        help="disable the FOI→FIO lateral decorrelation pass (correlated "
+        "scopes re-evaluate per outer row; on the sqlite backend, "
+        "decorrelatable laterals fall back to the planner)",
     )
     p_eval.add_argument(
         "--backend",

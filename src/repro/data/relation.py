@@ -260,6 +260,33 @@ class Relation:
         self._derived.setdefault(owner, {})[tag] = value
         return value
 
+    @staticmethod
+    def derived_get_shared(relations, owner, tag):
+        """A derived result cached consistently on *all* of *relations*.
+
+        Used for results computed over several relations at once (e.g. a
+        decorrelated scope's grouped index): the value is stored on every
+        participating relation, and a mutation of *any* of them drops its
+        copy — so the shared lookup only succeeds while every input is
+        unchanged.  Returns None on any miss or disagreement.
+        """
+        if not relations:
+            return None
+        first = relations[0].derived_get(owner, tag)
+        if first is None:
+            return None
+        for relation in relations[1:]:
+            if relation.derived_get(owner, tag) is not first:
+                return None
+        return first
+
+    @staticmethod
+    def derived_put_shared(relations, owner, tag, value):
+        """Cache *value* on every relation (see :meth:`derived_get_shared`)."""
+        for relation in relations:
+            relation.derived_put(owner, tag, value)
+        return value
+
     # -- inspection --------------------------------------------------------
 
     def __iter__(self):

@@ -5,7 +5,7 @@ from .externals import ExternalRegistry, ExternalRelation, standard_registry
 from .abstract import AbstractSource
 from .planner import ExecutionStats
 from .reference import reference_evaluate
-from . import aggregates, fixpoint, joins, planner
+from . import aggregates, decorrelate, fixpoint, joins, planner
 
 __all__ = [
     "Evaluator",
@@ -17,6 +17,7 @@ __all__ = [
     "AbstractSource",
     "reference_evaluate",
     "aggregates",
+    "decorrelate",
     "fixpoint",
     "joins",
     "planner",

@@ -1,0 +1,621 @@
+"""FOI → FIO decorrelation of lateral scopes.
+
+The paper contrasts two renderings of "aggregate per outer row"
+(Section 2.5): **FOI** — "for each outer row, compute the inner aggregate" —
+nests a correlated collection inside the outer scope (Fig. 5b/13b), while
+**FIO** — "compute the inner aggregates first, then join" — groups the inner
+relation once and joins on the correlation key (Fig. 4a/21b).  The reference
+strategy evaluates FOI literally: the nested collection is re-evaluated per
+outer row.  This module rewrites FOI plans into FIO at two levels:
+
+* **Plan level** (:func:`plan_for` + :meth:`CorrelationSpec.materialize`) —
+  when a lateral binding's inner scope is correlated *only through equality
+  on outer variables*, the inner scope is rewritten into an uncorrelated
+  collection whose head carries the correlation keys, materialized **once**
+  as a grouped hash index ``{key tuple: [(row, mult), ...]}``, and the outer
+  loop probes that index per row instead of re-evaluating the collection
+  (:class:`repro.engine.planner.CompiledScope` consumes the plan).  The
+  index is cached on the inner scope's stored relations (grouped-index
+  reuse via :meth:`repro.data.relation.Relation.derived_put_shared`), so it
+  survives across evaluations and is dropped the moment any inner relation
+  mutates.  ``evaluate(..., decorrelate=False)`` / ``--no-decorrelate``
+  disables the pass, keeping the per-row strategy as the oracle.
+
+* **SQL level** (:func:`rewrite_for_sql`) — the same equality-correlated
+  scopes are rewritten into plain ``group by`` derived tables joined on the
+  key columns (dropping the ``lateral`` keyword, so engines without
+  ``LATERAL`` — SQLite — execute them natively), and non-grouped correlated
+  collections are *unnested* into the outer scope (sound under the bag
+  semantics the SQLite backend requires).  γ∅ aggregate-only scopes are
+  left to the renderer's correlated-scalar-subquery device
+  (:func:`repro.backends.sql_render.scalar_subquery_shape`).
+
+Safety: the rewrite **refuses** (and evaluation falls back to the per-row
+strategy) whenever the correlation is not provably a pure equality join —
+
+* non-equality correlation predicates (eq2/eq15's ``<`` shapes);
+* outer variables referenced inside nested scopes (nested laterals),
+  head assignments, grouping keys, disjunctions, or mixed operands;
+* correlation keys that may be NULL under three-valued logic (a grouped
+  NULL key would need UNKNOWN-aware probing; the per-row strategy is kept
+  instead of reasoning about it);
+* inner scopes without a stored relation to anchor the materialization
+  (externals, abstract definitions).
+
+The **count-bug asymmetry** (Section 3.2) is handled explicitly: a γ∅ scope
+emits one row *even over an empty group*, which a grouped index cannot
+represent — outer keys with no inner rows have no bucket.  The plan-level
+probe compensates by evaluating the original scope for the missing key
+(cheap: the planner's inner probe finds nothing and finalizes the empty
+group), and the SQL level never group-by-rewrites γ∅ scopes at all.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from ..core import nodes as n
+from ..data.relation import Relation
+from ..data.values import is_null
+from ..errors import EvaluationError
+
+# The scope analyses (free variables, shadowing, scalar-inlinability) live
+# with the SQL renderer; importing them lazily keeps the engine package
+# import-cycle-proof even if sql_render ever grows a top-level engine
+# import (today its engine.joins import is function-local).
+
+
+def _scope_analysis():
+    from ..backends import sql_render
+
+    return sql_render
+
+
+class CorrelationSpec:
+    """Structural decorrelation analysis of one nested collection.
+
+    ``reason`` is None when the FOI → FIO rewrite applies; every other field
+    is only meaningful in that case.  Specs are cached per AST node
+    (weakly), shared by the planner and the SQL rewrite.
+    """
+
+    __slots__ = (
+        # NOTE: no back-reference to the analyzed Collection — the spec is
+        # the *value* of a weak-keyed cache keyed by that node, and a strong
+        # back-edge would make every entry immortal.
+        "reason",  # refusal reason, or None when the rewrite applies
+        "outer_exprs",  # per key: the outer-side expression (probe key)
+        "key_sources",  # per key: (relation, attr) when the inner side is a
+        #               plain stored column (NULL-provability), else None
+        "key_attrs",  # fresh head attributes carrying the keys
+        "head_attrs",  # original head attributes (buckets project to these)
+        "rewritten",  # the uncorrelated FIO Collection (head + key_attrs)
+        "empty_group",  # original scope was γ∅ (probe misses synthesize it)
+        "grouped",  # original scope had grouping keys
+        "relation_names",  # stored relations anchoring the materialized index
+        "__weakref__",  # the index cache is keyed weakly by this spec
+    )
+
+    def __init__(self, reason=None):
+        self.reason = reason
+        self.outer_exprs = ()
+        self.key_sources = ()
+        self.key_attrs = ()
+        self.head_attrs = ()
+        self.rewritten = None
+        self.empty_group = False
+        self.grouped = False
+        self.relation_names = ()
+
+    # -- plan-level execution --------------------------------------------------
+
+    def materialize(self, evaluator):
+        """The grouped FIO index ``{key: [(row, mult), ...]}``, or None.
+
+        Built at most once per catalog state: the index is cached on every
+        stored relation the inner scope reads (any mutation drops it), and
+        shared across evaluator instances running the same conventions.
+        Returns None when a relation is no longer resolvable — the caller
+        falls back to per-row evaluation, which surfaces the exact error.
+        """
+        try:
+            anchors = [
+                evaluator._resolve_relation(name) for name in self.relation_names
+            ]
+        except EvaluationError:
+            return None
+        tag = ("fio", evaluator.conventions)
+        index = Relation.derived_get_shared(anchors, self, tag)
+        if index is not None:
+            return index
+        counter = evaluator._eval_collection(self.rewritten, {})
+        index = {}
+        key_attrs = self.key_attrs
+        head_attrs = self.head_attrs
+        for row, mult in counter.items():
+            values = row._values
+            key = tuple(values[a] for a in key_attrs)
+            entry = (row.project(head_attrs), mult)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [entry]
+            else:
+                bucket.append(entry)
+        evaluator.stats.decorr_index_builds += 1
+        Relation.derived_put_shared(anchors, self, tag, index)
+        return index
+
+
+_SPECS = weakref.WeakKeyDictionary()
+
+
+def analyze(collection):
+    """The (weakly cached) :class:`CorrelationSpec` for a nested collection."""
+    spec = _SPECS.get(collection)
+    if spec is None:
+        spec = _analyze(collection)
+        _SPECS[collection] = spec
+    return spec
+
+
+def _analyze(collection):
+    free_variables = _scope_analysis().free_variables
+    free = frozenset(free_variables(collection))
+    body = collection.body
+    if isinstance(body, n.Or):
+        return CorrelationSpec("inner body is a disjunction")
+    if not isinstance(body, n.Quantifier):
+        return CorrelationSpec(
+            f"inner body is a {type(body).__name__}, not a quantifier scope"
+        )
+    if body.join is not None:
+        return CorrelationSpec("inner scope carries a join annotation")
+    inner_vars = {b.var for b in body.bindings}
+    for binding in body.bindings:
+        if n.vars_used(binding.source) & free:
+            return CorrelationSpec(
+                f"nested lateral binding {binding.var!r} references the outer "
+                "correlation variables"
+            )
+    if body.grouping is not None:
+        for key in body.grouping.keys:
+            if n.vars_used(key) & free:
+                return CorrelationSpec(
+                    "grouping key references outer variables"
+                )
+    head = collection.head
+    conjunct_list = n.conjuncts(body.body)
+    correlated = []  # conjunct positions consumed by the rewrite
+    pairs = []  # (inner side, outer side) in the original tree
+    orientations = []  # True when the inner side is the left operand
+    for index, conjunct in enumerate(conjunct_list):
+        used = n.vars_used(conjunct)
+        if not used & free:
+            continue
+        if head.name in used:
+            return CorrelationSpec(
+                "outer variables appear in a head assignment"
+            )
+        if any(
+            isinstance(sub, (n.Quantifier, n.Collection)) for sub in conjunct.walk()
+        ):
+            return CorrelationSpec(
+                "outer variables are referenced inside a nested scope"
+            )
+        if not used - free:
+            return CorrelationSpec(
+                "correlates through an outer-only predicate (γ membership "
+                "depends on the outer row beyond an equality key)"
+            )
+        if not isinstance(conjunct, n.Comparison) or conjunct.op != "=":
+            label = (
+                conjunct.op
+                if isinstance(conjunct, n.Comparison)
+                else type(conjunct).__name__
+            )
+            return CorrelationSpec(
+                f"correlates through a non-equality predicate ({label})"
+            )
+        if conjunct.has_aggregate():
+            return CorrelationSpec(
+                "correlation predicate contains an aggregate"
+            )
+        pair = None
+        for side, other, left_inner in (
+            (conjunct.left, conjunct.right, True),
+            (conjunct.right, conjunct.left, False),
+        ):
+            side_vars = n.vars_used(side)
+            other_vars = n.vars_used(other)
+            if (
+                side_vars
+                and side_vars <= inner_vars
+                and other_vars
+                and other_vars <= free
+            ):
+                pair = (side, other)
+                orientations.append(left_inner)
+                break
+        if pair is None:
+            return CorrelationSpec(
+                "correlation equality mixes inner and outer variables in one "
+                "operand"
+            )
+        correlated.append(index)
+        pairs.append(pair)
+    relation_names = tuple(
+        sorted(
+            {sub.name for sub in collection.walk() if isinstance(sub, n.RelationRef)}
+        )
+    )
+    if not relation_names:
+        return CorrelationSpec(
+            "inner scope references no stored relation to anchor the "
+            "materialization"
+        )
+
+    spec = CorrelationSpec()
+    spec.outer_exprs = tuple(outer for _, outer in pairs)
+    spec.relation_names = relation_names
+    spec.head_attrs = tuple(head.attrs)
+    spec.empty_group = body.grouping is not None and not body.grouping.keys
+    spec.grouped = body.grouping is not None and bool(body.grouping.keys)
+
+    bindings_by_var = {b.var: b for b in body.bindings}
+    key_sources = []
+    for inner_expr, _ in pairs:
+        source = None
+        if isinstance(inner_expr, n.Attr):
+            binding = bindings_by_var.get(inner_expr.var)
+            if binding is not None and isinstance(binding.source, n.RelationRef):
+                source = (binding.source.name, inner_expr.attr)
+        key_sources.append(source)
+    spec.key_sources = tuple(key_sources)
+
+    # Fresh key attributes (avoiding the head's own names).
+    taken = set(head.attrs)
+    key_attrs = []
+    counter = 0
+    for _ in pairs:
+        while f"_ck{counter}" in taken:
+            counter += 1
+        name = f"_ck{counter}"
+        taken.add(name)
+        key_attrs.append(name)
+        counter += 1
+    spec.key_attrs = tuple(key_attrs)
+
+    # The FIO rewrite: drop the correlated equalities, project their inner
+    # sides as key attributes, and fold them into the grouping keys (γ∅
+    # becomes γ keys — the count-bug compensation happens at probe time).
+    clone = n.clone(collection)
+    cbody = clone.body
+    cconjuncts = n.conjuncts(cbody.body)
+    consumed = set(correlated)
+    inner_keys = [
+        (cconjuncts[i].left if left_inner else cconjuncts[i].right)
+        for i, left_inner in zip(correlated, orientations)
+    ]
+    kept = [c for i, c in enumerate(cconjuncts) if i not in consumed]
+    assignments = [
+        n.Comparison(n.Attr(head.name, ck), "=", expr)
+        for ck, expr in zip(key_attrs, inner_keys)
+    ]
+    cbody.body = n.make_and(kept + assignments)
+    if cbody.grouping is not None:
+        keys = list(cbody.grouping.keys)
+        for expr in inner_keys:
+            if not any(n.structurally_equal(expr, key) for key in keys):
+                keys.append(n.clone(expr))
+        cbody.grouping = n.Grouping(tuple(keys))
+    clone.head = n.Head(head.name, tuple(head.attrs) + tuple(key_attrs))
+    spec.rewritten = clone
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Plan-level decision (per evaluator: flags, conventions, catalog)
+# ---------------------------------------------------------------------------
+
+
+class _NullCheckOwner:
+    """Weak-referenceable key for per-column NULL caches on relations."""
+
+
+_NULL_OWNER = _NullCheckOwner()
+
+
+def _column_has_null(relation, attr):
+    """Whether any stored value of *attr* is NULL (cached until mutation)."""
+    tag = ("column_has_null", attr)
+    cached = relation.derived_get(_NULL_OWNER, tag)
+    if cached is None:
+        cached = any(
+            is_null(row._values[attr]) for row in relation.iter_distinct()
+        )
+        relation.derived_put(_NULL_OWNER, tag, cached)
+    return cached
+
+
+def plan_for(evaluator, source):
+    """Decide decorrelation of a lateral *source* under *evaluator*.
+
+    Returns ``(spec, None)`` when the FIO rewrite applies, else
+    ``(None, reason)``.  The decision layers the evaluator-dependent checks
+    (escape hatch, stored relations, 3VL NULL keys) on top of the cached
+    structural analysis; it is recomputed on every plan-cache lookup, so a
+    mutation that adds NULLs to a key column flips the cached plan back to
+    the per-row strategy.
+    """
+    if not getattr(evaluator, "decorrelate", True):
+        return None, "decorrelation disabled (decorrelate=False)"
+    spec = analyze(source)
+    if spec.reason is not None:
+        return None, spec.reason
+    for name in spec.relation_names:
+        if name not in evaluator.defined and name not in evaluator.database:
+            return None, f"inner relation {name!r} has no stored extension"
+    if evaluator.conventions.three_valued:
+        for key_source in spec.key_sources:
+            if key_source is None:
+                return None, (
+                    "cannot prove the correlation key non-NULL under "
+                    "three-valued logic"
+                )
+            name, attr = key_source
+            relation = evaluator._resolve_relation(name)
+            if attr not in relation._schema_set:
+                return None, (
+                    f"correlation key {name}.{attr} is not a stored attribute"
+                )
+            if _column_has_null(relation, attr):
+                return None, (
+                    f"correlation key column {name}.{attr} contains NULL "
+                    "under three-valued logic"
+                )
+    return spec, None
+
+
+def probe_binding(evaluator, binding):
+    """Decorrelation probe for one binding: ``(spec, reason)`` (tests/tools)."""
+    if not isinstance(binding.source, n.Collection):
+        return None, "binding ranges over a stored relation (nothing to decorrelate)"
+    return plan_for(evaluator, binding.source)
+
+
+# ---------------------------------------------------------------------------
+# SQL-level rewrite (bag semantics; used by the SQLite backend)
+# ---------------------------------------------------------------------------
+
+_SQL_REWRITES = weakref.WeakKeyDictionary()
+
+
+def rewrite_for_sql(node):
+    """Decorrelate *node* for SQL rendering; ``(rewritten, leftovers)``.
+
+    Sound under bag semantics (the only conventions the SQLite backend
+    accepts): equality-correlated grouped/non-grouped laterals become plain
+    ``group by`` derived tables joined on the projected key columns, and
+    non-grouped correlated collections are unnested into the outer scope.
+    γ∅ scopes are never group-by-rewritten (the count bug: an empty group
+    must still emit a row); the aggregate-only ones render as correlated
+    scalar subqueries instead, which SQLite executes natively.
+
+    *leftovers* lists ``(var, reason)`` for bindings that remain correlated
+    and will need the ``lateral`` keyword — the backend's capability probe
+    turns each into a specific fallback message.
+    """
+    cached = _SQL_REWRITES.get(node)
+    if cached is None:
+        leftovers = []
+        rewritten = n.transform(node, lambda sub: _fix_quantifier(sub, leftovers))
+        cached = (rewritten, tuple(leftovers))
+        _SQL_REWRITES[node] = cached
+    return cached
+
+
+def _fix_quantifier(node, leftovers):
+    if not isinstance(node, n.Quantifier):
+        return node
+    analysis = _scope_analysis()
+    bindings = list(node.bindings)
+    extra = []  # join conjuncts added by FIO rewrites
+    substitutions = {}  # (var, attr) -> replacement expr, from unnesting
+    spliced = False
+    out = []
+    for binding in bindings:
+        source = binding.source
+        if not isinstance(source, n.Collection) or not analysis.free_variables(
+            source
+        ):
+            out.append(binding)
+            continue
+        spec = analyze(source)
+        if spec.reason is None and not spec.empty_group:
+            # FIO: uncorrelated grouped derived table + key-equality join.
+            out.append(n.Binding(binding.var, n.clone(spec.rewritten)))
+            extra.extend(
+                n.Comparison(n.Attr(binding.var, ck), "=", n.clone(outer))
+                for ck, outer in zip(spec.key_attrs, spec.outer_exprs)
+            )
+            continue
+        unnested = _try_unnest(node, binding)
+        if unnested is not None:
+            inner_bindings, moved, mapping = unnested
+            out.extend(inner_bindings)
+            extra.extend(moved)
+            substitutions.update(mapping)
+            spliced = True
+            continue
+        scalar_reason = analysis.scalar_inlinable(node, binding)
+        if scalar_reason is None:
+            out.append(binding)  # the renderer inlines it as scalar subqueries
+            continue
+        fio_reason = spec.reason or (
+            "γ∅ scope must emit a row even over an empty group (the count "
+            "bug forbids a group-by rewrite)"
+        )
+        leftovers.append(
+            (
+                binding.var,
+                f"cannot decorrelate ({fio_reason}) nor inline as a scalar "
+                f"subquery ({scalar_reason})",
+            )
+        )
+        out.append(binding)
+    if not extra and not spliced:
+        return node
+    body = n.make_and(n.conjuncts(node.body) + extra)
+    rebuilt = n.Quantifier(out, body, node.grouping, node.join)
+    if substitutions:
+        rebuilt = _substitute_attrs(rebuilt, substitutions)
+    return rebuilt
+
+
+def _substitute_attrs(node, mapping):
+    """Replace ``Attr(var, attr)`` references per *mapping* (cloning values)."""
+
+    def swap(sub):
+        if isinstance(sub, n.Attr):
+            replacement = mapping.get((sub.var, sub.attr))
+            if replacement is not None:
+                return n.clone(replacement)
+        return sub
+
+    return n.transform(node, swap)
+
+
+def _binder_names(node, *, skip=None):
+    """Every variable bound (bindings, collection heads) in the subtree."""
+    names = set()
+
+    def scan(sub):
+        if sub is skip:
+            return
+        if isinstance(sub, n.Binding):
+            names.add(sub.var)
+        elif isinstance(sub, n.Collection):
+            names.add(sub.head.name)
+        for child in sub.children():
+            scan(child)
+
+    scan(node)
+    return names
+
+
+def _vars_used_skipping(node, skip):
+    """Attr variable names referenced outside the *skip* subtree."""
+    names = set()
+
+    def scan(sub):
+        if sub is skip:
+            return
+        if isinstance(sub, n.Attr):
+            names.add(sub.var)
+        for child in sub.children():
+            scan(child)
+
+    scan(node)
+    return names
+
+
+def _try_unnest(quant, binding):
+    """Unnest a non-grouped correlated collection into the outer scope.
+
+    Returns ``(inner bindings, moved row formulas, substitution map)`` or
+    None when the shape is unsafe.  Sound under bag semantics: a non-grouped
+    collection emits one head tuple per satisfying inner combination, so
+    binding the inner rows directly (with the head assignments substituted
+    for ``var.attr`` references) preserves multiplicities for *any*
+    correlation predicate — this is what makes eq2's ``<``-correlated
+    lateral executable on engines without LATERAL.
+    """
+    source = binding.source
+    body = source.body
+    if not isinstance(body, n.Quantifier):
+        return None
+    if body.grouping is not None or body.join is not None:
+        return None
+    if not all(isinstance(b.source, n.RelationRef) for b in body.bindings):
+        return None
+    if quant.join is not None and any(
+        isinstance(sub, n.JoinVar) and sub.var == binding.var
+        for sub in quant.join.walk()
+    ):
+        return None
+    if _scope_analysis().shadows_binding(quant, binding):
+        return None
+    head = source.head
+    assignments = {}
+    row_formulas = []
+    for conjunct in n.conjuncts(body.body):
+        target = None
+        if isinstance(conjunct, n.Comparison) and conjunct.op == "=":
+            for side, other in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if (
+                    isinstance(side, n.Attr)
+                    and side.var == head.name
+                    and side.attr in head.attrs
+                    and head.name not in n.vars_used(other)
+                    and not any(
+                        isinstance(sub, n.AggCall) for sub in other.walk()
+                    )
+                ):
+                    target = (side.attr, other)
+                    break
+        if target is not None:
+            if target[0] in assignments:
+                return None  # duplicate head assignment: keep the lateral
+            assignments[target[0]] = target[1]
+            continue
+        if head.name in n.vars_used(conjunct) or (
+            isinstance(conjunct, n.Comparison) and conjunct.has_aggregate()
+        ):
+            return None
+        row_formulas.append(conjunct)
+    if set(head.attrs) - set(assignments):
+        return None
+
+    # Variable hygiene: inner variables colliding with names visible in the
+    # outer scope are renamed; shadowing inside nested binders would make
+    # the rename unsound, so those shapes keep the lateral.
+    outer_names = (
+        _binder_names(quant, skip=source)
+        | _vars_used_skipping(quant, source)
+        | {b.var for b in quant.bindings}
+    )
+    inner_vars = [b.var for b in body.bindings]
+    collisions = set(inner_vars) & outer_names
+    if collisions and any(
+        isinstance(sub, (n.Quantifier, n.Collection)) for sub in body.body.walk()
+    ):
+        # A nested scope could shadow a variable being renamed.
+        return None
+    renames = {}
+    if collisions:
+        taken = set(outer_names) | set(inner_vars)
+        for var in inner_vars:
+            if var in collisions:
+                counter = 0
+                while f"{var}__u{counter}" in taken:
+                    counter += 1
+                renames[var] = f"{var}__u{counter}"
+                taken.add(renames[var])
+
+    def rename(sub):
+        if isinstance(sub, n.Attr) and sub.var in renames:
+            return n.Attr(renames[sub.var], sub.attr)
+        if isinstance(sub, n.Binding) and sub.var in renames:
+            return n.Binding(renames[sub.var], sub.source)
+        return sub
+
+    inner_bindings = [n.transform(n.clone(b), rename) for b in body.bindings]
+    moved = [n.transform(n.clone(f), rename) for f in row_formulas]
+    mapping = {
+        (binding.var, attr): n.transform(n.clone(expr), rename)
+        for attr, expr in assignments.items()
+    }
+    return inner_bindings, moved, mapping

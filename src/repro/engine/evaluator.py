@@ -82,6 +82,7 @@ def evaluate(
     externals=None,
     *,
     planner=True,
+    decorrelate=True,
     backend=None,
     db_file=None,
 ):
@@ -91,7 +92,11 @@ def evaluate(
     programs, and a :class:`~repro.data.values.Truth` for sentences.
     ``planner=False`` disables the hash-indexed execution layer and runs
     the paper's reference nested-loop strategy instead (the escape hatch
-    used by the differential harness).
+    used by the differential harness).  ``decorrelate=False`` keeps the
+    planner but disables the FOI → FIO lateral decorrelation pass
+    (:mod:`repro.engine.decorrelate`), so correlated scopes re-evaluate
+    per outer row — the per-row oracle the decorrelation differential
+    tests compare against.
 
     ``backend`` selects an executable backend from the registry
     (:mod:`repro.backends.exec`): ``"reference"``, ``"planner"``, or
@@ -111,8 +116,11 @@ def evaluate(
             backend,
             externals=externals,
             db_file=db_file,
+            decorrelate=decorrelate,
         )
-    return Evaluator(database, conventions, externals, planner=planner).evaluate(node)
+    return Evaluator(
+        database, conventions, externals, planner=planner, decorrelate=decorrelate
+    ).evaluate(node)
 
 
 class _JoinContext:
@@ -158,6 +166,7 @@ class Evaluator:
         externals=None,
         *,
         planner=True,
+        decorrelate=True,
     ):
         self.database = database if database is not None else Database()
         self.conventions = conventions
@@ -165,6 +174,7 @@ class Evaluator:
         self.defined = {}  # name -> materialized Relation
         self.abstract = {}  # name -> AbstractSource
         self.planner = planner
+        self.decorrelate = decorrelate
         self.stats = ExecutionStats()
         self._head_stack = []
 
@@ -750,6 +760,7 @@ class Evaluator:
     def _binding_rows(self, binding, env):
         """Enumerate (row, mult) for one binding, laterally under *env*."""
         if isinstance(binding.source, n.Collection):
+            self.stats.lateral_reevals += 1
             counter = self._eval_collection(binding.source, env)
             for row, mult in counter.items():
                 yield row, mult

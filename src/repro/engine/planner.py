@@ -56,6 +56,7 @@ from ..data.relation import Tuple
 from ..data.values import NULL, Truth, is_null
 from ..errors import EvaluationError
 from . import aggregates as agg_lib
+from . import decorrelate
 
 _MISSING = object()
 
@@ -77,6 +78,10 @@ class ExecutionStats:
         "plans_compiled",
         "plan_cache_hits",
         "grouped_fast_paths",
+        "laterals_decorrelated",  # lateral steps compiled onto the FIO index
+        "lateral_reevals",  # per-frame inner-collection evaluations (FOI)
+        "decorr_index_builds",  # FIO index materializations (cache misses)
+        "lateral_probe_misses",  # γ∅ probe misses compensated per frame
     )
 
     def __init__(self):
@@ -89,6 +94,10 @@ class ExecutionStats:
         self.plans_compiled = 0
         self.plan_cache_hits = 0
         self.grouped_fast_paths = 0
+        self.laterals_decorrelated = 0
+        self.lateral_reevals = 0
+        self.decorr_index_builds = 0
+        self.lateral_probe_misses = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -109,6 +118,7 @@ class BindingStep:
         "key_exprs",  # exprs producing the probe key, aligned with lookup_attrs
         "filters",  # formulas checked per candidate row (index path)
         "scan_filters",  # filters + consumed equalities (scan fallback path)
+        "decorr",  # CorrelationSpec probing the FIO index (laterals), or None
     )
 
     def __init__(self, binding):
@@ -121,6 +131,7 @@ class BindingStep:
         self.key_exprs = ()
         self.filters = []
         self.scan_filters = []
+        self.decorr = None
 
 
 class CompiledScope:
@@ -164,6 +175,11 @@ class CompiledScope:
         steps = self.steps
         last = len(steps)
         frame = dict(env)
+        # Per-execute memo of FIO indexes: materialize() resolves the anchor
+        # relations and checks their shared caches, which is wasteful per
+        # frame; relations cannot mutate mid-execute, so one lookup per
+        # step suffices (still lazy — a step never reached never builds).
+        fio_indexes = {}
 
         def run(depth, mult):
             if depth == last:
@@ -187,8 +203,61 @@ class CompiledScope:
             saved = frame.get(var, _MISSING)
             try:
                 if step.relation_name is None:
-                    # Lateral / nested-collection binding: evaluated per frame.
                     filters = step.filters
+                    decorr = step.decorr
+                    if decorr is not None:
+                        index = fio_indexes.get(depth, _MISSING)
+                        if index is _MISSING:
+                            index = fio_indexes[depth] = decorr.materialize(ev)
+                    else:
+                        index = None
+                    if index is not None:
+                        # Decorrelated (FIO) lateral: probe the materialized
+                        # grouped index instead of re-evaluating the inner
+                        # collection per frame.
+                        key = []
+                        usable = True
+                        for expr in decorr.outer_exprs:
+                            try:
+                                value = ev._eval_expr(expr, frame)
+                            except EvaluationError:
+                                # Key not computable: the per-frame path
+                                # below surfaces the same error row by row.
+                                usable = False
+                                break
+                            if (three_valued and is_null(value)) or value != value:
+                                # NULL under 3VL / NaN under any convention:
+                                # the correlation equality is never TRUE.
+                                key = None
+                                break
+                            key.append(value)
+                        if usable:
+                            stats.index_probes += 1
+                            bucket = (
+                                None if key is None else index.get(tuple(key))
+                            )
+                            if bucket is None and decorr.empty_group:
+                                # γ∅ emits one row even over an empty group
+                                # (the count bug's asymmetry): synthesize it
+                                # by evaluating the original scope, whose
+                                # inner probe finds nothing — O(1).
+                                stats.lateral_probe_misses += 1
+                                bucket = list(
+                                    ev._eval_collection(
+                                        step.binding.source, frame
+                                    ).items()
+                                )
+                            for row, row_mult in bucket or ():
+                                stats.rows_enumerated += 1
+                                frame[var] = row
+                                for formula in filters:
+                                    if truth(formula, frame) is not Truth.TRUE:
+                                        break
+                                else:
+                                    yield from run(depth + 1, mult * row_mult)
+                            return
+                    # Per-frame (FOI) lateral: the inner collection is
+                    # re-evaluated under every outer environment.
                     for row, row_mult in ev._binding_rows(step.binding, frame):
                         stats.rows_enumerated += 1
                         frame[var] = row
@@ -671,14 +740,20 @@ def scope_assumptions(evaluator, bindings):
 
     Compiled plans embed this classification; a cached plan is reused only
     when it still matches (a name may be a stored relation in one catalog
-    and an external/abstract source in another).
+    and an external/abstract source in another, and a lateral may be
+    decorrelated under one evaluator but per-row under another — the
+    decorrelation decision is data-dependent, so it is re-probed on every
+    lookup rather than frozen into the plan).
     """
     kinds = []
     for binding in bindings:
         if evaluator._is_deferred(binding):
             kinds.append((binding.var, "deferred"))
         elif isinstance(binding.source, n.Collection):
-            kinds.append((binding.var, "lateral"))
+            if decorrelate.plan_for(evaluator, binding.source)[0] is not None:
+                kinds.append((binding.var, "fio"))
+            else:
+                kinds.append((binding.var, "lateral"))
         else:
             kinds.append((binding.var, "stored"))
     return tuple(kinds)
@@ -738,6 +813,10 @@ def compile_bindings(evaluator, bindings, row_formulas):
             if best is None or key > best_key:
                 best, best_key, best_eqs = binding, key, eqs
         step = BindingStep(best)
+        if step.relation_name is None and isinstance(best.source, n.Collection):
+            step.decorr = decorrelate.plan_for(evaluator, best.source)[0]
+            if step.decorr is not None:
+                evaluator.stats.laterals_decorrelated += 1
         remaining.remove(best)
         consumed_eqs = []
         if best_eqs:

@@ -9,10 +9,13 @@ swept workloads; ``benchmarks/bench_e21_scalability.py`` runs them.
 
 from __future__ import annotations
 
+import random
+
 from ..core import builder as b
 from ..core import nodes as n
 from ..data import generators
 from ..data.database import Database
+from ..data.values import NULL
 
 
 def join_chain_query(width, head_name="Q"):
@@ -100,6 +103,156 @@ def lateral_query(head_name="Q"):
             ),
         ),
     )
+
+
+def correlated_aggregate_query(*, arity=1, agg="sum", grouped=False, head_name="Q"):
+    """The equality-correlated FOI family the decorrelation pass targets.
+
+    ``{Q(k, v[, g]) | ∃r ∈ R, x ∈ {X(v[, g]) | ∃s ∈ S, γ ∅|s.G
+    [s.K0 = r.K0 ∧ … ∧ X.v = agg(s.B)]}[Q.k = r.K0 ∧ Q.v = x.v]}``
+
+    *arity* picks how many key columns the correlation equates; *grouped*
+    switches the inner scope from γ∅ (one row per outer row, empty groups
+    included — the count-bug-sensitive shape) to γ s.G (zero-or-more rows
+    per outer row).
+    """
+    key_attrs = [f"K{i}" for i in range(arity)]
+    inner_conjuncts = [
+        b.eq(b.attr2("s", key), b.attr2("r", key)) for key in key_attrs
+    ]
+    inner_conjuncts.append(
+        n.Comparison(n.Attr("X", "v"), "=", b.agg(agg, b.attr2("s", "B")))
+    )
+    inner_attrs = ["v"]
+    if grouped:
+        inner_conjuncts.append(b.eq(b.attr2("X", "g"), b.attr2("s", "G")))
+        inner_attrs.append("g")
+        inner_grouping = b.grouping(b.attr2("s", "G"))
+    else:
+        inner_grouping = b.grouping()
+    inner = b.collection(
+        "X",
+        inner_attrs,
+        b.exists([b.bind("s", "S")], b.conj(*inner_conjuncts), grouping=inner_grouping),
+    )
+    outer_conjuncts = [
+        b.eq(b.attr2(head_name, "k"), b.attr2("r", key_attrs[0])),
+        b.eq(b.attr2(head_name, "v"), b.attr2("x", "v")),
+    ]
+    head_attrs = ["k", "v"]
+    if grouped:
+        outer_conjuncts.append(b.eq(b.attr2(head_name, "g"), b.attr2("x", "g")))
+        head_attrs.append("g")
+    return b.collection(
+        head_name,
+        head_attrs,
+        b.exists(
+            [b.bind("r", "R"), n.Binding("x", inner)], b.conj(*outer_conjuncts)
+        ),
+    )
+
+
+def correlated_join_aggregate_query(head_name="Q"):
+    """The eq10-shaped FOI: the correlated inner scope *joins* S ⋈ T before
+    aggregating.  Per-row re-evaluation repeats the join for every outer
+    row (quadratic in practice); decorrelation runs it once — this is the
+    E25 sweep's headline case.
+    """
+    inner = b.collection(
+        "X",
+        ["v"],
+        b.exists(
+            [b.bind("s", "S"), b.bind("t", "T")],
+            b.conj(
+                b.eq(b.attr2("s", "K0"), b.attr2("r", "K0")),
+                b.eq(b.attr2("s", "G"), b.attr2("t", "G")),
+                n.Comparison(n.Attr("X", "v"), "=", b.sum_(b.attr2("t", "B"))),
+            ),
+            grouping=b.grouping(),
+        ),
+    )
+    return b.collection(
+        head_name,
+        ["k", "v"],
+        b.exists(
+            [b.bind("r", "R"), n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2(head_name, "k"), b.attr2("r", "K0")),
+                b.eq(b.attr2(head_name, "v"), b.attr2("x", "v")),
+            ),
+        ),
+    )
+
+
+def correlated_join_database(n_rows, *, domain=None, seed=0):
+    """R(K0, misc), S(K0, G, B), T(G, B) for the E25 join sweep."""
+    domain = domain or max(4, n_rows // 20)
+    rng = random.Random(seed)
+    db = Database()
+    db.create(
+        "R", ("K0", "misc"), [(i % domain, i) for i in range(n_rows)]
+    )
+    db.create(
+        "S",
+        ("K0", "G", "B"),
+        [
+            (rng.randrange(domain), rng.randrange(8), rng.randrange(50))
+            for _ in range(n_rows)
+        ],
+    )
+    db.create(
+        "T",
+        ("G", "B"),
+        [(i % 8, rng.randrange(50)) for i in range(64)],
+    )
+    return db
+
+
+def correlated_sweep_database(
+    n_outer,
+    n_inner,
+    *,
+    arity=1,
+    domain=6,
+    seed=0,
+    miss_rate=0.25,
+    null_rate=0.0,
+):
+    """R(K0.., misc) and S(K0.., G, B) for the correlated-lateral family.
+
+    *miss_rate* sends some outer keys outside the inner domain, so γ∅
+    scopes exercise the empty-group (probe-miss) path; *null_rate* plants
+    NULLs in the key columns, the case the 3VL decorrelation probe refuses.
+    """
+    rng = random.Random(seed)
+    key_attrs = [f"K{i}" for i in range(arity)]
+
+    def key_value(miss_ok):
+        if null_rate and rng.random() < null_rate:
+            return NULL
+        if miss_ok and rng.random() < miss_rate:
+            return domain + rng.randrange(domain)  # outside the inner domain
+        return rng.randrange(domain)
+
+    db = Database()
+    db.create(
+        "R",
+        (*key_attrs, "misc"),
+        [
+            tuple(key_value(True) for _ in key_attrs) + (i,)
+            for i in range(n_outer)
+        ],
+    )
+    db.create(
+        "S",
+        (*key_attrs, "G", "B"),
+        [
+            tuple(key_value(False) for _ in key_attrs)
+            + (rng.randrange(3), rng.randrange(50))
+            for _ in range(n_inner)
+        ],
+    )
+    return db
 
 
 def size_sweep_database(n_rows, *, domain=None, seed=0):

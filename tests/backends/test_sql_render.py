@@ -59,10 +59,26 @@ class TestShapes:
         )
         assert "r.q = (" in sql and "select count(s.d)" in sql
 
-    def test_lateral(self):
+    def test_correlated_gamma_empty_renders_scalar_subquery(self):
+        # A correlated γ∅ aggregate-only scope is the paper's Fig. 13a
+        # shape: one row per outer row, rendered as a correlated scalar
+        # subquery instead of a LATERAL derived table (so engines without
+        # LATERAL execute it).
         sql = to_sql(
             parse(
                 "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+                "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+            )
+        )
+        assert "lateral" not in sql
+        assert "(\n   select sum(s.B)" in sql
+
+    def test_lateral(self):
+        # A correlated scope that is neither γ∅-scalar nor decorrelated by
+        # the renderer (grouping keys) still needs the lateral keyword.
+        sql = to_sql(
+            parse(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ s.A"
                 "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
             )
         )
@@ -81,17 +97,26 @@ class TestShapes:
         assert ") x" in sql
 
     def test_shadowed_inner_variable_does_not_hide_correlation(self):
-        # The sub-subquery rebinds r; the outer-referencing `s.A = r.A` in
-        # the middle scope is still correlated, so lateral must survive
-        # (a scope-insensitive free-variable analysis would drop it).
+        # The sub-subquery rebinds r; the outer-referencing `s.A < r.A` in
+        # the middle (grouped, so not scalar-renderable) scope is still
+        # correlated, so lateral must survive (a scope-insensitive
+        # free-variable analysis would drop it).
         sql = to_sql(
             parse(
                 "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, "
-                "y ∈ {Y(c) | ∃r ∈ R2, γ ∅[Y.c = count(r.A)]}, γ ∅"
-                "[s.A = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+                "y ∈ {Y(c) | ∃r ∈ R2, γ ∅[Y.c = count(r.A)]}, γ s.A"
+                "[s.A < r.A ∧ X.sm = sum(s.B) ∧ y.c >= 0]}"
+                "[Q.A = r.A ∧ Q.sm = x.sm]}"
             )
         )
         assert "lateral (" in sql
+        from repro.backends.sql_render import free_variables
+
+        inner = parse(
+            "{X(sm) | ∃s ∈ S, y ∈ {Y(c) | ∃r ∈ R2, γ ∅[Y.c = count(r.A)]}, "
+            "γ ∅[s.A = r.A ∧ X.sm = sum(s.B)]}"
+        )
+        assert free_variables(inner) == {"r"}
 
     def test_left_join_with_literal_leaf(self):
         sql = to_sql(

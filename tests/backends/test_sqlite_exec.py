@@ -170,16 +170,158 @@ class TestCapabilities:
         )
         assert any("Minus" in p for p in problems)
 
-    def test_correlated_lateral_reported(self):
+    def _rs_db(self):
         db = Database()
         db.create("R", ("A", "B"), [(1, 2)])
         db.create("S", ("A", "B"), [(1, 2)])
+        return db
+
+    def test_decorrelatable_laterals_are_supported(self):
+        # γ∅ aggregate scopes (any correlation) inline as scalar subqueries;
+        # equality-correlated grouped scopes decorrelate to group-by joins;
+        # non-grouped correlated scopes unnest — none needs LATERAL.
+        db = self._rs_db()
+        assert (
+            self.probe(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+                "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}",
+                db,
+            )
+            == []
+        )
+        assert (
+            self.probe(
+                "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, γ s.A"
+                "[s.A = r.A ∧ X.sm = sum(s.B) ∧ X.g = s.A]}"
+                "[Q.A = r.A ∧ Q.sm = x.sm]}",
+                db,
+            )
+            == []
+        )
+        assert (
+            self.probe(
+                "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ "
+                "s.A < r.A]}[Q.A = r.A ∧ Q.B = z.B]}",
+                db,
+            )
+            == []
+        )
+
+    def test_non_equality_grouped_lateral_reported_specifically(self):
+        # γ-keys + non-equality correlation: no group-by rewrite, no scalar
+        # shape — the message must name the binding and the refusal.
+        problems = self.probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ s.A"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}",
+            self._rs_db(),
+        )
+        assert any(
+            "'x'" in p and "LATERAL" in p and "non-equality" in p
+            for p in problems
+        )
+
+    def test_gamma_empty_having_lateral_reported_specifically(self):
+        # γ∅ with an aggregate comparison filters the single group away, so
+        # it is not a scalar (exactly-one-row) shape; the count bug forbids
+        # the group-by rewrite even for the equality correlation.
         problems = self.probe(
             "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
-            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}",
-            db,
+            "[s.A = r.A ∧ X.sm = sum(s.B) ∧ count(s.B) > 1]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}",
+            self._rs_db(),
         )
-        assert any("LATERAL" in p for p in problems)
+        assert any(
+            "'x'" in p and "count bug" in p and "aggregate comparison" in p
+            for p in problems
+        )
+
+    def test_nested_correlated_lateral_reported_specifically(self):
+        problems = self.probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, "
+            "w ∈ {W(c) | ∃s2 ∈ S, γ ∅[s2.A = r.A ∧ W.c = count(s2.B)]}, γ s.A"
+            "[s.A = r.A ∧ X.sm = sum(s.B) ∧ X.g = s.A ∧ w.c >= 0]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}",
+            self._rs_db(),
+        )
+        assert any("'x'" in p and "nested" in p for p in problems)
+
+    def test_chained_scalar_laterals_run_natively(self):
+        # A γ∅ scalar binding referencing an earlier γ∅ scalar binding
+        # renders the reference as a *nested* scalar subquery (the earlier
+        # alias was eliminated from FROM), so the chain stays native.
+        db = Database()
+        db.create("R", ("K", "misc"), [(1, 0), (2, 1), (3, 2)])
+        db.create("S", ("K", "B"), [(1, 5), (1, 7), (2, 11)])
+        db.create("T", ("K", "B"), [(1, 3), (1, 9), (2, 4)])
+        query = parse(
+            "{Q(k, d) | ∃r ∈ R, "
+            "x ∈ {X(v) | ∃s ∈ S, γ ∅[s.K = r.K ∧ X.v = sum(s.B)]}, "
+            "y ∈ {Y(d) | ∃t ∈ T, γ ∅[t.K = r.K ∧ t.B < x.v ∧ "
+            "Y.d = count(t.B)]}[Q.k = r.K ∧ Q.d = y.d]}"
+        )
+        assert get_backend("sqlite").capabilities(query, SQL_CONVENTIONS, db) == []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendFallbackWarning)
+            result = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(query, db, SQL_CONVENTIONS, planner=False)
+
+    def test_join_annotated_scalar_binding_reported_specifically(self):
+        # The renderer never scalar-inlines a binding that is an operand of
+        # a join annotation, so the probe must report it (not promise
+        # native execution and silently fall back at run time).
+        db = self._rs_db()
+        query = parse(
+            "{Q(A, v) | ∃r ∈ R, x ∈ {X(v) | ∃s ∈ S, γ ∅"
+            "[s.A = r.A ∧ X.v = sum(s.B)]}, left(r, x)"
+            "[Q.A = r.A ∧ Q.v = x.v]}"
+        )
+        problems = get_backend("sqlite").capabilities(query, SQL_CONVENTIONS, db)
+        assert any("'x'" in p and "join annotation" in p for p in problems)
+        with pytest.warns(BackendFallbackWarning, match="join annotation"):
+            result = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(query, db, SQL_CONVENTIONS, planner=False)
+
+    def test_probe_honors_the_decorrelate_escape_hatch(self):
+        # capabilities(decorrelate=False) must match run(decorrelate=False):
+        # a decorrelatable lateral is reported (with the hatch as reason)
+        # instead of promised native and then crashing on the LATERAL SQL.
+        db = self._rs_db()
+        query = parse(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, γ s.A"
+            "[s.A = r.A ∧ X.sm = sum(s.B) ∧ X.g = s.A]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        engine = get_backend("sqlite")
+        assert engine.capabilities(query, SQL_CONVENTIONS, db) == []
+        problems = engine.capabilities(
+            query, SQL_CONVENTIONS, db, decorrelate=False
+        )
+        assert any("decorrelation disabled" in p for p in problems)
+        with pytest.raises(BackendUnsupported, match="decorrelation disabled"):
+            run_backend(
+                query,
+                db,
+                SQL_CONVENTIONS,
+                "sqlite",
+                fallback=False,
+                decorrelate=False,
+            )
+
+    def test_fallback_warning_carries_the_specific_reasons(self):
+        db = self._rs_db()
+        query = parse(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ s.A"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        with pytest.warns(BackendFallbackWarning, match="non-equality") as record:
+            result = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(query, db, SQL_CONVENTIONS, planner=False)
+        fallback = [
+            w.message
+            for w in record
+            if isinstance(w.message, BackendFallbackWarning)
+        ][0]
+        assert any("'x'" in reason for reason in fallback.reasons)
 
     def test_division_reported(self):
         db = Database()

@@ -1,0 +1,296 @@
+"""Decorrelation safety: shapes that must *refuse* the FOI → FIO rewrite.
+
+The rewrite is only sound when the lateral's correlation is a pure equality
+join on provably NULL-free keys; every other shape must fall back to the
+per-row strategy.  These tests drive the probe (`decorrelate.probe_binding`)
+directly — asserting the refusal *and* its reason — and check that the
+refused shapes still evaluate correctly (differentially) via the fallback.
+"""
+
+import pytest
+
+from repro.core import builder as b
+from repro.core import nodes as n
+from repro.core.conventions import (
+    SET_CONVENTIONS,
+    SOUFFLE_CONVENTIONS,
+    SQL_CONVENTIONS,
+)
+from repro.core.parser import parse
+from repro.data import Database, NULL
+from repro.engine import Evaluator, decorrelate, evaluate
+from repro.workloads import sweeps
+
+
+def _db(*, null_key=False):
+    db = Database()
+    db.create("R", ("A", "B"), [(1, 10), (2, 20), (3, 30)])
+    s_rows = [(1, 5), (1, 7), (2, 11)]
+    if null_key:
+        s_rows.append((NULL, 13))
+    db.create("S", ("A", "B"), s_rows)
+    return db
+
+
+def _lateral_binding(query_text):
+    """The first nested-collection binding of the parsed query's body."""
+    node = parse(query_text)
+    for binding in node.body.bindings:
+        if isinstance(binding.source, n.Collection):
+            return node, binding
+    raise AssertionError("query has no lateral binding")
+
+
+def probe(query_text, db=None, conventions=SQL_CONVENTIONS, **kwargs):
+    node, binding = _lateral_binding(query_text)
+    evaluator = Evaluator(db if db is not None else _db(), conventions, **kwargs)
+    spec, reason = decorrelate.probe_binding(evaluator, binding)
+    if spec is None:
+        # Refused shapes must still evaluate correctly via the per-row path.
+        database = evaluator.database
+        assert evaluate(node, database, conventions) == evaluate(
+            node, database, conventions, planner=False
+        )
+    return spec, reason
+
+
+EQ_LATERAL = (
+    "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+    "[s.A = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+)
+
+
+class TestProbeAccepts:
+    def test_equality_gamma_empty(self):
+        spec, reason = probe(EQ_LATERAL)
+        assert reason is None
+        assert spec.empty_group
+        assert spec.key_attrs == ("_ck0",)
+        assert spec.rewritten.head.attrs == ("sm", "_ck0")
+
+    def test_equality_grouped_keys(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, γ s.B"
+            "[s.A = r.A ∧ X.sm = sum(s.B) ∧ X.g = s.B]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert reason is None
+        assert not spec.empty_group and spec.grouped
+
+    def test_uncorrelated_lateral_materializes_once(self):
+        # No correlation keys: the inner scope is still materialized once
+        # instead of per outer row.
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert reason is None
+        assert spec.key_attrs == ()
+
+    def test_null_keys_accepted_under_two_valued_logic(self):
+        # 2VL treats NULL as an ordinary value; the hash probe agrees.
+        spec, reason = probe(
+            EQ_LATERAL, _db(null_key=True), SOUFFLE_CONVENTIONS
+        )
+        assert reason is None
+
+
+class TestProbeRefuses:
+    def test_non_equality_correlation(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "non-equality" in reason
+
+    def test_nested_correlated_lateral(self):
+        spec, reason = probe(
+            "{Q(A, B) | ∃r ∈ R, x ∈ {X(B) | ∃s ∈ S, "
+            "w ∈ {W(c) | ∃s2 ∈ S[W.c = s2.B ∧ s2.A = r.A]}"
+            "[X.B = s.B ∧ s.B = w.c]}[Q.A = r.A ∧ Q.B = x.B]}"
+        )
+        assert spec is None
+        assert "nested lateral" in reason
+
+    def test_null_correlation_key_under_3vl(self):
+        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SQL_CONVENTIONS)
+        assert spec is None
+        assert "NULL" in reason and "three-valued" in reason
+        # The same catalog under 3VL set conventions refuses identically.
+        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SET_CONVENTIONS)
+        assert spec is None
+
+    def test_unprovable_key_expression_under_3vl(self):
+        # s.A + 0 cannot be proven NULL-free, so 3VL refuses; 2VL accepts.
+        query = (
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A + 0 = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        spec, reason = probe(query)
+        assert spec is None
+        assert "cannot prove" in reason
+        spec, reason = probe(query, _db(), SOUFFLE_CONVENTIONS)
+        assert reason is None
+
+    def test_correlated_head_assignment(self):
+        spec, reason = probe(
+            "{Q(A, v) | ∃r ∈ R, x ∈ {X(v) | ∃s ∈ S, γ ∅"
+            "[X.v = sum(s.B) + r.A]}[Q.A = r.A ∧ Q.v = x.v]}"
+        )
+        assert spec is None
+        assert "head assignment" in reason
+
+    def test_outer_only_predicate(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[r.A > 1 ∧ s.A = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "outer-only" in reason
+
+    def test_mixed_operand_equality(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A = r.A + s.B ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "mixes" in reason
+
+    def test_correlation_under_nested_scope(self):
+        spec, reason = probe(
+            "{Q(A, B) | ∃r ∈ R, x ∈ {X(B) | ∃s ∈ S[X.B = s.B ∧ "
+            "∃s2 ∈ S[s2.A = r.A]]}[Q.A = r.A ∧ Q.B = x.B]}"
+        )
+        assert spec is None
+        assert "nested scope" in reason
+
+    def test_disjunctive_inner_body(self):
+        spec, reason = probe(
+            "{Q(A, B) | ∃r ∈ R, x ∈ {X(B) | ∃s ∈ S[X.B = s.B ∧ s.A = r.A] ∨ "
+            "∃s ∈ S[X.B = s.A ∧ s.A = r.A]}[Q.A = r.A ∧ Q.B = x.B]}"
+        )
+        assert spec is None
+        assert "disjunction" in reason
+
+    def test_grouping_key_correlation(self):
+        spec, reason = probe(
+            "{Q(A, c) | ∃r ∈ R, x ∈ {X(c) | ∃s ∈ S, γ r.A"
+            "[s.A = r.A ∧ X.c = count(s.B)]}[Q.A = r.A ∧ Q.c = x.c]}"
+        )
+        assert spec is None
+        assert "grouping key" in reason
+
+    def test_external_inner_relation(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10)])
+        node, binding = _lateral_binding(
+            "{Q(A, v) | ∃r ∈ R, x ∈ {X(v) | ∃f ∈ Minus, γ ∅"
+            "[f.left = r.A ∧ f.right = 1 ∧ X.v = sum(f.out)]}"
+            "[Q.A = r.A ∧ Q.v = x.v]}"
+        )
+        spec, reason = decorrelate.probe_binding(Evaluator(db, SQL_CONVENTIONS), binding)
+        assert spec is None
+        assert "no stored extension" in reason
+
+    def test_escape_hatch_disables_the_pass(self):
+        spec, reason = probe(EQ_LATERAL, _db(), SQL_CONVENTIONS, decorrelate=False)
+        assert spec is None
+        assert "disabled" in reason
+
+    def test_stored_binding_is_not_probed(self):
+        node = parse("{Q(A) | ∃r ∈ R[Q.A = r.A]}")
+        spec, reason = decorrelate.probe_binding(
+            Evaluator(_db(), SQL_CONVENTIONS), node.body.bindings[0]
+        )
+        assert spec is None
+        assert "stored relation" in reason
+
+
+class TestNullKeyMutationFlipsTheDecision:
+    def test_adding_a_null_key_reverts_to_per_row(self):
+        """The NULL-key decision is data-dependent and re-probed on every
+        plan-cache lookup: adding a NULL to the key column must flip the
+        cached decorrelated plan back to the per-row strategy (and stay
+        correct)."""
+        db = _db()
+        query = parse(EQ_LATERAL)
+        first = Evaluator(db, SQL_CONVENTIONS)
+        first.evaluate(query)
+        assert first.stats.laterals_decorrelated == 1
+
+        db["S"].add((NULL, 99))
+        second = Evaluator(db, SQL_CONVENTIONS)
+        result = second.evaluate(query)
+        assert second.stats.lateral_reevals == len(db["R"])  # per-row again
+        assert result == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)
+
+
+class TestSqlRewrite:
+    def test_rewrite_preserves_semantics(self):
+        """The SQL-level AST rewrite is itself evaluatable: rewritten ≡
+        original on the planner under bag conventions."""
+        for query in [
+            sweeps.correlated_aggregate_query(agg="sum", grouped=True),
+            sweeps.correlated_aggregate_query(agg="count", grouped=True, arity=2),
+            parse(
+                "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ "
+                "s.A < r.A]}[Q.A = r.A ∧ Q.B = z.B]}"
+            ),
+        ]:
+            arity = 2 if "K1" in repr(query) else 1
+            if "K0" in repr(query):
+                db = sweeps.correlated_sweep_database(15, 20, arity=arity, seed=4)
+            else:
+                db = _db()
+            rewritten, leftovers = decorrelate.rewrite_for_sql(query)
+            assert leftovers == ()
+            assert evaluate(rewritten, db, SQL_CONVENTIONS) == evaluate(
+                query, db, SQL_CONVENTIONS, planner=False
+            )
+
+    def test_unnest_moves_filters_and_substitutes_references(self):
+        correlated = parse(
+            "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ "
+            "s.A < r.A ∧ s.B > 0]}[Q.A = r.A ∧ Q.B = z.B ∧ r.B >= z.B]}"
+        )
+        db = _db()
+        rewritten, leftovers = decorrelate.rewrite_for_sql(correlated)
+        assert leftovers == ()
+        assert evaluate(rewritten, db, SQL_CONVENTIONS) == evaluate(
+            correlated, db, SQL_CONVENTIONS, planner=False
+        )
+        # No lateral binding survives in the rewritten scope.
+        for sub in rewritten.walk():
+            if isinstance(sub, n.Binding):
+                assert isinstance(sub.source, n.RelationRef)
+
+    def test_unnest_renames_colliding_inner_variables(self):
+        # The inner variable `a` collides with the outer binding `a`;
+        # unnesting must rename it, not capture it.
+        correlated = parse(
+            "{Q(A, v) | ∃a ∈ R, c ∈ R, z ∈ {Z(v) | ∃a ∈ S"
+            "[Z.v = a.B ∧ a.A < c.A]}[Q.A = a.A ∧ Q.v = z.v]}"
+        )
+        db = _db()
+        rewritten, leftovers = decorrelate.rewrite_for_sql(correlated)
+        assert leftovers == ()
+        spliced = [
+            sub.var
+            for sub in rewritten.walk()
+            if isinstance(sub, n.Binding) and isinstance(sub.source, n.RelationRef)
+        ]
+        assert len(spliced) == len(set(spliced)) == 3  # a, c, and a renamed a
+        assert evaluate(rewritten, db, SQL_CONVENTIONS) == evaluate(
+            correlated, db, SQL_CONVENTIONS, planner=False
+        )
+
+    def test_gamma_empty_stays_for_the_scalar_device(self):
+        rewritten, leftovers = decorrelate.rewrite_for_sql(parse(EQ_LATERAL))
+        assert leftovers == ()
+        laterals = [
+            sub
+            for sub in rewritten.walk()
+            if isinstance(sub, n.Binding) and isinstance(sub.source, n.Collection)
+        ]
+        assert laterals  # untouched: the renderer inlines it as a scalar

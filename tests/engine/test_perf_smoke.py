@@ -134,8 +134,92 @@ def test_extend_new_accumulates_intra_batch_duplicates():
     assert (9, 9) not in rel
 
 
+# -- FOI → FIO decorrelation ---------------------------------------------------
+
+
+def _correlated_db(n=300):
+    """Outer keys all present in the inner relation (no probe misses)."""
+    domain = max(4, n // 4)
+    db = Database()
+    db.create("R", ("K0", "misc"), [(i % domain, i) for i in range(n)])
+    db.create("S", ("K0", "G", "B"), [(i % domain, i % 3, i % 50) for i in range(n)])
+    return db
+
+
+def test_decorrelated_lateral_evaluates_inner_scope_once():
+    """The tentpole claim, counter-shaped: with decorrelation the correlated
+    inner collection is materialized exactly once as a grouped index, and
+    never re-evaluated per outer row (``lateral_reevals == 0``)."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = _correlated_db()
+    query = sweeps.correlated_aggregate_query(agg="sum")
+    evaluator = Evaluator(db, SQL_CONVENTIONS)
+    result = evaluator.evaluate(query)
+    assert not result.is_empty()
+    stats = evaluator.stats
+    assert stats.laterals_decorrelated >= 1, stats.as_dict()
+    assert stats.decorr_index_builds == 1, stats.as_dict()
+    assert stats.lateral_reevals == 0, stats.as_dict()
+    assert stats.lateral_probe_misses == 0, stats.as_dict()
+
+    per_row = Evaluator(db, SQL_CONVENTIONS, decorrelate=False)
+    assert per_row.evaluate(query) == result
+    # The escape hatch really is the per-row FOI strategy.
+    assert per_row.stats.lateral_reevals == len(db["R"])
+    assert per_row.stats.decorr_index_builds == 0
+
+
+def test_decorrelated_index_is_built_once_and_shared():
+    """The FIO index lives on the inner relations (grouped-index reuse): a
+    second evaluation probes the cached index, and mutating an inner
+    relation drops it."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = _correlated_db(100)
+    query = sweeps.correlated_aggregate_query(agg="sum")
+    first = Evaluator(db, SQL_CONVENTIONS)
+    first.evaluate(query)
+    assert first.stats.decorr_index_builds == 1
+
+    second = Evaluator(db, SQL_CONVENTIONS)
+    result = second.evaluate(query)
+    assert second.stats.decorr_index_builds == 0  # reused across evaluators
+    assert second.stats.lateral_reevals == 0
+
+    db["S"].add((0, 0, 99))
+    third = Evaluator(db, SQL_CONVENTIONS)
+    changed = third.evaluate(query)
+    assert third.stats.decorr_index_builds == 1  # mutation dropped the cache
+    assert changed != result
+    assert changed == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)
+
+
+def test_gamma_empty_probe_misses_are_compensated_not_reevaluated():
+    """All-miss γ∅: one compensation per outer row, no full re-evaluations."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = sweeps.correlated_sweep_database(12, 40, seed=6, miss_rate=1.0)
+    query = sweeps.correlated_aggregate_query(agg="count")
+    evaluator = Evaluator(db, SQL_CONVENTIONS)
+    result = evaluator.evaluate(query)
+    assert len(result) == len(db["R"])  # γ∅ emits a row per outer row
+    assert evaluator.stats.lateral_probe_misses == len(db["R"])
+    assert evaluator.stats.lateral_reevals == 0
+    assert evaluator.stats.decorr_index_builds == 1
+
+
 def test_cli_exposes_no_planner_flag():
     from repro.cli import build_parser
 
     args = build_parser().parse_args(["eval", "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "--no-planner"])
     assert args.no_planner is True
+
+
+def test_cli_exposes_no_decorrelate_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["eval", "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "--no-decorrelate"]
+    )
+    assert args.no_decorrelate is True

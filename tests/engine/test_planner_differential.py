@@ -206,6 +206,78 @@ def test_correlated_lateral_group_agrees():
         assert_agree(query, db, conventions)
 
 
+# -- correlated-lateral decorrelation (FOI → FIO) ------------------------------
+
+
+def assert_decorrelation_agrees(node, db, conventions):
+    """reference ≡ decorrelated planner ≡ per-row planner (or equal errors)."""
+    try:
+        reference = evaluate(node, db, conventions, planner=False)
+    except ArcError as exc:
+        with pytest.raises(type(exc)):
+            evaluate(node, db, conventions)
+        with pytest.raises(type(exc)):
+            evaluate(node, db, conventions, decorrelate=False)
+        return
+    assert evaluate(node, db, conventions) == reference
+    assert evaluate(node, db, conventions, decorrelate=False) == reference
+
+
+CORRELATED_AGGS = ["sum", "count", "avg", "min", "max"]
+
+
+def test_correlated_lateral_family_agrees():
+    """Seeded FOI family: correlation arity, aggregate, γ∅ vs γ-keys, and
+    outer keys missing from the inner relation (empty γ∅ groups)."""
+    rng = random.Random(1234)
+    for trial in range(8):
+        arity = rng.choice([1, 1, 2])
+        agg = rng.choice(CORRELATED_AGGS)
+        grouped = rng.random() < 0.5
+        query = sweeps.correlated_aggregate_query(arity=arity, agg=agg, grouped=grouped)
+        db = sweeps.correlated_sweep_database(
+            rng.randint(0, 25), rng.randint(0, 40), arity=arity, seed=trial
+        )
+        for _, conventions in CONVENTION_SET:
+            assert_decorrelation_agrees(query, db, conventions)
+
+
+def test_correlated_lateral_all_outer_groups_empty_agrees():
+    """Every probe misses: γ∅ must still emit its empty-group row per outer
+    row (the count bug's asymmetry, compensated at probe time)."""
+    query = sweeps.correlated_aggregate_query(agg="count")
+    db = sweeps.correlated_sweep_database(10, 15, seed=3, miss_rate=1.0)
+    for _, conventions in CONVENTION_SET:
+        assert_decorrelation_agrees(query, db, conventions)
+    summed = sweeps.correlated_aggregate_query(agg="sum")
+    for _, conventions in CONVENTION_SET:
+        assert_decorrelation_agrees(summed, db, conventions)
+
+
+def test_correlated_lateral_null_keys_agree():
+    """NULL correlation keys: refused under 3VL (falls back per-row), probed
+    through the NULL bucket under 2VL — both must match the reference."""
+    for grouped in (False, True):
+        query = sweeps.correlated_aggregate_query(agg="sum", grouped=grouped)
+        db = sweeps.correlated_sweep_database(20, 30, seed=7, null_rate=0.3)
+        for _, conventions in CONVENTION_SET + [("souffle", SOUFFLE_CONVENTIONS)]:
+            assert_decorrelation_agrees(query, db, conventions)
+
+
+def test_paper_correlated_workloads_decorrelation_agrees():
+    for key, db_factory in [
+        ("eq2", instances.lateral_instance),
+        ("eq7", lambda: sweeps.size_sweep_database(40, seed=9)),
+        ("eq10", instances.payroll_instance),
+        ("eq15", instances.conventions_instance),
+        ("eq12", instances.payroll_instance),  # uncorrelated: materialize-once
+    ]:
+        node = parse(paper_examples.ARC[key])
+        db = db_factory()
+        for _, conventions in CONVENTION_SET:
+            assert_decorrelation_agrees(node, db, conventions)
+
+
 def test_grouped_over_empty_relation_agrees():
     db = Database()
     db.create("R", ("A", "B"), [])
