@@ -32,12 +32,14 @@ from .core import (
     render_svg,
     validate,
 )
+from .api import EvalOptions, Prepared, Session
 from .data import NULL, Database, Relation, Truth, Tuple
 from .engine import Evaluator, evaluate, standard_registry
 from .errors import (
     ArcError,
     EvaluationError,
     LinkError,
+    OptionsError,
     ParseError,
     RewriteError,
     SchemaError,
@@ -66,12 +68,16 @@ __all__ = [
     "Relation",
     "Truth",
     "Tuple",
+    "EvalOptions",
+    "Prepared",
+    "Session",
     "Evaluator",
     "evaluate",
     "standard_registry",
     "ArcError",
     "EvaluationError",
     "LinkError",
+    "OptionsError",
     "ParseError",
     "RewriteError",
     "SchemaError",

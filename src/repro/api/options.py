@@ -1,0 +1,116 @@
+"""Evaluation options: one validated object instead of a kwarg pile.
+
+Historically every entry point took ``evaluate(node, database, conventions,
+externals, *, planner, decorrelate, backend, db_file)`` and each layer
+re-interpreted the loose kwargs — which is how ``planner=False`` came to be
+silently ignored whenever ``backend=`` was also given (each kwarg selects an
+engine, and the backend dispatch simply never looked at ``planner``).
+
+:class:`EvalOptions` is the replacement: an immutable, validated bundle that
+**raises** :class:`~repro.errors.OptionsError` on contradictory combinations
+instead of picking a winner silently.  :class:`~repro.api.Session` carries
+one; the legacy ``evaluate(...)`` kwargs still work through a deprecation
+shim (:func:`warn_legacy`) that warns once per kwarg per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from ..errors import OptionsError
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """How a :class:`~repro.api.Session` evaluates queries.
+
+    Parameters
+    ----------
+    planner:
+        ``True`` (default) runs the hash-indexed execution layer; ``False``
+        runs the paper's reference nested-loop strategy (the semantic
+        oracle).  Contradictory with ``backend`` — use
+        ``backend="reference"`` to select the oracle through the registry.
+    decorrelate:
+        ``False`` disables the FOI → FIO lateral decorrelation pass
+        (correlated scopes re-evaluate per outer row).
+    backend:
+        A registered executable backend name (``"reference"``,
+        ``"planner"``, ``"sqlite"``), or None for the in-process engine
+        selected by ``planner``.
+    db_file:
+        Path persisting the SQLite catalog on disk (implies
+        ``backend="sqlite"``; any other backend would silently ignore it,
+        so the combination raises).
+    fallback:
+        Whether backend dispatch may substitute the planner (with a
+        :class:`~repro.backends.exec.BackendFallbackWarning`) when the
+        requested backend cannot honor the query.  ``False`` raises
+        :class:`~repro.backends.exec.BackendUnsupported` instead.
+    """
+
+    planner: bool = True
+    decorrelate: bool = True
+    backend: str | None = None
+    db_file: str | None = None
+    fallback: bool = True
+
+    def __post_init__(self):
+        if self.backend is not None and not self.planner:
+            raise OptionsError(
+                f"planner=False and backend={self.backend!r} both select an "
+                "engine; use backend='reference' for the nested-loop oracle "
+                "instead of combining them"
+            )
+        if self.db_file is not None:
+            if self.backend is None:
+                # A persistent catalog implies the SQLite engine (mirrors
+                # the CLI's --db-file behavior).
+                object.__setattr__(self, "backend", "sqlite")
+            elif self.backend != "sqlite":
+                raise OptionsError(
+                    f"db_file persists a SQLite catalog; backend "
+                    f"{self.backend!r} would silently ignore it"
+                )
+
+    def with_backend(self, backend):
+        """This option set with *backend* substituted for one run.
+
+        ``db_file`` only applies to the SQLite engine, so overriding to a
+        different backend drops it for the run instead of raising.
+        Validation re-runs: overriding a ``planner=False`` option set with
+        a backend still raises (the contradiction the old kwarg pile
+        silently swallowed).
+        """
+        if backend is None or backend == self.backend:
+            return self
+        db_file = self.db_file if backend == "sqlite" else None
+        return replace(self, backend=backend, db_file=db_file)
+
+
+#: Legacy ``evaluate(...)`` kwargs that have already warned this process.
+_WARNED_LEGACY = set()
+
+
+def warn_legacy(kwarg, *, stacklevel=3):
+    """Deprecation-warn about a legacy ``evaluate`` kwarg, once per process.
+
+    The shim keeps every old call site working; the warning fires exactly
+    once per kwarg name per process (not per call), so hot loops that still
+    pass ``planner=False`` pay one set lookup, not a warning flood.
+    """
+    if kwarg in _WARNED_LEGACY:
+        return
+    _WARNED_LEGACY.add(kwarg)
+    warnings.warn(
+        f"evaluate(..., {kwarg}=...) is deprecated; pass "
+        "options=repro.api.EvalOptions(...) or hold a repro.api.Session",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_legacy_warnings():
+    """Forget which legacy kwargs have warned (test isolation hook)."""
+    _WARNED_LEGACY.clear()

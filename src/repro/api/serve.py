@@ -1,0 +1,210 @@
+"""``repro serve``: the Session API over HTTP (stdlib only).
+
+A tiny JSON endpoint that holds one warm :class:`~repro.api.Session` per
+catalog, so repeated requests hit the prepared-query LRU, the compiled
+scope plans, the capability-probe memo, and the loaded SQLite connection —
+the cross-request amortization the ROADMAP's service-mode item asks for.
+
+Protocol
+--------
+``POST /query`` with a JSON body::
+
+    {"query": "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "frontend": "arc",
+     "backend": "sqlite"}
+
+``frontend`` defaults to ``arc`` (any :data:`repro.frontends.FRONTENDS`
+language); ``backend`` defaults to the session's configured engine.  The
+response body carries the result only — timing rides response *headers*
+(``X-Arc-Elapsed-Us``, ``X-Arc-Warm``) so identical requests produce
+byte-identical bodies::
+
+    {"kind": "relation", "name": "Q", "columns": ["A"],
+     "rows": [[1], [2]], "row_count": 2, "fallback": []}
+
+``GET /healthz`` answers liveness; ``GET /stats`` exposes the session's
+execution counters.  Errors return 400 (bad request / query errors) or
+500 with ``{"error": ...}``.
+
+The server is deliberately **single-threaded** (:class:`http.server.HTTPServer`):
+a Session is not thread-safe, and serializing requests keeps every warm
+structure coherent.  Run one process per catalog; scale out with an
+external balancer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+from ..data.relation import Relation
+from ..data.values import NULL, Truth
+from ..errors import ArcError
+from ..frontends import FRONTENDS
+
+
+def _json_value(value):
+    return None if value is NULL else value
+
+
+def _result_body(result, fallback_reasons):
+    if isinstance(result, Truth):
+        body = {"kind": "truth", "truth": result.name}
+    elif isinstance(result, Relation):
+        body = {
+            "kind": "relation",
+            "name": result.name,
+            "columns": list(result.schema),
+            "rows": [
+                [_json_value(row[attr]) for attr in result.schema]
+                for row in result.sorted_rows()
+            ],
+            "row_count": len(result),
+        }
+    else:  # pragma: no cover - evaluate() only returns Relation or Truth
+        body = {"kind": "value", "value": repr(result)}
+    body["fallback"] = list(fallback_reasons)
+    return body
+
+
+class QueryServer(HTTPServer):
+    """An HTTP server bound to one warm Session (one catalog)."""
+
+    def __init__(self, address, session, *, quiet=True):
+        super().__init__(address, _Handler)
+        self.session = session
+        self.quiet = quiet
+        self.started = time.monotonic()
+        self.requests_served = 0
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status, body, headers=()):
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            session = self.server.session
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "relations": sorted(session.database.names()),
+                    "backend": session.options.backend or "planner",
+                    "requests": self.server.requests_served,
+                    "uptime_s": round(time.monotonic() - self.server.started, 3),
+                },
+            )
+            return
+        if self.path == "/stats":
+            session = self.server.session
+            stats = session.stats.as_dict()
+            stats.update(
+                catalog_loads=session.catalog_loads,
+                catalog_hits=session.catalog_hits,
+                probe_hits=session.probe_hits,
+                requests=self.server.requests_served,
+            )
+            self._send_json(200, stats)
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- POST /query -------------------------------------------------------
+
+    def do_POST(self):
+        # Drain the request body before any response: on a keep-alive
+        # (HTTP/1.1) connection, unread body bytes would be parsed as the
+        # next request line, desyncing every follow-up request.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True  # cannot drain an unknown length
+            self._send_json(
+                400, {"error": "bad Content-Length"},
+                headers=(("Connection", "close"),),
+            )
+            return
+        payload = self.rfile.read(length)
+        if self.path != "/query":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            request = json.loads(payload or b"{}")
+        except json.JSONDecodeError:
+            self._send_json(400, {"error": "request body must be JSON"})
+            return
+        if not isinstance(request, dict) or not isinstance(
+            request.get("query"), str
+        ):
+            self._send_json(
+                400, {"error": 'request must be {"query": "...", ...}'}
+            )
+            return
+        frontend = request.get("frontend", "arc")
+        if frontend not in FRONTENDS:
+            self._send_json(
+                400,
+                {"error": f"unknown frontend {frontend!r}; choose from {FRONTENDS}"},
+            )
+            return
+        session = self.server.session
+        start = time.perf_counter()
+        try:
+            prepared = session.prepare(request["query"], frontend)
+            warm = prepared.run_count > 0
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = prepared.run(backend=request.get("backend"))
+        except ArcError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        elapsed_us = int((time.perf_counter() - start) * 1_000_000)
+        reasons = []
+        for entry in caught:
+            reasons.extend(getattr(entry.message, "reasons", ()))
+        self.server.requests_served += 1
+        self._send_json(
+            200,
+            _result_body(result, reasons),
+            headers=(
+                ("X-Arc-Elapsed-Us", str(elapsed_us)),
+                ("X-Arc-Warm", "1" if warm else "0"),
+            ),
+        )
+
+
+def make_server(session, host="127.0.0.1", port=0, *, quiet=True):
+    """Bind a :class:`QueryServer` for *session* (``port=0`` = ephemeral).
+
+    The caller drives it: ``server.serve_forever()`` to block,
+    ``server.handle_request()`` for one request, ``server.server_close()``
+    to release the socket.  ``server.url`` reports the bound address.
+    """
+    return QueryServer((host, port), session, quiet=quiet)

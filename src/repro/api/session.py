@@ -1,0 +1,284 @@
+"""The Session API: long-lived evaluation state and prepared queries.
+
+A :class:`Session` is the warm-state owner real engines put behind a
+connection handle: it pins the parsed ASTs of prepared queries (keeping
+their per-node compiled-plan caches alive), accumulates one
+:class:`~repro.engine.planner.ExecutionStats` across runs, reuses the
+SQLite catalog connection through the fingerprint cache, and memoizes
+backend capability-probe verdicts per catalog state.  The one-shot
+``repro.evaluate(...)`` is a thin wrapper constructing a transient Session;
+``repro serve`` holds one Session per catalog so repeated requests hit all
+of these caches.
+
+Warm-state inventory (and what invalidates each piece):
+
+========================  =======================================  =====================
+state                     where it lives                           invalidated by
+========================  =======================================  =====================
+scope plans               weak per-AST-node cache (planner)        AST garbage-collected
+relation hash indexes     ``Relation._indexes``                    ``Relation.add``
+decorrelation indexes     shared derived cache on inner relations  any inner mutation
+probe verdicts            shared derived cache on all relations    any catalog mutation
+SQLite connection         fingerprint-keyed connection cache       any catalog mutation
+parsed queries            the Session's prepared-query LRU         eviction only
+========================  =======================================  =====================
+
+A Session (and everything it hands out) is **not thread-safe**; callers
+serialize access, as ``repro serve``'s single-threaded HTTP server does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.conventions import SET_CONVENTIONS
+from ..data.database import Database
+from ..data.relation import Relation
+from ..engine.evaluator import Evaluator
+from ..engine.externals import standard_registry
+from ..engine.planner import ExecutionStats
+from ..errors import OptionsError
+from ..frontends import load_query
+from .options import EvalOptions
+
+#: Prepared queries a session retains before evicting the least recent.
+_PREPARED_LIMIT = 64
+
+
+class Prepared:
+    """A query bound to a Session: parse once, run many times warm.
+
+    Holding the Prepared keeps its AST alive, which keeps the weak
+    per-node plan caches warm — a second :meth:`run` performs zero plan
+    compilations, zero decorrelation-index builds, and zero catalog
+    reloads (counter-pinned by ``tests/api/test_session.py``).
+    """
+
+    __slots__ = ("session", "node", "text", "frontend", "run_count", "__weakref__")
+
+    def __init__(self, session, node, text=None, frontend=None):
+        self.session = session
+        self.node = node
+        self.text = text
+        self.frontend = frontend
+        self.run_count = 0
+
+    def run(self, backend=None):
+        """Evaluate on the session's engine (or *backend* for this run).
+
+        Returns a :class:`~repro.data.relation.Relation` for collections
+        and programs, a :class:`~repro.data.values.Truth` for sentences.
+        """
+        return self.session._run_prepared(self, backend)
+
+    def __repr__(self):
+        source = self.text if self.text is not None else type(self.node).__name__
+        return f"Prepared({source!r}, runs={self.run_count})"
+
+
+class SessionContext:
+    """The per-run view a :class:`~repro.backends.exec.Backend` receives.
+
+    Bundles the (possibly per-run overridden) options with the session's
+    warm state, so backends stop taking loose ``db_file``/``decorrelate``
+    kwargs.  Duck-typed on purpose: the backend registry must not import
+    this package.
+    """
+
+    __slots__ = ("session", "options")
+
+    def __init__(self, session, options):
+        self.session = session
+        self.options = options
+
+    @property
+    def stats(self):
+        return self.session.stats
+
+    def acquire_connection(self, database):
+        """A SQLite connection for *database* honoring ``options.db_file``.
+
+        With ``db_file`` the connection is fresh and the caller closes it;
+        in-memory connections belong to the fingerprint cache and must not
+        be closed.
+        """
+        return self.session._acquire_connection(database, self.options.db_file)
+
+    def probe(self, engine, node, conventions, database, options):
+        return self.session._probe(engine, node, conventions, database, options)
+
+
+class Session:
+    """Long-lived evaluation context over one catalog.
+
+    >>> import repro
+    >>> from repro.api import Session, EvalOptions
+    >>> db = repro.Database()
+    >>> _ = db.create("R", ["A", "B"], [(1, 10), (2, 20)])
+    >>> session = Session(db, repro.SQL_CONVENTIONS,
+    ...                   options=EvalOptions(backend="sqlite"))
+    >>> prepared = session.prepare("{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 15]}")
+    >>> prepared.run().sorted_rows()
+    [Tuple(A=2)]
+    >>> prepared.run(backend="reference").sorted_rows()  # per-run override
+    [Tuple(A=2)]
+    """
+
+    def __init__(self, database=None, conventions=SET_CONVENTIONS, *,
+                 externals=None, options=None):
+        if options is None:
+            options = EvalOptions()
+        elif not isinstance(options, EvalOptions):
+            raise OptionsError(
+                f"options must be an EvalOptions, got {type(options).__name__}"
+            )
+        self.database = database if database is not None else Database()
+        self.conventions = conventions
+        self.externals = externals if externals is not None else standard_registry()
+        self.options = options
+        #: One ExecutionStats accumulated across every run of this session.
+        self.stats = ExecutionStats()
+        #: Catalog (re)loads and warm hits observed by this session's
+        #: SQLite runs (a load means the fingerprint changed or was cold).
+        self.catalog_loads = 0
+        self.catalog_hits = 0
+        #: Capability-probe verdicts served from the warm cache.
+        self.probe_hits = 0
+        self._prepared = OrderedDict()  # (text, frontend) -> Prepared
+
+    # -- preparing ---------------------------------------------------------
+
+    def prepare(self, query, frontend="arc"):
+        """Parse (or adopt) *query* and bind it to this session.
+
+        *query* may be surface text in any supported *frontend* language
+        (``arc``, ``alt``, ``sql``, ``datalog``, ``trc``, ``rel``) or an
+        already-built ARC node.  Textual queries are cached in an LRU, so
+        ``repro serve`` re-preparing the same request string is a hit.
+        """
+        if not isinstance(query, str):
+            return Prepared(self, query)
+        key = (query, frontend)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            self._prepared.move_to_end(key)
+            return prepared
+        node = load_query(query, frontend, self.database)
+        prepared = Prepared(self, node, query, frontend)
+        self._prepared[key] = prepared
+        while len(self._prepared) > _PREPARED_LIMIT:
+            self._prepared.popitem(last=False)
+        return prepared
+
+    def evaluate(self, query, frontend="arc", *, backend=None):
+        """One-shot convenience: ``prepare(query, frontend).run(backend)``."""
+        return self.prepare(query, frontend).run(backend)
+
+    # -- running -----------------------------------------------------------
+
+    def _run_prepared(self, prepared, backend=None):
+        options = self.options.with_backend(backend)
+        if options.backend is None:
+            result = self._evaluator(options).evaluate(prepared.node)
+        else:
+            from ..backends.exec import run_backend
+
+            result = run_backend(
+                prepared.node,
+                self.database,
+                self.conventions,
+                options.backend,
+                externals=self.externals,
+                fallback=options.fallback,
+                context=SessionContext(self, options),
+            )
+        # Counted only on success: a failed run leaves the query cold, so
+        # serve's X-Arc-Warm header never marks an errored first attempt.
+        prepared.run_count += 1
+        return result
+
+    def _evaluator(self, options):
+        """A fresh in-process evaluator sharing this session's stats.
+
+        Evaluator instances are cheap and carry per-program definition
+        state (``defined``) that must not leak between queries; the warm
+        state proper lives on the AST nodes, the relations, and this
+        session — all of which the fresh instance sees.
+        """
+        evaluator = Evaluator(
+            self.database,
+            self.conventions,
+            self.externals,
+            planner=options.planner,
+            decorrelate=options.decorrelate,
+        )
+        evaluator.stats = self.stats
+        return evaluator
+
+    # -- warm state --------------------------------------------------------
+
+    def _acquire_connection(self, database, db_file=None):
+        from ..backends.exec import sqlite_exec
+
+        before = sqlite_exec.stats["loads"]
+        conn = sqlite_exec.connect_catalog(database, db_file=db_file)
+        loaded = sqlite_exec.stats["loads"] - before
+        self.catalog_loads += loaded
+        if not loaded:
+            self.catalog_hits += 1
+        return conn
+
+    def _probe(self, engine, node, conventions, database, options):
+        """Capability-probe *engine* for *node*, memoized per catalog state.
+
+        The verdict is cached on every catalog relation via the shared
+        derived-result cache, so mutating **any** relation (which can
+        change NULL-hazard and decorrelation answers) re-probes, while an
+        unchanged catalog answers from memory.
+        """
+        relations = [database[name] for name in database.names()] if database else []
+        tag = (
+            "capabilities",
+            engine.name,
+            conventions,
+            tuple(
+                (key, value)
+                for key, value in sorted(options.items())
+                if isinstance(value, (str, int, float, bool, type(None)))
+            ),
+            frozenset(database.names()) if database else frozenset(),
+        )
+        if relations:
+            cached = Relation.derived_get_shared(relations, node, tag)
+            if cached is not None:
+                self.probe_hits += 1
+                return list(cached)
+        problems = engine.capabilities(node, conventions, database, **options)
+        if relations:
+            Relation.derived_put_shared(relations, node, tag, tuple(problems))
+        return problems
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Release the session's prepared queries.
+
+        In-memory SQLite connections belong to the process-wide
+        fingerprint cache (other sessions over the same catalog share
+        them), so closing a session does not close connections.
+        """
+        self._prepared.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"Session(relations={sorted(self.database.names())}, "
+            f"backend={self.options.backend or 'planner'!r}, "
+            f"prepared={len(self._prepared)})"
+        )

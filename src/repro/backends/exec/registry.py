@@ -52,6 +52,15 @@ class Backend:
     Subclasses set :attr:`name`, may override :meth:`capabilities` (return a
     list of human-readable reasons the node cannot run — empty means fully
     supported), and must implement :meth:`run`.
+
+    ``run`` and ``capabilities`` receive an optional *context* — a session
+    context (see :class:`repro.api.session.SessionContext`, duck-typed so
+    this module stays import-light) bundling the run's
+    :class:`~repro.api.EvalOptions` with warm state: shared execution
+    stats, the session's SQLite connection acquisition, and memoized probe
+    verdicts.  Backends that predate the Session API keep working: loose
+    kwargs (``decorrelate``, ``db_file``) remain accepted and are filled in
+    from the context when one is present.
     """
 
     name = None
@@ -65,9 +74,23 @@ class Backend:
         """
         return []
 
-    def run(self, node, database, conventions, *, externals=None, **options):
+    def run(self, node, database, conventions, *, externals=None, context=None,
+            **options):
         """Evaluate *node*; returns a Relation (collections/programs) or Truth."""
         raise NotImplementedError
+
+
+def _in_process(node, database, conventions, externals, context, *,
+                planner, decorrelate):
+    """Run the in-process engine, sharing the session's stats when given."""
+    from ...engine.evaluator import Evaluator
+
+    evaluator = Evaluator(
+        database, conventions, externals, planner=planner, decorrelate=decorrelate
+    )
+    if context is not None:
+        evaluator.stats = context.stats
+    return evaluator.evaluate(node)
 
 
 class ReferenceBackend(Backend):
@@ -75,10 +98,12 @@ class ReferenceBackend(Backend):
 
     name = "reference"
 
-    def run(self, node, database, conventions, *, externals=None, **options):
-        from ...engine.evaluator import evaluate
-
-        return evaluate(node, database, conventions, externals, planner=False)
+    def run(self, node, database, conventions, *, externals=None, context=None,
+            **options):
+        return _in_process(
+            node, database, conventions, externals, context,
+            planner=False, decorrelate=True,
+        )
 
 
 class PlannerBackend(Backend):
@@ -93,14 +118,13 @@ class PlannerBackend(Backend):
         conventions,
         *,
         externals=None,
+        context=None,
         decorrelate=True,
         **options,
     ):
-        from ...engine.evaluator import evaluate
-
-        return evaluate(
-            node, database, conventions, externals, planner=True,
-            decorrelate=decorrelate,
+        return _in_process(
+            node, database, conventions, externals, context,
+            planner=True, decorrelate=decorrelate,
         )
 
 
@@ -136,6 +160,7 @@ def run_backend(
     *,
     externals=None,
     fallback=True,
+    context=None,
     **options,
 ):
     """Evaluate *node* on the named backend, falling back to the planner.
@@ -144,13 +169,23 @@ def run_backend(
     problems or its ``run`` raises :class:`BackendUnsupported` (e.g. SQLite
     rejecting a construct the static probe could not see).  ``fallback=False``
     turns both into a raised :class:`BackendUnsupported` instead.
+
+    *context* is a session context (see :class:`Backend`): its options
+    fill in the loose kwargs, its probe memo answers repeated capability
+    checks warm, and it is threaded through to the engine (including the
+    planner substituted on fallback, so session stats see the run).
     """
     engine = get_backend(backend)
-    problems = engine.capabilities(node, conventions, database, **options)
+    if context is not None:
+        options.setdefault("decorrelate", context.options.decorrelate)
+        problems = context.probe(engine, node, conventions, database, options)
+    else:
+        problems = engine.capabilities(node, conventions, database, **options)
     if not problems:
         try:
             return engine.run(
-                node, database, conventions, externals=externals, **options
+                node, database, conventions, externals=externals,
+                context=context, **options
             )
         except BackendUnsupported as exc:
             problems = [str(exc)]
@@ -169,7 +204,8 @@ def run_backend(
     )
     options.pop("db_file", None)  # the planner has no catalog to persist
     return get_backend(PlannerBackend.name).run(
-        node, database, conventions, externals=externals, **options
+        node, database, conventions, externals=externals, context=context,
+        **options
     )
 
 

@@ -56,14 +56,16 @@ from __future__ import annotations
 
 import hashlib
 import sqlite3
+import weakref
 from collections import Counter, OrderedDict
 
 from ...core import nodes as n
+from ...core.scopes import free_variables
 from ...data.relation import Relation, Tuple
 from ...data.values import NULL, Truth, is_null, sort_key
 from ...engine.decorrelate import rewrite_for_sql
 from ...errors import RewriteError
-from ..sql_render import free_variables, scalar_inlinable, to_sql
+from ..sql_render import scalar_inlinable, to_sql
 from .registry import Backend, BackendUnsupported
 
 
@@ -256,7 +258,10 @@ def connect_catalog(database, *, db_file=None):
             _connections.move_to_end(fingerprint)
             stats["hits"] += 1
             return conn
-        conn = sqlite3.connect(":memory:")
+        # check_same_thread=False: the engine is synchronous and callers
+        # serialize access (repro serve is single-threaded), but the cache
+        # may be primed in one thread and consumed in another.
+        conn = sqlite3.connect(":memory:", check_same_thread=False)
         try:
             _load_catalog(conn, database)
         except BaseException:
@@ -268,7 +273,7 @@ def connect_catalog(database, *, db_file=None):
             evicted.close()
         return conn
 
-    conn = sqlite3.connect(db_file)
+    conn = sqlite3.connect(db_file, check_same_thread=False)
     try:
         stored = conn.execute(
             f"select fingerprint from {_quote(_META_TABLE)}"
@@ -396,6 +401,57 @@ def _prepare(node, database):
     return node
 
 
+#: node -> (catalog-names token, prepared node).  ``_prepare`` depends on
+#: the catalog only through relation *names* (stored vs recursive), so the
+#: token invalidates on schema changes while row mutations stay warm.
+_PREPARED_NODES = weakref.WeakKeyDictionary()
+
+#: rewritten node -> rendered SQL text (a pure function of the AST).
+_RENDERED_SQL = weakref.WeakKeyDictionary()
+
+
+def _prepared_for(node, database):
+    """Memoized :func:`_prepare` (per node, keyed by the catalog's names).
+
+    The common case (non-recursive node) returns the node itself; it is
+    stored as None so the weak-keyed entry never strongly references its
+    own key (which would make it immortal).
+    """
+    names = frozenset(database.names()) if database is not None else frozenset()
+    try:
+        cached = _PREPARED_NODES.get(node)
+    except TypeError:  # pragma: no cover - every AST node is weakref-able
+        return _prepare(node, database)
+    if cached is not None and cached[0] == names:
+        return node if cached[1] is None else cached[1]
+    prepared = _prepare(node, database)
+    _PREPARED_NODES[node] = (names, None if prepared is node else prepared)
+    return prepared
+
+
+def compile_sql(node, database, *, decorrelate=True):
+    """Compile *node* for SQLite: ``(executable node, SQL text)``.
+
+    The executable node is :func:`_prepare`-wrapped and (unless disabled)
+    FOI → FIO rewritten; the SQL text is its rendering.  Every step is
+    memoized on the AST, so a prepared query that stays alive — a
+    :class:`repro.api.Session` ``Prepared`` — compiles exactly once and
+    re-runs render-free.  Raises :class:`BackendUnsupported` when the node
+    is not renderable.
+    """
+    prepared = _prepared_for(node, database)
+    if decorrelate:
+        prepared, _ = rewrite_for_sql(prepared)
+    sql = _RENDERED_SQL.get(prepared)
+    if sql is None:
+        try:
+            sql = to_sql(prepared)
+        except RewriteError as exc:
+            raise BackendUnsupported(f"not renderable as SQL ({exc})") from exc
+        _RENDERED_SQL[prepared] = sql
+    return prepared, sql
+
+
 class SqliteBackend(Backend):
     """Render through ``to_sql`` and execute on a loaded SQLite catalog."""
 
@@ -413,7 +469,7 @@ class SqliteBackend(Backend):
             problems.append(
                 "ZERO empty-aggregate convention (SQLite returns NULL)"
             )
-        prepared = _prepare(node, database)
+        prepared = _prepared_for(node, database)
         if decorrelate:
             prepared, leftover_laterals = rewrite_for_sql(prepared)
         else:
@@ -462,9 +518,9 @@ class SqliteBackend(Backend):
             problems.append(hazard)
         if not problems:
             try:
-                to_sql(prepared)
-            except RewriteError as exc:
-                problems.append(f"not renderable as SQL ({exc})")
+                compile_sql(node, database, decorrelate=decorrelate)
+            except BackendUnsupported as exc:
+                problems.append(str(exc))
         return list(dict.fromkeys(problems))
 
     def run(
@@ -476,16 +532,16 @@ class SqliteBackend(Backend):
         externals=None,
         db_file=None,
         decorrelate=True,
+        context=None,
         **options,
     ):
-        prepared = _prepare(node, database)
-        if decorrelate:
-            prepared, _ = rewrite_for_sql(prepared)
-        try:
-            sql = to_sql(prepared)
-        except RewriteError as exc:
-            raise BackendUnsupported(f"not renderable as SQL ({exc})") from exc
-        conn = connect_catalog(database, db_file=db_file)
+        if context is not None:
+            db_file = context.options.db_file
+        prepared, sql = compile_sql(node, database, decorrelate=decorrelate)
+        if context is not None:
+            conn = context.acquire_connection(database)
+        else:
+            conn = connect_catalog(database, db_file=db_file)
         try:
             try:
                 raw = conn.execute(sql).fetchall()
@@ -509,7 +565,11 @@ def _shape_result(prepared, raw):
     head = main.head
     attrs = tuple(head.attrs)
     counter = Counter()
-    for values in raw:
+    # Deduplicate the raw rows first: cursor rows are plain tuples of
+    # primitives, which hash at C speed, so a bag result with duplicates
+    # (e.g. a projection) builds each distinct Tuple once instead of per
+    # occurrence — the dominant cost of the warm serve path.
+    for values, mult in Counter(raw).items():
         if len(values) != len(attrs):
             raise BackendUnsupported(
                 f"SQLite returned {len(values)} columns for head "
@@ -519,5 +579,5 @@ def _shape_result(prepared, raw):
             Tuple._adopt(
                 {attr: _from_sqlite(v) for attr, v in zip(attrs, values)}
             )
-        ] += 1
+        ] += mult
     return Relation._adopt_counter(head.name, attrs, counter)

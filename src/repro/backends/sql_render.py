@@ -40,6 +40,13 @@ SQLite offload backend (:mod:`repro.backends.exec.sqlite_exec`).
 from __future__ import annotations
 
 from ..core import nodes as n
+from ..core.scopes import (  # noqa: F401  (re-exported for compatibility)
+    assignment_of,
+    free_variables,
+    scalar_subquery_shape,
+    shadows_binding,
+    split_scope,
+)
 from ..data.values import is_null
 from ..errors import RewriteError
 
@@ -54,103 +61,6 @@ def to_sql(node, *, pretty=True):
     if isinstance(node, n.Sentence):
         return renderer.render_sentence(node)
     raise RewriteError(f"cannot render {type(node).__name__} as SQL")
-
-
-def free_variables(node):
-    """Range variables referenced in *node* but not bound inside it.
-
-    A nested collection with free variables is *correlated*: its SQL
-    rendering needs LATERAL, and engines without LATERAL support cannot
-    execute it.  The analysis is scope-aware — a variable bound in a nested
-    sub-scope does not shadow an outer reference *outside* that sub-scope —
-    and collection head names count as bound (head-assignment predicates
-    reference them as ``Head.attr``).
-    """
-    return _free_vars(node, frozenset())
-
-
-def _free_vars(node, bound):
-    if isinstance(node, n.Attr):
-        return set() if node.var in bound else {node.var}
-    if isinstance(node, n.Collection):
-        return _free_vars(node.body, bound | {node.head.name})
-    if isinstance(node, n.Quantifier):
-        free = set()
-        scope = set(bound)
-        for binding in node.bindings:
-            # A binding's source sees earlier bindings of the same scope
-            # (lateral nesting), not itself.
-            free |= _free_vars(binding.source, frozenset(scope))
-            scope.add(binding.var)
-        inner = frozenset(scope)
-        free |= _free_vars(node.body, inner)
-        if node.grouping is not None:
-            for key in node.grouping.keys:
-                free |= _free_vars(key, inner)
-        return free
-    if not isinstance(node, n.Node):
-        return set()
-    free = set()
-    for child in node.children():
-        free |= _free_vars(child, bound)
-    return free
-
-
-def scalar_subquery_shape(source):
-    """Why *source* cannot render as correlated scalar subqueries (or None).
-
-    The device applies to a γ∅ scope whose head attributes are all assigned
-    by aggregate expressions: such a scope emits exactly one row per outer
-    environment, so each head attribute is a scalar — rendered as its own
-    correlated subquery, which engines without LATERAL (SQLite) execute.
-    """
-    body = source.body
-    if not isinstance(body, n.Quantifier):
-        return "inner body is not a single quantifier scope"
-    if body.join is not None:
-        return "inner scope carries a join annotation"
-    if body.grouping is None or body.grouping.keys:
-        return "inner scope is not an aggregate-only γ∅ scope"
-    head = source.head
-    renderer = _SqlRenderer()
-    assignments, agg_assignments, agg_comparisons, row_formulas = (
-        renderer._split_scope(head, body)
-    )
-    if assignments:
-        return "non-aggregate head assignment in a γ∅ scope"
-    if agg_comparisons:
-        return "γ∅ aggregate comparison (the group may be filtered away)"
-    assigned = dict(agg_assignments)
-    if len(assigned) != len(agg_assignments):
-        return "duplicate head assignment"
-    missing = [attr for attr in head.attrs if attr not in assigned]
-    if missing:
-        return f"head attributes {missing} have no aggregate assignment"
-    for formula in row_formulas:
-        if head.name in n.vars_used(formula):
-            return "head attribute used outside an assignment"
-    return None
-
-
-def shadows_binding(quant, binding):
-    """Whether *quant* rebinds ``binding.var`` outside the binding's source.
-
-    Scalar-subquery inlining substitutes ``var.attr`` references throughout
-    the scope's rendering; a nested scope rebinding the same name would be
-    captured, so those shapes keep the lateral encoding.
-    """
-    target = binding.var
-
-    def scan(node):
-        if node is binding.source:
-            return False
-        if isinstance(node, n.Binding) and node is not binding and node.var == target:
-            return True
-        if isinstance(node, n.Collection) and node.head.name == target:
-            return True
-        return any(scan(child) for child in node.children())
-
-    return any(scan(child) for child in quant.children())
 
 
 def scalar_inlinable(quant, binding):
@@ -351,41 +261,13 @@ class _SqlRenderer:
         indented = "\n   ".join(sub.splitlines())
         return f"(\n   {indented})"
 
-    def _split_scope(self, head, quant):
-        assignments = []
-        agg_assignments = []
-        agg_comparisons = []
-        row_formulas = []
-        for conjunct in n.conjuncts(quant.body):
-            if isinstance(conjunct, n.Comparison):
-                target = self._assignment_of(conjunct, head)
-                if target is not None:
-                    if conjunct.has_aggregate():
-                        agg_assignments.append(target)
-                    else:
-                        assignments.append(target)
-                    continue
-                if conjunct.has_aggregate():
-                    agg_comparisons.append(conjunct)
-                    continue
-            row_formulas.append(conjunct)
-        return assignments, agg_assignments, agg_comparisons, row_formulas
+    @staticmethod
+    def _split_scope(head, quant):
+        return split_scope(head, quant)
 
     @staticmethod
     def _assignment_of(predicate, head):
-        if predicate.op != "=":
-            return None
-        for side, other in (
-            (predicate.left, predicate.right),
-            (predicate.right, predicate.left),
-        ):
-            if (
-                isinstance(side, n.Attr)
-                and side.var == head.name
-                and side.attr in head.attrs
-            ):
-                return (side.attr, other)
-        return None
+        return assignment_of(predicate, head)
 
     # -- FROM / joins -----------------------------------------------------------------
 

@@ -8,22 +8,31 @@ Usage (see ``python -m repro --help``)::
     python -m repro eval --db data.csv:R "select R.A from R"
     python -m repro eval --db data.csv:R --backend sqlite --conventions sql ...
     python -m repro eval --db data.csv:R --db-file catalog.db ...  # warm restarts
+    python -m repro eval --db data.csv:R --repeat 3 ...  # warm-path timing
+    python -m repro serve --db data.csv:R --port 8421    # HTTP service mode
     python -m repro patterns "select R.A from R where not exists (...)"
 
 Input languages: ``arc`` (comprehension syntax), ``alt`` (the box-drawing
 ALT text — modalities are losslessly inter-translatable), ``sql``,
 ``datalog``, ``trc``, ``rel``.  Output modalities: ``arc`` (Unicode),
 ``ascii``, ``alt``, ``higraph``, ``svg``, ``sql``.
+
+``eval`` and ``serve`` are built on the Session API (:mod:`repro.api`):
+``eval`` constructs one Session and a prepared query — ``--repeat N`` runs
+it N times, showing the cold-vs-warm split — and ``serve`` keeps the
+Session alive across HTTP requests.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from .api import EvalOptions, Session
 from .backends.comprehension import render, render_ascii
 from .backends.sql_render import to_sql
-from .core import build_higraph, parse, render_alt, render_higraph_ascii, render_svg
+from .core import build_higraph, render_alt, render_higraph_ascii, render_svg
 from .core.conventions import (
     SET_CONVENTIONS,
     SOUFFLE_CONVENTIONS,
@@ -31,40 +40,14 @@ from .core.conventions import (
 )
 from .core.validator import validate
 from .data import Database, csvio
-from .engine import evaluate
-from .errors import ArcError
+from .errors import ArcError, OptionsError
+from .frontends import load_query as _load_query
 
 CONVENTIONS = {
     "set": SET_CONVENTIONS,
     "sql": SQL_CONVENTIONS,
     "souffle": SOUFFLE_CONVENTIONS,
 }
-
-
-def _load_query(text, language, database=None):
-    if language == "arc":
-        return parse(text)
-    if language == "alt":
-        from .core.alt_parser import parse_alt
-
-        return parse_alt(text)
-    if language == "sql":
-        from .frontends.sql import to_arc
-
-        return to_arc(text, database=database)
-    if language == "datalog":
-        from .frontends import datalog
-
-        return datalog.to_arc(text, database=database)
-    if language == "trc":
-        from .frontends import trc
-
-        return trc.to_arc(text)
-    if language == "rel":
-        from .frontends import rel
-
-        return rel.to_arc(text, database=database)
-    raise ArcError(f"unknown input language {language!r}")
 
 
 def _render_output(query, modality, database=None):
@@ -119,35 +102,70 @@ def cmd_validate(args):
     return 1
 
 
-def cmd_eval(args):
-    database = _load_database(args.db)
-    query = _load_query(_read_text(args), args.source, database)
-    backend = args.backend
-    if args.no_planner and backend is not None:
+def _session_options(args):
+    """Build :class:`EvalOptions` from eval/serve flags.
+
+    Validation lives in ``EvalOptions`` itself; only the planner/backend
+    contradiction is pre-checked to re-word it in terms of the CLI flags.
+    """
+    if getattr(args, "no_planner", False) and args.backend is not None:
         raise ArcError(
             "--no-planner and --backend both select an engine; use "
             "--backend reference instead of combining them"
         )
-    if args.db_file and backend not in (None, "sqlite"):
-        raise ArcError(
-            f"--db-file persists a SQLite catalog; backend {backend!r} "
-            "would silently ignore it"
+    try:
+        return EvalOptions(
+            planner=not getattr(args, "no_planner", False),
+            decorrelate=not getattr(args, "no_decorrelate", False),
+            backend=args.backend,
+            db_file=args.db_file,  # implies backend="sqlite" when set
         )
-    if backend is None and args.db_file:
-        backend = "sqlite"  # a persistent catalog implies the SQLite engine
-    result = evaluate(
-        query,
-        database,
-        CONVENTIONS[args.conventions],
-        planner=not args.no_planner,
-        decorrelate=not args.no_decorrelate,
-        backend=backend,
-        db_file=args.db_file,
+    except OptionsError as exc:
+        raise ArcError(str(exc).replace("db_file", "--db-file")) from None
+
+
+def cmd_eval(args):
+    database = _load_database(args.db)
+    session = Session(
+        database, CONVENTIONS[args.conventions], options=_session_options(args)
     )
+    prepared = session.prepare(_read_text(args), frontend=args.source)
+    repeat = max(1, args.repeat)
+    timings = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = prepared.run()
+        timings.append(time.perf_counter() - start)
     if hasattr(result, "to_table"):
         print(result.to_table(max_rows=args.max_rows))
     else:
         print(result.name)  # a Truth value
+    if repeat > 1:
+        # The first run pays parse/plan/probe/load; later runs ride the
+        # session's warm state.  Shown so the split is visible from the CLI.
+        for i, elapsed in enumerate(timings):
+            label = " (cold)" if i == 0 else ""
+            print(f"run {i + 1}: {elapsed * 1e3:.2f} ms{label}")
+    return 0
+
+
+def cmd_serve(args):
+    database = _load_database(args.db)
+    session = Session(
+        database, CONVENTIONS[args.conventions], options=_session_options(args)
+    )
+    from .api import serve
+
+    server = serve.make_server(session, args.host, args.port, quiet=args.quiet)
+    print(f"serving on {server.url} (relations: "
+          f"{', '.join(sorted(database.names())) or 'none'}; "
+          f"backend: {session.options.backend or 'planner'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -240,7 +258,70 @@ def build_parser():
         help="persist the SQLite catalog at PATH (implies --backend sqlite); "
         "later runs against the unchanged catalog start warm",
     )
+    p_eval.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the prepared query N times through one Session and print "
+        "per-run timings (run 1 is cold; later runs ride the warm state)",
+    )
     p_eval.set_defaults(func=cmd_eval)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP from one warm Session "
+        "(POST /query, GET /healthz)",
+    )
+    p_serve.add_argument(
+        "--db",
+        action="append",
+        metavar="CSV:NAME",
+        help="load a base relation from a CSV file (repeatable)",
+    )
+    p_serve.add_argument(
+        "--conventions",
+        default="set",
+        choices=sorted(CONVENTIONS),
+        help="semantic conventions (default: set)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default=None,
+        choices=["reference", "planner", "sqlite"],
+        help="default executable backend for requests that do not name one",
+    )
+    p_serve.add_argument(
+        "--db-file",
+        default=None,
+        metavar="PATH",
+        help="persist the SQLite catalog at PATH (implies --backend sqlite)",
+    )
+    p_serve.add_argument(
+        "--no-decorrelate",
+        action="store_true",
+        help="disable the FOI→FIO lateral decorrelation pass",
+    )
+    p_serve.add_argument(
+        "--quiet",
+        action="store_true",
+        default=True,
+        help=argparse.SUPPRESS,
+    )
+    p_serve.add_argument(
+        "--log-requests",
+        dest="quiet",
+        action="store_false",
+        help="log each HTTP request to stderr",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_patterns = sub.add_parser("patterns", help="report the relational pattern")
     common(p_patterns)

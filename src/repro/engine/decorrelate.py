@@ -28,7 +28,7 @@ outer row.  This module rewrites FOI plans into FIO at two levels:
   collections are *unnested* into the outer scope (sound under the bag
   semantics the SQLite backend requires).  γ∅ aggregate-only scopes are
   left to the renderer's correlated-scalar-subquery device
-  (:func:`repro.backends.sql_render.scalar_subquery_shape`).
+  (:func:`repro.core.scopes.scalar_subquery_shape`).
 
 Safety: the rewrite **refuses** (and evaluation falls back to the per-row
 strategy) whenever the correlation is not provably a pure equality join —
@@ -55,20 +55,19 @@ from __future__ import annotations
 import weakref
 
 from ..core import nodes as n
+from ..core.scopes import free_variables, shadows_binding
 from ..data.relation import Relation
 from ..data.values import is_null
 from ..errors import EvaluationError
 
-# The scope analyses (free variables, shadowing, scalar-inlinability) live
-# with the SQL renderer; importing them lazily keeps the engine package
-# import-cycle-proof even if sql_render ever grows a top-level engine
-# import (today its engine.joins import is function-local).
 
+def _scalar_inlinable(quant, binding):
+    # The renderer's own inlining decision (it depends on how sql_render
+    # emits scalar subqueries); imported lazily because it is only needed
+    # on the SQL-rewrite path, which only the SQLite backend exercises.
+    from ..backends.sql_render import scalar_inlinable
 
-def _scope_analysis():
-    from ..backends import sql_render
-
-    return sql_render
+    return scalar_inlinable(quant, binding)
 
 
 class CorrelationSpec:
@@ -159,7 +158,6 @@ def analyze(collection):
 
 
 def _analyze(collection):
-    free_variables = _scope_analysis().free_variables
     free = frozenset(free_variables(collection))
     body = collection.body
     if isinstance(body, n.Or):
@@ -417,7 +415,6 @@ def rewrite_for_sql(node):
 def _fix_quantifier(node, leftovers):
     if not isinstance(node, n.Quantifier):
         return node
-    analysis = _scope_analysis()
     bindings = list(node.bindings)
     extra = []  # join conjuncts added by FIO rewrites
     substitutions = {}  # (var, attr) -> replacement expr, from unnesting
@@ -425,7 +422,7 @@ def _fix_quantifier(node, leftovers):
     out = []
     for binding in bindings:
         source = binding.source
-        if not isinstance(source, n.Collection) or not analysis.free_variables(
+        if not isinstance(source, n.Collection) or not free_variables(
             source
         ):
             out.append(binding)
@@ -447,7 +444,7 @@ def _fix_quantifier(node, leftovers):
             substitutions.update(mapping)
             spliced = True
             continue
-        scalar_reason = analysis.scalar_inlinable(node, binding)
+        scalar_reason = _scalar_inlinable(node, binding)
         if scalar_reason is None:
             out.append(binding)  # the renderer inlines it as scalar subqueries
             continue
@@ -543,7 +540,7 @@ def _try_unnest(quant, binding):
         for sub in quant.join.walk()
     ):
         return None
-    if _scope_analysis().shadows_binding(quant, binding):
+    if shadows_binding(quant, binding):
         return None
     head = source.head
     assignments = {}

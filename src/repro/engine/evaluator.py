@@ -75,51 +75,75 @@ def _relation_refs(node):
     return refs
 
 
+_UNSET = object()
+
+
 def evaluate(
     node,
     database,
     conventions=SET_CONVENTIONS,
     externals=None,
     *,
-    planner=True,
-    decorrelate=True,
-    backend=None,
-    db_file=None,
+    planner=_UNSET,
+    decorrelate=_UNSET,
+    backend=_UNSET,
+    db_file=_UNSET,
+    options=None,
 ):
     """Evaluate *node* against *database* under *conventions*.
 
     Returns a :class:`~repro.data.relation.Relation` for collections and
     programs, and a :class:`~repro.data.values.Truth` for sentences.
-    ``planner=False`` disables the hash-indexed execution layer and runs
-    the paper's reference nested-loop strategy instead (the escape hatch
-    used by the differential harness).  ``decorrelate=False`` keeps the
-    planner but disables the FOI → FIO lateral decorrelation pass
-    (:mod:`repro.engine.decorrelate`), so correlated scopes re-evaluate
-    per outer row — the per-row oracle the decorrelation differential
-    tests compare against.
 
-    ``backend`` selects an executable backend from the registry
-    (:mod:`repro.backends.exec`): ``"reference"``, ``"planner"``, or
-    ``"sqlite"`` — the latter offloads execution to a SQLite connection
-    holding the loaded catalog, falling back to the planner (with a
-    :class:`~repro.backends.exec.BackendFallbackWarning`) for constructs or
-    conventions it cannot honor.  ``db_file`` persists the SQLite catalog
-    on disk so later processes start warm.
+    This is the one-shot convenience wrapper over the Session API: it
+    builds a transient :class:`repro.api.Session` from *options* (an
+    :class:`repro.api.EvalOptions`) and evaluates once.  Long-lived
+    callers should hold a Session and :meth:`~repro.api.Session.prepare`
+    their queries instead — repeated one-shot calls re-derive state a
+    session keeps warm.
+
+    The individual ``planner`` / ``decorrelate`` / ``backend`` /
+    ``db_file`` kwargs are deprecated shims (each warns once per process):
+    ``planner=False`` selects the paper's reference nested-loop oracle,
+    ``decorrelate=False`` disables the FOI → FIO pass, ``backend`` picks a
+    registered engine with planner fallback, ``db_file`` persists the
+    SQLite catalog.  Contradictory combinations that the old kwarg pile
+    silently resolved — ``planner=False`` together with ``backend=`` —
+    now raise :class:`~repro.errors.OptionsError`.
     """
-    if backend is not None:
-        from ..backends.exec import run_backend
+    from ..api.options import EvalOptions, warn_legacy
+    from ..api.session import Session
+    from ..errors import OptionsError
 
-        return run_backend(
-            node,
-            database,
-            conventions,
-            backend,
-            externals=externals,
-            db_file=db_file,
-            decorrelate=decorrelate,
+    # A kwarg explicitly passed with its old default value (planner=True,
+    # backend=None, ...) requests nothing: no warning, no conflict with
+    # options=.
+    legacy = {
+        name: value
+        for name, value, default in (
+            ("planner", planner, True),
+            ("decorrelate", decorrelate, True),
+            ("backend", backend, None),
+            ("db_file", db_file, None),
         )
-    return Evaluator(
-        database, conventions, externals, planner=planner, decorrelate=decorrelate
+        if value is not _UNSET and value != default
+    }
+    if legacy:
+        if options is not None:
+            raise OptionsError(
+                "pass options=EvalOptions(...) or the legacy kwargs "
+                f"({sorted(legacy)}), not both"
+            )
+        for name in legacy:
+            warn_legacy(name)
+        options = EvalOptions(
+            planner=legacy.get("planner", True),
+            decorrelate=legacy.get("decorrelate", True),
+            backend=legacy.get("backend"),
+            db_file=legacy.get("db_file"),
+        )
+    return Session(
+        database, conventions, externals=externals, options=options
     ).evaluate(node)
 
 

@@ -60,6 +60,16 @@ class ConventionError(ArcError):
     """An operation is undefined under the active :class:`~repro.core.conventions.Conventions`."""
 
 
+class OptionsError(ArcError):
+    """Contradictory or malformed evaluation options.
+
+    Raised by :class:`repro.api.EvalOptions` when a combination of options
+    cannot be honored faithfully (e.g. ``planner=False`` together with
+    ``backend=...`` — each selects an engine) instead of silently ignoring
+    one of them.
+    """
+
+
 class RewriteError(ArcError):
     """A rewrite was requested that is not applicable (or not semantics-preserving)
     for the given query and conventions."""

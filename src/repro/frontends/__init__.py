@@ -6,4 +6,46 @@ paper's Rosetta-Stone role (Sections 2.5, 3).  Submodules are imported
 directly (``from repro.frontends import sql``) to keep import costs low.
 """
 
-__all__ = ["sql", "datalog", "trc", "rel"]
+from ..errors import ArcError
+
+#: Languages :func:`load_query` accepts (the CLI's ``--from`` choices).
+FRONTENDS = ("arc", "alt", "sql", "datalog", "trc", "rel")
+
+
+def load_query(text, language="arc", database=None):
+    """Parse *text* in the named surface *language* into an ARC node.
+
+    The single entry point the CLI, the Session API, and ``repro serve``
+    share.  ``arc`` and ``alt`` are ARC's own modalities (parsed by
+    :mod:`repro.core`); the rest are embedded frontends.  *database* lets
+    schema-dependent frontends (SQL ``*`` expansion, Datalog, Rel) resolve
+    relation schemas.
+    """
+    if language == "arc":
+        from ..core import parse
+
+        return parse(text)
+    if language == "alt":
+        from ..core.alt_parser import parse_alt
+
+        return parse_alt(text)
+    if language == "sql":
+        from .sql import to_arc
+
+        return to_arc(text, database=database)
+    if language == "datalog":
+        from . import datalog
+
+        return datalog.to_arc(text, database=database)
+    if language == "trc":
+        from . import trc
+
+        return trc.to_arc(text)
+    if language == "rel":
+        from . import rel
+
+        return rel.to_arc(text, database=database)
+    raise ArcError(f"unknown input language {language!r}; choose from {FRONTENDS}")
+
+
+__all__ = ["sql", "datalog", "trc", "rel", "load_query", "FRONTENDS"]

@@ -1,0 +1,122 @@
+"""EvalOptions validation and the legacy-kwarg deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import EvalOptions, reset_legacy_warnings
+from repro.core.conventions import SQL_CONVENTIONS
+from repro.core.parser import parse
+from repro.data import Database
+from repro.engine import evaluate
+from repro.errors import ArcError, OptionsError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create("R", ("A", "B"), [(1, 10), (2, 20), (3, 30)])
+    return database
+
+
+QUERY = "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 15]}"
+
+
+class TestValidation:
+    def test_defaults(self):
+        options = EvalOptions()
+        assert options.planner and options.decorrelate
+        assert options.backend is None and options.db_file is None
+        assert options.fallback
+
+    def test_planner_false_with_backend_raises(self):
+        with pytest.raises(OptionsError, match="both select an engine"):
+            EvalOptions(planner=False, backend="sqlite")
+
+    def test_db_file_implies_sqlite(self, tmp_path):
+        options = EvalOptions(db_file=str(tmp_path / "cat.db"))
+        assert options.backend == "sqlite"
+
+    def test_db_file_with_other_backend_raises(self, tmp_path):
+        with pytest.raises(OptionsError, match="silently ignore"):
+            EvalOptions(backend="reference", db_file=str(tmp_path / "cat.db"))
+
+    def test_options_error_is_an_arc_error(self):
+        with pytest.raises(ArcError):
+            EvalOptions(planner=False, backend="planner")
+
+    def test_with_backend_revalidates(self):
+        options = EvalOptions(planner=False)
+        with pytest.raises(OptionsError):
+            options.with_backend("sqlite")
+
+    def test_with_backend_drops_db_file_for_other_engines(self, tmp_path):
+        options = EvalOptions(db_file=str(tmp_path / "cat.db"))
+        assert options.with_backend("reference").db_file is None
+        assert options.with_backend("sqlite") is options
+
+    def test_with_backend_none_is_identity(self):
+        options = EvalOptions(backend="sqlite")
+        assert options.with_backend(None) is options
+
+
+class TestOldPathFix:
+    """The old kwarg pile silently ignored ``planner=False`` when a backend
+    was also selected; the Session rebase turns the contradiction into an
+    OptionsError at the old entry point too."""
+
+    def test_evaluate_with_contradictory_kwargs_raises(self, db):
+        with pytest.raises(OptionsError, match="both select an engine"):
+            evaluate(
+                parse(QUERY), db, SQL_CONVENTIONS, planner=False, backend="sqlite"
+            )
+
+    def test_evaluate_rejects_options_plus_legacy_kwargs(self, db):
+        with pytest.raises(OptionsError, match="not both"):
+            evaluate(
+                parse(QUERY), db, SQL_CONVENTIONS,
+                planner=False, options=EvalOptions(),
+            )
+
+    def test_evaluate_with_options_object(self, db):
+        result = evaluate(
+            parse(QUERY), db, SQL_CONVENTIONS,
+            options=EvalOptions(backend="sqlite"),
+        )
+        assert sorted(row["A"] for row in result) == [2, 3]
+
+
+class TestDeprecationShims:
+    def test_each_kwarg_warns_exactly_once_per_process(self, db):
+        node = parse(QUERY)
+        reset_legacy_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                evaluate(node, db, planner=False)
+                evaluate(node, db, planner=False)  # second call: silent
+                evaluate(node, db, planner=True)  # same kwarg name: silent
+                evaluate(node, db, decorrelate=False)  # new kwarg: warns
+            deprecations = [
+                str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 2, deprecations
+            assert any("planner" in message for message in deprecations)
+            assert any("decorrelate" in message for message in deprecations)
+        finally:
+            reset_legacy_warnings()
+
+    def test_legacy_kwargs_still_work(self, db):
+        node = parse(QUERY)
+        via_kwarg = evaluate(node, db, SQL_CONVENTIONS, backend="sqlite")
+        via_options = evaluate(
+            node, db, SQL_CONVENTIONS, options=EvalOptions(backend="sqlite")
+        )
+        assert via_kwarg == via_options
+
+    def test_plain_evaluate_does_not_warn(self, db):
+        node = parse(QUERY)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            evaluate(node, db)

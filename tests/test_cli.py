@@ -105,6 +105,104 @@ class TestEval:
         assert code == 0
         assert "TRUE" in capsys.readouterr().out
 
+    def test_repeat_prints_cold_and_warm_timings(self, capsys, csv_r):
+        code = main(
+            [
+                "eval",
+                "--db",
+                csv_r,
+                "--conventions",
+                "sql",
+                "--backend",
+                "sqlite",
+                "--repeat",
+                "3",
+                "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 10]}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run 1:" in out and "(cold)" in out
+        assert "run 3:" in out
+        # The result table itself still prints exactly once.
+        assert out.count("A\n-") == 1
+
+    def test_repeat_default_prints_no_timings(self, capsys, csv_r):
+        code = main(["eval", "--db", csv_r, "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
+        assert code == 0
+        assert "run 1:" not in capsys.readouterr().out
+
+    def test_contradictory_engine_flags_error(self, capsys, csv_r):
+        code = main(
+            [
+                "eval",
+                "--db",
+                csv_r,
+                "--no-planner",
+                "--backend",
+                "sqlite",
+                "{Q(A) | ∃r ∈ R[Q.A = r.A]}",
+            ]
+        )
+        assert code == 2
+        assert "--no-planner" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_wires_serve(self):
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(
+            ["serve", "--db", "r.csv:R", "--port", "0", "--backend", "sqlite"]
+        )
+        assert args.func is cmd_serve
+        assert args.port == 0 and args.backend == "sqlite"
+        assert args.quiet  # request logging is opt-in (--log-requests)
+
+    def test_serve_end_to_end(self, capsys, csv_r):
+        """cmd_serve really binds a socket and answers; driven by swapping
+        serve_forever for handle_request so the command returns."""
+        import json
+        import threading
+        import urllib.request
+
+        from repro.api.serve import QueryServer
+        from repro.cli import main as cli_main
+
+        answered = {}
+        original = QueryServer.serve_forever
+
+        def two_requests(self, poll_interval=0.5):
+            url = self.url
+
+            def drive():
+                body = json.dumps(
+                    {"query": "{Q(A) | ∃r ∈ R[Q.A = r.A ∧ r.B > 10]}"}
+                ).encode()
+                request = urllib.request.Request(
+                    url + "/query", body, {"Content-Type": "application/json"}
+                )
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    answered["status"] = resp.status
+                    answered["body"] = json.load(resp)
+
+            thread = threading.Thread(target=drive)
+            thread.start()
+            self.handle_request()
+            thread.join(timeout=10)
+
+        QueryServer.serve_forever = two_requests
+        try:
+            code = cli_main(
+                ["serve", "--db", csv_r, "--port", "0", "--conventions", "sql"]
+            )
+        finally:
+            QueryServer.serve_forever = original
+        assert code == 0
+        assert answered["status"] == 200
+        assert answered["body"]["rows"] == [[2], [3]]
+        assert "serving on http://127.0.0.1:" in capsys.readouterr().out
+
 
 class TestPatterns:
     def test_patterns_report(self, capsys):
