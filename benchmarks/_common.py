@@ -13,6 +13,16 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+#: Named metric groups recorded by benchmark modules; ``--json PATH`` dumps
+#: them (see ``conftest.pytest_sessionfinish``) for cross-PR tracking.
+METRICS = {}
+
+
+def record_metric(name, **values):
+    """Merge *values* into the named metric group for the ``--json`` dump."""
+    METRICS.setdefault(name, {}).update(values)
+    return METRICS[name]
+
 
 def show(title, *blocks):
     """Print one reproduced artifact in a labelled section."""

@@ -1,6 +1,61 @@
-"""Make the benchmark helper module importable regardless of rootdir."""
+"""Benchmark-harness plumbing: path setup and machine-readable results.
 
+``--json PATH`` makes any benchmark run (``bench_e2*.py`` included) write a
+machine-readable summary — per-test outcome and wall-clock duration, plus
+whatever richer metrics the benchmark modules recorded through
+:func:`_common.record_metric` (e.g. the E27 speedup ratios) — so CI can
+upload one ``BENCH_E2x.json`` artifact per experiment and the perf
+trajectory stays comparable across PRs.  It works with and without
+``--benchmark-disable``; pytest-benchmark's own ``--benchmark-json`` stays
+available for its calibrated timings.
+"""
+
+import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+import _common  # noqa: E402  (needs the path entry above)
+
+_REPORTS = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results (outcomes, durations, "
+        "recorded metrics) to PATH",
+    )
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _REPORTS.append(
+            {
+                "test": report.nodeid,
+                "outcome": report.outcome,
+                "duration_s": round(report.duration, 6),
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    if not path:
+        return
+    payload = {
+        "schema": 1,
+        "created_unix": int(time.time()),
+        "exitstatus": int(exitstatus),
+        "python": sys.version.split()[0],
+        "results": _REPORTS,
+        "metrics": _common.METRICS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -37,9 +37,12 @@ Capability probe
   ZERO empty-aggregate convention;
 * relations without a stored extension (externals, abstract definitions);
 * correlated lateral subqueries that survive the FOI → FIO decorrelation
-  pass (:func:`repro.engine.decorrelate.rewrite_for_sql`) *and* cannot be
-  inlined as correlated scalar subqueries — each reported with the binding
-  variable and the specific refusal, since SQLite has no ``LATERAL``;
+  pass (:func:`repro.engine.decorrelate.rewrite_for_sql` — which covers
+  equality group-by joins, unnesting, and θ-band derived tables joined
+  through the projected band key) *and* cannot be inlined as correlated
+  scalar subqueries — each reported with the binding variable and the
+  specific refusal, which names the correlation predicate (``< on s.A``)
+  for θ shapes, since SQLite has no ``LATERAL``;
 * ``/`` and ``%`` arithmetic (SQLite integer division/modulo differ from
   the engine's true division / Python modulo);
 * negated or sentence-level quantifiers over NULL-bearing sources — SQL's

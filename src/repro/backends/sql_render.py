@@ -28,9 +28,14 @@ inlined as per-attribute *correlated scalar subqueries* (the paper's
 Fig. 5a/13a device, :func:`scalar_subquery_shape`) — a γ∅ scope emits
 exactly one row per outer row, which is precisely a scalar subquery's
 contract (including ``count`` over an empty group, where the group-by
-rewrite would hit the count bug).  Together with the FOI → FIO pass in
-:mod:`repro.engine.decorrelate`, this keeps every equality- or
-aggregate-correlated paper workload executable on engines without LATERAL.
+rewrite would hit the count bug).  The device is operator-agnostic: an
+eq15-shaped θ correlation (``s.a < r.a``) renders as the same scalar
+subquery with the inequality in its WHERE clause, and the FOI → FIO pass
+(:mod:`repro.engine.decorrelate`) turns non-grouped θ laterals that
+resist unnesting into uncorrelated derived tables joined back through the
+projected band key with the original inequality.  Together these keep
+every equality-, θ-, or aggregate-correlated paper workload executable on
+engines without LATERAL.
 
 The produced text parses back through :mod:`repro.frontends.sql` for the
 non-recursive fragment, enabling round-trip testing, and executes on the

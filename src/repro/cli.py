@@ -146,6 +146,16 @@ def cmd_eval(args):
         for i, elapsed in enumerate(timings):
             label = " (cold)" if i == 0 else ""
             print(f"run {i + 1}: {elapsed * 1e3:.2f} ms{label}")
+        stats = session.stats
+        print(
+            "decorrelation: "
+            f"laterals_decorrelated={stats.laterals_decorrelated} "
+            f"lateral_reevals={stats.lateral_reevals} "
+            f"decorr_index_builds={stats.decorr_index_builds} "
+            f"band_index_builds={stats.band_index_builds} "
+            f"domain_join_compensations={stats.domain_join_compensations} "
+            f"tribucket_probes={stats.tribucket_probes}"
+        )
     return 0
 
 

@@ -9,56 +9,109 @@ strategy evaluates FOI literally: the nested collection is re-evaluated per
 outer row.  This module rewrites FOI plans into FIO at two levels:
 
 * **Plan level** (:func:`plan_for` + :meth:`CorrelationSpec.materialize`) —
-  when a lateral binding's inner scope is correlated *only through equality
-  on outer variables*, the inner scope is rewritten into an uncorrelated
-  collection whose head carries the correlation keys, materialized **once**
-  as a grouped hash index ``{key tuple: [(row, mult), ...]}``, and the outer
-  loop probes that index per row instead of re-evaluating the collection
-  (:class:`repro.engine.planner.CompiledScope` consumes the plan).  The
-  index is cached on the inner scope's stored relations (grouped-index
-  reuse via :meth:`repro.data.relation.Relation.derived_put_shared`), so it
-  survives across evaluations and is dropped the moment any inner relation
+  a lateral binding's inner scope is rewritten into an uncorrelated
+  collection materialized **once** and probed per outer row
+  (:class:`repro.engine.planner.CompiledScope` consumes the plan), under one
+  of two probe strategies selected by the correlation shape:
+
+  - ``"eq"`` — correlation *only through equalities*: a grouped hash index
+    ``{key tuple: [(row, mult), ...]}`` probed per outer row;
+  - ``"band"`` — equalities plus exactly **one** order predicate
+    (``<``/``<=``/``>``/``>=``, the eq2/eq15 θ shapes): the inner rows are
+    materialized sorted on the correlated attribute per equality key, so a
+    probe is a bisect.  For γ∅ aggregate scopes the sorted entries carry
+    *prefix-aggregate arrays* (sum/count/avg/min/max running folds in the
+    direction the operator selects), so the correlated aggregate is a
+    bisect + O(1) array lookup instead of a per-row scan; for non-grouped
+    scopes the probe yields the matching sorted slice.
+
+  Indexes are cached on the inner scope's stored relations
+  (:meth:`repro.data.relation.Relation.derived_put_shared`), so they
+  survive across evaluations and are dropped the moment any inner relation
   mutates.  ``evaluate(..., decorrelate=False)`` / ``--no-decorrelate``
   disables the pass, keeping the per-row strategy as the oracle.
 
-* **SQL level** (:func:`rewrite_for_sql`) — the same equality-correlated
-  scopes are rewritten into plain ``group by`` derived tables joined on the
-  key columns (dropping the ``lateral`` keyword, so engines without
-  ``LATERAL`` — SQLite — execute them natively), and non-grouped correlated
-  collections are *unnested* into the outer scope (sound under the bag
-  semantics the SQLite backend requires).  γ∅ aggregate-only scopes are
-  left to the renderer's correlated-scalar-subquery device
+* **SQL level** (:func:`rewrite_for_sql`) — equality-correlated scopes are
+  rewritten into plain ``group by`` derived tables joined on the key
+  columns (dropping the ``lateral`` keyword, so engines without ``LATERAL``
+  — SQLite — execute them natively), non-grouped correlated collections are
+  *unnested* into the outer scope, and non-grouped θ-correlated collections
+  that resist unnesting become uncorrelated derived tables joined through
+  the *inequality* key (the band shape's native SQL rendering).  γ∅
+  aggregate-only scopes — any correlation operator, including θ — are left
+  to the renderer's correlated-scalar-subquery device
   (:func:`repro.core.scopes.scalar_subquery_shape`).
 
-Safety: the rewrite **refuses** (and evaluation falls back to the per-row
-strategy) whenever the correlation is not provably a pure equality join —
+Two further refinements close the remaining per-row tails:
 
-* non-equality correlation predicates (eq2/eq15's ``<`` shapes);
+* **Tri-bucket 3VL probes.**  Correlation keys that may be NULL under
+  three-valued logic used to refuse outright.  The materialized index is
+  now UNKNOWN-aware: inner rows whose key evaluates to NULL are TRUE for no
+  probe (``x = NULL`` is never TRUE under 3VL) and are segregated into an
+  UNKNOWN bucket that strict enumeration skips, while non-NULL rows stay in
+  the TRUE buckets — so NULL-able keys decorrelate instead of re-evaluating
+  per row.  Probes against such an index count ``tribucket_probes``.
+
+* **Domain-join γ∅ compensation** (Fig. 21c).  A γ∅ scope emits one row
+  *even over an empty group*, which a grouped index cannot represent —
+  outer keys with no inner rows have no bucket.  Probe misses used to
+  re-evaluate the original scope per frame; since an accepted γ∅ spec's
+  empty-group frame cannot reference the outer row (head assignments using
+  outer variables refuse), the frames for *all* missing keys are identical
+  — exactly the anti-join of the outer key domain against the index keyset,
+  every member mapped to one shared frame.  The frame is synthesized once
+  per index (``domain_join_compensations``), and every further miss is a
+  dict lookup.
+
+Safety: the rewrite **refuses** (and evaluation falls back to the per-row
+strategy) whenever the correlation shape cannot be probed exactly —
+
+* ``<>``/``!=`` correlation predicates, or more than one order predicate;
+* θ predicates under grouping *keys* (folding an order key into GROUP BY
+  would split groups) or in γ∅ scopes whose head is not pure streamable
+  aggregates;
 * outer variables referenced inside nested scopes (nested laterals),
   head assignments, grouping keys, disjunctions, or mixed operands;
-* correlation keys that may be NULL under three-valued logic (a grouped
-  NULL key would need UNKNOWN-aware probing; the per-row strategy is kept
-  instead of reasoning about it);
 * inner scopes without a stored relation to anchor the materialization
   (externals, abstract definitions).
 
-The **count-bug asymmetry** (Section 3.2) is handled explicitly: a γ∅ scope
-emits one row *even over an empty group*, which a grouped index cannot
-represent — outer keys with no inner rows have no bucket.  The plan-level
-probe compensates by evaluating the original scope for the missing key
-(cheap: the planner's inner probe finds nothing and finalizes the empty
-group), and the SQL level never group-by-rewrites γ∅ scopes at all.
+Data the sorted band cannot order exactly — mixed value kinds in one key
+group, NULL or NaN band values under two-valued logic (whose total-order
+extension ranks NULL below NaN below nothing else) — aborts the index
+*build* (not the plan), falling back to per-row for that catalog state
+only.
 """
 
 from __future__ import annotations
 
 import weakref
+from bisect import bisect_left, bisect_right
 
 from ..core import nodes as n
-from ..core.scopes import free_variables, shadows_binding
-from ..data.relation import Relation
+from ..core.scopes import (
+    assignment_of,
+    free_variables,
+    shadows_binding,
+    split_scope,
+)
+from ..data.relation import Relation, Tuple
 from ..data.values import is_null
 from ..errors import EvaluationError
+from . import aggregates as agg_lib
+
+#: θ operators a band index can probe, normalized as *inner OP outer*.
+BAND_OPS = ("<", "<=", ">", ">=")
+
+#: Orientation flip: ``outer OP inner`` rewritten as ``inner OP' outer``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>", "!=": "!="}
+
+#: Aggregates a prefix array can fold exactly (no ``*distinct`` variants).
+_BAND_AGGS = frozenset(["sum", "count", "avg", "min", "max"])
+
+#: Cache sentinel: this catalog state cannot be indexed (mixed value
+#: kinds, or a build-time evaluation failure on rows the per-row strategy
+#: never reaches); cached so repeated executes do not retry the build.
+_BUILD_UNSUPPORTED = object()
 
 
 def _scalar_inlinable(quant, binding):
@@ -68,6 +121,15 @@ def _scalar_inlinable(quant, binding):
     from ..backends.sql_render import scalar_inlinable
 
     return scalar_inlinable(quant, binding)
+
+
+def _expr_text(expr):
+    """Short human label for a correlation operand (``s.a``, ``5``, ...)."""
+    if isinstance(expr, n.Attr):
+        return f"{expr.var}.{expr.attr}"
+    if isinstance(expr, n.Const):
+        return repr(expr.value)
+    return type(expr).__name__.lower()
 
 
 class CorrelationSpec:
@@ -83,12 +145,18 @@ class CorrelationSpec:
         # the *value* of a weak-keyed cache keyed by that node, and a strong
         # back-edge would make every entry immortal.
         "reason",  # refusal reason, or None when the rewrite applies
-        "outer_exprs",  # per key: the outer-side expression (probe key)
-        "key_sources",  # per key: (relation, attr) when the inner side is a
-        #               plain stored column (NULL-provability), else None
+        "strategy",  # "eq" (hash index) | "band" (sorted θ-band index)
+        "outer_exprs",  # per equality key: the outer-side expression (probe key)
+        "key_inner_exprs",  # per equality key: the inner-side expression
         "key_attrs",  # fresh head attributes carrying the keys
         "head_attrs",  # original head attributes (buckets project to these)
-        "rewritten",  # the uncorrelated FIO Collection (head + key_attrs)
+        "rewritten",  # the uncorrelated FIO Collection (head + key attrs)
+        "band_op",  # normalized θ operator (inner OP outer), or None
+        "band_outer_expr",  # outer side of the θ predicate (probe value)
+        "band_inner_expr",  # inner side of the θ predicate (sort key)
+        "band_attr",  # fresh head attr carrying the band key in `rewritten`
+        "band_aggs",  # γ∅ band: ((head attr, agg func, arg expr | None), ...)
+        "stripped",  # γ∅ band: (bindings, row formulas) for the raw row stream
         "empty_group",  # original scope was γ∅ (probe misses synthesize it)
         "grouped",  # original scope had grouping keys
         "relation_names",  # stored relations anchoring the materialized index
@@ -97,11 +165,18 @@ class CorrelationSpec:
 
     def __init__(self, reason=None):
         self.reason = reason
+        self.strategy = "eq"
         self.outer_exprs = ()
-        self.key_sources = ()
+        self.key_inner_exprs = ()
         self.key_attrs = ()
         self.head_attrs = ()
         self.rewritten = None
+        self.band_op = None
+        self.band_outer_expr = None
+        self.band_inner_expr = None
+        self.band_attr = None
+        self.band_aggs = ()
+        self.stripped = None
         self.empty_group = False
         self.grouped = False
         self.relation_names = ()
@@ -109,13 +184,16 @@ class CorrelationSpec:
     # -- plan-level execution --------------------------------------------------
 
     def materialize(self, evaluator):
-        """The grouped FIO index ``{key: [(row, mult), ...]}``, or None.
+        """The probe index for this spec (:class:`FioIndex` or
+        :class:`BandIndex`), or None.
 
         Built at most once per catalog state: the index is cached on every
         stored relation the inner scope reads (any mutation drops it), and
         shared across evaluator instances running the same conventions.
-        Returns None when a relation is no longer resolvable — the caller
-        falls back to per-row evaluation, which surfaces the exact error.
+        Returns None when a relation is no longer resolvable — or when the
+        current data cannot be indexed exactly (band over mixed value
+        kinds) — and the caller falls back to per-row evaluation, which
+        surfaces the exact behaviour.
         """
         try:
             anchors = [
@@ -123,26 +201,393 @@ class CorrelationSpec:
             ]
         except EvaluationError:
             return None
-        tag = ("fio", evaluator.conventions)
+        tag = ("fio", self.strategy, evaluator.conventions)
         index = Relation.derived_get_shared(anchors, self, tag)
         if index is not None:
-            return index
+            return None if index is _BUILD_UNSUPPORTED else index
+        # A build failure falls back to per-row for this catalog state: the
+        # materialization evaluates the *whole* rewritten scope, including
+        # groups no probe can reach (e.g. a NULL-keyed group under 3VL
+        # whose aggregate raises), while the per-row strategy only ever
+        # touches what the outer rows select — its behaviour is the oracle.
+        builder = self._build_band if self.strategy == "band" else self._build_eq
+        try:
+            index = builder(evaluator)
+        except (EvaluationError, TypeError):
+            index = None
+        if index is None:
+            Relation.derived_put_shared(anchors, self, tag, _BUILD_UNSUPPORTED)
+            return None
+        if self.strategy == "band":
+            evaluator.stats.band_index_builds += 1
+        else:
+            evaluator.stats.decorr_index_builds += 1
+        Relation.derived_put_shared(anchors, self, tag, index)
+        return index
+
+    def _build_eq(self, evaluator):
+        """Grouped hash index over the equality keys (tri-bucket under 3VL)."""
         counter = evaluator._eval_collection(self.rewritten, {})
-        index = {}
+        three_valued = evaluator.conventions.three_valued
+        buckets = {}
+        unknown = 0
         key_attrs = self.key_attrs
         head_attrs = self.head_attrs
         for row, mult in counter.items():
             values = row._values
             key = tuple(values[a] for a in key_attrs)
+            if three_valued and any(is_null(v) for v in key):
+                # UNKNOWN candidate: ``x = NULL`` is TRUE for no probe, so
+                # strict enumeration never yields the row — but it stays
+                # accounted for, which is what lets NULL-able keys
+                # decorrelate instead of refusing.
+                unknown += 1
+                continue
             entry = (row.project(head_attrs), mult)
-            bucket = index.get(key)
+            bucket = buckets.get(key)
             if bucket is None:
-                index[key] = [entry]
+                buckets[key] = [entry]
             else:
                 bucket.append(entry)
-        evaluator.stats.decorr_index_builds += 1
-        Relation.derived_put_shared(anchors, self, tag, index)
-        return index
+        return FioIndex(buckets, unknown, three_valued and unknown > 0)
+
+    def _build_band(self, evaluator):
+        """Sorted θ-band index (per-key prefix aggregates for γ∅ scopes)."""
+        conventions = evaluator.conventions
+        three_valued = conventions.three_valued
+        groups = {}
+        unknown = 0
+        if self.empty_group:
+            # γ∅ aggregate scope: enumerate the *raw* pre-aggregation row
+            # stream (exact bag multiplicities — a projected collection
+            # would dedupe under set conventions) through a compiled plan.
+            from .planner import compile_bindings
+
+            bindings, formulas = self.stripped
+            compiled = compile_bindings(evaluator, list(bindings), list(formulas))
+            key_exprs = self.key_inner_exprs
+            band_expr = self.band_inner_expr
+            arg_exprs = tuple(arg for _, _, arg in self.band_aggs)
+            eval_expr = evaluator._eval_expr
+            for env, mult in compiled.execute(evaluator, {}):
+                band_value = eval_expr(band_expr, env)
+                if is_null(band_value):
+                    if three_valued:
+                        unknown += 1
+                        continue
+                    return None  # 2VL orders NULL; keep the per-row oracle
+                if band_value != band_value:
+                    if not three_valued:
+                        # 2VL's total-order extension ranks NaN above NULL
+                        # (compare keys (1, NaN) vs (0, 0)), so a NULL outer
+                        # probe with >/>= would select it; the sorted band
+                        # cannot carry that, so keep the per-row oracle.
+                        return None
+                    continue  # 3VL: NaN satisfies no ordering predicate
+                key = tuple(eval_expr(expr, env) for expr in key_exprs)
+                if three_valued and any(is_null(v) for v in key):
+                    unknown += 1
+                    continue
+                args = tuple(
+                    None if arg is None else eval_expr(arg, env)
+                    for arg in arg_exprs
+                )
+                entry = (band_value, mult, args)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [entry]
+                else:
+                    bucket.append(entry)
+            built = {}
+            for key, entries in groups.items():
+                group = _BandGroup.for_aggregates(
+                    entries, self.band_op, self.band_aggs
+                )
+                if group is None:
+                    return None
+                built[key] = group
+            empty_row = Tuple._adopt(
+                {
+                    attr: agg_lib.aggregate(func, (), conventions)
+                    for attr, func, _ in self.band_aggs
+                }
+            )
+            return BandIndex(
+                built,
+                self.band_op,
+                aggs=self.band_aggs,
+                conventions=conventions,
+                empty_row=empty_row,
+                tribucket=three_valued and unknown > 0,
+            )
+
+        # Non-grouped scope: the rewritten collection already carries the
+        # head, equality keys, and band key per row; sort each key bucket.
+        counter = evaluator._eval_collection(self.rewritten, {})
+        band_attr = self.band_attr
+        key_attrs = self.key_attrs
+        head_attrs = self.head_attrs
+        for row, mult in counter.items():
+            values = row._values
+            band_value = values[band_attr]
+            if is_null(band_value):
+                if three_valued:
+                    unknown += 1
+                    continue
+                return None
+            if band_value != band_value:
+                if not three_valued:
+                    return None  # 2VL ranks NaN above NULL (see above)
+                continue
+            key = tuple(values[a] for a in key_attrs)
+            if three_valued and any(is_null(v) for v in key):
+                unknown += 1
+                continue
+            entry = (band_value, row.project(head_attrs), mult)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [entry]
+            else:
+                bucket.append(entry)
+        built = {}
+        for key, entries in groups.items():
+            group = _BandGroup.for_rows(entries, self.band_op)
+            if group is None:
+                return None
+            built[key] = group
+        return BandIndex(
+            built,
+            self.band_op,
+            aggs=None,
+            conventions=conventions,
+            empty_row=None,
+            tribucket=three_valued and unknown > 0,
+        )
+
+
+class FioIndex:
+    """Materialized equality-FIO index: TRUE buckets + UNKNOWN tally.
+
+    ``tribucket`` marks an index whose build segregated UNKNOWN candidates
+    (3VL, NULL keys present) — probes against it count ``tribucket_probes``.
+    ``empty_group_items`` is the domain-join γ∅ compensation: the shared
+    empty-group frame every missing outer key maps to.
+    """
+
+    __slots__ = ("buckets", "unknown_count", "tribucket", "_empty_items")
+
+    def __init__(self, buckets, unknown_count, tribucket):
+        self.buckets = buckets
+        self.unknown_count = unknown_count
+        self.tribucket = tribucket
+        self._empty_items = None
+
+    def get(self, key):
+        return self.buckets.get(key)
+
+    def empty_group_items(self, evaluator, source, env, stats):
+        """The γ∅ empty-group frame, synthesized once per index.
+
+        An accepted γ∅ spec's head assignments cannot reference the outer
+        row, so the frame is identical for every probe miss: one anti-join
+        of the outer key domain against the index keyset, batched into a
+        single synthesis (Fig. 21c) instead of a per-frame re-evaluation.
+        """
+        items = self._empty_items
+        if items is None:
+            items = list(evaluator._eval_collection(source, env).items())
+            self._empty_items = items
+            stats.domain_join_compensations += 1
+        return items
+
+
+class _BandGroup:
+    """One equality-key group of a band index: sorted keys + payload.
+
+    ``vals`` is ascending; ``payload`` is ordered in *selection order* —
+    ascending for ``<``/``<=`` (the probe takes a prefix), descending for
+    ``>``/``>=`` (the probe takes a suffix, i.e. a prefix of the reversed
+    order) — so a probe is one bisect plus an O(1) array read (aggregates)
+    or a slice (rows).
+    """
+
+    __slots__ = ("vals", "kind", "payload")
+
+    _NUM = (bool, int, float)
+
+    def __init__(self, vals, kind, payload):
+        self.vals = vals
+        self.kind = kind
+        self.payload = payload
+
+    @staticmethod
+    def _kind_of(entries):
+        """Homogeneous orderable kind of the band values, or None (mixed)."""
+        kind = None
+        for entry in entries:
+            value = entry[0]
+            if isinstance(value, _BandGroup._NUM):
+                value_kind = "num"
+            elif isinstance(value, str):
+                value_kind = "str"
+            else:
+                return None
+            if kind is None:
+                kind = value_kind
+            elif kind != value_kind:
+                # Mixed kinds have no total order consistent with the
+                # comparison semantics (str vs int orders FALSE both ways).
+                return None
+        return kind
+
+    @classmethod
+    def for_rows(cls, entries, op):
+        kind = cls._kind_of(entries)
+        if kind is None:
+            return None
+        entries.sort(key=lambda entry: entry[0])
+        vals = [entry[0] for entry in entries]
+        rows = [(entry[1], entry[2]) for entry in entries]
+        if op in (">", ">="):
+            rows.reverse()
+        return cls(vals, kind, rows)
+
+    @classmethod
+    def for_aggregates(cls, entries, op, agg_specs):
+        kind = cls._kind_of(entries)
+        if kind is None:
+            return None
+        entries.sort(key=lambda entry: entry[0])
+        vals = [entry[0] for entry in entries]
+        selected = entries if op in ("<", "<=") else list(reversed(entries))
+        arrays = []
+        try:
+            for position, (_, func, arg) in enumerate(agg_specs):
+                counts = [0]
+                sums = [0] if func in ("sum", "avg") else None
+                runs = [None] if func in ("min", "max") else None
+                count = 0
+                total = 0
+                extreme = None
+                pick = min if func == "min" else max
+                for _, mult, args in selected:
+                    if arg is None:  # count(*): NULLs included
+                        count += mult
+                    else:
+                        value = args[position]
+                        if not is_null(value):
+                            count += mult
+                            if sums is not None:
+                                total = total + value * mult
+                            if runs is not None:
+                                extreme = (
+                                    value
+                                    if extreme is None
+                                    else pick(extreme, value)
+                                )
+                    counts.append(count)
+                    if sums is not None:
+                        sums.append(total)
+                    if runs is not None:
+                        runs.append(extreme)
+                arrays.append((counts, sums, runs))
+        except TypeError:
+            # Heterogeneous argument values: the running fold cannot be
+            # computed; per-row evaluation surfaces the exact behaviour.
+            return None
+        return cls(vals, kind, tuple(arrays))
+
+    def count_for(self, op, value, three_valued):
+        """How many entries (in selection order) satisfy ``entry OP value``."""
+        if is_null(value):
+            if three_valued:
+                return 0  # every comparison with NULL is UNKNOWN
+            # 2VL total-order extension: NULL sorts before everything, and
+            # band entries are never NULL (the build refuses), so only the
+            # suffix operators match.
+            return len(self.vals) if op in (">", ">=") else 0
+        if value != value:
+            return 0  # NaN satisfies no ordering predicate
+        if isinstance(value, self._NUM):
+            value_kind = "num"
+        elif isinstance(value, str):
+            value_kind = "str"
+        else:
+            value_kind = None
+        if value_kind != self.kind:
+            return 0  # heterogeneous ordering comparisons are FALSE
+        vals = self.vals
+        if op == "<":
+            return bisect_left(vals, value)
+        if op == "<=":
+            return bisect_right(vals, value)
+        if op == ">":
+            return len(vals) - bisect_right(vals, value)
+        return len(vals) - bisect_left(vals, value)
+
+
+class BandIndex:
+    """Materialized θ-band index: equality-key groups of sorted entries."""
+
+    __slots__ = (
+        "groups",
+        "op",
+        "aggs",
+        "conventions",
+        "empty_row",
+        "tribucket",
+    )
+
+    def __init__(self, groups, op, *, aggs, conventions, empty_row, tribucket):
+        self.groups = groups
+        self.op = op
+        self.aggs = aggs
+        self.conventions = conventions
+        self.empty_row = empty_row
+        self.tribucket = tribucket
+
+    def probe(self, key, value, is_set):
+        """Bucket of ``(row, mult)`` for one outer frame.
+
+        *key* is the evaluated equality-key tuple (None when the equality
+        can never be TRUE: NULL under 3VL, NaN); *value* is the evaluated
+        θ operand.  γ∅ aggregate mode always yields exactly one row (the
+        count-bug contract); non-grouped mode yields the sorted slice with
+        multiplicities merged per distinct head row.
+        """
+        group = None if key is None else self.groups.get(key)
+        three_valued = self.conventions.three_valued
+        selected = (
+            0 if group is None else group.count_for(self.op, value, three_valued)
+        )
+        if self.aggs is not None:
+            if not selected:
+                return ((self.empty_row, 1),)
+            assigns = {}
+            for position, (attr, func, arg) in enumerate(self.aggs):
+                counts, sums, runs = group.payload[position]
+                count = counts[selected]
+                if func == "count":
+                    value_out = count
+                elif not count:
+                    value_out = agg_lib.aggregate(func, (), self.conventions)
+                elif func == "sum":
+                    value_out = sums[selected]
+                elif func == "avg":
+                    value_out = sums[selected] / count
+                else:
+                    value_out = runs[selected]
+                assigns[attr] = value_out
+            return ((Tuple._adopt(assigns), 1),)
+        if not selected:
+            return ()
+        merged = {}
+        for row, mult in group.payload[:selected]:
+            if is_set:
+                merged[row] = 1
+            else:
+                merged[row] = merged.get(row, 0) + mult
+        return list(merged.items())
 
 
 _SPECS = weakref.WeakKeyDictionary()
@@ -155,6 +600,58 @@ def analyze(collection):
         spec = _analyze(collection)
         _SPECS[collection] = spec
     return spec
+
+
+def _band_shape_reason(body, head, label):
+    """Why a θ-band candidate's *scope shape* refuses (None = band applies).
+
+    The message always names the predicate (op + inner operand), so callers
+    can tell band-eligible shapes refused for shape reasons apart from
+    truly unsafe correlations.
+    """
+    if body.grouping is not None and body.grouping.keys:
+        return (
+            f"correlates through the non-equality predicate ({label}) under "
+            "grouping keys — folding an order key into the grouping would "
+            "split the groups, so θ-band indexes apply only to γ∅ and "
+            "non-grouped scopes"
+        )
+    if body.grouping is None:
+        return None  # non-grouped: sorted-slice probes handle any head
+    assignments, agg_assignments, agg_comparisons, _ = split_scope(head, body)
+    if assignments:
+        return (
+            f"correlates through the non-equality predicate ({label}) in a "
+            "γ∅ scope with non-aggregate head assignments"
+        )
+    if agg_comparisons:
+        return (
+            f"correlates through the non-equality predicate ({label}) in a "
+            "γ∅ scope with aggregate comparisons (the group may be filtered "
+            "away)"
+        )
+    assigned = {}
+    for attr, expr in agg_assignments:
+        if attr in assigned:
+            return (
+                f"correlates through the non-equality predicate ({label}) "
+                "with a duplicate head assignment"
+            )
+        assigned[attr] = expr
+    for attr in head.attrs:
+        expr = assigned.get(attr)
+        if expr is None:
+            return (
+                f"correlates through the non-equality predicate ({label}) "
+                f"and head attribute {attr!r} has no aggregate assignment"
+            )
+        if not isinstance(expr, n.AggCall) or expr.func not in _BAND_AGGS:
+            what = expr.func if isinstance(expr, n.AggCall) else "an expression"
+            return (
+                f"correlates through the non-equality predicate ({label}) "
+                f"with a non-prefix-foldable aggregate assignment ({what})"
+            )
+    return None
 
 
 def _analyze(collection):
@@ -183,9 +680,10 @@ def _analyze(collection):
                 )
     head = collection.head
     conjunct_list = n.conjuncts(body.body)
-    correlated = []  # conjunct positions consumed by the rewrite
+    correlated = []  # conjunct positions consumed by equality pairs
     pairs = []  # (inner side, outer side) in the original tree
     orientations = []  # True when the inner side is the left operand
+    band = None  # (position, inner, outer, normalized op, label)
     for index, conjunct in enumerate(conjunct_list):
         used = n.vars_used(conjunct)
         if not used & free:
@@ -205,21 +703,18 @@ def _analyze(collection):
                 "correlates through an outer-only predicate (γ membership "
                 "depends on the outer row beyond an equality key)"
             )
-        if not isinstance(conjunct, n.Comparison) or conjunct.op != "=":
-            label = (
-                conjunct.op
-                if isinstance(conjunct, n.Comparison)
-                else type(conjunct).__name__
-            )
+        if not isinstance(conjunct, n.Comparison):
             return CorrelationSpec(
-                f"correlates through a non-equality predicate ({label})"
+                f"correlates through a non-comparison predicate "
+                f"({type(conjunct).__name__})"
             )
         if conjunct.has_aggregate():
             return CorrelationSpec(
                 "correlation predicate contains an aggregate"
             )
         pair = None
-        for side, other, left_inner in (
+        left_inner = True
+        for side, other, side_is_left in (
             (conjunct.left, conjunct.right, True),
             (conjunct.right, conjunct.left, False),
         ):
@@ -232,15 +727,32 @@ def _analyze(collection):
                 and other_vars <= free
             ):
                 pair = (side, other)
-                orientations.append(left_inner)
+                left_inner = side_is_left
                 break
         if pair is None:
             return CorrelationSpec(
                 "correlation equality mixes inner and outer variables in one "
                 "operand"
             )
-        correlated.append(index)
-        pairs.append(pair)
+        if conjunct.op == "=":
+            correlated.append(index)
+            pairs.append(pair)
+            orientations.append(left_inner)
+            continue
+        # θ candidate: normalize the operator to *inner OP outer*.
+        op = conjunct.op if left_inner else _FLIP[conjunct.op]
+        label = f"{op} on {_expr_text(pair[0])}"
+        if op not in BAND_OPS:
+            return CorrelationSpec(
+                f"correlates through the non-equality predicate ({label}); "
+                "only <, <=, >, >= are θ-band-indexable"
+            )
+        if band is not None:
+            return CorrelationSpec(
+                f"correlates through two non-equality predicates "
+                f"({band[4]} and {label}); a θ-band index handles exactly one"
+            )
+        band = (index, pair[0], pair[1], op, label)
     relation_names = tuple(
         sorted(
             {sub.name for sub in collection.walk() if isinstance(sub, n.RelationRef)}
@@ -251,41 +763,74 @@ def _analyze(collection):
             "inner scope references no stored relation to anchor the "
             "materialization"
         )
+    if band is not None:
+        shape_reason = _band_shape_reason(body, head, band[4])
+        if shape_reason is not None:
+            return CorrelationSpec(shape_reason)
 
     spec = CorrelationSpec()
     spec.outer_exprs = tuple(outer for _, outer in pairs)
+    spec.key_inner_exprs = tuple(n.clone(inner) for inner, _ in pairs)
     spec.relation_names = relation_names
     spec.head_attrs = tuple(head.attrs)
     spec.empty_group = body.grouping is not None and not body.grouping.keys
     spec.grouped = body.grouping is not None and bool(body.grouping.keys)
-
-    bindings_by_var = {b.var: b for b in body.bindings}
-    key_sources = []
-    for inner_expr, _ in pairs:
-        source = None
-        if isinstance(inner_expr, n.Attr):
-            binding = bindings_by_var.get(inner_expr.var)
-            if binding is not None and isinstance(binding.source, n.RelationRef):
-                source = (binding.source.name, inner_expr.attr)
-        key_sources.append(source)
-    spec.key_sources = tuple(key_sources)
+    if band is not None:
+        spec.strategy = "band"
+        spec.band_op = band[3]
+        spec.band_inner_expr = n.clone(band[1])
+        spec.band_outer_expr = band[2]
 
     # Fresh key attributes (avoiding the head's own names).
     taken = set(head.attrs)
     key_attrs = []
     counter = 0
-    for _ in pairs:
+    wanted = len(pairs) + (1 if band is not None and not spec.empty_group else 0)
+    for _ in range(wanted):
         while f"_ck{counter}" in taken:
             counter += 1
         name = f"_ck{counter}"
         taken.add(name)
         key_attrs.append(name)
         counter += 1
+    if band is not None and not spec.empty_group:
+        spec.band_attr = key_attrs.pop()
     spec.key_attrs = tuple(key_attrs)
 
-    # The FIO rewrite: drop the correlated equalities, project their inner
-    # sides as key attributes, and fold them into the grouping keys (γ∅
-    # becomes γ keys — the count-bug compensation happens at probe time).
+    if spec.strategy == "band" and spec.empty_group:
+        # γ∅ band: the probe folds prefix arrays, so materialization needs
+        # the *raw* row stream — bindings plus the residual row formulas,
+        # with the correlation predicates and aggregate assignments
+        # stripped out.
+        consumed = set(correlated)
+        consumed.add(band[0])
+        kept = [
+            n.clone(conjunct)
+            for position, conjunct in enumerate(conjunct_list)
+            if position not in consumed
+            and not (
+                isinstance(conjunct, n.Comparison)
+                and assignment_of(conjunct, head) is not None
+            )
+        ]
+        spec.stripped = (
+            tuple(n.clone(binding) for binding in body.bindings),
+            tuple(kept),
+        )
+        agg_specs = []
+        assignments = dict(split_scope(head, body)[1])
+        for attr in head.attrs:
+            call = assignments[attr]
+            agg_specs.append(
+                (attr, call.func, None if call.arg is None else n.clone(call.arg))
+            )
+        spec.band_aggs = tuple(agg_specs)
+        return spec
+
+    # The FIO rewrite: drop the correlated predicates, project their inner
+    # sides as key attributes, and (for grouped scopes) fold the equality
+    # keys into the grouping keys — γ∅ becomes γ keys; the count-bug
+    # compensation happens at probe time.
     clone = n.clone(collection)
     cbody = clone.body
     cconjuncts = n.conjuncts(cbody.body)
@@ -294,10 +839,21 @@ def _analyze(collection):
         (cconjuncts[i].left if left_inner else cconjuncts[i].right)
         for i, left_inner in zip(correlated, orientations)
     ]
+    extra_attrs = list(spec.key_attrs)
+    if band is not None:
+        consumed.add(band[0])
+        band_conjunct = cconjuncts[band[0]]
+        band_inner = (
+            band_conjunct.left
+            if band_conjunct.op == band[3]
+            else band_conjunct.right
+        )
+        inner_keys.append(band_inner)
+        extra_attrs.append(spec.band_attr)
     kept = [c for i, c in enumerate(cconjuncts) if i not in consumed]
     assignments = [
         n.Comparison(n.Attr(head.name, ck), "=", expr)
-        for ck, expr in zip(key_attrs, inner_keys)
+        for ck, expr in zip(extra_attrs, inner_keys)
     ]
     cbody.body = n.make_and(kept + assignments)
     if cbody.grouping is not None:
@@ -306,7 +862,7 @@ def _analyze(collection):
             if not any(n.structurally_equal(expr, key) for key in keys):
                 keys.append(n.clone(expr))
         cbody.grouping = n.Grouping(tuple(keys))
-    clone.head = n.Head(head.name, tuple(head.attrs) + tuple(key_attrs))
+    clone.head = n.Head(head.name, tuple(head.attrs) + tuple(extra_attrs))
     spec.rewritten = clone
     return spec
 
@@ -316,34 +872,16 @@ def _analyze(collection):
 # ---------------------------------------------------------------------------
 
 
-class _NullCheckOwner:
-    """Weak-referenceable key for per-column NULL caches on relations."""
-
-
-_NULL_OWNER = _NullCheckOwner()
-
-
-def _column_has_null(relation, attr):
-    """Whether any stored value of *attr* is NULL (cached until mutation)."""
-    tag = ("column_has_null", attr)
-    cached = relation.derived_get(_NULL_OWNER, tag)
-    if cached is None:
-        cached = any(
-            is_null(row._values[attr]) for row in relation.iter_distinct()
-        )
-        relation.derived_put(_NULL_OWNER, tag, cached)
-    return cached
-
-
 def plan_for(evaluator, source):
     """Decide decorrelation of a lateral *source* under *evaluator*.
 
     Returns ``(spec, None)`` when the FIO rewrite applies, else
     ``(None, reason)``.  The decision layers the evaluator-dependent checks
-    (escape hatch, stored relations, 3VL NULL keys) on top of the cached
-    structural analysis; it is recomputed on every plan-cache lookup, so a
-    mutation that adds NULLs to a key column flips the cached plan back to
-    the per-row strategy.
+    (escape hatch, stored relations) on top of the cached structural
+    analysis.  NULL-able correlation keys under three-valued logic no
+    longer refuse: the materialized index is UNKNOWN-aware (tri-bucket), so
+    the decision is data-independent — data the *band* build cannot order
+    exactly still falls back per catalog state inside ``materialize``.
     """
     if not getattr(evaluator, "decorrelate", True):
         return None, "decorrelation disabled (decorrelate=False)"
@@ -353,24 +891,6 @@ def plan_for(evaluator, source):
     for name in spec.relation_names:
         if name not in evaluator.defined and name not in evaluator.database:
             return None, f"inner relation {name!r} has no stored extension"
-    if evaluator.conventions.three_valued:
-        for key_source in spec.key_sources:
-            if key_source is None:
-                return None, (
-                    "cannot prove the correlation key non-NULL under "
-                    "three-valued logic"
-                )
-            name, attr = key_source
-            relation = evaluator._resolve_relation(name)
-            if attr not in relation._schema_set:
-                return None, (
-                    f"correlation key {name}.{attr} is not a stored attribute"
-                )
-            if _column_has_null(relation, attr):
-                return None, (
-                    f"correlation key column {name}.{attr} contains NULL "
-                    "under three-valued logic"
-                )
     return spec, None
 
 
@@ -393,11 +913,15 @@ def rewrite_for_sql(node):
 
     Sound under bag semantics (the only conventions the SQLite backend
     accepts): equality-correlated grouped/non-grouped laterals become plain
-    ``group by`` derived tables joined on the projected key columns, and
-    non-grouped correlated collections are unnested into the outer scope.
-    γ∅ scopes are never group-by-rewritten (the count bug: an empty group
-    must still emit a row); the aggregate-only ones render as correlated
-    scalar subqueries instead, which SQLite executes natively.
+    ``group by`` derived tables joined on the projected key columns,
+    non-grouped correlated collections are unnested into the outer scope,
+    and non-grouped θ-correlated collections that resist unnesting become
+    uncorrelated derived tables joined through the projected band key with
+    the original inequality (the band shape's native rendering).  γ∅ scopes
+    are never group-by-rewritten (the count bug: an empty group must still
+    emit a row); the aggregate-only ones — including θ-correlated bands —
+    render as correlated scalar subqueries instead, which SQLite executes
+    natively.
 
     *leftovers* lists ``(var, reason)`` for bindings that remain correlated
     and will need the ``lateral`` keyword — the backend's capability probe
@@ -410,6 +934,23 @@ def rewrite_for_sql(node):
         cached = (rewritten, tuple(leftovers))
         _SQL_REWRITES[node] = cached
     return cached
+
+
+def _fio_join_conjuncts(spec, var):
+    """Key-join conjuncts tying the FIO derived table back to the outer row."""
+    extra = [
+        n.Comparison(n.Attr(var, ck), "=", n.clone(outer))
+        for ck, outer in zip(spec.key_attrs, spec.outer_exprs)
+    ]
+    if spec.strategy == "band":
+        extra.append(
+            n.Comparison(
+                n.Attr(var, spec.band_attr),
+                spec.band_op,
+                n.clone(spec.band_outer_expr),
+            )
+        )
+    return extra
 
 
 def _fix_quantifier(node, leftovers):
@@ -428,13 +969,14 @@ def _fix_quantifier(node, leftovers):
             out.append(binding)
             continue
         spec = analyze(source)
-        if spec.reason is None and not spec.empty_group:
+        if (
+            spec.reason is None
+            and not spec.empty_group
+            and spec.strategy == "eq"
+        ):
             # FIO: uncorrelated grouped derived table + key-equality join.
             out.append(n.Binding(binding.var, n.clone(spec.rewritten)))
-            extra.extend(
-                n.Comparison(n.Attr(binding.var, ck), "=", n.clone(outer))
-                for ck, outer in zip(spec.key_attrs, spec.outer_exprs)
-            )
+            extra.extend(_fio_join_conjuncts(spec, binding.var))
             continue
         unnested = _try_unnest(node, binding)
         if unnested is not None:
@@ -447,6 +989,16 @@ def _fix_quantifier(node, leftovers):
         scalar_reason = _scalar_inlinable(node, binding)
         if scalar_reason is None:
             out.append(binding)  # the renderer inlines it as scalar subqueries
+            continue
+        if (
+            spec.reason is None
+            and not spec.empty_group
+            and spec.strategy == "band"
+        ):
+            # Band FIO: uncorrelated derived table carrying the band key,
+            # joined back through the original inequality — no LATERAL.
+            out.append(n.Binding(binding.var, n.clone(spec.rewritten)))
+            extra.extend(_fio_join_conjuncts(spec, binding.var))
             continue
         fio_reason = spec.reason or (
             "γ∅ scope must emit a row even over an empty group (the count "

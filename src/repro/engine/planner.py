@@ -80,8 +80,11 @@ class ExecutionStats:
         "grouped_fast_paths",
         "laterals_decorrelated",  # lateral steps compiled onto the FIO index
         "lateral_reevals",  # per-frame inner-collection evaluations (FOI)
-        "decorr_index_builds",  # FIO index materializations (cache misses)
-        "lateral_probe_misses",  # γ∅ probe misses compensated per frame
+        "decorr_index_builds",  # FIO hash-index materializations (cache misses)
+        "lateral_probe_misses",  # γ∅ probe misses (compensated, not re-evaluated)
+        "band_index_builds",  # θ-band index materializations (cache misses)
+        "domain_join_compensations",  # batched γ∅ empty-frame syntheses
+        "tribucket_probes",  # probes against an UNKNOWN-aware (3VL) index
     )
 
     def __init__(self):
@@ -98,6 +101,9 @@ class ExecutionStats:
         self.lateral_reevals = 0
         self.decorr_index_builds = 0
         self.lateral_probe_misses = 0
+        self.band_index_builds = 0
+        self.domain_join_compensations = 0
+        self.tribucket_probes = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -213,7 +219,7 @@ class CompiledScope:
                         index = None
                     if index is not None:
                         # Decorrelated (FIO) lateral: probe the materialized
-                        # grouped index instead of re-evaluating the inner
+                        # index instead of re-evaluating the inner
                         # collection per frame.
                         key = []
                         usable = True
@@ -231,22 +237,41 @@ class CompiledScope:
                                 key = None
                                 break
                             key.append(value)
+                        band_value = None
+                        if usable and decorr.strategy == "band":
+                            try:
+                                band_value = ev._eval_expr(
+                                    decorr.band_outer_expr, frame
+                                )
+                            except EvaluationError:
+                                usable = False
                         if usable:
                             stats.index_probes += 1
-                            bucket = (
-                                None if key is None else index.get(tuple(key))
-                            )
-                            if bucket is None and decorr.empty_group:
-                                # γ∅ emits one row even over an empty group
-                                # (the count bug's asymmetry): synthesize it
-                                # by evaluating the original scope, whose
-                                # inner probe finds nothing — O(1).
-                                stats.lateral_probe_misses += 1
-                                bucket = list(
-                                    ev._eval_collection(
-                                        step.binding.source, frame
-                                    ).items()
+                            if index.tribucket:
+                                stats.tribucket_probes += 1
+                            if decorr.strategy == "band":
+                                # θ-band probe: bisect the sorted entries;
+                                # γ∅ scopes fold prefix-aggregate arrays at
+                                # the boundary (one row, count-bug exact).
+                                bucket = index.probe(
+                                    None if key is None else tuple(key),
+                                    band_value,
+                                    is_set,
                                 )
+                            else:
+                                bucket = (
+                                    None if key is None else index.get(tuple(key))
+                                )
+                                if bucket is None and decorr.empty_group:
+                                    # γ∅ emits one row even over an empty
+                                    # group (the count bug's asymmetry):
+                                    # every missing key maps to one shared
+                                    # frame — the domain-join compensation,
+                                    # synthesized once per index.
+                                    stats.lateral_probe_misses += 1
+                                    bucket = index.empty_group_items(
+                                        ev, step.binding.source, frame, stats
+                                    )
                             for row, row_mult in bucket or ():
                                 stats.rows_enumerated += 1
                                 frame[var] = row

@@ -184,6 +184,170 @@ def correlated_join_aggregate_query(head_name="Q"):
     )
 
 
+def theta_aggregate_query(*, op="<", agg="sum", eq_arity=0, head_name="Q"):
+    """The eq15-shaped θ-correlated FOI family the band indexes target.
+
+    ``{Q(k, v) | ∃r ∈ R, x ∈ {X(v) | ∃s ∈ S, γ ∅
+    [(s.K0 = r.K0 ∧ …)? ∧ s.A op r.A ∧ X.v = agg(s.B)]}
+    [Q.k = r.misc ∧ Q.v = x.v]}``
+
+    *op* is the correlation's order predicate; *eq_arity* adds equality
+    keys alongside it (bucketed band indexes).  ``Q.k = r.misc`` keys the
+    output per outer row, so every probe result is observable.
+    """
+    key_attrs = [f"K{i}" for i in range(eq_arity)]
+    inner_conjuncts = [
+        b.eq(b.attr2("s", key), b.attr2("r", key)) for key in key_attrs
+    ]
+    inner_conjuncts.append(
+        n.Comparison(n.Attr("s", "A"), op, n.Attr("r", "A"))
+    )
+    inner_conjuncts.append(
+        n.Comparison(n.Attr("X", "v"), "=", b.agg(agg, b.attr2("s", "B")))
+    )
+    inner = b.collection(
+        "X",
+        ["v"],
+        b.exists([b.bind("s", "S")], b.conj(*inner_conjuncts), grouping=b.grouping()),
+    )
+    return b.collection(
+        head_name,
+        ["k", "v"],
+        b.exists(
+            [b.bind("r", "R"), n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2(head_name, "k"), b.attr2("r", "misc")),
+                b.eq(b.attr2(head_name, "v"), b.attr2("x", "v")),
+            ),
+        ),
+    )
+
+
+def theta_rows_query(*, op="<", head_name="Q"):
+    """The eq2-shaped non-grouped θ-correlated lateral (sorted-slice probes).
+
+    ``{Q(k, B) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ s.A op r.A]}
+    [Q.k = r.misc ∧ Q.B = z.B]}``
+    """
+    inner = b.collection(
+        "Z",
+        ["B"],
+        b.exists(
+            [b.bind("s", "S")],
+            b.conj(
+                b.eq(b.attr2("Z", "B"), b.attr2("s", "B")),
+                n.Comparison(n.Attr("s", "A"), op, n.Attr("r", "A")),
+            ),
+        ),
+    )
+    return b.collection(
+        head_name,
+        ["k", "B"],
+        b.exists(
+            [b.bind("r", "R"), n.Binding("z", inner)],
+            b.conj(
+                b.eq(b.attr2(head_name, "k"), b.attr2("r", "misc")),
+                b.eq(b.attr2(head_name, "B"), b.attr2("z", "B")),
+            ),
+        ),
+    )
+
+
+def theta_join_aggregate_query(*, op="<", head_name="Q"):
+    """The θ analogue of the eq10 join inner: S ⋈ T re-joined per outer
+    row under FOI, joined **once** under the band index — the honest θ
+    cost model and the E27 sweep's headline case.
+    """
+    inner = b.collection(
+        "X",
+        ["v"],
+        b.exists(
+            [b.bind("s", "S"), b.bind("t", "T")],
+            b.conj(
+                b.eq(b.attr2("s", "G"), b.attr2("t", "G")),
+                n.Comparison(n.Attr("s", "A"), op, n.Attr("r", "A")),
+                n.Comparison(n.Attr("X", "v"), "=", b.sum_(b.attr2("t", "B"))),
+            ),
+            grouping=b.grouping(),
+        ),
+    )
+    return b.collection(
+        head_name,
+        ["k", "v"],
+        b.exists(
+            [b.bind("r", "R"), n.Binding("x", inner)],
+            b.conj(
+                b.eq(b.attr2(head_name, "k"), b.attr2("r", "misc")),
+                b.eq(b.attr2(head_name, "v"), b.attr2("x", "v")),
+            ),
+        ),
+    )
+
+
+def theta_sweep_database(
+    n_outer,
+    n_inner,
+    *,
+    eq_arity=0,
+    domain=6,
+    band_domain=None,
+    seed=0,
+    null_rate=0.0,
+    null_band_rate=0.0,
+    with_join=False,
+):
+    """R(K.., A, misc) and S(K.., A, B) (+ T(G, B)) for the θ family.
+
+    *band_domain* spreads the order-correlated column; *null_rate* plants
+    NULLs in the equality-key columns (the tri-bucket case) and
+    *null_band_rate* in the order-correlated column.  ``with_join`` adds
+    the T relation for :func:`theta_join_aggregate_query` (S gains a G
+    column).
+    """
+    rng = random.Random(seed)
+    band_domain = band_domain or max(8, n_inner // 2)
+    key_attrs = [f"K{i}" for i in range(eq_arity)]
+
+    def key_value():
+        if null_rate and rng.random() < null_rate:
+            return NULL
+        return rng.randrange(domain)
+
+    def band_value():
+        if null_band_rate and rng.random() < null_band_rate:
+            return NULL
+        return rng.randrange(band_domain)
+
+    db = Database()
+    db.create(
+        "R",
+        (*key_attrs, "A", "misc"),
+        [
+            tuple(key_value() for _ in key_attrs) + (band_value(), i)
+            for i in range(n_outer)
+        ],
+    )
+    s_schema = (*key_attrs, "A") + (("G",) if with_join else ()) + ("B",)
+    db.create(
+        "S",
+        s_schema,
+        [
+            tuple(key_value() for _ in key_attrs)
+            + (band_value(),)
+            + ((rng.randrange(8),) if with_join else ())
+            + (rng.randrange(50),)
+            for _ in range(n_inner)
+        ],
+    )
+    if with_join:
+        db.create(
+            "T",
+            ("G", "B"),
+            [(i % 8, rng.randrange(50)) for i in range(64)],
+        )
+    return db
+
+
 def correlated_join_database(n_rows, *, domain=None, seed=0):
     """R(K0, misc), S(K0, G, B), T(G, B) for the E25 join sweep."""
     domain = domain or max(4, n_rows // 20)

@@ -118,6 +118,26 @@ class TestQuery:
         assert status == 200
         assert stats["requests"] >= 1
         assert "plans_compiled" in stats
+        # The decorrelation counters (E27) ride the same stats payload.
+        for counter in (
+            "band_index_builds",
+            "domain_join_compensations",
+            "tribucket_probes",
+        ):
+            assert counter in stats
+
+    def test_theta_lateral_counters_visible_in_stats(self, server):
+        theta = (
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ R, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        # Route to the planner: on sqlite the shape runs as a correlated
+        # scalar subquery and never touches the band index.
+        status, body, _ = _post(server, {"query": theta, "backend": "planner"})
+        assert status == 200, body
+        _, stats = _get(server, "/stats")
+        assert stats["band_index_builds"] == 1
+        assert stats["lateral_reevals"] == 0
 
 
 class TestErrors:

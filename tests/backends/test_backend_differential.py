@@ -177,12 +177,56 @@ def test_correlated_lateral_empty_groups_three_way():
 
 
 def test_correlated_lateral_null_keys_three_way():
-    """NULL correlation keys: the planner refuses the rewrite under 3VL and
-    stays per-row, while SQLite evaluates the hoisted equality itself —
-    both must agree with the reference."""
+    """NULL correlation keys: the planner probes an UNKNOWN-aware
+    tri-bucket index under 3VL, while SQLite evaluates the hoisted
+    equality itself — both must agree with the reference."""
     for grouped in (False, True):
         query = sweeps.correlated_aggregate_query(agg="sum", grouped=grouped)
         db = sweeps.correlated_sweep_database(20, 30, seed=11, null_rate=0.3)
+        assert_three_way(query, db, SQL_CONVENTIONS, expect_native=True)
+
+
+def test_theta_correlated_family_three_way():
+    """Seeded θ-band family (E27): reference ≡ planner ≡ per-row ≡ sqlite,
+    natively — γ∅ θ aggregates render as correlated scalar subqueries and
+    the non-grouped slice shape unnests, so SQLite needs no LATERAL."""
+    rng = random.Random(8128)
+    for trial in range(8):
+        op = rng.choice(["<", "<=", ">", ">="])
+        eq_arity = rng.choice([0, 0, 1])
+        db = sweeps.theta_sweep_database(
+            rng.randint(0, 20),
+            rng.randint(0, 30),
+            eq_arity=eq_arity,
+            seed=trial,
+            null_rate=rng.choice([0.0, 0.0, 0.3]),
+            null_band_rate=rng.choice([0.0, 0.25]),
+        )
+        if trial % 3 == 2:
+            query = sweeps.theta_rows_query(op=op)
+        else:
+            query = sweeps.theta_aggregate_query(
+                op=op, agg=rng.choice(["sum", "count", "avg", "min", "max"]),
+                eq_arity=eq_arity,
+            )
+        assert_three_way(query, db, SQL_CONVENTIONS, expect_native=True)
+
+
+def test_theta_join_inner_three_way():
+    query = sweeps.theta_join_aggregate_query()
+    db = sweeps.theta_sweep_database(25, 25, seed=6, with_join=True)
+    assert_three_way(query, db, SQL_CONVENTIONS, expect_native=True)
+
+
+def test_theta_all_probes_empty_three_way():
+    """Every outer band value sits below the whole inner band: γ∅ must
+    still emit one row per outer row (count → 0, sum → NULL) on every
+    engine — the band path synthesizes it from the empty prefix."""
+    db = Database()
+    db.create("R", ("A", "misc"), [(0, 0), (0, 1), (0, 2)])
+    db.create("S", ("A", "B"), [(5, 1), (6, 2), (7, 3)])
+    for agg in ("count", "sum"):
+        query = sweeps.theta_aggregate_query(op="<", agg=agg)
         assert_three_way(query, db, SQL_CONVENTIONS, expect_native=True)
 
 

@@ -207,9 +207,28 @@ class TestCapabilities:
             == []
         )
 
+    def test_theta_band_derived_table_runs_natively(self):
+        # A non-grouped θ lateral that resists unnesting (its inner binding
+        # is itself a collection) renders as an uncorrelated derived table
+        # joined through the projected band key with the inequality — no
+        # LATERAL, executed natively.
+        db = self._rs_db()
+        query = parse(
+            "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃u ∈ {U(B) | ∃s ∈ S"
+            "[U.B = s.B]}[Z.B = u.B ∧ u.B < r.A]}[Q.A = r.A ∧ Q.B = z.B]}"
+        )
+        assert get_backend("sqlite").capabilities(query, SQL_CONVENTIONS, db) == []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendFallbackWarning)
+            result = evaluate(query, db, SQL_CONVENTIONS, backend="sqlite")
+        assert result == evaluate(query, db, SQL_CONVENTIONS, planner=False)
+
     def test_non_equality_grouped_lateral_reported_specifically(self):
         # γ-keys + non-equality correlation: no group-by rewrite, no scalar
-        # shape — the message must name the binding and the refusal.
+        # shape — the message must name the binding and the refusal, and
+        # the refusal names the *predicate* (a band-eligible operator on a
+        # named column), so the caller can tell it apart from truly unsafe
+        # correlation shapes.
         problems = self.probe(
             "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ s.A"
             "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}",
@@ -217,6 +236,22 @@ class TestCapabilities:
         )
         assert any(
             "'x'" in p and "LATERAL" in p and "non-equality" in p
+            and "< on s.A" in p
+            for p in problems
+        )
+
+    def test_not_equal_lateral_names_the_unsafe_predicate(self):
+        # <> is not band-indexable at all: the message names the operator
+        # so band-eligible refusals (shape) and unsafe ones (operator) are
+        # distinguishable.
+        problems = self.probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, γ s.A"
+            "[s.A <> r.A ∧ X.sm = sum(s.B) ∧ X.g = s.A]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}",
+            self._rs_db(),
+        )
+        assert any(
+            "'x'" in p and "<> on s.A" in p and "θ-band-indexable" in p
             for p in problems
         )
 

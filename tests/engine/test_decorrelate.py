@@ -1,10 +1,15 @@
-"""Decorrelation safety: shapes that must *refuse* the FOI → FIO rewrite.
+"""Decorrelation safety: the probe's accept/refuse matrix, pinned.
 
-The rewrite is only sound when the lateral's correlation is a pure equality
-join on provably NULL-free keys; every other shape must fall back to the
-per-row strategy.  These tests drive the probe (`decorrelate.probe_binding`)
-directly — asserting the refusal *and* its reason — and check that the
-refused shapes still evaluate correctly (differentially) via the fallback.
+The rewrite accepts pure-equality correlations (hash-index probes, with an
+UNKNOWN-aware tri-bucket build when keys may be NULL under 3VL) and single
+θ correlations (`<`/`<=`/`>`/`>=` band indexes: prefix-aggregate arrays
+for γ∅ scopes, sorted slices for non-grouped ones); every other shape must
+fall back to the per-row strategy.  These tests drive the probe
+(`decorrelate.probe_binding`) directly — asserting the decision *and* its
+reason — check that refused shapes still evaluate correctly
+(differentially) via the fallback, and exercise the band index's data
+edges (NaN/NULL keys under both conventions, empty inners, mutation,
+mixed-kind build fallbacks).
 """
 
 import pytest
@@ -94,15 +99,110 @@ class TestProbeAccepts:
         )
         assert reason is None
 
+    def test_null_keys_accepted_under_3vl_via_tribucket(self):
+        # The UNKNOWN-aware (tri-bucket) index accepts NULL-able keys under
+        # three-valued logic: NULL-keyed inner rows are TRUE for no probe
+        # and land in the UNKNOWN bucket instead of refusing the rewrite.
+        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SQL_CONVENTIONS)
+        assert reason is None
+        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SET_CONVENTIONS)
+        assert reason is None
 
-class TestProbeRefuses:
-    def test_non_equality_correlation(self):
+    def test_unprovable_key_expression_accepted_under_3vl(self):
+        # s.A + 0 may evaluate to NULL; tri-bucket indexing handles that at
+        # build time, so provability is no longer required.
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A + 0 = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert reason is None
+
+    def test_theta_gamma_empty_becomes_a_band_spec(self):
         spec, reason = probe(
             "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
             "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
         )
+        assert reason is None
+        assert spec.strategy == "band"
+        assert spec.band_op == "<"
+        assert spec.empty_group
+        assert spec.band_aggs == (("sm", "sum", spec.band_aggs[0][2]),)
+
+    def test_theta_orientation_normalizes_the_operator(self):
+        # r.A > s.A  ≡  s.A < r.A: the outer-on-the-left form flips.
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[r.A > s.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert reason is None
+        assert spec.strategy == "band" and spec.band_op == "<"
+
+    def test_theta_non_grouped_becomes_a_band_spec(self):
+        spec, reason = probe(
+            "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃s ∈ S[Z.B = s.B ∧ "
+            "s.A >= r.A]}[Q.A = r.A ∧ Q.B = z.B]}"
+        )
+        assert reason is None
+        assert spec.strategy == "band" and spec.band_op == ">="
+        assert spec.band_attr is not None
+        assert spec.rewritten.head.attrs[-1] == spec.band_attr
+
+    def test_theta_with_equality_keys_buckets_then_bands(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A = r.A ∧ s.B <= r.B ∧ X.sm = count(s.B)]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert reason is None
+        assert spec.strategy == "band" and spec.band_op == "<="
+        assert len(spec.outer_exprs) == 1  # one equality key, one band
+
+
+class TestProbeRefuses:
+    def test_not_equal_correlation_names_the_predicate(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A <> r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
         assert spec is None
-        assert "non-equality" in reason
+        assert "non-equality" in reason and "<> on s.A" in reason
+
+    def test_two_theta_predicates_refuse(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ s.B < r.B ∧ X.sm = sum(s.B)]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "two non-equality predicates" in reason
+        assert "< on s.A" in reason and "< on s.B" in reason
+
+    def test_theta_under_grouping_keys_refuses_naming_the_predicate(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm, g) | ∃s ∈ S, γ s.B"
+            "[s.A < r.A ∧ X.sm = sum(s.B) ∧ X.g = s.B]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "non-equality" in reason and "< on s.A" in reason
+        assert "grouping keys" in reason
+
+    def test_theta_gamma_empty_with_having_refuses(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B) ∧ count(s.B) > 1]}"
+            "[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "< on s.A" in reason and "aggregate comparisons" in reason
+
+    def test_theta_gamma_empty_distinct_aggregate_refuses(self):
+        spec, reason = probe(
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
+            "[s.A < r.A ∧ X.sm = sumdistinct(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        assert spec is None
+        assert "< on s.A" in reason and "sumdistinct" in reason
 
     def test_nested_correlated_lateral(self):
         spec, reason = probe(
@@ -112,26 +212,6 @@ class TestProbeRefuses:
         )
         assert spec is None
         assert "nested lateral" in reason
-
-    def test_null_correlation_key_under_3vl(self):
-        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SQL_CONVENTIONS)
-        assert spec is None
-        assert "NULL" in reason and "three-valued" in reason
-        # The same catalog under 3VL set conventions refuses identically.
-        spec, reason = probe(EQ_LATERAL, _db(null_key=True), SET_CONVENTIONS)
-        assert spec is None
-
-    def test_unprovable_key_expression_under_3vl(self):
-        # s.A + 0 cannot be proven NULL-free, so 3VL refuses; 2VL accepts.
-        query = (
-            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅"
-            "[s.A + 0 = r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
-        )
-        spec, reason = probe(query)
-        assert spec is None
-        assert "cannot prove" in reason
-        spec, reason = probe(query, _db(), SOUFFLE_CONVENTIONS)
-        assert reason is None
 
     def test_correlated_head_assignment(self):
         spec, reason = probe(
@@ -207,22 +287,26 @@ class TestProbeRefuses:
         assert "stored relation" in reason
 
 
-class TestNullKeyMutationFlipsTheDecision:
-    def test_adding_a_null_key_reverts_to_per_row(self):
-        """The NULL-key decision is data-dependent and re-probed on every
-        plan-cache lookup: adding a NULL to the key column must flip the
-        cached decorrelated plan back to the per-row strategy (and stay
-        correct)."""
+class TestNullKeyMutationStaysDecorrelated:
+    def test_adding_a_null_key_rebuilds_a_tribucket_index(self):
+        """Adding a NULL to the key column used to flip the plan back to
+        per-row; the tri-bucket index keeps the scope decorrelated — the
+        mutation drops the cached index, the rebuild segregates the new
+        UNKNOWN candidate, and probes start counting ``tribucket_probes``
+        — while the answer still matches the per-row oracle."""
         db = _db()
         query = parse(EQ_LATERAL)
         first = Evaluator(db, SQL_CONVENTIONS)
         first.evaluate(query)
         assert first.stats.laterals_decorrelated == 1
+        assert first.stats.tribucket_probes == 0  # no NULL keys yet
 
         db["S"].add((NULL, 99))
         second = Evaluator(db, SQL_CONVENTIONS)
         result = second.evaluate(query)
-        assert second.stats.lateral_reevals == len(db["R"])  # per-row again
+        assert second.stats.lateral_reevals == 0  # still decorrelated
+        assert second.stats.decorr_index_builds == 1  # mutation → rebuild
+        assert second.stats.tribucket_probes == len(db["R"])
         assert result == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)
 
 
@@ -294,3 +378,189 @@ class TestSqlRewrite:
             if isinstance(sub, n.Binding) and isinstance(sub.source, n.Collection)
         ]
         assert laterals  # untouched: the renderer inlines it as a scalar
+
+
+# -- θ-band index edge cases ----------------------------------------------------
+
+
+THETA_GAMMA = (
+    "{{Q(A, sm) | ∃r ∈ R, x ∈ {{X(sm) | ∃s ∈ S, γ ∅"
+    "[s.A {op} r.A ∧ X.sm = {agg}(s.B)]}}[Q.A = r.A ∧ Q.sm = x.sm]}}"
+)
+
+THETA_ROWS = (
+    "{{Q(A, B) | ∃r ∈ R, z ∈ {{Z(B) | ∃s ∈ S[Z.B = s.B ∧ "
+    "s.A {op} r.A]}}[Q.A = r.A ∧ Q.B = z.B]}}"
+)
+
+
+class TestBandIndexEdges:
+    def _check(self, db, query, conventions=SQL_CONVENTIONS):
+        """Band path ≡ per-row oracle; returns the band path's stats."""
+        evaluator = Evaluator(db, conventions)
+        result = evaluator.evaluate(query)
+        oracle = Evaluator(db, conventions, decorrelate=False)
+        assert result == oracle.evaluate(query)
+        return evaluator.stats
+
+    def test_every_operator_and_aggregate_matches_the_oracle(self):
+        db = _db()
+        for op in ("<", "<=", ">", ">="):
+            for agg in ("sum", "count", "avg", "min", "max"):
+                stats = self._check(db, parse(THETA_GAMMA.format(op=op, agg=agg)))
+                assert stats.lateral_reevals == 0, (op, agg)
+            stats = self._check(db, parse(THETA_ROWS.format(op=op)))
+            assert stats.lateral_reevals == 0, op
+
+    def test_nan_band_keys_on_both_sides(self):
+        # Under 3VL NaN satisfies no ordering predicate: inner NaNs drop
+        # out of the band at build time, outer NaNs probe an empty slice
+        # (γ∅ still emits its one row).
+        nan = float("nan")
+        db = Database()
+        db.create("R", ("A", "B"), [(1.0, 10), (nan, 20), (3.0, 30)])
+        db.create("S", ("A", "B"), [(0.5, 5), (nan, 7), (2.0, 11)])
+        for op in ("<", ">="):
+            stats = self._check(
+                db, parse(THETA_GAMMA.format(op=op, agg="count")), SQL_CONVENTIONS
+            )
+            assert stats.band_index_builds == 1
+            assert stats.lateral_reevals == 0
+
+    def test_nan_band_values_under_2vl_fall_back_per_row(self):
+        # 2VL's total-order extension ranks NaN *above* NULL (compare keys
+        # (1, NaN) vs (0, 0)), so a NULL outer probe with >/>= selects NaN
+        # rows — a sorted band cannot carry that, and the build must fall
+        # back to the per-row oracle instead of silently dropping them.
+        nan = float("nan")
+        db = Database()
+        db.create("R", ("A", "B"), [(NULL, 10), (1.0, 20)])
+        db.create("S", ("A", "B"), [(nan, 7), (0.5, 5)])
+        for op in ("<", "<=", ">", ">="):
+            for template in (
+                THETA_GAMMA.format(op=op, agg="count"),
+                THETA_ROWS.format(op=op),
+            ):
+                stats = self._check(db, parse(template), SOUFFLE_CONVENTIONS)
+                assert stats.band_index_builds == 0
+                assert stats.lateral_reevals == len(db["R"])
+
+    def test_null_band_values_3vl_skips_2vl_falls_back(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (2, 20)])
+        db.create("S", ("A", "B"), [(0, 5), (NULL, 7), (1, 11)])
+        query = parse(THETA_GAMMA.format(op="<", agg="sum"))
+        # 3VL: a NULL band value is UNKNOWN for every probe — excluded at
+        # build time, and the index counts as tri-bucket.
+        stats = self._check(db, query, SQL_CONVENTIONS)
+        assert stats.band_index_builds == 1
+        assert stats.tribucket_probes == len(db["R"])
+        # 2VL orders NULL before everything: the sorted band cannot carry
+        # that exactly, so the build aborts and the per-row oracle runs.
+        stats = self._check(db, query, SOUFFLE_CONVENTIONS)
+        assert stats.band_index_builds == 0
+        assert stats.lateral_reevals == len(db["R"])
+
+    def test_null_probe_value_under_2vl_orders_before_everything(self):
+        # Outer NULL probes: under 2VL NULL sorts first, so `s.A > r.A`
+        # selects the whole band and `s.A < r.A` selects nothing.
+        db = Database()
+        db.create("R", ("A", "B"), [(NULL, 10), (1, 20)])
+        db.create("S", ("A", "B"), [(0, 5), (2, 7)])
+        for op in ("<", "<=", ">", ">="):
+            stats = self._check(
+                db,
+                parse(THETA_GAMMA.format(op=op, agg="count")),
+                SOUFFLE_CONVENTIONS,
+            )
+            assert stats.band_index_builds == 1
+            assert stats.lateral_reevals == 0
+
+    def test_empty_inner_relation_still_band_indexes(self):
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (2, 20)])
+        db.create("S", ("A", "B"), [])
+        for op in ("<", ">"):
+            for template in (THETA_GAMMA.format(op=op, agg="sum"), THETA_ROWS.format(op=op)):
+                stats = self._check(db, parse(template))
+                assert stats.band_index_builds == 1
+                assert stats.lateral_reevals == 0
+
+    def test_mixed_kind_band_values_fall_back_per_row(self):
+        # int and str band values have no total order consistent with the
+        # comparison semantics (both directions compare FALSE), so the
+        # build refuses and the per-row oracle runs — once per catalog
+        # state, cached as unsupported.
+        db = Database()
+        db.create("R", ("A", "B"), [(1, 10), (2, 20)])
+        db.create("S", ("A", "B"), [(0, 5), ("x", 7)])
+        stats = self._check(db, parse(THETA_GAMMA.format(op="<", agg="count")))
+        assert stats.band_index_builds == 0
+        assert stats.lateral_reevals == len(db["R"])
+
+    def test_mutation_invalidates_a_cached_band_index_mid_session(self):
+        db = _db()
+        query = parse(THETA_GAMMA.format(op="<", agg="sum"))
+        evaluator = Evaluator(db, SQL_CONVENTIONS)
+        first = evaluator.evaluate(query)
+        assert evaluator.stats.band_index_builds == 1
+
+        # A second evaluation (same warm caches) probes the shared index.
+        evaluator.evaluate(query)
+        assert evaluator.stats.band_index_builds == 1
+
+        db["S"].add((0, 100))  # mutation drops the shared band index
+        changed = evaluator.evaluate(query)
+        assert evaluator.stats.band_index_builds == 2
+        assert changed != first
+        assert changed == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)
+
+    def test_unreachable_null_group_build_failure_falls_back(self):
+        # The eq-strategy build aggregates *every* group of the rewritten
+        # collection — including the NULL-keyed group, which no 3VL probe
+        # can ever reach.  If that unreachable group's aggregate raises
+        # (heterogeneous sum), the build must fall back to the per-row
+        # oracle instead of surfacing an error the oracle never produces.
+        db = Database()
+        db.create("R", ("K0", "misc"), [(1, 0), (2, 1)])
+        db.create("S", ("K0", "B"), [(1, 10), (2, 20), (NULL, "oops")])
+        query = sweeps.correlated_aggregate_query(agg="sum")
+        evaluator = Evaluator(db, SQL_CONVENTIONS)
+        result = evaluator.evaluate(query)
+        assert evaluator.stats.decorr_index_builds == 0  # build refused
+        assert evaluator.stats.lateral_reevals == len(db["R"])
+        oracle = Evaluator(db, SQL_CONVENTIONS, decorrelate=False)
+        assert result == oracle.evaluate(query)
+
+    def test_band_indexes_are_shared_across_evaluators(self):
+        db = _db()
+        query = parse(THETA_GAMMA.format(op="<", agg="sum"))
+        first = Evaluator(db, SQL_CONVENTIONS)
+        first.evaluate(query)
+        assert first.stats.band_index_builds == 1
+        second = Evaluator(db, SQL_CONVENTIONS)
+        second.evaluate(query)
+        assert second.stats.band_index_builds == 0  # reused, not rebuilt
+
+
+class TestBandSqlRewrite:
+    def test_non_grouped_band_joins_through_the_inequality(self):
+        # A non-grouped θ shape unnest refuses (the inner binding is itself
+        # a collection): the band FIO rewrite renders it as an uncorrelated
+        # derived table joined through the projected band key.
+        correlated = parse(
+            "{Q(A, B) | ∃r ∈ R, z ∈ {Z(B) | ∃u ∈ {U(B) | ∃s ∈ S"
+            "[U.B = s.B]}[Z.B = u.B ∧ u.B < r.A]}[Q.A = r.A ∧ Q.B = z.B]}"
+        )
+        db = _db()
+        rewritten, leftovers = decorrelate.rewrite_for_sql(correlated)
+        assert leftovers == ()
+        # The derived table is uncorrelated (no lateral keyword needed).
+        for sub in rewritten.walk():
+            if isinstance(sub, n.Binding) and isinstance(sub.source, n.Collection):
+                from repro.core.scopes import free_variables
+
+                assert not free_variables(sub.source)
+        assert evaluate(rewritten, db, SQL_CONVENTIONS) == evaluate(
+            correlated, db, SQL_CONVENTIONS, planner=False
+        )

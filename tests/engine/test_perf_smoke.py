@@ -53,7 +53,9 @@ def test_reference_strategy_does_quadratic_work():
 def test_plan_cache_hits_on_reevaluation():
     db = sweeps.size_sweep_database(30, seed=4)
     query = sweeps.lateral_query()
-    evaluator = Evaluator(db)
+    # decorrelate=False keeps the per-row FOI strategy (the θ-correlated
+    # inner scope would otherwise band-decorrelate and evaluate once).
+    evaluator = Evaluator(db, decorrelate=False)
     evaluator.evaluate(query)
     # The correlated inner scope re-evaluates per outer row; after the
     # first row its plan must come from the cache.
@@ -223,3 +225,83 @@ def test_cli_exposes_no_decorrelate_flag():
         ["eval", "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "--no-decorrelate"]
     )
     assert args.no_decorrelate is True
+
+
+# -- θ-band indexes and batched γ∅ compensation --------------------------------
+
+
+def test_band_decorrelated_theta_lateral_builds_one_index():
+    """The E27 tentpole, counter-shaped: a θ-correlated γ∅ lateral builds
+    exactly one band index and never re-evaluates the inner scope per
+    outer row (``lateral_reevals == 0``)."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = sweeps.theta_sweep_database(300, 300, band_domain=300, seed=1)
+    query = sweeps.theta_aggregate_query(op="<", agg="sum")
+    evaluator = Evaluator(db, SQL_CONVENTIONS)
+    result = evaluator.evaluate(query)
+    assert len(result) == len(db["R"])  # γ∅ emits one row per outer row
+    stats = evaluator.stats
+    assert stats.laterals_decorrelated >= 1, stats.as_dict()
+    assert stats.band_index_builds == 1, stats.as_dict()
+    assert stats.lateral_reevals == 0, stats.as_dict()
+    assert stats.index_probes >= len(db["R"]), stats.as_dict()
+
+    per_row = Evaluator(db, SQL_CONVENTIONS, decorrelate=False)
+    assert per_row.evaluate(query) == result
+    assert per_row.stats.lateral_reevals == len(db["R"])
+    assert per_row.stats.band_index_builds == 0
+
+
+def test_band_index_is_cached_and_mutation_invalidates():
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = sweeps.theta_sweep_database(60, 60, seed=2)
+    query = sweeps.theta_aggregate_query(op=">=", agg="count")
+    first = Evaluator(db, SQL_CONVENTIONS)
+    first.evaluate(query)
+    assert first.stats.band_index_builds == 1
+
+    second = Evaluator(db, SQL_CONVENTIONS)
+    result = second.evaluate(query)
+    assert second.stats.band_index_builds == 0  # reused across evaluators
+
+    db["S"].add((0, 99))
+    third = Evaluator(db, SQL_CONVENTIONS)
+    changed = third.evaluate(query)
+    assert third.stats.band_index_builds == 1  # mutation dropped the cache
+    assert changed == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)
+    assert changed != result
+
+
+def test_gamma_empty_misses_are_domain_join_batched():
+    """All-miss γ∅: the empty-group frame is synthesized exactly once (the
+    domain-join compensation) instead of once per missing outer key, and
+    the per-frame path is never taken."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = sweeps.correlated_sweep_database(40, 60, seed=6, miss_rate=1.0)
+    query = sweeps.correlated_aggregate_query(agg="count")
+    evaluator = Evaluator(db, SQL_CONVENTIONS)
+    result = evaluator.evaluate(query)
+    assert len(result) == len(db["R"])  # γ∅ emits a row per outer row
+    stats = evaluator.stats
+    assert stats.lateral_probe_misses == len(db["R"])
+    assert stats.domain_join_compensations == 1, stats.as_dict()
+    assert stats.lateral_reevals == 0
+    assert stats.decorr_index_builds == 1
+
+
+def test_tribucket_probes_count_on_nullable_keys():
+    """NULL-able correlation keys under 3VL decorrelate (no refusal): the
+    index is UNKNOWN-aware and every probe against it is counted."""
+    from repro.core.conventions import SQL_CONVENTIONS
+
+    db = sweeps.correlated_sweep_database(30, 50, seed=8, null_rate=0.3)
+    query = sweeps.correlated_aggregate_query(agg="sum")
+    evaluator = Evaluator(db, SQL_CONVENTIONS)
+    result = evaluator.evaluate(query)
+    stats = evaluator.stats
+    assert stats.lateral_reevals == 0, stats.as_dict()
+    assert stats.tribucket_probes == len(db["R"]), stats.as_dict()
+    assert result == Evaluator(db, SQL_CONVENTIONS, planner=False).evaluate(query)

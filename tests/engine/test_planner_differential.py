@@ -255,13 +255,49 @@ def test_correlated_lateral_all_outer_groups_empty_agrees():
 
 
 def test_correlated_lateral_null_keys_agree():
-    """NULL correlation keys: refused under 3VL (falls back per-row), probed
-    through the NULL bucket under 2VL — both must match the reference."""
+    """NULL correlation keys: probed through the UNKNOWN-aware tri-bucket
+    index under 3VL, through the NULL bucket under 2VL — both must match
+    the reference."""
     for grouped in (False, True):
         query = sweeps.correlated_aggregate_query(agg="sum", grouped=grouped)
         db = sweeps.correlated_sweep_database(20, 30, seed=7, null_rate=0.3)
         for _, conventions in CONVENTION_SET + [("souffle", SOUFFLE_CONVENTIONS)]:
             assert_decorrelation_agrees(query, db, conventions)
+
+
+def test_theta_correlated_family_agrees():
+    """Seeded θ-band family (E27): operator, aggregate, equality-key
+    bucketing, NULL-able keys (tri-bucket under 3VL, build fallback under
+    2VL), and the non-grouped slice shape."""
+    rng = random.Random(2718)
+    for trial in range(10):
+        op = rng.choice(["<", "<=", ">", ">="])
+        eq_arity = rng.choice([0, 0, 1])
+        null_rate = rng.choice([0.0, 0.0, 0.3])
+        null_band_rate = rng.choice([0.0, 0.0, 0.25])
+        db = sweeps.theta_sweep_database(
+            rng.randint(0, 25),
+            rng.randint(0, 40),
+            eq_arity=eq_arity,
+            seed=trial,
+            null_rate=null_rate,
+            null_band_rate=null_band_rate,
+        )
+        if rng.random() < 0.7:
+            query = sweeps.theta_aggregate_query(
+                op=op, agg=rng.choice(CORRELATED_AGGS), eq_arity=eq_arity
+            )
+        else:
+            query = sweeps.theta_rows_query(op=op)
+        for _, conventions in CONVENTION_SET + [("souffle", SOUFFLE_CONVENTIONS)]:
+            assert_decorrelation_agrees(query, db, conventions)
+
+
+def test_theta_join_inner_agrees():
+    query = sweeps.theta_join_aggregate_query()
+    db = sweeps.theta_sweep_database(20, 25, seed=4, with_join=True)
+    for _, conventions in CONVENTION_SET:
+        assert_decorrelation_agrees(query, db, conventions)
 
 
 def test_paper_correlated_workloads_decorrelation_agrees():

@@ -130,7 +130,35 @@ class TestEval:
     def test_repeat_default_prints_no_timings(self, capsys, csv_r):
         code = main(["eval", "--db", csv_r, "{Q(A) | ∃r ∈ R[Q.A = r.A]}"])
         assert code == 0
-        assert "run 1:" not in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "run 1:" not in out
+        assert "decorrelation:" not in out
+
+    def test_repeat_prints_decorrelation_counters(self, capsys, csv_r):
+        theta = (
+            "{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ R, γ ∅"
+            "[s.A < r.A ∧ X.sm = sum(s.B)]}[Q.A = r.A ∧ Q.sm = x.sm]}"
+        )
+        code = main(
+            [
+                "eval",
+                "--db",
+                csv_r,
+                "--conventions",
+                "sql",
+                "--repeat",
+                "2",
+                theta,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The θ lateral band-decorrelates: the index builds once (cold run)
+        # and the warm run probes it; the counters line shows both.
+        assert "decorrelation:" in out
+        assert "band_index_builds=1" in out
+        assert "lateral_reevals=0" in out
+        assert "tribucket_probes=0" in out
 
     def test_contradictory_engine_flags_error(self, capsys, csv_r):
         code = main(
