@@ -37,10 +37,13 @@ from .data import NULL, Database, Relation, Truth, Tuple
 from .engine import Evaluator, evaluate, standard_registry
 from .errors import (
     ArcError,
+    BudgetExceeded,
     EvaluationError,
     LinkError,
     OptionsError,
     ParseError,
+    QueryTimeout,
+    ResourceError,
     RewriteError,
     SchemaError,
     ValidationError,
@@ -75,10 +78,13 @@ __all__ = [
     "evaluate",
     "standard_registry",
     "ArcError",
+    "BudgetExceeded",
     "EvaluationError",
     "LinkError",
     "OptionsError",
     "ParseError",
+    "QueryTimeout",
+    "ResourceError",
     "RewriteError",
     "SchemaError",
     "ValidationError",

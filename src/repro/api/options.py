@@ -19,6 +19,38 @@ import warnings
 from dataclasses import dataclass, replace
 
 from ..errors import OptionsError
+from ..util.deadline import Deadline
+
+
+def validate_budget(timeout_ms, max_rows, *, flavor=""):
+    """Raise :class:`OptionsError` on malformed deadline/budget values.
+
+    Shared by :class:`EvalOptions` and the per-request overrides ``repro
+    serve`` accepts, so both reject the same shapes with the same wording.
+    *flavor* prefixes the message (e.g. ``"request "``).
+    """
+    if timeout_ms is not None:
+        if isinstance(timeout_ms, bool) or not isinstance(
+            timeout_ms, (int, float)
+        ):
+            raise OptionsError(
+                f"{flavor}timeout_ms must be a number of milliseconds, got "
+                f"{timeout_ms!r}"
+            )
+        if timeout_ms <= 0:
+            raise OptionsError(
+                f"{flavor}timeout_ms must be positive, got {timeout_ms!r}"
+            )
+    if max_rows is not None:
+        if isinstance(max_rows, bool) or not isinstance(max_rows, int):
+            raise OptionsError(
+                f"{flavor}max_rows must be an integer row count, got "
+                f"{max_rows!r}"
+            )
+        if max_rows <= 0:
+            raise OptionsError(
+                f"{flavor}max_rows must be positive, got {max_rows!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -48,6 +80,16 @@ class EvalOptions:
         :class:`~repro.backends.exec.BackendFallbackWarning`) when the
         requested backend cannot honor the query.  ``False`` raises
         :class:`~repro.backends.exec.BackendUnsupported` instead.
+    timeout_ms:
+        Wall-clock deadline per run, in milliseconds.  Exceeding it raises
+        :class:`~repro.errors.QueryTimeout` from whichever execution tier
+        notices first (planner loops, fixpoint rounds, or the SQLite
+        progress handler).  None (default) = unbounded.
+    max_rows:
+        Row budget per run: the maximum rows a run may produce across all
+        execution tiers (results and materialized intermediates).
+        Exceeding it raises :class:`~repro.errors.BudgetExceeded`.
+        None (default) = unbounded.
     """
 
     planner: bool = True
@@ -55,8 +97,11 @@ class EvalOptions:
     backend: str | None = None
     db_file: str | None = None
     fallback: bool = True
+    timeout_ms: int | float | None = None
+    max_rows: int | None = None
 
     def __post_init__(self):
+        validate_budget(self.timeout_ms, self.max_rows)
         if self.backend is not None and not self.planner:
             raise OptionsError(
                 f"planner=False and backend={self.backend!r} both select an "
@@ -87,6 +132,21 @@ class EvalOptions:
             return self
         db_file = self.db_file if backend == "sqlite" else None
         return replace(self, backend=backend, db_file=db_file)
+
+    def deadline(self, timeout_ms=None, max_rows=None):
+        """Arm a :class:`~repro.util.deadline.Deadline` for one run.
+
+        Per-run overrides (e.g. a request-level ``timeout_ms`` from
+        ``repro serve``) take precedence over the option set's defaults;
+        returns None when neither source sets a bound, so the unbounded
+        path stays entirely check-free.
+        """
+        validate_budget(timeout_ms, max_rows, flavor="override ")
+        timeout_ms = timeout_ms if timeout_ms is not None else self.timeout_ms
+        max_rows = max_rows if max_rows is not None else self.max_rows
+        if timeout_ms is None and max_rows is None:
+            return None
+        return Deadline(timeout_ms=timeout_ms, max_rows=max_rows)
 
 
 #: Legacy ``evaluate(...)`` kwargs that have already warned this process.

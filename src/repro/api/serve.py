@@ -21,9 +21,23 @@ byte-identical bodies::
     {"kind": "relation", "name": "Q", "columns": ["A"],
      "rows": [[1], [2]], "row_count": 2, "fallback": []}
 
-``GET /healthz`` answers liveness; ``GET /stats`` exposes the session's
-execution counters.  Errors return 400 (bad request / query errors) or
-500 with ``{"error": ...}``.
+``GET /healthz`` answers liveness — 200 while healthy, **503 degraded**
+while any backend circuit breaker is open; ``GET /stats`` exposes the
+session's execution counters plus the breaker states.  Errors return 400
+(bad request / query errors), 404, 408 (:class:`~repro.errors.QueryTimeout`),
+413 (:class:`~repro.errors.BudgetExceeded` or an oversized request body),
+or 500, always with ``{"error": ..., "error_type": ...}``.
+
+Operational hardening
+---------------------
+* requests may override the session's budget per run:
+  ``{"query": ..., "timeout_ms": 250, "max_rows": 10000}`` — validated
+  through the same :func:`repro.api.options.validate_budget` the
+  :class:`~repro.api.EvalOptions` constructor uses;
+* request bodies are bounded (``max_body_bytes``, default 1 MiB) and an
+  oversized ``Content-Length`` is refused *before* reading the body;
+* :func:`install_sigterm_handler` makes SIGTERM drain the in-flight
+  request and stop accepting, instead of killing mid-response.
 
 The server is deliberately **single-threaded** (:class:`http.server.HTTPServer`):
 a Session is not thread-safe, and serializing requests keeps every warm
@@ -34,14 +48,21 @@ external balancer.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
-import warnings
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
+from ..backends.exec import breaker_states
 from ..data.relation import Relation
 from ..data.values import NULL, Truth
-from ..errors import ArcError
+from ..errors import ArcError, BudgetExceeded, OptionsError, QueryTimeout
 from ..frontends import FRONTENDS
+from .options import validate_budget
+
+#: Default bound on request bodies (1 MiB): a query is text, not a bulk
+#: upload, so anything larger is a client error or an attack.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 def _json_value(value):
@@ -71,10 +92,12 @@ def _result_body(result, fallback_reasons):
 class QueryServer(HTTPServer):
     """An HTTP server bound to one warm Session (one catalog)."""
 
-    def __init__(self, address, session, *, quiet=True):
+    def __init__(self, address, session, *, quiet=True,
+                 max_body_bytes=DEFAULT_MAX_BODY_BYTES):
         super().__init__(address, _Handler)
         self.session = session
         self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
         self.started = time.monotonic()
         self.requests_served = 0
 
@@ -109,10 +132,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self):
         if self.path == "/healthz":
             session = self.server.session
+            breakers = breaker_states()
+            degraded = sorted(
+                name
+                for name, snap in breakers.items()
+                if snap["state"] == "open"
+            )
             self._send_json(
-                200,
+                503 if degraded else 200,
                 {
-                    "status": "ok",
+                    "status": "degraded" if degraded else "ok",
+                    "degraded_backends": degraded,
+                    "breakers": breakers,
                     "relations": sorted(session.database.names()),
                     "backend": session.options.backend or "planner",
                     "requests": self.server.requests_served,
@@ -128,12 +159,27 @@ class _Handler(BaseHTTPRequestHandler):
                 catalog_hits=session.catalog_hits,
                 probe_hits=session.probe_hits,
                 requests=self.server.requests_served,
+                breakers=breaker_states(),
             )
             self._send_json(200, stats)
             return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     # -- POST /query -------------------------------------------------------
+
+    def _error(self, status, exc_or_message, *, close=False):
+        if isinstance(exc_or_message, BaseException):
+            body = {
+                "error": str(exc_or_message),
+                "error_type": type(exc_or_message).__name__,
+            }
+        else:
+            body = {"error": exc_or_message, "error_type": "BadRequest"}
+        headers = ()
+        if close:
+            self.close_connection = True
+            headers = (("Connection", "close"),)
+        self._send_json(status, body, headers=headers)
 
     def do_POST(self):
         # Drain the request body before any response: on a keep-alive
@@ -142,10 +188,20 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
-            self.close_connection = True  # cannot drain an unknown length
-            self._send_json(
-                400, {"error": "bad Content-Length"},
-                headers=(("Connection", "close"),),
+            # Cannot drain an unknown length: refuse and drop the socket.
+            self._error(400, "bad Content-Length", close=True)
+            return
+        if length < 0:
+            self._error(400, "negative Content-Length", close=True)
+            return
+        if length > self.server.max_body_bytes:
+            # Refused *before* reading: draining an attacker-sized body
+            # would be the very resource sink the bound exists to prevent.
+            self._error(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes} byte limit",
+                close=True,
             )
             return
         payload = self.rfile.read(length)
@@ -171,28 +227,42 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": f"unknown frontend {frontend!r}; choose from {FRONTENDS}"},
             )
             return
+        timeout_ms = request.get("timeout_ms")
+        max_rows = request.get("max_rows")
+        try:
+            validate_budget(timeout_ms, max_rows, flavor="request ")
+        except OptionsError as exc:
+            self._error(400, exc)
+            return
         session = self.server.session
         start = time.perf_counter()
         try:
             prepared = session.prepare(request["query"], frontend)
             warm = prepared.run_count > 0
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                result = prepared.run(backend=request.get("backend"))
+            info = prepared.run_info(
+                backend=request.get("backend"),
+                timeout_ms=timeout_ms,
+                max_rows=max_rows,
+            )
+        except QueryTimeout as exc:
+            # The query is dead but the connection is fine: answer 408 and
+            # keep serving (the body was drained above).
+            self._error(408, exc)
+            return
+        except BudgetExceeded as exc:
+            self._error(413, exc)
+            return
         except ArcError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._error(400, exc)
             return
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._error(500, exc)
             return
         elapsed_us = int((time.perf_counter() - start) * 1_000_000)
-        reasons = []
-        for entry in caught:
-            reasons.extend(getattr(entry.message, "reasons", ()))
         self.server.requests_served += 1
         self._send_json(
             200,
-            _result_body(result, reasons),
+            _result_body(info["result"], info["fallback_reasons"]),
             headers=(
                 ("X-Arc-Elapsed-Us", str(elapsed_us)),
                 ("X-Arc-Warm", "1" if warm else "0"),
@@ -200,11 +270,38 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-def make_server(session, host="127.0.0.1", port=0, *, quiet=True):
+def make_server(session, host="127.0.0.1", port=0, *, quiet=True,
+                max_body_bytes=DEFAULT_MAX_BODY_BYTES):
     """Bind a :class:`QueryServer` for *session* (``port=0`` = ephemeral).
 
     The caller drives it: ``server.serve_forever()`` to block,
     ``server.handle_request()`` for one request, ``server.server_close()``
     to release the socket.  ``server.url`` reports the bound address.
     """
-    return QueryServer((host, port), session, quiet=quiet)
+    return QueryServer(
+        (host, port), session, quiet=quiet, max_body_bytes=max_body_bytes
+    )
+
+
+def install_sigterm_handler(server, *, signals=(signal.SIGTERM, signal.SIGINT)):
+    """Make *signals* shut *server* down gracefully; returns the handler.
+
+    ``HTTPServer.shutdown()`` blocks until ``serve_forever`` exits, and the
+    signal handler runs **on** the serving thread — calling it directly
+    would deadlock.  The handler instead fires ``shutdown()`` from a helper
+    thread: ``serve_forever`` finishes the in-flight request (the loop is
+    synchronous, so a request in progress always completes and its response
+    is written) and then stops accepting.  Idempotent under signal storms:
+    only the first delivery spawns the shutdown thread.
+    """
+    fired = []
+
+    def _handler(signum, frame):
+        if fired:
+            return
+        fired.append(signum)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in signals:
+        signal.signal(signum, _handler)
+    return _handler

@@ -37,7 +37,7 @@ from ..data.relation import Relation
 from ..engine.evaluator import Evaluator
 from ..engine.externals import standard_registry
 from ..engine.planner import ExecutionStats
-from ..errors import OptionsError
+from ..errors import BudgetExceeded, OptionsError, QueryTimeout
 from ..frontends import load_query
 from .options import EvalOptions
 
@@ -63,13 +63,37 @@ class Prepared:
         self.frontend = frontend
         self.run_count = 0
 
-    def run(self, backend=None):
+    def run(self, backend=None, *, timeout_ms=None, max_rows=None):
         """Evaluate on the session's engine (or *backend* for this run).
 
         Returns a :class:`~repro.data.relation.Relation` for collections
         and programs, a :class:`~repro.data.values.Truth` for sentences.
+        ``timeout_ms`` / ``max_rows`` override the session options' budget
+        for this run only; exceeding either raises
+        :class:`~repro.errors.QueryTimeout` /
+        :class:`~repro.errors.BudgetExceeded`.
         """
-        return self.session._run_prepared(self, backend)
+        return self.session._run_prepared(
+            self, backend, timeout_ms=timeout_ms, max_rows=max_rows
+        )
+
+    def run_info(self, backend=None, *, timeout_ms=None, max_rows=None):
+        """Like :meth:`run`, plus execution metadata.
+
+        Returns ``{"result": ..., "fallback_reasons": [...]}`` where the
+        reasons list is the explicit channel for backend-fallback
+        explanations (empty when the requested engine ran the query
+        itself).  ``repro serve`` uses this instead of sniffing warnings.
+        """
+        reasons = []
+        result = self.session._run_prepared(
+            self,
+            backend,
+            timeout_ms=timeout_ms,
+            max_rows=max_rows,
+            reasons=reasons,
+        )
+        return {"result": result, "fallback_reasons": reasons}
 
     def __repr__(self):
         source = self.text if self.text is not None else type(self.node).__name__
@@ -85,11 +109,13 @@ class SessionContext:
     this package.
     """
 
-    __slots__ = ("session", "options")
+    __slots__ = ("session", "options", "deadline")
 
-    def __init__(self, session, options):
+    def __init__(self, session, options, deadline=None):
         self.session = session
         self.options = options
+        #: Armed Deadline for this run, or None (unbounded).
+        self.deadline = deadline
 
     @property
     def stats(self):
@@ -176,28 +202,40 @@ class Session:
 
     # -- running -----------------------------------------------------------
 
-    def _run_prepared(self, prepared, backend=None):
+    def _run_prepared(self, prepared, backend=None, *, timeout_ms=None,
+                      max_rows=None, reasons=None):
         options = self.options.with_backend(backend)
-        if options.backend is None:
-            result = self._evaluator(options).evaluate(prepared.node)
-        else:
-            from ..backends.exec import run_backend
+        deadline = options.deadline(timeout_ms, max_rows)
+        try:
+            if options.backend is None:
+                result = self._evaluator(options, deadline).evaluate(
+                    prepared.node
+                )
+            else:
+                from ..backends.exec import run_backend
 
-            result = run_backend(
-                prepared.node,
-                self.database,
-                self.conventions,
-                options.backend,
-                externals=self.externals,
-                fallback=options.fallback,
-                context=SessionContext(self, options),
-            )
+                result = run_backend(
+                    prepared.node,
+                    self.database,
+                    self.conventions,
+                    options.backend,
+                    externals=self.externals,
+                    fallback=options.fallback,
+                    context=SessionContext(self, options, deadline),
+                    reasons=reasons,
+                )
+        except QueryTimeout:
+            self.stats.timeouts += 1
+            raise
+        except BudgetExceeded:
+            self.stats.budget_exceeded += 1
+            raise
         # Counted only on success: a failed run leaves the query cold, so
         # serve's X-Arc-Warm header never marks an errored first attempt.
         prepared.run_count += 1
         return result
 
-    def _evaluator(self, options):
+    def _evaluator(self, options, deadline=None):
         """A fresh in-process evaluator sharing this session's stats.
 
         Evaluator instances are cheap and carry per-program definition
@@ -211,6 +249,7 @@ class Session:
             self.externals,
             planner=options.planner,
             decorrelate=options.decorrelate,
+            deadline=deadline,
         )
         evaluator.stats = self.stats
         return evaluator

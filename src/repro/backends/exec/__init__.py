@@ -4,12 +4,16 @@ from .registry import (
     Backend,
     BackendFallbackWarning,
     BackendUnsupported,
+    CircuitBreaker,
     PlannerBackend,
     ReferenceBackend,
     SqliteBackend,  # None when sqlite3 is unavailable (registry guards it)
     available_backends,
+    breaker_for,
+    breaker_states,
     get_backend,
     register,
+    reset_breakers,
     run_backend,
 )
 
@@ -28,14 +32,18 @@ __all__ = [
     "Backend",
     "BackendFallbackWarning",
     "BackendUnsupported",
+    "CircuitBreaker",
     "PlannerBackend",
     "ReferenceBackend",
     "SqliteBackend",
     "available_backends",
+    "breaker_for",
+    "breaker_states",
     "catalog_fingerprint",
     "clear_catalog_cache",
     "connect_catalog",
     "get_backend",
     "register",
+    "reset_breakers",
     "run_backend",
 ]

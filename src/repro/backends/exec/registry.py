@@ -24,9 +24,10 @@ tells the caller which engine actually ran.
 
 from __future__ import annotations
 
+import time
 import warnings
 
-from ...errors import EvaluationError
+from ...errors import EvaluationError, ResourceError
 
 
 class BackendUnsupported(EvaluationError):
@@ -86,7 +87,12 @@ def _in_process(node, database, conventions, externals, context, *,
     from ...engine.evaluator import Evaluator
 
     evaluator = Evaluator(
-        database, conventions, externals, planner=planner, decorrelate=decorrelate
+        database, conventions, externals, planner=planner,
+        decorrelate=decorrelate,
+        # The context's armed Deadline (if any) rides into the engine —
+        # including a planner substituted on fallback, which inherits the
+        # *remaining* budget of the run that failed over.
+        deadline=getattr(context, "deadline", None),
     )
     if context is not None:
         evaluator.stats = context.stats
@@ -130,6 +136,117 @@ class PlannerBackend(Backend):
 
 _REGISTRY = {}
 
+#: Consecutive runtime failures before a backend's breaker opens.
+BREAKER_THRESHOLD = 5
+#: Seconds an open breaker waits before letting one half-open probe through.
+BREAKER_COOLDOWN_S = 30.0
+
+
+class CircuitBreaker:
+    """Per-backend failure breaker: closed → open → half-open → closed.
+
+    *Runtime* failures (a ``run`` that raises — :class:`BackendUnsupported`
+    the static probe missed, or an untyped infrastructure error) count;
+    static probe refusals are expected steady-state behavior and do not,
+    and :class:`~repro.errors.ResourceError` is the caller's budget, not
+    the backend's health.  After ``threshold`` consecutive failures the
+    breaker **opens**: dispatch skips the backend entirely (straight to
+    planner fallback, no probe).  After ``cooldown_s`` it turns
+    **half-open** and admits one trial run — success closes it, failure
+    re-opens it for another cooldown.  The clock is injectable so tests
+    drive the state machine deterministically.
+    """
+
+    __slots__ = (
+        "name", "threshold", "cooldown_s", "failures", "trips",
+        "_state", "_opened_at", "_clock",
+    )
+
+    def __init__(self, name, threshold=BREAKER_THRESHOLD,
+                 cooldown_s=BREAKER_COOLDOWN_S, *, clock=time.monotonic):
+        self.name = name
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.failures = 0
+        self.trips = 0
+        self._state = "closed"
+        self._opened_at = None
+        self._clock = clock
+
+    @property
+    def state(self):
+        """``"closed"``, ``"open"``, or ``"half-open"`` (cooldown elapsed)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return "half-open"
+        return self._state
+
+    def allow(self):
+        """Whether dispatch may try the backend now.
+
+        Transitions open → half-open when the cooldown has elapsed, so the
+        admitted run is the breaker's single trial.
+        """
+        state = self.state
+        if state == "half-open":
+            self._state = "half-open"
+            return True
+        return state != "open"
+
+    def record_success(self):
+        self.failures = 0
+        self._state = "closed"
+        self._opened_at = None
+
+    def record_failure(self):
+        """Count one runtime failure; True when this failure *trips* open."""
+        self.failures += 1
+        if self._state == "half-open" or (
+            self._state == "closed" and self.failures >= self.threshold
+        ):
+            self._state = "open"
+            self._opened_at = self._clock()
+            self.trips += 1
+            return True
+        return False
+
+    def snapshot(self):
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+        }
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+            f"failures={self.failures}, trips={self.trips})"
+        )
+
+
+#: backend name -> its process-wide breaker (created on first dispatch).
+_BREAKERS = {}
+
+
+def breaker_for(name):
+    """The process-wide :class:`CircuitBreaker` for backend *name*."""
+    breaker = _BREAKERS.get(name)
+    if breaker is None:
+        breaker = _BREAKERS[name] = CircuitBreaker(name)
+    return breaker
+
+
+def breaker_states():
+    """Snapshot of every instantiated breaker: ``{name: {state, ...}}``."""
+    return {name: _BREAKERS[name].snapshot() for name in sorted(_BREAKERS)}
+
+
+def reset_breakers():
+    """Drop every breaker (test isolation / cold-start state)."""
+    _BREAKERS.clear()
+
 
 def register(backend):
     """Register *backend* under its name (replacing any previous holder)."""
@@ -152,6 +269,12 @@ def available_backends():
     return sorted(_REGISTRY)
 
 
+def _count_failure(breaker, context):
+    """Record a runtime failure; mirror a trip into the session stats."""
+    if breaker.record_failure() and context is not None:
+        context.stats.breaker_trips += 1
+
+
 def run_backend(
     node,
     database,
@@ -161,47 +284,84 @@ def run_backend(
     externals=None,
     fallback=True,
     context=None,
+    reasons=None,
     **options,
 ):
     """Evaluate *node* on the named backend, falling back to the planner.
 
     The fallback triggers when the backend's capability probe reports
-    problems or its ``run`` raises :class:`BackendUnsupported` (e.g. SQLite
-    rejecting a construct the static probe could not see).  ``fallback=False``
-    turns both into a raised :class:`BackendUnsupported` instead.
+    problems, its ``run`` raises :class:`BackendUnsupported` (e.g. SQLite
+    rejecting a construct the static probe could not see), or the backend's
+    circuit breaker is open after repeated runtime failures.
+    ``fallback=False`` turns all of these into a raised
+    :class:`BackendUnsupported` instead.
 
     *context* is a session context (see :class:`Backend`): its options
     fill in the loose kwargs, its probe memo answers repeated capability
     checks warm, and it is threaded through to the engine (including the
     planner substituted on fallback, so session stats see the run).
+
+    *reasons* is the explicit fallback-reason channel: when a list is
+    supplied, the probe findings are appended to it **instead of** emitting
+    a :class:`BackendFallbackWarning` — callers that want to report why an
+    offload failed over (``repro serve``) read the list rather than
+    sniffing the warnings machinery.
     """
     engine = get_backend(backend)
-    if context is not None:
-        options.setdefault("decorrelate", context.options.decorrelate)
-        problems = context.probe(engine, node, conventions, database, options)
-    else:
-        problems = engine.capabilities(node, conventions, database, **options)
+    # The planner is the fallback target, so it carries no breaker — a
+    # planner outage has nowhere to fail over to.
+    breaker = breaker_for(engine.name) if engine.name != PlannerBackend.name else None
+    problems = None
+    if breaker is not None and not breaker.allow():
+        problems = [
+            f"circuit breaker for backend {engine.name!r} is open "
+            f"(cooling down after {breaker.failures} consecutive failures)"
+        ]
+    if problems is None:
+        if context is not None:
+            options.setdefault("decorrelate", context.options.decorrelate)
+            problems = context.probe(engine, node, conventions, database, options)
+        else:
+            problems = engine.capabilities(node, conventions, database, **options)
     if not problems:
         try:
-            return engine.run(
+            result = engine.run(
                 node, database, conventions, externals=externals,
                 context=context, **options
             )
         except BackendUnsupported as exc:
+            # A *runtime* refusal the static probe missed: counts toward
+            # the breaker (unlike probe refusals, which are steady-state).
+            if breaker is not None:
+                _count_failure(breaker, context)
             problems = [str(exc)]
+        except ResourceError:
+            # The caller's deadline/budget, not the backend's health.
+            raise
+        except Exception:
+            if breaker is not None:
+                _count_failure(breaker, context)
+            raise
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result
     reason = "; ".join(problems)
     if not fallback or engine.name == PlannerBackend.name:
         raise BackendUnsupported(
             f"backend {engine.name!r} cannot evaluate this query: {reason}"
         )
-    warnings.warn(
-        BackendFallbackWarning(
-            f"backend {engine.name!r} cannot evaluate this query ({reason}); "
-            "falling back to the planner",
-            problems,
-        ),
-        stacklevel=2,
-    )
+    if reasons is not None:
+        reasons.extend(problems)
+    else:
+        warnings.warn(
+            BackendFallbackWarning(
+                f"backend {engine.name!r} cannot evaluate this query "
+                f"({reason}); falling back to the planner",
+                problems,
+            ),
+            stacklevel=2,
+        )
     options.pop("db_file", None)  # the planner has no catalog to persist
     return get_backend(PlannerBackend.name).run(
         node, database, conventions, externals=externals, context=context,

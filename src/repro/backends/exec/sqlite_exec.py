@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import sqlite3
+import time
 import weakref
 from collections import Counter, OrderedDict
 
@@ -67,7 +68,8 @@ from ...core.scopes import free_variables
 from ...data.relation import Relation, Tuple
 from ...data.values import NULL, Truth, is_null, sort_key
 from ...engine.decorrelate import rewrite_for_sql
-from ...errors import RewriteError
+from ...errors import QueryTimeout, RewriteError
+from ...util import failpoints
 from ..sql_render import scalar_inlinable, to_sql
 from .registry import Backend, BackendUnsupported
 
@@ -87,6 +89,18 @@ def _correlated_lateral_bindings(prepared):
 
 _META_TABLE = "__arc_catalog__"
 _CACHE_LIMIT = 8
+
+#: Execute-retry policy for *transient* ``sqlite3.OperationalError``
+#: ("database is locked" / "busy"): bounded attempts with deterministic
+#: exponential backoff, so a briefly contended file catalog answers instead
+#: of failing over.  Non-transient errors are never retried.
+_RETRY_ATTEMPTS = 3
+_RETRY_BASE_S = 0.01
+
+#: SQLite VM instructions between progress-handler callbacks.  Small enough
+#: that a runaway ``WITH RECURSIVE`` notices its deadline within
+#: milliseconds; large enough to stay invisible on the warm serve path.
+_PROGRESS_STRIDE = 4096
 
 #: In-memory connections keyed by catalog fingerprint (LRU, bounded).
 _connections = OrderedDict()
@@ -223,6 +237,7 @@ def _check_identifiers(database):
 
 def _load_catalog(conn, database):
     """Create and populate one table per catalog relation (bag layout)."""
+    failpoints.hit("catalog.load")
     _check_identifiers(database)
     for name in database.names():
         relation = database[name]
@@ -254,6 +269,7 @@ def connect_catalog(database, *, db_file=None):
     returned — the caller closes it — and the tables are reloaded only when
     the stored fingerprint disagrees with the catalog's.
     """
+    failpoints.hit("sqlite.connect")
     fingerprint = catalog_fingerprint(database)
     if db_file is None:
         conn = _connections.get(fingerprint)
@@ -442,6 +458,13 @@ def compile_sql(node, database, *, decorrelate=True):
     re-runs render-free.  Raises :class:`BackendUnsupported` when the node
     is not renderable.
     """
+    try:
+        failpoints.hit("sql.render")
+    except sqlite3.Error as exc:
+        # A sqlite-flavored fault at render time can only mean "cannot
+        # produce SQL" — surface it as the typed refusal so the registry
+        # falls back instead of leaking a raw OperationalError.
+        raise BackendUnsupported(f"SQL render failed ({exc})") from exc
     prepared = _prepared_for(node, database)
     if decorrelate:
         prepared, _ = rewrite_for_sql(prepared)
@@ -453,6 +476,39 @@ def compile_sql(node, database, *, decorrelate=True):
             raise BackendUnsupported(f"not renderable as SQL ({exc})") from exc
         _RENDERED_SQL[prepared] = sql
     return prepared, sql
+
+
+def _is_transient(exc):
+    """Whether an ``OperationalError`` is worth retrying (lock contention)."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def execute_with_retry(conn, sql, *, stats_obj=None, sleep=time.sleep):
+    """Execute *sql* with bounded deterministic-backoff retries.
+
+    Transient ``sqlite3.OperationalError`` ("database is locked"/"busy")
+    retries up to :data:`_RETRY_ATTEMPTS` times, sleeping
+    ``_RETRY_BASE_S * 2**attempt`` between attempts (*sleep* injectable for
+    tests).  Each retry increments ``stats_obj.retries`` when an
+    :class:`~repro.engine.planner.ExecutionStats` is supplied.  The
+    ``sqlite.execute`` failpoint fires once per attempt, so a ``locked*2``
+    spec deterministically drives the retry-then-succeed path.
+    """
+    last_exc = None
+    for attempt in range(_RETRY_ATTEMPTS):
+        try:
+            failpoints.hit("sqlite.execute")
+            return conn.execute(sql)
+        except sqlite3.OperationalError as exc:
+            if not _is_transient(exc):
+                raise
+            last_exc = exc
+            if attempt + 1 < _RETRY_ATTEMPTS:
+                if stats_obj is not None:
+                    stats_obj.retries += 1
+                sleep(_RETRY_BASE_S * 2**attempt)
+    raise last_exc
 
 
 class SqliteBackend(Backend):
@@ -540,19 +596,54 @@ class SqliteBackend(Backend):
     ):
         if context is not None:
             db_file = context.options.db_file
+        deadline = getattr(context, "deadline", None)
+        stats_obj = context.stats if context is not None else None
         prepared, sql = compile_sql(node, database, decorrelate=decorrelate)
-        if context is not None:
-            conn = context.acquire_connection(database)
-        else:
-            conn = connect_catalog(database, db_file=db_file)
+        try:
+            if context is not None:
+                conn = context.acquire_connection(database)
+            else:
+                conn = connect_catalog(database, db_file=db_file)
+        except sqlite3.Error as exc:
+            # Connection/catalog-load faults are infrastructure refusals:
+            # surface them typed so the registry can fall back cleanly.
+            raise BackendUnsupported(
+                f"SQLite connection failed ({exc})"
+            ) from exc
+        armed = deadline is not None and deadline.timeout_ms is not None
+        if armed:
+            # Nonzero return aborts the VM, which surfaces as
+            # OperationalError("interrupted") — mapped to QueryTimeout
+            # below, *before* the generic BackendUnsupported wrap (a
+            # timed-out query must not fall back and run away again).
+            conn.set_progress_handler(
+                lambda: 1 if deadline.expired() else 0, _PROGRESS_STRIDE
+            )
         try:
             try:
-                raw = conn.execute(sql).fetchall()
+                cursor = execute_with_retry(conn, sql, stats_obj=stats_obj)
+                if deadline is not None and deadline.max_rows is not None:
+                    raw = []
+                    while True:
+                        chunk = cursor.fetchmany(256)
+                        if not chunk:
+                            break
+                        deadline.count_rows(len(chunk))
+                        raw.extend(chunk)
+                else:
+                    raw = cursor.fetchall()
             except sqlite3.Error as exc:
+                if armed and deadline.expired():
+                    raise QueryTimeout(
+                        f"query exceeded its {deadline.timeout_ms} ms "
+                        "deadline (aborted inside SQLite)"
+                    ) from exc
                 raise BackendUnsupported(
                     f"SQLite rejected the rendered query ({exc})"
                 ) from exc
         finally:
+            if armed:
+                conn.set_progress_handler(None, 0)
             if db_file is not None:
                 conn.close()
         return _shape_result(prepared, raw)

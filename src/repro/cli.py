@@ -119,9 +119,14 @@ def _session_options(args):
             decorrelate=not getattr(args, "no_decorrelate", False),
             backend=args.backend,
             db_file=args.db_file,  # implies backend="sqlite" when set
+            timeout_ms=args.timeout_ms,
+            max_rows=args.max_rows,
         )
     except OptionsError as exc:
-        raise ArcError(str(exc).replace("db_file", "--db-file")) from None
+        message = str(exc).replace("db_file", "--db-file")
+        message = message.replace("timeout_ms", "--timeout-ms")
+        message = message.replace("max_rows", "--max-rows")
+        raise ArcError(message) from None
 
 
 def cmd_eval(args):
@@ -137,7 +142,7 @@ def cmd_eval(args):
         result = prepared.run()
         timings.append(time.perf_counter() - start)
     if hasattr(result, "to_table"):
-        print(result.to_table(max_rows=args.max_rows))
+        print(result.to_table(max_rows=args.display_rows))
     else:
         print(result.name)  # a Truth value
     if repeat > 1:
@@ -166,7 +171,20 @@ def cmd_serve(args):
     )
     from .api import serve
 
-    server = serve.make_server(session, args.host, args.port, quiet=args.quiet)
+    server = serve.make_server(
+        session,
+        args.host,
+        args.port,
+        quiet=args.quiet,
+        max_body_bytes=(
+            args.max_body_bytes
+            if args.max_body_bytes is not None
+            else serve.DEFAULT_MAX_BODY_BYTES
+        ),
+    )
+    # SIGTERM/SIGINT drain the in-flight request, then stop accepting —
+    # an orchestrator's stop signal never kills a response mid-write.
+    serve.install_sigterm_handler(server)
     print(f"serving on {server.url} (relations: "
           f"{', '.join(sorted(database.names())) or 'none'}; "
           f"backend: {session.options.backend or 'planner'})", flush=True)
@@ -176,6 +194,7 @@ def cmd_serve(args):
         pass
     finally:
         server.server_close()
+    print("shutdown: drained in-flight requests, socket closed", flush=True)
     return 0
 
 
@@ -223,6 +242,27 @@ def build_parser():
                 help="output modality (default: arc)",
             )
 
+    def _budget_flags(p):
+        p.add_argument(
+            "--timeout-ms",
+            dest="timeout_ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="wall-clock deadline per run in milliseconds; exceeding it "
+            "raises QueryTimeout instead of hanging (serve: per-request "
+            "timeout_ms overrides this default)",
+        )
+        p.add_argument(
+            "--max-rows",
+            dest="max_rows",
+            type=int,
+            default=None,
+            metavar="N",
+            help="row budget per run (rows produced across all execution "
+            "tiers); exceeding it raises BudgetExceeded",
+        )
+
     p_translate = sub.add_parser("translate", help="translate between languages/modalities")
     common(p_translate, needs_target=True)
     p_translate.set_defaults(func=cmd_translate)
@@ -240,7 +280,13 @@ def build_parser():
         choices=sorted(CONVENTIONS),
         help="semantic conventions (default: set)",
     )
-    p_eval.add_argument("--max-rows", type=int, default=50)
+    p_eval.add_argument(
+        "--display-rows",
+        type=int,
+        default=50,
+        metavar="N",
+        help="table rows to print before truncating the display (default: 50)",
+    )
     p_eval.add_argument(
         "--no-planner",
         action="store_true",
@@ -276,6 +322,7 @@ def build_parser():
         help="run the prepared query N times through one Session and print "
         "per-run timings (run 1 is cold; later runs ride the warm state)",
     )
+    _budget_flags(p_eval)
     p_eval.set_defaults(func=cmd_eval)
 
     p_serve = sub.add_parser(
@@ -320,6 +367,15 @@ def build_parser():
         help="disable the FOI→FIO lateral decorrelation pass",
     )
     p_serve.add_argument(
+        "--max-body-bytes",
+        dest="max_body_bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse request bodies larger than N bytes with 413 before "
+        "reading them (default: 1 MiB)",
+    )
+    p_serve.add_argument(
         "--quiet",
         action="store_true",
         default=True,
@@ -331,6 +387,7 @@ def build_parser():
         action="store_false",
         help="log each HTTP request to stderr",
     )
+    _budget_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_patterns = sub.add_parser("patterns", help="report the relational pattern")

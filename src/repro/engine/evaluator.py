@@ -53,6 +53,7 @@ from . import aggregates as agg_lib
 from .externals import ExternalRegistry, standard_registry
 from .joins import ConditionAssignment, annotation_vars, enumerate_annotation
 from .planner import (
+    _DL_MASK,
     ExecutionStats,
     compile_bindings,
     compile_scope,
@@ -191,6 +192,7 @@ class Evaluator:
         *,
         planner=True,
         decorrelate=True,
+        deadline=None,
     ):
         self.database = database if database is not None else Database()
         self.conventions = conventions
@@ -200,6 +202,11 @@ class Evaluator:
         self.planner = planner
         self.decorrelate = decorrelate
         self.stats = ExecutionStats()
+        #: Armed :class:`~repro.util.deadline.Deadline` for the current run,
+        #: or None (unbounded).  Every execution tier reads it: the
+        #: compiled-scope loops tick per row, the fixpoint checks per round,
+        #: and collection emission counts rows against the budget.
+        self.deadline = deadline
         self._head_stack = []
 
     # -- public API -----------------------------------------------------------
@@ -259,10 +266,18 @@ class Evaluator:
     def _eval_collection(self, coll, env):
         """Evaluate a collection under *env*; returns Counter[Tuple]."""
         self._head_stack.append(coll.head)
+        deadline = self.deadline
         try:
             out = self._fused_grouped_counter(coll, env)
             if out is None:
                 out = Counter()
+                # Row budget, batched: a local counter per emission with one
+                # count_rows() flush per stride (plus the remainder below),
+                # so the accounting stays exact while the hot loop avoids a
+                # method call per row.  A budget trip may land up to a
+                # stride late — still memory-bounded by max_rows + STRIDE.
+                dl_rows = 0
+                dl_mask = _DL_MASK
                 for assigns, mult in self._solutions(coll.body, env, top=True):
                     missing = set(coll.head.attrs) - set(assigns)
                     if missing:
@@ -272,6 +287,16 @@ class Evaluator:
                         )
                     row = Tuple({a: assigns[a] for a in coll.head.attrs})
                     out[row] += mult
+                    if deadline is not None:
+                        dl_rows += 1
+                        if not dl_rows & dl_mask:
+                            deadline.count_rows(dl_mask + 1)
+                if deadline is not None and dl_rows & dl_mask:
+                    deadline.count_rows(dl_rows & dl_mask)
+            elif deadline is not None and out:
+                # Fused grouped output: bounded by the scanned relation, so
+                # post-hoc counting is budget-safe.
+                deadline.count_rows(len(out))
         finally:
             self._head_stack.pop()
         if self.conventions.is_set:
@@ -657,7 +682,13 @@ class Evaluator:
         if quant.join is not None:
             assignment, uncovered, sub = self._join_plan(quant, plan)
             ctx = _JoinContext(self, {b.var: b for b in quant.bindings})
+            deadline = self.deadline
+            dl_ops = 0
             for delta, mult in enumerate_annotation(quant.join, env, ctx, assignment):
+                if deadline is not None:
+                    dl_ops += 1
+                    if not dl_ops & _DL_MASK:
+                        deadline.check()
                 env2 = {**env, **delta}
                 if sub is not None and strict:
                     yield from sub.execute(self, env2, mult)
@@ -682,8 +713,11 @@ class Evaluator:
                 deferred.append(binding)
             else:
                 concrete.append(binding)
+        deadline = self.deadline
+        dl_ops = 0
 
         def recurse(index, env2, mult2):
+            nonlocal dl_ops
             if index == len(concrete):
                 yield from self._resolve_deferred(
                     list(deferred), residual, env2, mult2, strict=strict
@@ -691,6 +725,10 @@ class Evaluator:
                 return
             binding = concrete[index]
             for row, row_mult in self._binding_rows(binding, env2):
+                if deadline is not None:
+                    dl_ops += 1
+                    if not dl_ops & _DL_MASK:
+                        deadline.check()
                 yield from recurse(index + 1, {**env2, binding.var: row}, mult2 * row_mult)
 
         yield from recurse(0, env, mult)

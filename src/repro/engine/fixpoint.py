@@ -102,6 +102,7 @@ def _solve_naive(component, definitions, evaluator):
         head = definitions[name].head
         evaluator.defined[name] = Relation(name, head.attrs)
 
+    deadline = evaluator.deadline
     iterations = 0
     changed = True
     while changed:
@@ -110,6 +111,10 @@ def _solve_naive(component, definitions, evaluator):
             raise EvaluationError(
                 f"fixpoint for {sorted(component)} did not converge"
             )
+        if deadline is not None:
+            # One clock read per round: a round is the natural coarse
+            # checkpoint for a fixpoint that may never converge in bounds.
+            deadline.check()
         changed = False
         for name in component:
             definition = definitions[name]
@@ -193,6 +198,7 @@ def _solve_seminaive(component, definitions, evaluator):
         known[name] = rows
         deltas[name] = rows
 
+    deadline = evaluator.deadline
     iterations = 0
     while any(deltas.values()):
         iterations += 1
@@ -200,6 +206,8 @@ def _solve_seminaive(component, definitions, evaluator):
             raise EvaluationError(
                 f"fixpoint for {sorted(component)} did not converge"
             )
+        if deadline is not None:
+            deadline.check()
         # Expose the deltas as relations the rewritten disjuncts can read.
         for name in component:
             delta_rel = Relation(delta_name[name], definitions[name].head.attrs)

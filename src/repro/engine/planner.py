@@ -55,8 +55,13 @@ from ..core import nodes as n
 from ..data.relation import Tuple
 from ..data.values import NULL, Truth, is_null
 from ..errors import EvaluationError
+from ..util.deadline import STRIDE as _DEADLINE_STRIDE
 from . import aggregates as agg_lib
 from . import decorrelate
+
+#: Power-of-two mask for the inline deadline stride check in the hot loops:
+#: ``ops & _DL_MASK == 0`` every ``STRIDE`` rows triggers one clock read.
+_DL_MASK = _DEADLINE_STRIDE - 1
 
 _MISSING = object()
 
@@ -85,6 +90,10 @@ class ExecutionStats:
         "band_index_builds",  # θ-band index materializations (cache misses)
         "domain_join_compensations",  # batched γ∅ empty-frame syntheses
         "tribucket_probes",  # probes against an UNKNOWN-aware (3VL) index
+        "timeouts",  # runs aborted by QueryTimeout (deadline exceeded)
+        "budget_exceeded",  # runs aborted by BudgetExceeded (row budget)
+        "retries",  # transient sqlite errors absorbed by the retry loop
+        "breaker_trips",  # circuit-breaker closed→open transitions
     )
 
     def __init__(self):
@@ -104,6 +113,10 @@ class ExecutionStats:
         self.band_index_builds = 0
         self.domain_join_compensations = 0
         self.tribucket_probes = 0
+        self.timeouts = 0
+        self.budget_exceeded = 0
+        self.retries = 0
+        self.breaker_trips = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -176,6 +189,16 @@ class CompiledScope:
             if truth(formula, env) is not Truth.TRUE:
                 return
         stats = ev.stats
+        # Deadline guard: each row loop below is specialized into an
+        # unarmed variant (no added per-row work at all) and an armed one
+        # carrying a closure-local stride counter — an integer bump plus a
+        # bitwise mask per row, with the clock read (a method call)
+        # amortized to once per ``STRIDE`` rows.  The duplication is
+        # deliberate: a shared loop would pay an identity test per row on
+        # both paths, which is measurable on bucket-per-frame workloads.
+        deadline = ev.deadline
+        dl_ops = 0
+        dl_mask = _DL_MASK
         is_set = ev.conventions.is_set
         three_valued = ev.conventions.three_valued
         steps = self.steps
@@ -188,6 +211,7 @@ class CompiledScope:
         fio_indexes = {}
 
         def run(depth, mult):
+            nonlocal dl_ops
             if depth == last:
                 for formula in self.final_filters:
                     if truth(formula, frame) is not Truth.TRUE:
@@ -272,8 +296,21 @@ class CompiledScope:
                                     bucket = index.empty_group_items(
                                         ev, step.binding.source, frame, stats
                                     )
+                            if deadline is None:
+                                for row, row_mult in bucket or ():
+                                    stats.rows_enumerated += 1
+                                    frame[var] = row
+                                    for formula in filters:
+                                        if truth(formula, frame) is not Truth.TRUE:
+                                            break
+                                    else:
+                                        yield from run(depth + 1, mult * row_mult)
+                                return
                             for row, row_mult in bucket or ():
                                 stats.rows_enumerated += 1
+                                dl_ops += 1
+                                if not dl_ops & dl_mask:
+                                    deadline.check()
                                 frame[var] = row
                                 for formula in filters:
                                     if truth(formula, frame) is not Truth.TRUE:
@@ -283,8 +320,21 @@ class CompiledScope:
                             return
                     # Per-frame (FOI) lateral: the inner collection is
                     # re-evaluated under every outer environment.
+                    if deadline is None:
+                        for row, row_mult in ev._binding_rows(step.binding, frame):
+                            stats.rows_enumerated += 1
+                            frame[var] = row
+                            for formula in filters:
+                                if truth(formula, frame) is not Truth.TRUE:
+                                    break
+                            else:
+                                yield from run(depth + 1, mult * row_mult)
+                        return
                     for row, row_mult in ev._binding_rows(step.binding, frame):
                         stats.rows_enumerated += 1
+                        dl_ops += 1
+                        if not dl_ops & dl_mask:
+                            deadline.check()
                         frame[var] = row
                         for formula in filters:
                             if truth(formula, frame) is not Truth.TRUE:
@@ -320,8 +370,23 @@ class CompiledScope:
                         if not bucket:
                             return
                         filters = step.filters
+                        if deadline is None:
+                            for row, row_mult in bucket:
+                                stats.rows_enumerated += 1
+                                frame[var] = row
+                                for formula in filters:
+                                    if truth(formula, frame) is not Truth.TRUE:
+                                        break
+                                else:
+                                    yield from run(
+                                        depth + 1, mult if is_set else mult * row_mult
+                                    )
+                            return
                         for row, row_mult in bucket:
                             stats.rows_enumerated += 1
+                            dl_ops += 1
+                            if not dl_ops & dl_mask:
+                                deadline.check()
                             frame[var] = row
                             for formula in filters:
                                 if truth(formula, frame) is not Truth.TRUE:
@@ -336,8 +401,21 @@ class CompiledScope:
                     # the reference strategy would raise, row by row.
                 filters = step.scan_filters
                 if is_set:
+                    if deadline is None:
+                        for row in rows_map:
+                            stats.rows_enumerated += 1
+                            frame[var] = row
+                            for formula in filters:
+                                if truth(formula, frame) is not Truth.TRUE:
+                                    break
+                            else:
+                                yield from run(depth + 1, mult)
+                        return
                     for row in rows_map:
                         stats.rows_enumerated += 1
+                        dl_ops += 1
+                        if not dl_ops & dl_mask:
+                            deadline.check()
                         frame[var] = row
                         for formula in filters:
                             if truth(formula, frame) is not Truth.TRUE:
@@ -345,8 +423,21 @@ class CompiledScope:
                         else:
                             yield from run(depth + 1, mult)
                 else:
+                    if deadline is None:
+                        for row, row_mult in rows_map.items():
+                            stats.rows_enumerated += 1
+                            frame[var] = row
+                            for formula in filters:
+                                if truth(formula, frame) is not Truth.TRUE:
+                                    break
+                            else:
+                                yield from run(depth + 1, mult * row_mult)
+                        return
                     for row, row_mult in rows_map.items():
                         stats.rows_enumerated += 1
+                        dl_ops += 1
+                        if not dl_ops & dl_mask:
+                            deadline.check()
                         frame[var] = row
                         for formula in filters:
                             if truth(formula, frame) is not Truth.TRUE:
@@ -400,6 +491,11 @@ class CompiledScope:
         key_attrs = spec.key_attrs
         filters = step.filters if step.lookup_attrs is not None else step.scan_filters
         ev.stats.grouped_fast_paths += 1
+        deadline = ev.deadline
+        if deadline is not None:
+            # The fused scans below are single-pass over one stored relation
+            # (bounded work), so one clock read per partition suffices.
+            deadline.check()
 
         # Row source: full relation or one index bucket (correlated scopes).
         pairs = None
@@ -470,9 +566,14 @@ class CompiledScope:
         var = step.var
         key_exprs = spec.key_exprs
         eval_expr = ev._eval_expr
+        dl_ops = 0
         for entry in source:
             row = entry[0]
             ev.stats.rows_enumerated += 1
+            if deadline is not None:
+                dl_ops += 1
+                if not dl_ops & _DL_MASK:
+                    deadline.check()
             frame[var] = row
             keep = True
             for formula in filters:

@@ -73,3 +73,23 @@ class OptionsError(ArcError):
 class RewriteError(ArcError):
     """A rewrite was requested that is not applicable (or not semantics-preserving)
     for the given query and conventions."""
+
+
+class ResourceError(ArcError):
+    """An execution resource limit (deadline or budget) was exceeded.
+
+    Raised by the stride-counted checks the evaluation tiers perform when a
+    :class:`repro.util.deadline.Deadline` is armed.  The limit is a policy
+    the caller configured (:class:`repro.api.EvalOptions` ``timeout_ms`` /
+    ``max_rows``), so hitting it is a *bounded-failure answer*, not an
+    engine defect — ``repro serve`` maps the two subclasses onto
+    408/413-style JSON responses.
+    """
+
+
+class QueryTimeout(ResourceError):
+    """The query ran past its configured deadline (``timeout_ms``)."""
+
+
+class BudgetExceeded(ResourceError):
+    """The query produced more rows than its budget allows (``max_rows``)."""

@@ -1,0 +1,10 @@
+"""Cross-cutting execution utilities (deadlines, fault injection).
+
+Deliberately import-light: every execution tier (planner loops, fixpoint
+rounds, the SQLite backend, ``repro serve``) reaches into this package, so
+it must not import any of them back.
+"""
+
+from .deadline import Deadline
+
+__all__ = ["Deadline"]
