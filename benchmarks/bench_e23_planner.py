@@ -186,3 +186,55 @@ def test_deadline_checks_cost_under_5_percent_on_join_width_4():
         f"armed deadline costs {(best_ratio - 1) * 100:.1f}% on the width-4 "
         f"join chain (block ratios: {[f'{r:.3f}' for r in ratios]})"
     )
+
+
+def test_tracer_costs_under_5_percent_on_join_width_4():
+    """Acceptance claim (CI perf gate): a metrics-mode tracer — the exact
+    configuration ``repro serve`` arms behind ``GET /metrics`` — costs < 5%
+    on E23 warm prepared runs.
+
+    The tracer sits at coarse phase boundaries only (a handful of spans per
+    query, never per row; ``tests/obs/test_overhead.py`` pins that shape
+    with counters), so the armed cost is a few clock reads and histogram
+    updates per query.  Same protocol as the deadline gate above:
+    interleaved best-of blocks, minimum ratio asserted, skipped on shared
+    CI runners unless ``RUN_TIMING_ASSERTIONS=1``.
+    """
+    if os.environ.get("CI") and not os.environ.get("RUN_TIMING_ASSERTIONS"):
+        pytest.skip("timing assertion; set RUN_TIMING_ASSERTIONS=1 to run in CI")
+
+    from repro.api import EvalOptions, Session
+    from repro.obs import MetricsRegistry, Tracer
+
+    db = generators.chain_database(4, 60, domain=30, seed=3)
+    query = sweeps.join_chain_query(4)
+    untraced = Session(db, SET_CONVENTIONS, options=EvalOptions()).prepare(query)
+    traced_session = Session(db, SET_CONVENTIONS, options=EvalOptions())
+    traced_session.tracer = Tracer(metrics=MetricsRegistry(), keep_spans=False)
+    traced = traced_session.prepare(query)
+    assert untraced.run() == traced.run()  # warm both; tracing changes nothing
+
+    def block_min(prepared, rounds=9):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            prepared.run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    gc.disable()
+    try:
+        ratios = [block_min(traced) / block_min(untraced) for _ in range(9)]
+    finally:
+        gc.enable()
+
+    best_ratio = min(ratios)
+    _common.record_metric(
+        "e23_tracer_overhead",
+        best_ratio=round(best_ratio, 4),
+        block_ratios=[round(r, 3) for r in ratios],
+    )
+    assert best_ratio < 1.05, (
+        f"armed tracer costs {(best_ratio - 1) * 100:.1f}% on the width-4 "
+        f"join chain (block ratios: {[f'{r:.3f}' for r in ratios]})"
+    )

@@ -227,3 +227,40 @@ def test_band_beats_per_row_by_5x_on_the_theta_sweeps():
         f"join sweep: band {join_band * 1e3:.2f} ms vs "
         f"per-row {join_per_row * 1e3:.2f} ms"
     )
+
+
+def test_trace_artifact_for_the_theta_sweep(tmp_path):
+    """Export the E27 γ∅ sweep as a Chrome-trace artifact.
+
+    Runs the eq15-shaped workload cold and warm under a recording tracer
+    and writes trace-viewer JSON to ``$TRACE_OUT`` (the benchmark-smoke CI
+    job sets ``TRACE_OUT=TRACE_E27.json`` and uploads it per run, so every
+    build leaves an inspectable timeline) or to a tmp file otherwise.
+    """
+    import json
+
+    from repro.api import EvalOptions, Session
+    from repro.obs import Tracer, write_chrome_trace
+
+    db = _agg_db(200)
+    session = Session(db, SQL_CONVENTIONS, options=EvalOptions())
+    session.tracer = Tracer(stats=session.stats)
+    prepared = session.prepare(sweeps.theta_aggregate_query(op="<", agg="sum"))
+    prepared.run()  # cold: decorr.index.build shows up in the timeline
+    prepared.run()  # warm: the cached-index round for comparison
+    spans, events = session.tracer.take()
+
+    path = os.environ.get("TRACE_OUT") or str(tmp_path / "TRACE_E27.json")
+    document = write_chrome_trace(path, spans, events)
+
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == document
+    names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+    assert {"query", "execute", "scope.execute", "decorr.index.build"} <= names
+    assert len({e["tid"] for e in document["traceEvents"]}) == 2  # two runs
+    _common.record_metric(
+        "e27_trace_artifact",
+        path=path,
+        spans=len(spans),
+        events=len(events),
+    )

@@ -7,10 +7,11 @@
 """
 
 from .options import EvalOptions, reset_legacy_warnings, warn_legacy
-from .session import Prepared, Session, SessionContext
+from .session import Explain, Prepared, Session, SessionContext
 
 __all__ = [
     "EvalOptions",
+    "Explain",
     "Prepared",
     "Session",
     "SessionContext",

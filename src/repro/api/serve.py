@@ -23,10 +23,25 @@ byte-identical bodies::
 
 ``GET /healthz`` answers liveness — 200 while healthy, **503 degraded**
 while any backend circuit breaker is open; ``GET /stats`` exposes the
-session's execution counters plus the breaker states.  Errors return 400
+session's execution counters, breaker states, per-phase latency quantiles,
+``uptime_s`` and ``requests_total`` (``Cache-Control: no-store``, so load
+tests computing RPS externally never see a cached body); ``GET /metrics``
+serves the same signals in Prometheus text format.  Errors return 400
 (bad request / query errors), 404, 408 (:class:`~repro.errors.QueryTimeout`),
 413 (:class:`~repro.errors.BudgetExceeded` or an oversized request body),
 or 500, always with ``{"error": ..., "error_type": ...}``.
+
+Observability
+-------------
+The server attaches a *metrics-only* :class:`~repro.obs.Tracer` to its
+session (unless the caller installed one): every query phase feeds the
+per-phase/per-backend latency histograms behind ``/metrics`` while the
+span records themselves are dropped, so a long-lived server holds no trace
+memory.  Each ``POST /query`` gets a fresh ``X-Arc-Query-Id`` response
+header (the id spans carry for that request), and ``--log-requests``
+emits one stdlib-``logging`` line per request — method, path, status,
+elapsed time, query id — with ``--log-json`` switching the same logger to
+structured JSON lines.
 
 Operational hardening
 ---------------------
@@ -48,9 +63,11 @@ external balancer.
 from __future__ import annotations
 
 import json
+import logging
 import signal
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
 from ..backends.exec import breaker_states
@@ -58,11 +75,35 @@ from ..data.relation import Relation
 from ..data.values import NULL, Truth
 from ..errors import ArcError, BudgetExceeded, OptionsError, QueryTimeout
 from ..frontends import FRONTENDS
+from ..obs import MetricsRegistry, Tracer, render_prometheus
 from .options import validate_budget
 
 #: Default bound on request bodies (1 MiB): a query is text, not a bulk
 #: upload, so anything larger is a client error or an attack.
 DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Numeric encoding of breaker states for the ``arc_breaker_state`` gauge.
+_BREAKER_STATE_CODE = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def configure_request_logging(stream=None):
+    """The ``repro.serve`` request logger, handler attached once.
+
+    Request lines are emitted pre-formatted (text or JSON), so the handler
+    formats nothing beyond the message itself.  *stream* defaults to the
+    stdlib's choice (stderr); tests pass a buffer.
+    """
+    logger = logging.getLogger("repro.serve")
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    if stream is not None:
+        logger.handlers.clear()
+    if stream is not None or not logger.handlers:
+        handler = logging.StreamHandler(stream) if stream is not None \
+            else logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    return logger
 
 
 def _json_value(value):
@@ -89,17 +130,87 @@ def _result_body(result, fallback_reasons):
     return body
 
 
+def _prometheus_extra(server):
+    """Counter/gauge rows for ``/metrics`` beyond the tracer's histograms:
+    the engine's ExecutionStats, session cache counters, breaker states,
+    and the server's own uptime/request totals."""
+    session = server.session
+    stats_samples = [
+        ({"counter": name}, value)
+        for name, value in sorted(session.stats.as_dict().items())
+    ]
+    stats_samples += [
+        ({"counter": "catalog_loads"}, session.catalog_loads),
+        ({"counter": "catalog_hits"}, session.catalog_hits),
+        ({"counter": "probe_hits"}, session.probe_hits),
+    ]
+    extra = [
+        (
+            "arc_stats_total",
+            "counter",
+            "Engine ExecutionStats and session cache counters.",
+            stats_samples,
+        ),
+        (
+            "arc_requests_total",
+            "counter",
+            "HTTP query requests served.",
+            [({}, server.requests_served)],
+        ),
+        (
+            "arc_uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+            [({}, round(time.monotonic() - server.started, 3))],
+        ),
+    ]
+    breakers = breaker_states()
+    if breakers:
+        extra.append((
+            "arc_breaker_state",
+            "gauge",
+            "Circuit breaker state per backend (0=closed 1=half-open 2=open).",
+            [
+                ({"backend": name}, _BREAKER_STATE_CODE[snap["state"]])
+                for name, snap in breakers.items()
+            ],
+        ))
+        extra.append((
+            "arc_breaker_trips_total",
+            "counter",
+            "Circuit breaker trips per backend.",
+            [({"backend": name}, snap["trips"]) for name, snap in breakers.items()],
+        ))
+    return extra
+
+
 class QueryServer(HTTPServer):
     """An HTTP server bound to one warm Session (one catalog)."""
 
     def __init__(self, address, session, *, quiet=True,
-                 max_body_bytes=DEFAULT_MAX_BODY_BYTES):
+                 max_body_bytes=DEFAULT_MAX_BODY_BYTES,
+                 log_requests=False, log_json=False):
         super().__init__(address, _Handler)
         self.session = session
         self.quiet = quiet
         self.max_body_bytes = max_body_bytes
         self.started = time.monotonic()
         self.requests_served = 0
+        self.log_requests = log_requests or log_json
+        self.log_json = log_json
+        self.logger = configure_request_logging() if self.log_requests else None
+        # Metrics-only tracing: phase durations feed the histograms behind
+        # /metrics and /stats; spans drop immediately (keep_spans=False),
+        # so serving forever accumulates no trace memory.  A tracer the
+        # caller already installed is respected — its registry (if any)
+        # backs /metrics instead.
+        if session.tracer is None:
+            self.metrics = MetricsRegistry()
+            session.tracer = Tracer(metrics=self.metrics, keep_spans=False)
+        else:
+            if session.tracer.metrics is None:
+                session.tracer.metrics = MetricsRegistry()
+            self.metrics = session.tracer.metrics
 
     @property
     def url(self):
@@ -117,19 +228,72 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debugging aid
             super().log_message(format, *args)
 
+    def log_request(self, code="-", size="-"):
+        """One structured line per request (``--log-requests``).
+
+        ``send_response`` calls this for every response, so each request —
+        success or error — logs exactly once, with its status code, elapsed
+        time, and (for ``/query``) the query id the response headers carry.
+        """
+        server = self.server
+        if not server.log_requests:
+            return
+        code = getattr(code, "value", code)
+        started = getattr(self, "_request_started", None)
+        elapsed_ms = (
+            None if started is None
+            else round((time.perf_counter() - started) * 1e3, 3)
+        )
+        query_id = getattr(self, "_query_id", None)
+        if server.log_json:
+            server.logger.info(json.dumps(
+                {
+                    "ts": round(time.time(), 6),
+                    "method": self.command,
+                    "path": self.path,
+                    "status": int(code),
+                    "elapsed_ms": elapsed_ms,
+                    "query_id": query_id,
+                },
+                sort_keys=True,
+            ))
+        else:
+            parts = [f"{self.command} {self.path} {code}"]
+            if elapsed_ms is not None:
+                parts.append(f"{elapsed_ms:.3f}ms")
+            if query_id is not None:
+                parts.append(f"qid={query_id}")
+            server.logger.info(" ".join(parts))
+
     def _send_json(self, status, body, headers=()):
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        # Every response to an identified request — success *or* error —
+        # carries the query id, so client logs always correlate.
+        query_id = getattr(self, "_query_id", None)
+        if query_id is not None:
+            self.send_header("X-Arc-Query-Id", query_id)
         for name, value in headers:
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status, text, content_type="text/plain; charset=utf-8"):
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
         self.end_headers()
         self.wfile.write(payload)
 
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self):
+        self._request_started = time.perf_counter()
+        self._query_id = None
         if self.path == "/healthz":
             session = self.server.session
             breakers = breaker_states()
@@ -152,22 +316,37 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         if self.path == "/stats":
-            session = self.server.session
+            server = self.server
+            session = server.session
             stats = session.stats.as_dict()
             stats.update(
                 catalog_loads=session.catalog_loads,
                 catalog_hits=session.catalog_hits,
                 probe_hits=session.probe_hits,
-                requests=self.server.requests_served,
+                requests=server.requests_served,
+                requests_total=server.requests_served,
+                uptime_s=round(time.monotonic() - server.started, 3),
                 breakers=breaker_states(),
+                latency=server.metrics.latency_summary(),
             )
-            self._send_json(200, stats)
+            self._send_json(
+                200, stats, headers=(("Cache-Control", "no-store"),)
+            )
+            return
+        if self.path == "/metrics":
+            self._send_text(
+                200,
+                render_prometheus(
+                    self.server.metrics, extra=_prometheus_extra(self.server)
+                ),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
             return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     # -- POST /query -------------------------------------------------------
 
-    def _error(self, status, exc_or_message, *, close=False):
+    def _error(self, status, exc_or_message, *, close=False, headers=()):
         if isinstance(exc_or_message, BaseException):
             body = {
                 "error": str(exc_or_message),
@@ -175,13 +354,17 @@ class _Handler(BaseHTTPRequestHandler):
             }
         else:
             body = {"error": exc_or_message, "error_type": "BadRequest"}
-        headers = ()
+        headers = tuple(headers)
         if close:
             self.close_connection = True
-            headers = (("Connection", "close"),)
+            headers += (("Connection", "close"),)
         self._send_json(status, body, headers=headers)
 
     def do_POST(self):
+        self._request_started = time.perf_counter()
+        # A fresh id per request, assigned before any parsing: even a
+        # malformed request's error response ties back to the server logs.
+        self._query_id = uuid.uuid4().hex[:16]
         # Drain the request body before any response: on a keep-alive
         # (HTTP/1.1) connection, unread body bytes would be parsed as the
         # next request line, desyncing every follow-up request.
@@ -235,6 +418,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, exc)
             return
         session = self.server.session
+        # The response header ties client-side logs to the spans/metrics
+        # this request produced (the session tracer pins the request id on
+        # every root span of the run).
+        if session.tracer is not None:
+            session.tracer.begin(self._query_id)
         start = time.perf_counter()
         try:
             prepared = session.prepare(request["query"], frontend)
@@ -271,15 +459,20 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(session, host="127.0.0.1", port=0, *, quiet=True,
-                max_body_bytes=DEFAULT_MAX_BODY_BYTES):
+                max_body_bytes=DEFAULT_MAX_BODY_BYTES,
+                log_requests=False, log_json=False):
     """Bind a :class:`QueryServer` for *session* (``port=0`` = ephemeral).
 
     The caller drives it: ``server.serve_forever()`` to block,
     ``server.handle_request()`` for one request, ``server.server_close()``
     to release the socket.  ``server.url`` reports the bound address.
+    ``log_requests`` emits one ``repro.serve`` logging line per request;
+    ``log_json`` switches those lines to structured JSON (and implies
+    ``log_requests``).
     """
     return QueryServer(
-        (host, port), session, quiet=quiet, max_body_bytes=max_body_bytes
+        (host, port), session, quiet=quiet, max_body_bytes=max_body_bytes,
+        log_requests=log_requests, log_json=log_json,
     )
 
 

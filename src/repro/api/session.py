@@ -39,6 +39,7 @@ from ..engine.externals import standard_registry
 from ..engine.planner import ExecutionStats
 from ..errors import BudgetExceeded, OptionsError, QueryTimeout
 from ..frontends import load_query
+from ..obs import NULL_SPAN
 from .options import EvalOptions
 
 #: Prepared queries a session retains before evicting the least recent.
@@ -95,9 +96,65 @@ class Prepared:
         )
         return {"result": result, "fallback_reasons": reasons}
 
+    def explain(self, backend=None, *, timeout_ms=None, max_rows=None):
+        """Run once under a recording tracer and profile where time went.
+
+        Returns an :class:`Explain` whose ``render()`` (and ``str()``) is
+        the span tree — per-phase timings, strategy decisions, fallback
+        reasons, and the stats counters each phase moved.  The session's
+        own tracer (if any) is restored afterwards, so explaining inside a
+        metrics-collecting server does not disturb its histograms.
+        """
+        from ..obs import Tracer
+
+        session = self.session
+        previous = session.tracer
+        tracer = Tracer(stats=session.stats)
+        session.tracer = tracer
+        reasons = []
+        try:
+            result = session._run_prepared(
+                self,
+                backend,
+                timeout_ms=timeout_ms,
+                max_rows=max_rows,
+                reasons=reasons,
+            )
+        finally:
+            session.tracer = previous
+        spans, events = tracer.take()
+        return Explain(result, reasons, spans, events)
+
     def __repr__(self):
         source = self.text if self.text is not None else type(self.node).__name__
         return f"Prepared({source!r}, runs={self.run_count})"
+
+
+class Explain:
+    """The profile :meth:`Prepared.explain` returns: result + span tree."""
+
+    __slots__ = ("result", "fallback_reasons", "spans", "events")
+
+    def __init__(self, result, fallback_reasons, spans, events):
+        self.result = result
+        self.fallback_reasons = fallback_reasons
+        self.spans = spans
+        self.events = events
+
+    def render(self, file=None):
+        """The span tree as text (also printed to *file* when given)."""
+        from ..obs import render_span_tree
+
+        return render_span_tree(self.spans, self.events, file=file)
+
+    def __str__(self):
+        return self.render()
+
+    def __repr__(self):
+        return (
+            f"Explain(spans={len(self.spans)}, events={len(self.events)}, "
+            f"fallbacks={len(self.fallback_reasons)})"
+        )
 
 
 class SessionContext:
@@ -132,6 +189,11 @@ class SessionContext:
 
     def probe(self, engine, node, conventions, database, options):
         return self.session._probe(engine, node, conventions, database, options)
+
+    @property
+    def tracer(self):
+        """The session's tracer (or None) — backends read it duck-typed."""
+        return self.session.tracer
 
 
 class Session:
@@ -170,6 +232,9 @@ class Session:
         self.catalog_hits = 0
         #: Capability-probe verdicts served from the warm cache.
         self.probe_hits = 0
+        #: Optional :class:`~repro.obs.Tracer`; None (the default) keeps
+        #: every instrumentation site on its zero-overhead branch.
+        self.tracer = None
         self._prepared = OrderedDict()  # (text, frontend) -> Prepared
 
     # -- preparing ---------------------------------------------------------
@@ -182,14 +247,31 @@ class Session:
         already-built ARC node.  Textual queries are cached in an LRU, so
         ``repro serve`` re-preparing the same request string is a hit.
         """
+        tracer = self.tracer
         if not isinstance(query, str):
             return Prepared(self, query)
         key = (query, frontend)
         prepared = self._prepared.get(key)
         if prepared is not None:
             self._prepared.move_to_end(key)
+            if tracer is not None:
+                tracer.event("prepared.lru", result="hit", frontend=frontend)
+                tracer.count(
+                    "arc_prepared_lru_total",
+                    help_text="Prepared-query LRU lookups by outcome.",
+                    result="hit",
+                )
             return prepared
-        node = load_query(query, frontend, self.database)
+        if tracer is not None:
+            tracer.count(
+                "arc_prepared_lru_total",
+                help_text="Prepared-query LRU lookups by outcome.",
+                result="miss",
+            )
+        with NULL_SPAN if tracer is None else tracer.span(
+            "frontend.parse", frontend=frontend
+        ):
+            node = load_query(query, frontend, self.database)
         prepared = Prepared(self, node, query, frontend)
         self._prepared[key] = prepared
         while len(self._prepared) > _PREPARED_LIMIT:
@@ -206,30 +288,36 @@ class Session:
                       max_rows=None, reasons=None):
         options = self.options.with_backend(backend)
         deadline = options.deadline(timeout_ms, max_rows)
-        try:
-            if options.backend is None:
-                result = self._evaluator(options, deadline).evaluate(
-                    prepared.node
-                )
-            else:
-                from ..backends.exec import run_backend
+        tracer = self.tracer
+        with NULL_SPAN if tracer is None else tracer.span(
+            "query",
+            backend=options.backend or "planner",
+            warm=prepared.run_count > 0,
+        ):
+            try:
+                if options.backend is None:
+                    result = self._evaluator(options, deadline).evaluate(
+                        prepared.node
+                    )
+                else:
+                    from ..backends.exec import run_backend
 
-                result = run_backend(
-                    prepared.node,
-                    self.database,
-                    self.conventions,
-                    options.backend,
-                    externals=self.externals,
-                    fallback=options.fallback,
-                    context=SessionContext(self, options, deadline),
-                    reasons=reasons,
-                )
-        except QueryTimeout:
-            self.stats.timeouts += 1
-            raise
-        except BudgetExceeded:
-            self.stats.budget_exceeded += 1
-            raise
+                    result = run_backend(
+                        prepared.node,
+                        self.database,
+                        self.conventions,
+                        options.backend,
+                        externals=self.externals,
+                        fallback=options.fallback,
+                        context=SessionContext(self, options, deadline),
+                        reasons=reasons,
+                    )
+            except QueryTimeout:
+                self.stats.timeouts += 1
+                raise
+            except BudgetExceeded:
+                self.stats.budget_exceeded += 1
+                raise
         # Counted only on success: a failed run leaves the query cold, so
         # serve's X-Arc-Warm header never marks an errored first attempt.
         prepared.run_count += 1
@@ -250,6 +338,7 @@ class Session:
             planner=options.planner,
             decorrelate=options.decorrelate,
             deadline=deadline,
+            tracer=self.tracer,
         )
         evaluator.stats = self.stats
         return evaluator
@@ -259,9 +348,12 @@ class Session:
     def _acquire_connection(self, database, db_file=None):
         from ..backends.exec import sqlite_exec
 
+        tracer = self.tracer
         before = sqlite_exec.stats["loads"]
-        conn = sqlite_exec.connect_catalog(database, db_file=db_file)
-        loaded = sqlite_exec.stats["loads"] - before
+        with NULL_SPAN if tracer is None else tracer.span("sqlite.connect") as span:
+            conn = sqlite_exec.connect_catalog(database, db_file=db_file)
+            loaded = sqlite_exec.stats["loads"] - before
+            span.tag(loaded=bool(loaded))
         self.catalog_loads += loaded
         if not loaded:
             self.catalog_hits += 1
@@ -275,6 +367,7 @@ class Session:
         change NULL-hazard and decorrelation answers) re-probes, while an
         unchanged catalog answers from memory.
         """
+        tracer = self.tracer
         relations = [database[name] for name in database.names()] if database else []
         tag = (
             "capabilities",
@@ -291,8 +384,17 @@ class Session:
             cached = Relation.derived_get_shared(relations, node, tag)
             if cached is not None:
                 self.probe_hits += 1
+                if tracer is not None:
+                    tracer.event(
+                        "probe.cached", engine=engine.name,
+                        problems=len(cached),
+                    )
                 return list(cached)
-        problems = engine.capabilities(node, conventions, database, **options)
+        with NULL_SPAN if tracer is None else tracer.span(
+            "probe.capabilities", engine=engine.name
+        ) as span:
+            problems = engine.capabilities(node, conventions, database, **options)
+            span.tag(problems=len(problems))
         if relations:
             Relation.derived_put_shared(relations, node, tag, tuple(problems))
         return problems

@@ -28,6 +28,7 @@ import time
 import warnings
 
 from ...errors import EvaluationError, ResourceError
+from ...obs import NULL_SPAN
 
 
 class BackendUnsupported(EvaluationError):
@@ -93,6 +94,7 @@ def _in_process(node, database, conventions, externals, context, *,
         # including a planner substituted on fallback, which inherits the
         # *remaining* budget of the run that failed over.
         deadline=getattr(context, "deadline", None),
+        tracer=getattr(context, "tracer", None),
     )
     if context is not None:
         evaluator.stats = context.stats
@@ -308,65 +310,89 @@ def run_backend(
     sniffing the warnings machinery.
     """
     engine = get_backend(backend)
+    tracer = getattr(context, "tracer", None)
     # The planner is the fallback target, so it carries no breaker — a
     # planner outage has nowhere to fail over to.
     breaker = breaker_for(engine.name) if engine.name != PlannerBackend.name else None
-    problems = None
-    if breaker is not None and not breaker.allow():
-        problems = [
-            f"circuit breaker for backend {engine.name!r} is open "
-            f"(cooling down after {breaker.failures} consecutive failures)"
-        ]
-    if problems is None:
-        if context is not None:
-            options.setdefault("decorrelate", context.options.decorrelate)
-            problems = context.probe(engine, node, conventions, database, options)
-        else:
-            problems = engine.capabilities(node, conventions, database, **options)
-    if not problems:
-        try:
-            result = engine.run(
-                node, database, conventions, externals=externals,
-                context=context, **options
+    with NULL_SPAN if tracer is None else tracer.span(
+        "backend.dispatch", backend=engine.name
+    ) as span:
+        problems = None
+        if breaker is not None and not breaker.allow():
+            problems = [
+                f"circuit breaker for backend {engine.name!r} is open "
+                f"(cooling down after {breaker.failures} consecutive failures)"
+            ]
+            if tracer is not None:
+                tracer.event(
+                    "breaker.skip", backend=engine.name,
+                    failures=breaker.failures,
+                )
+        if problems is None:
+            if context is not None:
+                options.setdefault("decorrelate", context.options.decorrelate)
+                problems = context.probe(engine, node, conventions, database, options)
+            else:
+                problems = engine.capabilities(node, conventions, database, **options)
+        if not problems:
+            try:
+                result = engine.run(
+                    node, database, conventions, externals=externals,
+                    context=context, **options
+                )
+            except BackendUnsupported as exc:
+                # A *runtime* refusal the static probe missed: counts toward
+                # the breaker (unlike probe refusals, which are steady-state).
+                if breaker is not None:
+                    _count_failure(breaker, context)
+                if tracer is not None:
+                    tracer.event(
+                        "backend.refused", backend=engine.name, reason=str(exc)
+                    )
+                problems = [str(exc)]
+            except ResourceError:
+                # The caller's deadline/budget, not the backend's health.
+                raise
+            except Exception:
+                if breaker is not None:
+                    _count_failure(breaker, context)
+                raise
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                span.tag(ran=engine.name)
+                return result
+        reason = "; ".join(problems)
+        if not fallback or engine.name == PlannerBackend.name:
+            raise BackendUnsupported(
+                f"backend {engine.name!r} cannot evaluate this query: {reason}"
             )
-        except BackendUnsupported as exc:
-            # A *runtime* refusal the static probe missed: counts toward
-            # the breaker (unlike probe refusals, which are steady-state).
-            if breaker is not None:
-                _count_failure(breaker, context)
-            problems = [str(exc)]
-        except ResourceError:
-            # The caller's deadline/budget, not the backend's health.
-            raise
-        except Exception:
-            if breaker is not None:
-                _count_failure(breaker, context)
-            raise
+        if reasons is not None:
+            reasons.extend(problems)
         else:
-            if breaker is not None:
-                breaker.record_success()
-            return result
-    reason = "; ".join(problems)
-    if not fallback or engine.name == PlannerBackend.name:
-        raise BackendUnsupported(
-            f"backend {engine.name!r} cannot evaluate this query: {reason}"
+            warnings.warn(
+                BackendFallbackWarning(
+                    f"backend {engine.name!r} cannot evaluate this query "
+                    f"({reason}); falling back to the planner",
+                    problems,
+                ),
+                stacklevel=2,
+            )
+        if tracer is not None:
+            tracer.event(
+                "backend.fallback", backend=engine.name, reasons=len(problems)
+            )
+            tracer.count(
+                "arc_backend_fallbacks_total",
+                help_text="Dispatches that fell back to the planner.",
+                backend=engine.name,
+            )
+        span.tag(ran=PlannerBackend.name, fallback=True)
+        options.pop("db_file", None)  # the planner has no catalog to persist
+        return get_backend(PlannerBackend.name).run(
+            node, database, conventions, externals=externals, context=context,
+            **options
         )
-    if reasons is not None:
-        reasons.extend(problems)
-    else:
-        warnings.warn(
-            BackendFallbackWarning(
-                f"backend {engine.name!r} cannot evaluate this query "
-                f"({reason}); falling back to the planner",
-                problems,
-            ),
-            stacklevel=2,
-        )
-    options.pop("db_file", None)  # the planner has no catalog to persist
-    return get_backend(PlannerBackend.name).run(
-        node, database, conventions, externals=externals, context=context,
-        **options
-    )
 
 
 register(ReferenceBackend())

@@ -69,6 +69,7 @@ from ...data.relation import Relation, Tuple
 from ...data.values import NULL, Truth, is_null, sort_key
 from ...engine.decorrelate import rewrite_for_sql
 from ...errors import QueryTimeout, RewriteError
+from ...obs import NULL_SPAN
 from ...util import failpoints
 from ..sql_render import scalar_inlinable, to_sql
 from .registry import Backend, BackendUnsupported
@@ -484,16 +485,18 @@ def _is_transient(exc):
     return "locked" in message or "busy" in message
 
 
-def execute_with_retry(conn, sql, *, stats_obj=None, sleep=time.sleep):
+def execute_with_retry(conn, sql, *, stats_obj=None, sleep=time.sleep,
+                       tracer=None):
     """Execute *sql* with bounded deterministic-backoff retries.
 
     Transient ``sqlite3.OperationalError`` ("database is locked"/"busy")
     retries up to :data:`_RETRY_ATTEMPTS` times, sleeping
     ``_RETRY_BASE_S * 2**attempt`` between attempts (*sleep* injectable for
     tests).  Each retry increments ``stats_obj.retries`` when an
-    :class:`~repro.engine.planner.ExecutionStats` is supplied.  The
-    ``sqlite.execute`` failpoint fires once per attempt, so a ``locked*2``
-    spec deterministically drives the retry-then-succeed path.
+    :class:`~repro.engine.planner.ExecutionStats` is supplied (and records a
+    ``sqlite.retry`` event when a *tracer* is).  The ``sqlite.execute``
+    failpoint fires once per attempt, so a ``locked*2`` spec
+    deterministically drives the retry-then-succeed path.
     """
     last_exc = None
     for attempt in range(_RETRY_ATTEMPTS):
@@ -507,6 +510,10 @@ def execute_with_retry(conn, sql, *, stats_obj=None, sleep=time.sleep):
             if attempt + 1 < _RETRY_ATTEMPTS:
                 if stats_obj is not None:
                     stats_obj.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "sqlite.retry", attempt=attempt + 1, error=str(exc)
+                    )
                 sleep(_RETRY_BASE_S * 2**attempt)
     raise last_exc
 
@@ -598,7 +605,9 @@ class SqliteBackend(Backend):
             db_file = context.options.db_file
         deadline = getattr(context, "deadline", None)
         stats_obj = context.stats if context is not None else None
-        prepared, sql = compile_sql(node, database, decorrelate=decorrelate)
+        tracer = getattr(context, "tracer", None)
+        with NULL_SPAN if tracer is None else tracer.span("sql.compile"):
+            prepared, sql = compile_sql(node, database, decorrelate=decorrelate)
         try:
             if context is not None:
                 conn = context.acquire_connection(database)
@@ -620,27 +629,33 @@ class SqliteBackend(Backend):
                 lambda: 1 if deadline.expired() else 0, _PROGRESS_STRIDE
             )
         try:
-            try:
-                cursor = execute_with_retry(conn, sql, stats_obj=stats_obj)
-                if deadline is not None and deadline.max_rows is not None:
-                    raw = []
-                    while True:
-                        chunk = cursor.fetchmany(256)
-                        if not chunk:
-                            break
-                        deadline.count_rows(len(chunk))
-                        raw.extend(chunk)
-                else:
-                    raw = cursor.fetchall()
-            except sqlite3.Error as exc:
-                if armed and deadline.expired():
-                    raise QueryTimeout(
-                        f"query exceeded its {deadline.timeout_ms} ms "
-                        "deadline (aborted inside SQLite)"
+            with NULL_SPAN if tracer is None else tracer.span(
+                "sqlite.execute"
+            ) as span:
+                try:
+                    cursor = execute_with_retry(
+                        conn, sql, stats_obj=stats_obj, tracer=tracer
+                    )
+                    if deadline is not None and deadline.max_rows is not None:
+                        raw = []
+                        while True:
+                            chunk = cursor.fetchmany(256)
+                            if not chunk:
+                                break
+                            deadline.count_rows(len(chunk))
+                            raw.extend(chunk)
+                    else:
+                        raw = cursor.fetchall()
+                except sqlite3.Error as exc:
+                    if armed and deadline.expired():
+                        raise QueryTimeout(
+                            f"query exceeded its {deadline.timeout_ms} ms "
+                            "deadline (aborted inside SQLite)"
+                        ) from exc
+                    raise BackendUnsupported(
+                        f"SQLite rejected the rendered query ({exc})"
                     ) from exc
-                raise BackendUnsupported(
-                    f"SQLite rejected the rendered query ({exc})"
-                ) from exc
+                span.tag(rows=len(raw))
         finally:
             if armed:
                 conn.set_progress_handler(None, 0)

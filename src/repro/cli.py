@@ -134,6 +134,13 @@ def cmd_eval(args):
     session = Session(
         database, CONVENTIONS[args.conventions], options=_session_options(args)
     )
+    tracing = args.explain or args.trace_out
+    if tracing:
+        # Attach the recording tracer before prepare() so frontend.parse
+        # is part of the profile.
+        from .obs import Tracer
+
+        session.tracer = Tracer(stats=session.stats)
     prepared = session.prepare(_read_text(args), frontend=args.source)
     repeat = max(1, args.repeat)
     timings = []
@@ -161,6 +168,20 @@ def cmd_eval(args):
             f"domain_join_compensations={stats.domain_join_compensations} "
             f"tribucket_probes={stats.tribucket_probes}"
         )
+    if tracing:
+        from .obs import render_span_tree, write_chrome_trace
+
+        spans, events = session.tracer.take()
+        if args.explain:
+            print("explain:")
+            print(render_span_tree(spans, events))
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, spans, events)
+            print(
+                f"trace: {len(spans)} spans, {len(events)} events "
+                f"written to {args.trace_out} (load in chrome://tracing "
+                "or https://ui.perfetto.dev)"
+            )
     return 0
 
 
@@ -181,6 +202,8 @@ def cmd_serve(args):
             if args.max_body_bytes is not None
             else serve.DEFAULT_MAX_BODY_BYTES
         ),
+        log_requests=args.log_requests,
+        log_json=args.log_json,
     )
     # SIGTERM/SIGINT drain the in-flight request, then stop accepting —
     # an orchestrator's stop signal never kills a response mid-write.
@@ -322,6 +345,21 @@ def build_parser():
         help="run the prepared query N times through one Session and print "
         "per-run timings (run 1 is cold; later runs ride the warm state)",
     )
+    p_eval.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the span tree after the run(s): per-phase timings, "
+        "plan/strategy decisions, fallback reasons, and the stats "
+        "counters each phase moved",
+    )
+    p_eval.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="write the run's spans as Chrome-trace-viewer JSON to FILE "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
     _budget_flags(p_eval)
     p_eval.set_defaults(func=cmd_eval)
 
@@ -383,9 +421,17 @@ def build_parser():
     )
     p_serve.add_argument(
         "--log-requests",
-        dest="quiet",
-        action="store_false",
-        help="log each HTTP request to stderr",
+        dest="log_requests",
+        action="store_true",
+        help="log one line per request (method, path, status code, elapsed "
+        "time, query id) through the stdlib 'repro.serve' logger",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        dest="log_json",
+        action="store_true",
+        help="structured JSON request logs on the same logger "
+        "(implies --log-requests)",
     )
     _budget_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)

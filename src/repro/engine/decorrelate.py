@@ -97,6 +97,7 @@ from ..core.scopes import (
 from ..data.relation import Relation, Tuple
 from ..data.values import is_null
 from ..errors import EvaluationError
+from ..obs import NULL_SPAN
 from . import aggregates as agg_lib
 
 #: θ operators a band index can probe, normalized as *inner OP outer*.
@@ -202,8 +203,13 @@ class CorrelationSpec:
         except EvaluationError:
             return None
         tag = ("fio", self.strategy, evaluator.conventions)
+        tracer = evaluator.tracer
         index = Relation.derived_get_shared(anchors, self, tag)
         if index is not None:
+            if tracer is not None:
+                tracer.event(
+                    "decorr.index", cached=True, strategy=self.strategy
+                )
             return None if index is _BUILD_UNSUPPORTED else index
         # A build failure falls back to per-row for this catalog state: the
         # materialization evaluates the *whole* rewritten scope, including
@@ -211,10 +217,14 @@ class CorrelationSpec:
         # whose aggregate raises), while the per-row strategy only ever
         # touches what the outer rows select — its behaviour is the oracle.
         builder = self._build_band if self.strategy == "band" else self._build_eq
-        try:
-            index = builder(evaluator)
-        except (EvaluationError, TypeError):
-            index = None
+        with NULL_SPAN if tracer is None else tracer.span(
+            "decorr.index.build", strategy=self.strategy
+        ) as span:
+            try:
+                index = builder(evaluator)
+            except (EvaluationError, TypeError):
+                index = None
+            span.tag(ok=index is not None)
         if index is None:
             Relation.derived_put_shared(anchors, self, tag, _BUILD_UNSUPPORTED)
             return None

@@ -193,6 +193,7 @@ class Evaluator:
         planner=True,
         decorrelate=True,
         deadline=None,
+        tracer=None,
     ):
         self.database = database if database is not None else Database()
         self.conventions = conventions
@@ -202,6 +203,11 @@ class Evaluator:
         self.planner = planner
         self.decorrelate = decorrelate
         self.stats = ExecutionStats()
+        #: Optional :class:`~repro.obs.Tracer` recording phase spans.  All
+        #: sites are coarse (per scope / per compile / per fixpoint round —
+        #: never per row) and gated on ``tracer is not None``, so the
+        #: disabled path costs one attribute read per phase.
+        self.tracer = tracer
         #: Armed :class:`~repro.util.deadline.Deadline` for the current run,
         #: or None (unbounded).  Every execution tier reads it: the
         #: compiled-scope loops tick per row, the fixpoint checks per round,
@@ -212,6 +218,15 @@ class Evaluator:
     # -- public API -----------------------------------------------------------
 
     def evaluate(self, node):
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                "execute", engine="planner" if self.planner else "reference"
+            ):
+                return self._evaluate_node(node)
+        return self._evaluate_node(node)
+
+    def _evaluate_node(self, node):
         if isinstance(node, n.Program):
             return self._evaluate_program(node)
         if isinstance(node, n.Collection):
@@ -265,6 +280,17 @@ class Evaluator:
 
     def _eval_collection(self, coll, env):
         """Evaluate a collection under *env*; returns Counter[Tuple]."""
+        tracer = self.tracer
+        if tracer is not None and not self._head_stack:
+            # Only the top-level collection gets a span: laterally nested
+            # collections re-evaluate per outer row and must stay span-free.
+            with tracer.span("scope.execute", head=coll.head.name) as span:
+                out = self._eval_collection_inner(coll, env)
+                span.tag(rows=len(out))
+                return out
+        return self._eval_collection_inner(coll, env)
+
+    def _eval_collection_inner(self, coll, env):
         self._head_stack.append(coll.head)
         deadline = self.deadline
         try:
@@ -567,7 +593,12 @@ class Evaluator:
             if compiled.assumptions == assumptions:
                 self.stats.plan_cache_hits += 1
                 return compiled
-        compiled = build()
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("plan.compile"):
+                compiled = build()
+        else:
+            compiled = build()
         variants.append(compiled)
         if len(variants) > 4:
             variants.pop(0)

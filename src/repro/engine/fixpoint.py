@@ -29,6 +29,7 @@ from ..core import nodes as n
 from ..core.validator import dependency_graph, validate
 from ..data.relation import Relation
 from ..errors import EvaluationError, ValidationError
+from ..obs import NULL_SPAN
 from .abstract import AbstractSource
 
 
@@ -90,9 +91,16 @@ def _solve_recursive(component, definitions, evaluator, *, seminaive):
     convention (the standard Datalog choice; bag recursion generally has no
     finite fixed point).
     """
-    if seminaive:
-        return _solve_seminaive(component, definitions, evaluator)
-    return _solve_naive(component, definitions, evaluator)
+    solver = _solve_seminaive if seminaive else _solve_naive
+    tracer = evaluator.tracer
+    with NULL_SPAN if tracer is None else tracer.span(
+        "fixpoint.solve",
+        component=",".join(sorted(component)),
+        strategy="seminaive" if seminaive else "naive",
+    ) as span:
+        rounds = solver(component, definitions, evaluator)
+        span.tag(rounds=rounds)
+    return rounds
 
 
 def _solve_naive(component, definitions, evaluator):
@@ -103,6 +111,7 @@ def _solve_naive(component, definitions, evaluator):
         evaluator.defined[name] = Relation(name, head.attrs)
 
     deadline = evaluator.deadline
+    tracer = evaluator.tracer
     iterations = 0
     changed = True
     while changed:
@@ -115,20 +124,23 @@ def _solve_naive(component, definitions, evaluator):
             # One clock read per round: a round is the natural coarse
             # checkpoint for a fixpoint that may never converge in bounds.
             deadline.check()
-        changed = False
-        for name in component:
-            definition = definitions[name]
-            counter = evaluator._eval_collection(definition, {})
-            new_rows = set(counter)
-            old_relation = evaluator.defined[name]
-            old_rows = set(old_relation.iter_distinct())
-            union = old_rows | new_rows
-            if union != old_rows:
-                changed = True
-                merged = Relation(name, definition.head.attrs)
-                for row in union:
-                    merged.add(row)
-                evaluator.defined[name] = merged
+        with NULL_SPAN if tracer is None else tracer.span(
+            "fixpoint.round", round=iterations
+        ):
+            changed = False
+            for name in component:
+                definition = definitions[name]
+                counter = evaluator._eval_collection(definition, {})
+                new_rows = set(counter)
+                old_relation = evaluator.defined[name]
+                old_rows = set(old_relation.iter_distinct())
+                union = old_rows | new_rows
+                if union != old_rows:
+                    changed = True
+                    merged = Relation(name, definition.head.attrs)
+                    for row in union:
+                        merged.add(row)
+                    evaluator.defined[name] = merged
     return iterations
 
 
@@ -199,6 +211,7 @@ def _solve_seminaive(component, definitions, evaluator):
         deltas[name] = rows
 
     deadline = evaluator.deadline
+    tracer = evaluator.tracer
     iterations = 0
     while any(deltas.values()):
         iterations += 1
@@ -208,24 +221,30 @@ def _solve_seminaive(component, definitions, evaluator):
             )
         if deadline is not None:
             deadline.check()
-        # Expose the deltas as relations the rewritten disjuncts can read.
-        for name in component:
-            delta_rel = Relation(delta_name[name], definitions[name].head.attrs)
-            delta_rel.extend_new(deltas[name])
-            evaluator.defined[delta_name[name]] = delta_rel
-        new_deltas = {name: set() for name in component}
-        for name in component:
-            seen = known[name]
-            fresh = new_deltas[name]
-            for part in delta_parts[name]:
-                for row in evaluator._eval_collection(part, {}):
-                    if row not in seen:
-                        seen.add(row)
-                        fresh.add(row)
-        for name in component:
-            # Delta-aware growth: append the fresh rows to the full
-            # relation's cached indexes instead of invalidating them.
-            full[name].extend_new(new_deltas[name])
+        with NULL_SPAN if tracer is None else tracer.span(
+            "fixpoint.round", round=iterations
+        ) as round_span:
+            # Expose the deltas as relations the rewritten disjuncts can read.
+            for name in component:
+                delta_rel = Relation(delta_name[name], definitions[name].head.attrs)
+                delta_rel.extend_new(deltas[name])
+                evaluator.defined[delta_name[name]] = delta_rel
+            new_deltas = {name: set() for name in component}
+            for name in component:
+                seen = known[name]
+                fresh = new_deltas[name]
+                for part in delta_parts[name]:
+                    for row in evaluator._eval_collection(part, {}):
+                        if row not in seen:
+                            seen.add(row)
+                            fresh.add(row)
+            for name in component:
+                # Delta-aware growth: append the fresh rows to the full
+                # relation's cached indexes instead of invalidating them.
+                full[name].extend_new(new_deltas[name])
+            round_span.tag(
+                new_rows=sum(len(rows) for rows in new_deltas.values())
+            )
         deltas = new_deltas
     for name in component:
         evaluator.defined.pop(delta_name[name], None)

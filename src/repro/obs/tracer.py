@@ -1,0 +1,292 @@
+"""Query-lifecycle span tracing: where a run actually spent its time.
+
+A :class:`Tracer` records *spans* — named, timed, strictly nested intervals
+covering one phase of a query's life (``frontend.parse``,
+``probe.capabilities``, ``plan.compile``, ``decorr.index.build``,
+``scope.execute``, ``fixpoint.round``, ``backend.dispatch``,
+``sqlite.execute``, …) — plus zero-duration *events* (a retry, a breaker
+skip, an LRU hit).  Every instrumentation site in the engine is gated on
+``tracer is not None``, so the disabled path adds **zero** per-row work and
+at most one attribute test per coarse phase; the perf-smoke suite pins this
+with counters and the E23 gate bounds the armed cost below 5 %.
+
+Three consumers, one record shape:
+
+* ``repro eval --explain`` / ``Prepared.explain()`` render the span tree
+  with timings, tags (which decorrelation strategy fired, why a backend
+  fell back) and the run's :class:`~repro.engine.planner.ExecutionStats`
+  counter deltas (captured per span when the tracer holds a ``stats``);
+* ``--trace-out FILE`` exports Chrome-trace-viewer JSON
+  (:func:`repro.obs.exporters.chrome_trace`), one timeline row per query id;
+* ``repro serve`` runs a *metrics-only* tracer (``keep_spans=False``): span
+  durations feed the per-phase latency histograms behind ``GET /metrics``
+  and the spans themselves are dropped, so a long-lived server never
+  accumulates trace memory.
+
+The clock is injectable (like :mod:`repro.util.deadline`) so tests drive
+span timings deterministically.  A tracer is **not** thread-safe — it
+belongs to a Session, which is itself single-threaded by contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Hard cap on retained spans/events per tracer: a runaway fixpoint under
+#: tracing degrades to dropped spans (counted), never to unbounded memory.
+DEFAULT_MAX_SPANS = 50_000
+
+#: ExecutionStats counters worth carrying on spans (all of them; the delta
+#: only stores the ones that actually moved during the span).
+_MISSING = object()
+
+
+class Span:
+    """One timed phase of a query run (also its own context manager)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "query_id",
+        "start",
+        "end",
+        "tags",
+        "stats_delta",
+        "_tracer",
+        "_stats_before",
+    )
+
+    def __init__(self, tracer, name, span_id, parent_id, query_id, start, tags):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.query_id = query_id
+        self.start = start
+        self.end = None
+        self.tags = tags
+        self.stats_delta = {}
+        self._stats_before = None
+
+    @property
+    def duration_s(self):
+        return 0.0 if self.end is None else self.end - self.start
+
+    def tag(self, **tags):
+        """Attach *tags* to the span (chainable); see also ``NULL_SPAN``."""
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and "error" not in self.tags:
+            self.tags["error"] = exc_type.__name__
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self):
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+            f"tags={self.tags}, query_id={self.query_id})"
+        )
+
+
+class _NullSpan:
+    """The no-op span: instrumentation sites tag it freely, nothing sticks.
+
+    ``NULL_SPAN if tracer is None else tracer.span(...)`` keeps every
+    ``with``-site branch-free beyond one identity test; the singleton has
+    no state, so tagging it is a constant-time no-op.
+    """
+
+    __slots__ = ()
+
+    def tag(self, **tags):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+#: Shared no-op span for the ``tracer is None`` branch of every site.
+NULL_SPAN = _NullSpan()
+
+
+class Event:
+    """A zero-duration occurrence attached to the span open at the time."""
+
+    __slots__ = ("name", "ts", "parent_id", "query_id", "tags")
+
+    def __init__(self, name, ts, parent_id, query_id, tags):
+        self.name = name
+        self.ts = ts
+        self.parent_id = parent_id
+        self.query_id = query_id
+        self.tags = tags
+
+    def __repr__(self):
+        return f"Event({self.name!r}, tags={self.tags})"
+
+
+class Tracer:
+    """Span recorder for one Session (see the module docstring).
+
+    Parameters
+    ----------
+    clock:
+        Monotonic seconds; injectable for deterministic tests.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; when present, every
+        finished span observes ``arc_phase_seconds{phase=<name>}`` (and a
+        ``backend.dispatch`` span additionally feeds
+        ``arc_backend_seconds{backend=...}``), and :meth:`count` increments
+        named counters.
+    stats:
+        An :class:`~repro.engine.planner.ExecutionStats` to snapshot around
+        each span; the span's ``stats_delta`` keeps the counters that moved.
+    keep_spans:
+        False runs metrics-only: durations feed the registry, span/event
+        records are dropped immediately (the ``repro serve`` mode).
+    """
+
+    def __init__(self, *, clock=time.perf_counter, metrics=None, stats=None,
+                 keep_spans=True, max_spans=DEFAULT_MAX_SPANS):
+        self._clock = clock
+        self.metrics = metrics
+        self.stats = stats
+        self.keep_spans = keep_spans
+        self.max_spans = max_spans
+        self.finished = []
+        self.events = []
+        self.spans_started = 0
+        self.spans_dropped = 0
+        self._stack = []
+        self._seq = 0
+        self._root_seq = 0
+        self.query_id = None
+        self._pinned_query_id = None
+
+    # -- query identity ------------------------------------------------------
+
+    def begin(self, query_id=None):
+        """Pin the query id the next root spans carry (``repro serve`` sets
+        its per-request id here); returns the id in effect."""
+        if query_id is None:
+            self._root_seq += 1
+            query_id = f"q{self._root_seq:04d}"
+        self._pinned_query_id = query_id
+        self.query_id = query_id
+        return query_id
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name, **tags):
+        """Open a span; use as ``with tracer.span("plan.compile") as sp:``."""
+        self.spans_started += 1
+        if not self._stack:
+            # A fresh root: queries traced without an explicit begin() get
+            # sequential auto ids, one per root, so Chrome-trace rows and
+            # the explain tree group runs correctly.
+            if self._pinned_query_id is None:
+                self._root_seq += 1
+                self.query_id = f"q{self._root_seq:04d}"
+        self._seq += 1
+        span = Span(
+            self,
+            name,
+            span_id=self._seq,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            query_id=self.query_id,
+            start=self._clock(),
+            tags=tags,
+        )
+        if self.stats is not None:
+            span._stats_before = self.stats.as_dict()
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span):
+        span.end = self._clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive unwind
+            self._stack.remove(span)
+        if span._stats_before is not None:
+            after = self.stats.as_dict()
+            before = span._stats_before
+            span.stats_delta = {
+                key: after[key] - before[key]
+                for key in after
+                if after[key] != before[key]
+            }
+            span._stats_before = None
+        if self.metrics is not None:
+            duration = span.duration_s
+            self.metrics.histogram(
+                "arc_phase_seconds",
+                "Latency of each query-lifecycle phase.",
+                labels=("phase",),
+            ).observe(duration, phase=span.name)
+            backend = span.tags.get("backend")
+            # Only the dispatch span feeds the backend histogram: the root
+            # ``query`` span carries a ``backend`` tag too (for explain),
+            # and counting both would double every request.
+            if backend is not None and span.name == "backend.dispatch":
+                self.metrics.histogram(
+                    "arc_backend_seconds",
+                    "Latency of backend dispatch per backend.",
+                    labels=("backend",),
+                ).observe(duration, backend=str(backend))
+        if self.keep_spans:
+            if len(self.finished) < self.max_spans:
+                self.finished.append(span)
+            else:
+                self.spans_dropped += 1
+
+    def event(self, name, **tags):
+        """Record a zero-duration event under the currently open span."""
+        if not self.keep_spans:
+            return None
+        if len(self.events) >= self.max_spans:
+            self.spans_dropped += 1
+            return None
+        event = Event(
+            name,
+            ts=self._clock(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            query_id=self.query_id,
+            tags=tags,
+        )
+        self.events.append(event)
+        return event
+
+    def count(self, name, n=1, help_text="", **labels):
+        """Increment a metrics counter when a registry is attached."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                name, help_text, labels=tuple(sorted(labels))
+            ).inc(n, **labels)
+
+    # -- draining ------------------------------------------------------------
+
+    def take(self):
+        """Drain and return ``(spans, events)`` recorded so far.
+
+        Open spans stay on the stack (they finish into the next batch), so
+        draining between runs splits traces cleanly.
+        """
+        spans, self.finished = self.finished, []
+        events, self.events = self.events, []
+        return spans, events
+
+    def __repr__(self):
+        return (
+            f"Tracer(open={len(self._stack)}, finished={len(self.finished)}, "
+            f"events={len(self.events)}, started={self.spans_started})"
+        )

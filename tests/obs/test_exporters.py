@@ -1,0 +1,195 @@
+"""Exporter correctness: Prometheus text, Chrome-trace JSON, explain tree."""
+
+import json
+import re
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    render_prometheus,
+    render_span_tree,
+    write_chrome_trace,
+)
+from tests.obs.test_tracer import FakeClock
+
+# One exposition sample: name, optional {labels}, then a number.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[0-9.+\-eE]+|\+Inf|NaN)$"
+)
+
+
+def _filled_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "arc_prepared_lru_total", "Prepared-cache lookups.", labels=("result",)
+    ).inc(3, result="hit")
+    histogram = registry.histogram(
+        "arc_phase_seconds", "Phase latency.", labels=("phase",),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    for value in (0.0005, 0.005, 0.005, 0.05, 2.0):
+        histogram.observe(value, phase="execute")
+    return registry
+
+
+class TestPrometheusText:
+    def test_every_line_is_a_comment_or_a_parseable_sample(self):
+        text = render_prometheus(_filled_registry())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_help_and_type_precede_each_metric(self):
+        lines = render_prometheus(_filled_registry()).splitlines()
+        assert "# HELP arc_prepared_lru_total Prepared-cache lookups." in lines
+        assert "# TYPE arc_prepared_lru_total counter" in lines
+        assert "# TYPE arc_phase_seconds histogram" in lines
+        # HELP always directly precedes TYPE for the same metric.
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert lines[index - 1].startswith(f"# HELP {name} ")
+
+    def test_histogram_buckets_are_cumulative_and_capped_by_count(self):
+        text = render_prometheus(_filled_registry())
+        buckets = []
+        for line in text.splitlines():
+            match = _SAMPLE.match(line)
+            if match and match["name"] == "arc_phase_seconds_bucket":
+                buckets.append((match["labels"], int(match["value"])))
+        # 0.001 → 1, 0.01 → 3, 0.1 → 4, +Inf → 5 (the 2.0 s observation).
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "bucket counts must be monotone"
+        assert 'le="+Inf"' in buckets[-1][0]
+        assert buckets[-1][1] == 5
+        assert "arc_phase_seconds_count{phase=\"execute\"} 5" in text
+        assert "arc_phase_seconds_sum{phase=\"execute\"}" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("reason",)).inc(
+            reason='say "hi"\nback\\slash'
+        )
+        text = render_prometheus(registry)
+        assert r'reason="say \"hi\"\nback\\slash"' in text
+
+    def test_extra_rows_render_as_their_declared_kind(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra=[
+                ("arc_uptime_seconds", "gauge", "Uptime.", [({}, 12.5)]),
+                (
+                    "arc_stats_total", "counter", "Engine counters.",
+                    [({"counter": "rows_enumerated"}, 42)],
+                ),
+            ],
+        )
+        assert "# TYPE arc_uptime_seconds gauge" in text
+        assert "arc_uptime_seconds 12.5" in text
+        assert 'arc_stats_total{counter="rows_enumerated"} 42' in text
+
+
+def _traced_batch():
+    """Two queries with nested spans and an event, on a fake clock."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("query", backend="planner"):
+        clock.advance(0.001)
+        with tracer.span("execute"):
+            clock.advance(0.004)
+            with tracer.span("plan.compile"):
+                clock.advance(0.002)
+            tracer.event("decorr.index", cached=True)
+            clock.advance(0.001)
+    with tracer.span("query"):
+        clock.advance(0.003)
+    return tracer.take()
+
+
+class TestChromeTrace:
+    def test_document_round_trips_through_json(self):
+        spans, events = _traced_batch()
+        document = chrome_trace(spans, events)
+        assert json.loads(json.dumps(document)) == document
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_spans_are_strictly_nested_per_query_id(self):
+        spans, events = _traced_batch()
+        rows = {}
+        for entry in chrome_trace(spans, events)["traceEvents"]:
+            if entry["ph"] == "X":
+                rows.setdefault(entry["tid"], []).append(
+                    (entry["ts"], entry["ts"] + entry["dur"])
+                )
+        assert len(rows) == 2  # one timeline row per query id
+        for intervals in rows.values():
+            for start_a, end_a in intervals:
+                for start_b, end_b in intervals:
+                    disjoint = end_a <= start_b or end_b <= start_a
+                    nested = (start_a <= start_b and end_b <= end_a) or (
+                        start_b <= start_a and end_a <= end_b
+                    )
+                    assert disjoint or nested
+
+    def test_args_carry_identity_tags_and_thread_names(self):
+        spans, events = _traced_batch()
+        document = chrome_trace(spans, events)
+        phases = {entry["ph"] for entry in document["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        roots = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "query"
+        ]
+        assert {r["args"]["query_id"] for r in roots} == {"q0001", "q0002"}
+        assert roots[0]["args"]["backend"] == "planner"
+        names = {
+            e["args"]["name"] for e in document["traceEvents"] if e["ph"] == "M"
+        }
+        assert names == {"query q0001", "query q0002"}
+        (instant,) = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "decorr.index"
+        assert instant["args"]["cached"] is True
+
+    def test_timestamps_are_relative_microseconds(self):
+        spans, events = _traced_batch()
+        entries = [
+            e for e in chrome_trace(spans, events)["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert min(e["ts"] for e in entries) == 0.0
+        root = [e for e in entries if e["args"]["query_id"] == "q0001"][-1]
+        assert root["dur"] == 8000.0  # 8 ms on the fake clock
+
+    def test_write_chrome_trace_serializes_the_same_document(self, tmp_path):
+        spans, events = _traced_batch()
+        path = tmp_path / "trace.json"
+        document = write_chrome_trace(path, spans, events)
+        assert json.loads(path.read_text(encoding="utf-8")) == document
+
+
+class TestSpanTree:
+    def test_tree_shows_shares_tags_deltas_and_events(self):
+        spans, events = _traced_batch()
+        spans[1].stats_delta = {"rows_enumerated": 9}
+        text = render_span_tree(spans, events)
+        lines = text.splitlines()
+        assert lines[0].startswith("query  8.00 ms  query_id=q0001")
+        assert "backend=planner" in lines[0]
+        assert any("└─" in line or "├─" in line for line in lines)
+        assert any("· decorr.index" in line and "cached=True" in line
+                   for line in lines)
+        assert any("[rows_enumerated=+9]" in line for line in lines)
+        # execute covers 7 of the root's 8 ms.
+        assert any("execute" in line and "88%" in line for line in lines)
+
+    def test_file_argument_prints_the_same_text(self, capsys):
+        import sys
+
+        spans, events = _traced_batch()
+        text = render_span_tree(spans, events, file=sys.stdout)
+        assert capsys.readouterr().out == text + "\n"

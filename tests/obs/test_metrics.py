@@ -1,0 +1,103 @@
+"""Counter/Histogram/Registry semantics behind /metrics and /stats."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_labelled_totals_accumulate(self):
+        counter = Counter("arc_prepared_lru_total", labels=("result",))
+        counter.inc(result="hit")
+        counter.inc(2, result="hit")
+        counter.inc(result="miss")
+        assert counter.value(result="hit") == 3
+        assert counter.value(result="miss") == 1
+        assert sorted(counter.samples(), key=str) == [
+            ({"result": "hit"}, 3),
+            ({"result": "miss"}, 1),
+        ]
+
+    def test_counters_cannot_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_label_names_are_fixed_at_creation(self):
+        counter = Counter("c", labels=("backend",))
+        with pytest.raises(ValueError):
+            counter.inc(engine="sqlite")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the declared label
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 99.0):
+            histogram.observe(value)
+        ((labels, cumulative, total_sum, total),) = list(histogram.samples())
+        assert labels == {}
+        assert cumulative == [1, 3, 4]  # cumulative per finite bound
+        assert total == 5  # the +Inf bucket catches 99.0
+        assert total_sum == pytest.approx(105.5)
+
+    def test_quantile_interpolates_within_a_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            histogram.observe(value)
+        # p50 rank = 2 falls exactly on the first bucket's upper bound.
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        # p75 rank = 3: halfway through the (1, 2] bucket's two samples.
+        assert histogram.quantile(0.75) == pytest.approx(1.5)
+
+    def test_quantile_clamps_to_the_last_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1000.0)
+        assert histogram.quantile(0.99) == pytest.approx(4.0)
+
+    def test_quantile_is_none_when_empty(self):
+        histogram = Histogram("h", labels=("phase",))
+        assert histogram.quantile(0.5, phase="execute") is None
+
+    def test_snapshot_is_json_friendly(self):
+        histogram = Histogram("h", buckets=(0.001, 0.01))
+        histogram.observe(0.0005)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["sum_s"] == pytest.approx(0.0005)
+        assert set(snapshot) == {"count", "sum_s", "p50_ms", "p95_ms", "p99_ms"}
+
+    def test_default_buckets_are_sorted_and_span_the_serving_range(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.0005  # warm sub-millisecond phases
+        assert DEFAULT_BUCKETS[-1] >= 5.0  # cold catalog loads
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help", labels=("x",))
+        assert registry.counter("c", labels=("x",)) is first
+        assert registry.get("c") is first
+        assert len(registry) == 1
+
+    def test_kind_or_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("x",))
+        with pytest.raises(ValueError):
+            registry.histogram("c", labels=("x",))
+        with pytest.raises(ValueError):
+            registry.counter("c", labels=("y",))
+
+    def test_latency_summary_groups_by_label_value(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("arc_phase_seconds", labels=("phase",))
+        histogram.observe(0.001, phase="execute")
+        histogram.observe(0.002, phase="execute")
+        histogram.observe(0.1, phase="plan.compile")
+        registry.counter("ignored_total").inc()
+        summary = registry.latency_summary()
+        assert set(summary) == {"arc_phase_seconds"}
+        assert summary["arc_phase_seconds"]["execute"]["count"] == 2
+        assert summary["arc_phase_seconds"]["plan.compile"]["count"] == 1

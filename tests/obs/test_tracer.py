@@ -1,0 +1,158 @@
+"""Tracer unit tests: nesting, identity, stats deltas, and the null path."""
+
+import pytest
+
+from repro.engine.planner import ExecutionStats
+from repro.obs import NULL_SPAN, MetricsRegistry, Tracer
+
+
+class FakeClock:
+    """Injectable monotonic clock (the deadline-test idiom)."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSpans:
+    def test_nesting_assigns_parent_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query") as root:
+            with tracer.span("execute") as outer:
+                with tracer.span("plan.compile") as inner:
+                    pass
+        assert root.parent_id is None
+        assert outer.parent_id == root.span_id
+        assert inner.parent_id == outer.span_id
+        assert [s.name for s in tracer.finished] == [
+            "plan.compile", "execute", "query",
+        ]
+
+    def test_injectable_clock_times_durations(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("query"):
+            clock.advance(0.25)
+            with tracer.span("execute"):
+                clock.advance(0.5)
+        execute, query = tracer.finished
+        assert execute.duration_s == pytest.approx(0.5)
+        assert query.duration_s == pytest.approx(0.75)
+
+    def test_sibling_roots_get_sequential_query_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query"):
+            with tracer.span("execute"):
+                pass
+        with tracer.span("query"):
+            pass
+        ids = {s.name: s.query_id for s in tracer.finished}
+        assert ids == {"execute": "q0001", "query": "q0002"}
+        first_query = [s for s in tracer.finished if s.name == "query"][0]
+        assert first_query.query_id == "q0001"
+
+    def test_begin_pins_the_query_id(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.begin("deadbeef") == "deadbeef"
+        with tracer.span("query"):
+            pass
+        with tracer.span("query"):
+            pass
+        assert {s.query_id for s in tracer.finished} == {"deadbeef"}
+        # Unpinning: begin() with no id returns to sequential ids.
+        assert tracer.begin().startswith("q")
+
+    def test_tags_are_chainable_and_exceptions_tag_error(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("execute", engine="planner") as span:
+                span.tag(rows=3).tag(warm=True)
+                raise ValueError("boom")
+        (span,) = tracer.finished
+        assert span.tags == {
+            "engine": "planner", "rows": 3, "warm": True, "error": "ValueError",
+        }
+
+    def test_stats_delta_keeps_only_moved_counters(self):
+        stats = ExecutionStats()
+        tracer = Tracer(clock=FakeClock(), stats=stats)
+        with tracer.span("execute"):
+            stats.rows_enumerated += 7
+        (span,) = tracer.finished
+        assert span.stats_delta == {"rows_enumerated": 7}
+
+    def test_max_spans_drops_and_counts(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=2)
+        for _ in range(4):
+            with tracer.span("fixpoint.round"):
+                pass
+        assert len(tracer.finished) == 2
+        assert tracer.spans_dropped == 2
+        assert tracer.spans_started == 4
+
+    def test_take_drains_and_leaves_open_spans_on_the_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("query")
+        with tracer.span("execute"):
+            pass
+        spans, events = tracer.take()
+        assert [s.name for s in spans] == ["execute"]
+        assert events == []
+        outer.__exit__(None, None, None)
+        spans, _ = tracer.take()
+        assert [s.name for s in spans] == ["query"]
+
+
+class TestEvents:
+    def test_events_attach_to_the_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("backend.dispatch") as span:
+            event = tracer.event("breaker.skip", backend="sqlite")
+        assert event.parent_id == span.span_id
+        assert event.tags == {"backend": "sqlite"}
+        assert tracer.events == [event]
+
+    def test_metrics_only_mode_drops_records_but_feeds_histograms(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, metrics=registry, keep_spans=False)
+        with tracer.span("execute"):
+            clock.advance(0.002)
+        assert tracer.event("prepared.lru", result="hit") is None
+        assert tracer.finished == [] and tracer.events == []
+        histogram = registry.get("arc_phase_seconds")
+        assert histogram.count(phase="execute") == 1
+        assert histogram.sum(phase="execute") == pytest.approx(0.002)
+
+    def test_backend_tag_feeds_the_backend_histogram(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, metrics=registry)
+        with tracer.span("backend.dispatch", backend="sqlite"):
+            clock.advance(0.01)
+        assert registry.get("arc_backend_seconds").count(backend="sqlite") == 1
+
+    def test_count_is_a_noop_without_a_registry(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.count("arc_prepared_lru_total", result="hit")  # must not raise
+        registry = MetricsRegistry()
+        tracer.metrics = registry
+        tracer.count("arc_prepared_lru_total", result="hit")
+        assert registry.get("arc_prepared_lru_total").value(result="hit") == 1
+
+
+class TestNullSpan:
+    def test_null_span_is_a_chainable_noop(self):
+        with NULL_SPAN as span:
+            assert span.tag(rows=10_000) is NULL_SPAN
+        assert not hasattr(NULL_SPAN, "__dict__")  # slots: no state can stick
+
+    def test_gating_idiom_matches_the_instrumentation_sites(self):
+        tracer = None
+        with NULL_SPAN if tracer is None else tracer.span("execute") as span:
+            span.tag(anything="goes")
