@@ -1,0 +1,66 @@
+"""E28 — the scenario corpus through the differential harness.
+
+Not a paper figure: E28 is the standing correctness-and-coverage experiment
+the ISSUE-8 harness introduces.  One small-size corpus run produces the
+numbers that matter operationally:
+
+* **correctness** — every (scenario, query, frontend, backend) cell must be
+  oracle-equal or a typed refusal (asserted, not just recorded);
+* **coverage** — how much of the corpus each backend executes natively
+  (the sqlite offload fraction is the one PR 2/3/5 moved);
+* **throughput** — wall-clock per cell, the number CI watches drift;
+* **nl accuracy** — execution-match accuracy of the template pipeline.
+
+``--json BENCH_E28.json`` records all four; when ``SCENARIO_REPORT`` names
+a path, the full machine-readable report lands there as well (CI uploads it
+next to the BENCH artifacts).
+"""
+
+import os
+import time
+
+from _common import record_metric, show
+
+from repro.eval.harness import report_failures, run_corpus, write_report
+
+
+def test_corpus_cells_oracle_equal_with_coverage():
+    started = time.perf_counter()
+    report = run_corpus(size="small", seed=0)
+    elapsed = time.perf_counter() - started
+
+    assert report_failures(report) == []
+
+    summary = report["summary"]
+    cells = summary["cells"]
+    coverage = {
+        backend: round(entry["native"] / entry["cells"], 4)
+        for backend, entry in summary["coverage"].items()
+    }
+    nl = summary["nl"]
+    record_metric(
+        "e28_corpus",
+        scenarios=summary["scenarios"],
+        queries=summary["queries"],
+        cells=cells,
+        ok=summary["ok"],
+        typed_errors=summary["typed_error"],
+        native_fraction=coverage,
+        cell_ms=round(elapsed * 1e3 / cells, 3),
+        total_s=round(elapsed, 3),
+        nl_accuracy=nl["accuracy"],
+        nl_gold_cases=nl["gold_cases"],
+    )
+    show(
+        "E28 corpus run",
+        f"{summary['scenarios']} scenarios, {summary['queries']} queries, "
+        f"{cells} cells in {elapsed:.2f}s "
+        f"({elapsed * 1e3 / cells:.2f} ms/cell)",
+        f"native coverage: {coverage}",
+        f"nl execution-match accuracy: {nl['accuracy']} "
+        f"({nl['gold_matched']}/{nl['gold_cases']})",
+    )
+
+    report_path = os.environ.get("SCENARIO_REPORT")
+    if report_path:
+        write_report(report, report_path)

@@ -12,6 +12,7 @@ from .registry import (
     breaker_for,
     breaker_states,
     get_backend,
+    probe_capabilities,
     register,
     reset_breakers,
     run_backend,
@@ -43,6 +44,7 @@ __all__ = [
     "clear_catalog_cache",
     "connect_catalog",
     "get_backend",
+    "probe_capabilities",
     "register",
     "reset_breakers",
     "run_backend",

@@ -271,6 +271,25 @@ def available_backends():
     return sorted(_REGISTRY)
 
 
+def probe_capabilities(node, database, conventions, backends=None, **options):
+    """Static capability verdicts for *node*, per backend.
+
+    Returns ``{backend_name: tuple_of_reasons}`` over *backends* (default:
+    every registered backend); an empty tuple predicts a fully native run.
+    This is the accounting surface the scenario-corpus harness reports next
+    to the *observed* native-vs-fallback verdicts from dispatch, so probe
+    drift (a probe that promises what the engine then refuses, or refuses
+    what it could run) shows up as a coverage discrepancy instead of noise.
+    """
+    verdicts = {}
+    for name in backends if backends is not None else available_backends():
+        engine = get_backend(name)
+        verdicts[name] = tuple(
+            engine.capabilities(node, conventions, database, **options)
+        )
+    return verdicts
+
+
 def _count_failure(breaker, context):
     """Record a runtime failure; mirror a trip into the session stats."""
     if breaker.record_failure() and context is not None:

@@ -221,6 +221,71 @@ def cmd_serve(args):
     return 0
 
 
+def cmd_eval_corpus(args):
+    from .eval.harness import (
+        DEFAULT_BACKENDS,
+        report_failures,
+        run_corpus,
+        write_report,
+    )
+    from .workloads.scenarios import SCENARIOS, SIZES, get_scenario
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name}: {scenario.description}")
+            for query in scenario.queries():
+                features = ",".join(sorted(query.features))
+                frontends = "/".join(query.frontends)
+                print(f"  {query.name:28s} [{features}] ({frontends})")
+        return 0
+    names = args.scenario or list(SCENARIOS)
+    try:
+        for name in names:
+            get_scenario(name)  # fail fast on typos, before any evaluation
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    backends = tuple(args.backend) if args.backend else DEFAULT_BACKENDS
+    report = run_corpus(
+        names, size=args.size, seed=args.seed, backends=backends
+    )
+    summary = report["summary"]
+    print(
+        f"corpus: {summary['scenarios']} scenarios, "
+        f"{summary['queries']} queries, {summary['cells']} cells "
+        f"(size={args.size}, seed={args.seed})"
+    )
+    for name, scenario_report in report["scenarios"].items():
+        cells = scenario_report["cells"]
+        ok = sum(c["status"] == "ok" for c in cells)
+        typed = sum(c["status"] == "typed_error" for c in cells)
+        bad = len(cells) - ok - typed
+        nl = scenario_report["nl"]
+        nl_text = (
+            f", nl accuracy {nl['accuracy']} "
+            f"({nl['gold_matched']}/{nl['gold_cases']} gold, "
+            f"{nl['refused_as_expected']}/{nl['expected_refusals']} refusals)"
+            if nl
+            else ""
+        )
+        print(
+            f"  {name}: {ok} ok, {typed} typed refusals, {bad} failing"
+            f"{nl_text}"
+        )
+    for backend, entry in summary["coverage"].items():
+        print(
+            f"  backend {backend}: {entry['native']} native, "
+            f"{entry['fallback']} fallback, {entry['errors']} refused"
+        )
+    if args.json:
+        write_report(report, args.json)
+        print(f"report written to {args.json}")
+    failures = report_failures(report)
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_patterns(args):
     from .analysis import detect_patterns, fingerprint, pattern_summary
 
@@ -439,6 +504,51 @@ def build_parser():
     p_patterns = sub.add_parser("patterns", help="report the relational pattern")
     common(p_patterns)
     p_patterns.set_defaults(func=cmd_patterns)
+
+    p_corpus = sub.add_parser(
+        "eval-corpus",
+        help="run the scenario corpus through the differential harness",
+        description=(
+            "Evaluate every (scenario, query, frontend, backend) cell "
+            "through the Session API, compare each answer against the "
+            "reference oracle, and report native-vs-fallback coverage plus "
+            "nl execution-match accuracy. Exits 1 on any mismatch or "
+            "untyped error (typed refusals pass)."
+        ),
+    )
+    p_corpus.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all scenarios)",
+    )
+    p_corpus.add_argument(
+        "--size",
+        default="small",
+        choices=["small", "medium", "large"],
+        help="catalog scale factor (default: small)",
+    )
+    p_corpus.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    p_corpus.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME",
+        help="backend to evaluate (repeatable; default: "
+        "reference, planner, sqlite)",
+    )
+    p_corpus.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the machine-readable report (SCENARIO_REPORT.json)",
+    )
+    p_corpus.add_argument(
+        "--list",
+        action="store_true",
+        help="list scenarios, queries, and feature tags, then exit",
+    )
+    p_corpus.set_defaults(func=cmd_eval_corpus)
 
     return parser
 

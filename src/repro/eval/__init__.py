@@ -1,0 +1,27 @@
+"""Execution-based evaluation: the scenario-corpus differential harness."""
+
+from .harness import (
+    CONVENTIONS,
+    DEFAULT_BACKENDS,
+    normalize_result,
+    report_failures,
+    result_rows,
+    results_agree,
+    run_corpus,
+    run_scenario,
+    score_nl,
+    write_report,
+)
+
+__all__ = [
+    "CONVENTIONS",
+    "DEFAULT_BACKENDS",
+    "normalize_result",
+    "report_failures",
+    "result_rows",
+    "results_agree",
+    "run_corpus",
+    "run_scenario",
+    "score_nl",
+    "write_report",
+]

@@ -358,14 +358,17 @@ class _DatalogTranslator:
 
         for atom in positives:
             bindings.append(self._bind_atom(atom, var_map, conjuncts))
-        for comparison in comparisons:
-            conjuncts.append(self._translate_comparison(comparison, var_map))
-        for atom in negatives:
-            conjuncts.append(self._translate_negated(atom, var_map))
+        # Aggregates before comparisons: an aggregate literal *binds* its
+        # target variable, and Soufflé-style bodies filter on that target
+        # (``ct = count v : {...}, ct >= 2``) regardless of literal order.
         for aggregate in aggregates:
             binding, value_attr = self._translate_aggregate(aggregate, var_map)
             bindings.append(binding)
             var_map[aggregate.target] = n.Attr(binding.var, value_attr)
+        for comparison in comparisons:
+            conjuncts.append(self._translate_comparison(comparison, var_map))
+        for atom in negatives:
+            conjuncts.append(self._translate_negated(atom, var_map))
 
         assignments = []
         for attr, arg in zip(head_attrs, rule.head_args):

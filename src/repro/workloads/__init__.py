@@ -1,5 +1,10 @@
-"""Paper workloads: example queries, instances, and sweep generators."""
+"""Paper workloads: example queries, instances, sweeps, and the corpus.
 
-from . import instances, paper_examples, sweeps
+``scenarios`` is the seeded scenario corpus (retail / social / eventlog
+schemas with query suites in all four frontends) consumed by the
+execution-based differential harness in :mod:`repro.eval`.
+"""
 
-__all__ = ["instances", "paper_examples", "sweeps"]
+from . import instances, paper_examples, scenarios, sweeps
+
+__all__ = ["instances", "paper_examples", "scenarios", "sweeps"]

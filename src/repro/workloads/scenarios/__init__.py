@@ -1,0 +1,39 @@
+"""The scenario corpus: seeded schemas + query suites in four frontends.
+
+See :mod:`repro.workloads.scenarios.base` for the data model and
+:mod:`repro.eval.harness` for the differential runner that consumes it.
+"""
+
+from .base import FEATURES, SIZES, CorpusQuery, NlCase, Scenario
+from .eventlog import EventlogScenario
+from .retail import RetailScenario
+from .social import SocialScenario
+
+#: Registry of scenario constructors, in presentation order.
+SCENARIOS = {
+    scenario.name: scenario
+    for scenario in (RetailScenario(), SocialScenario(), EventlogScenario())
+}
+
+
+def get_scenario(name):
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise LookupError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+__all__ = [
+    "CorpusQuery",
+    "EventlogScenario",
+    "FEATURES",
+    "NlCase",
+    "RetailScenario",
+    "SCENARIOS",
+    "SIZES",
+    "Scenario",
+    "SocialScenario",
+    "get_scenario",
+]

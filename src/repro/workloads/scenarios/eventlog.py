@@ -1,0 +1,223 @@
+"""Temporal event-log scenario: machines, timestamped events, trigger links.
+
+Time is the θ-band workhorse: "how many earlier events on the same machine"
+is exactly the sorted-index prefix-probe shape PR 5 optimized, and event
+durations are NULL while a job is still running (3VL).  ``Link`` records
+which event triggered which, giving cascade closure for recursion, and the
+``Minus`` access-pattern external computes start-time offsets — the one
+feature class SQLite must always refuse, keeping the fallback-verdict
+accounting honest.
+"""
+
+from __future__ import annotations
+
+from ...data import NULL
+from ...nl.templates import SchemaInfo
+from .base import CorpusQuery, NlCase, Scenario, build_database
+
+_ZONES = ("east", "west", "north")
+_KINDS = ("boot", "error", "deploy", "probe", "halt")
+
+
+class EventlogScenario(Scenario):
+    name = "eventlog"
+    description = "machines + timestamped events + trigger links (temporal)"
+
+    def catalog(self, size="small", seed=0):
+        scale = self.scale(size)
+        rng = self.rng(seed)
+        n_machines = 6 * scale
+        n_events = 30 * scale
+        n_links = 12 * scale
+
+        machines = [
+            (f"m{i}", rng.choice(_ZONES)) for i in range(n_machines)
+        ]
+        # Events land on the first two thirds of machines so "silent
+        # machines" (the antijoin) is never vacuous.
+        n_active = max(1, (2 * n_machines) // 3)
+        events = [
+            (
+                f"e{i}",
+                f"m{rng.randrange(n_active)}",
+                rng.choice(_KINDS),
+                rng.randrange(1, 500),
+                NULL if rng.random() < 0.2 else rng.randrange(1, 60),
+            )
+            for i in range(n_events)
+        ]
+        # Trigger links between distinct events (a sparse DAG-ish edge set).
+        links = []
+        seen = set()
+        while len(links) < n_links:
+            src = rng.randrange(n_events)
+            dst = rng.randrange(n_events)
+            if src == dst or (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            links.append((f"e{src}", f"e{dst}"))
+        return build_database(
+            {
+                "Machine": (("mid", "zone"), machines),
+                "Event": (("eid", "mid", "kind", "ts", "dur"), events),
+                "Link": (("src", "dst"), links),
+            }
+        )
+
+    def queries(self):
+        return (
+            CorpusQuery(
+                name="error_events",
+                features=("selection",),
+                description="ids of error events",
+                texts={
+                    "sql": "select e.eid from Event e where e.kind = 'error'",
+                    "trc": "{e.eid | e in Event and e.kind = 'error'}",
+                    "datalog": 'Q(e) :- Event(e, m, "error", t, d).',
+                    "rel": 'def Q(eid) : Event(eid, mid, "error", ts, dur)',
+                },
+            ),
+            CorpusQuery(
+                name="events_per_machine_fio",
+                features=("grouping",),
+                description="event count per machine that logged events (FIO)",
+                texts={
+                    "sql": (
+                        "select e.mid, count(e.eid) ct "
+                        "from Event e group by e.mid"
+                    ),
+                    # The rel aggregate counts its *last* tuple var; eid goes
+                    # last because count skips NULLs and dur can be NULL.
+                    "rel": (
+                        "def Q(mid, ct) : "
+                        "ct = count[(k, t, d, eid) : Event(eid, mid, k, t, d)]"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="events_per_machine_foi",
+                features=("grouping", "correlated"),
+                description="event count per machine, silent machines at 0 (FOI)",
+                texts={
+                    "sql": (
+                        "select m.mid, (select count(e.eid) from Event e "
+                        "where e.mid = m.mid) ct from Machine m"
+                    ),
+                    "datalog": (
+                        "Q(m, ct) :- Machine(m, z), "
+                        "ct = count e : {Event(e, m, k, t, d)}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="silent_machines",
+                features=("negation",),
+                description="machines that never logged an event",
+                texts={
+                    "sql": (
+                        "select m.mid from Machine m where not exists "
+                        "(select 1 from Event e where e.mid = m.mid)"
+                    ),
+                    "trc": (
+                        "{m.mid | m in Machine and not exists e "
+                        "[e in Event and e.mid = m.mid]}"
+                    ),
+                    "datalog": (
+                        "Active(m) :- Event(e, m, k, t, d).\n"
+                        "Q(m) :- Machine(m, z), !Active(m)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="cascade",
+                features=("recursion",),
+                compare="set",
+                description="transitive closure of event trigger links",
+                texts={
+                    "datalog": (
+                        "Cascade(x, y) :- Link(x, y).\n"
+                        "Cascade(x, z) :- Link(x, y), Cascade(y, z)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="earlier_on_same_machine",
+                features=("theta-band", "correlated"),
+                description=(
+                    "per event, how many earlier events its machine already "
+                    "logged (the PR 5 sorted-band probe shape)"
+                ),
+                texts={
+                    "sql": (
+                        "select e.eid, (select count(e2.eid) from Event e2 "
+                        "where e2.mid = e.mid and e2.ts < e.ts) ct "
+                        "from Event e"
+                    ),
+                    "datalog": (
+                        "Q(e, ct) :- Event(e, m, k, t, d), "
+                        "ct = count e2 : {Event(e2, m, k2, t2, d2), t2 < t}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="undetermined_duration",
+                features=("selection", "null-3vl"),
+                description="events still running (duration IS NULL)",
+                texts={
+                    "sql": "select e.eid from Event e where e.dur is null",
+                    "trc": "{e.eid | e in Event and e.dur is null}",
+                },
+            ),
+            CorpusQuery(
+                name="start_offset_minus",
+                features=("externals",),
+                description=(
+                    "start offset ts - dur via the Minus access-pattern "
+                    "external (rows with NULL dur drop out; SQLite refuses "
+                    "externals and must fall back)"
+                ),
+                texts={
+                    "sql": (
+                        "select e.eid, f.out from Event e, Minus f "
+                        "where f.left = e.ts and f.right = e.dur"
+                    ),
+                    "trc": (
+                        "{e.eid, f.out | e in Event and f in Minus "
+                        "and f.left = e.ts and f.right = e.dur}"
+                    ),
+                },
+            ),
+        )
+
+    def nl_schema(self):
+        return SchemaInfo(
+            fact_table="Event",
+            group_attr="kind",
+            measure_attr="dur",
+            entity_attr="eid",
+            fact_alias="e",
+        )
+
+    def nl_cases(self):
+        return (
+            NlCase(
+                request="average duration per kind",
+                gold=(
+                    "select e.kind, avg(e.dur) v "
+                    "from Event e group by e.kind"
+                ),
+            ),
+            NlCase(
+                request="how many events are there",
+                gold="select count(*) ct from Event e",
+            ),
+            NlCase(
+                request="kinds with count duration at least 3",
+                gold=(
+                    "select e.kind from Event e "
+                    "group by e.kind having count(e.dur) >= 3"
+                ),
+            ),
+            # Window-style ordering has no template; expected refusal.
+            NlCase(request="latest event on each machine", gold=None),
+        )

@@ -1,0 +1,267 @@
+"""Retail-orders scenario: customers, catalog, orders, a category tree.
+
+The classic star schema every SQL corpus leans on, with the paper's pain
+points planted deliberately: ``Product.price`` is NULL for a slice of the
+catalog (3VL comparisons and NOT-IN traps), ``CatParent`` is a DAG for
+recursion, and the per-customer aggregates come in both FOI (zero-order
+customers included) and FIO (group-by, silent customers absent) flavors so
+the corpus pins the distinction PR 3/5 decorrelation is built around.
+"""
+
+from __future__ import annotations
+
+from ...data import NULL
+from ...nl.templates import SchemaInfo
+from .base import CorpusQuery, NlCase, Scenario, build_database
+
+_CITIES = ("lyon", "oslo", "kyoto", "quito", "tunis")
+_SEGMENTS = ("consumer", "corporate", "home")
+_CATEGORIES = ("toys", "games", "tools", "books", "garden")
+_FIRST = ("ada", "bo", "cyd", "dee", "eli", "fay", "gus", "hal", "ivy", "jo")
+
+#: Fixed category DAG: two levels under a root, plus a leaf chain.
+_CAT_PARENT = (
+    ("games", "toys"),
+    ("toys", "goods"),
+    ("tools", "goods"),
+    ("books", "media"),
+    ("media", "goods"),
+    ("garden", "goods"),
+)
+
+
+class RetailScenario(Scenario):
+    name = "retail"
+    description = "customers / products / orders star schema with a category tree"
+
+    def catalog(self, size="small", seed=0):
+        scale = self.scale(size)
+        rng = self.rng(seed)
+        n_customers = 8 * scale
+        n_products = 10 * scale
+        n_orders = 20 * scale
+        n_items = 40 * scale
+
+        customers = [
+            (
+                f"c{i}",
+                f"{_FIRST[i % len(_FIRST)]}{i}",
+                rng.choice(_CITIES),
+                rng.choice(_SEGMENTS),
+            )
+            for i in range(n_customers)
+        ]
+        products = [
+            (
+                f"p{i}",
+                f"prod{i}",
+                rng.choice(_CATEGORIES),
+                NULL if rng.random() < 0.15 else rng.randrange(5, 120),
+            )
+            for i in range(n_products)
+        ]
+        # Orders only reach the first three quarters of the customer base so
+        # the antijoin / FOI-zero queries always have non-trivial answers.
+        n_buyers = max(1, (3 * n_customers) // 4)
+        orders = [
+            (f"o{i}", f"c{rng.randrange(n_buyers)}", rng.randrange(1, 91))
+            for i in range(n_orders)
+        ]
+        items = [
+            (
+                f"o{rng.randrange(n_orders)}",
+                f"p{rng.randrange(n_products)}",
+                rng.randrange(1, 6),
+            )
+            for i in range(n_items)
+        ]
+        return build_database(
+            {
+                "Customer": (("cid", "name", "city", "seg"), customers),
+                "Product": (("pid", "pname", "category", "price"), products),
+                "Orders": (("oid", "cid", "day"), orders),
+                "Item": (("oid", "pid", "qty"), items),
+                "CatParent": (("cat", "parent"), _CAT_PARENT),
+            }
+        )
+
+    def queries(self):
+        return (
+            CorpusQuery(
+                name="customers_in_city",
+                features=("selection",),
+                description="names of customers based in lyon",
+                texts={
+                    "sql": "select c.name from Customer c where c.city = 'lyon'",
+                    "trc": "{c.name | c in Customer and c.city = 'lyon'}",
+                    "datalog": 'Q(n) :- Customer(c, n, "lyon", s).',
+                    "rel": 'def Q(name) : Customer(cid, name, "lyon", seg)',
+                },
+            ),
+            CorpusQuery(
+                name="orders_per_customer_fio",
+                features=("grouping",),
+                description="order count per customer that has orders (FIO)",
+                texts={
+                    "sql": (
+                        "select o.cid, count(o.day) ct "
+                        "from Orders o group by o.cid"
+                    ),
+                    "rel": "def Q(cid, ct) : ct = count[(oid, d) : Orders(oid, cid, d)]",
+                },
+            ),
+            CorpusQuery(
+                name="orders_per_customer_foi",
+                features=("grouping", "correlated"),
+                description="order count per customer, zeros included (FOI)",
+                texts={
+                    "sql": (
+                        "select c.cid, (select count(o.day) from Orders o "
+                        "where o.cid = c.cid) ct from Customer c"
+                    ),
+                    "datalog": (
+                        "Q(c, ct) :- Customer(c, n, ci, s), "
+                        "ct = count d : {Orders(o, c, d)}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="busy_customers",
+                features=("grouping", "correlated", "having"),
+                description="customers with at least two orders (aggregate filter)",
+                texts={
+                    "sql": (
+                        "select c.cid, (select count(o.day) from Orders o "
+                        "where o.cid = c.cid) ct from Customer c "
+                        "where (select count(o2.day) from Orders o2 "
+                        "where o2.cid = c.cid) >= 2"
+                    ),
+                    "datalog": (
+                        "Q(c, ct) :- Customer(c, n, ci, s), "
+                        "ct = count d : {Orders(o, c, d)}, ct >= 2."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="customers_without_orders",
+                features=("negation",),
+                description="customers that never ordered (antijoin)",
+                texts={
+                    "sql": (
+                        "select c.name from Customer c where not exists "
+                        "(select 1 from Orders o where o.cid = c.cid)"
+                    ),
+                    "trc": (
+                        "{c.name | c in Customer and "
+                        "not exists o [o in Orders and o.cid = c.cid]}"
+                    ),
+                    "datalog": (
+                        "HasOrder(c) :- Orders(o, c, d).\n"
+                        "Q(n) :- Customer(c, n, ci, s), !HasOrder(c)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="category_ancestors",
+                features=("recursion",),
+                compare="set",
+                description="transitive closure of the category tree",
+                texts={
+                    "datalog": (
+                        "Anc(c, p) :- CatParent(c, p).\n"
+                        "Anc(c, a) :- CatParent(c, p), Anc(p, a)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="cheaper_category_rivals",
+                features=("theta-band", "correlated", "null-3vl"),
+                description=(
+                    "per product, how many same-category products are "
+                    "strictly cheaper (θ-band; NULL prices never compare)"
+                ),
+                texts={
+                    "sql": (
+                        "select p.pid, (select count(p2.pid) from Product p2 "
+                        "where p2.category = p.category and p2.price < p.price) ct "
+                        "from Product p"
+                    ),
+                    "datalog": (
+                        "Q(p, ct) :- Product(p, n, c, pr), "
+                        "ct = count p2 : {Product(p2, n2, c, pr2), pr2 < pr}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="price_not_in_toys",
+                features=("negation", "null-3vl"),
+                description=(
+                    "products priced unlike every toy — NULL toy prices make "
+                    "NOT IN vacuously empty under 3VL"
+                ),
+                texts={
+                    "sql": (
+                        "select p.pid from Product p where p.price not in "
+                        "(select p2.price from Product p2 "
+                        "where p2.category = 'toys')"
+                    ),
+                    "trc": (
+                        "{p.pid | p in Product and not exists p2 "
+                        "[p2 in Product and p2.category = 'toys' "
+                        "and p2.price = p.price]}"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="ordered_products",
+                features=("join",),
+                compare="set",
+                description="distinct products that appear on some order line",
+                texts={
+                    "sql": (
+                        "select distinct p.pname from Product p, Item i "
+                        "where i.pid = p.pid"
+                    ),
+                    "datalog": "Q(n) :- Product(p, n, c, pr), Item(o, p, q).",
+                    "rel": "def Q(pname) : Product(pid, pname, c, pr) and Item(oid, pid, qty)",
+                },
+            ),
+        )
+
+    def nl_schema(self):
+        return SchemaInfo(
+            fact_table="Product",
+            group_attr="category",
+            measure_attr="price",
+            entity_attr="pname",
+            fact_alias="p",
+        )
+
+    def nl_cases(self):
+        return (
+            NlCase(
+                request="average price per category",
+                gold=(
+                    "select p.category, avg(p.price) v "
+                    "from Product p group by p.category"
+                ),
+            ),
+            NlCase(
+                request="how many products are there",
+                gold="select count(*) ct from Product p",
+            ),
+            NlCase(
+                request="products in the toys group",
+                gold="select p.pname from Product p where p.category = 'toys'",
+            ),
+            NlCase(
+                request="categories with total price at least 40",
+                gold=(
+                    "select p.category from Product p "
+                    "group by p.category having sum(p.price) >= 40"
+                ),
+            ),
+            # The grammar has no superlative template; scored as an expected
+            # refusal so corpus accuracy is a real measurement.
+            NlCase(request="most popular product this week", gold=None),
+        )

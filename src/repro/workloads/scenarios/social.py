@@ -1,0 +1,218 @@
+"""Social-graph scenario: users and a follow graph.
+
+Graph workloads stress what the star schema cannot: transitive closure over
+an irregular edge set, self-joins (mutual follows), antijoins phrased over
+the same relation twice, and θ-correlations through a join (followees
+younger than their follower).  ``User.age`` is NULL for a slice of users so
+the age comparisons exercise 3VL alongside the graph shapes.
+"""
+
+from __future__ import annotations
+
+from ...data import NULL
+from ...nl.templates import SchemaInfo
+from .base import CorpusQuery, NlCase, Scenario, build_database
+
+_COUNTRIES = ("no", "jp", "fr", "br", "ke")
+_NAMES = ("ann", "ben", "cho", "dia", "edo", "fil", "gia", "hux")
+
+
+class SocialScenario(Scenario):
+    name = "social"
+    description = "users + follow graph (TC, self-joins, graph antijoins)"
+
+    def catalog(self, size="small", seed=0):
+        scale = self.scale(size)
+        rng = self.rng(seed)
+        n_users = 10 * scale
+        n_edges = 24 * scale
+
+        users = [
+            (
+                f"u{i}",
+                f"{_NAMES[i % len(_NAMES)]}{i}",
+                # Round-robin countries: every country is inhabited at every
+                # size, so constant selections never degenerate to empty.
+                _COUNTRIES[i % len(_COUNTRIES)],
+                NULL if rng.random() < 0.2 else rng.randrange(16, 70),
+            )
+            for i in range(n_users)
+        ]
+        # Distinct directed edges, no self-loops; the seen-set is only used
+        # for membership tests, so iteration order never leaks into output.
+        edges = []
+        seen = set()
+        while len(edges) < n_edges:
+            src = rng.randrange(n_users)
+            dst = rng.randrange(n_users)
+            if src == dst or (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            edges.append((f"u{src}", f"u{dst}"))
+        return build_database(
+            {
+                "User": (("uid", "name", "country", "age"), users),
+                "Follows": (("src", "dst"), edges),
+            }
+        )
+
+    def queries(self):
+        return (
+            CorpusQuery(
+                name="users_in_country",
+                features=("selection",),
+                description="names of users registered in norway",
+                texts={
+                    "sql": "select u.name from User u where u.country = 'no'",
+                    "trc": "{u.name | u in User and u.country = 'no'}",
+                    "datalog": 'Q(n) :- User(u, n, "no", a).',
+                    "rel": 'def Q(name) : User(uid, name, "no", age)',
+                },
+            ),
+            CorpusQuery(
+                name="follower_count_fio",
+                features=("grouping",),
+                description="follower count per followed user (FIO)",
+                texts={
+                    "sql": (
+                        "select f.dst, count(f.src) ct "
+                        "from Follows f group by f.dst"
+                    ),
+                    "rel": "def Q(dst, ct) : ct = count[(src) : Follows(src, dst)]",
+                },
+            ),
+            CorpusQuery(
+                name="follower_count_foi",
+                features=("grouping", "correlated"),
+                description="follower count per user, zeros included (FOI)",
+                texts={
+                    "sql": (
+                        "select u.uid, (select count(f.src) from Follows f "
+                        "where f.dst = u.uid) ct from User u"
+                    ),
+                    "datalog": (
+                        "Q(u, ct) :- User(u, n, c, a), "
+                        "ct = count s : {Follows(s, u)}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="mutual_follows",
+                features=("join",),
+                description="pairs that follow each other (self-join)",
+                texts={
+                    "sql": (
+                        "select f.src, f.dst from Follows f, Follows g "
+                        "where g.src = f.dst and g.dst = f.src"
+                    ),
+                    "trc": (
+                        "{f.src, f.dst | f in Follows and exists g "
+                        "[g in Follows and g.src = f.dst and g.dst = f.src]}"
+                    ),
+                    "datalog": "Q(a, b) :- Follows(a, b), Follows(b, a).",
+                    "rel": "def Q(a, b) : Follows(a, b) and Follows(b, a)",
+                },
+            ),
+            CorpusQuery(
+                name="reachable",
+                features=("recursion",),
+                compare="set",
+                description="transitive closure of the follow graph",
+                texts={
+                    "datalog": (
+                        "Reach(x, y) :- Follows(x, y).\n"
+                        "Reach(x, z) :- Follows(x, y), Reach(y, z)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="unreciprocated",
+                features=("negation",),
+                description="follows that are not followed back",
+                texts={
+                    "sql": (
+                        "select f.src, f.dst from Follows f where not exists "
+                        "(select 1 from Follows g "
+                        "where g.src = f.dst and g.dst = f.src)"
+                    ),
+                    "trc": (
+                        "{f.src, f.dst | f in Follows and not exists g "
+                        "[g in Follows and g.src = f.dst and g.dst = f.src]}"
+                    ),
+                    "datalog": (
+                        "Mutual(a, b) :- Follows(a, b), Follows(b, a).\n"
+                        "Q(a, b) :- Follows(a, b), !Mutual(a, b)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="younger_followees",
+                features=("theta-band", "correlated", "join", "null-3vl"),
+                description=(
+                    "per user, how many of their followees are strictly "
+                    "younger (θ through a join; NULL ages never compare)"
+                ),
+                texts={
+                    "sql": (
+                        "select u.uid, (select count(v.uid) from Follows f, User v "
+                        "where f.src = u.uid and v.uid = f.dst "
+                        "and v.age < u.age) ct from User u"
+                    ),
+                    "datalog": (
+                        "Q(u, ct) :- User(u, n, c, a), "
+                        "ct = count v : {Follows(u, v), User(v, n2, c2, a2), a2 < a}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="age_unknown",
+                features=("selection", "null-3vl"),
+                description="users whose age is unrecorded (IS NULL)",
+                texts={
+                    "sql": "select u.name from User u where u.age is null",
+                    "trc": "{u.name | u in User and u.age is null}",
+                },
+            ),
+        )
+
+    def nl_schema(self):
+        return SchemaInfo(
+            fact_table="User",
+            group_attr="country",
+            measure_attr="age",
+            entity_attr="name",
+            fact_alias="u",
+        )
+
+    def nl_cases(self):
+        return (
+            NlCase(
+                request="average age per country",
+                gold=(
+                    "select u.country, avg(u.age) v "
+                    "from User u group by u.country"
+                ),
+            ),
+            NlCase(
+                request="how many users are there",
+                gold="select count(*) ct from User u",
+            ),
+            NlCase(
+                request="users making more than their country average",
+                gold=(
+                    "select u.name from User u where u.age > "
+                    "(select avg(u2.age) from User u2 "
+                    "where u2.country = u.country)"
+                ),
+            ),
+            NlCase(
+                request="countries without any user making over 60",
+                gold=(
+                    "select distinct u.country from User u where not exists "
+                    "(select 1 from User u2 where u2.country = u.country "
+                    "and u2.age > 60)"
+                ),
+            ),
+            # No per-group superlative template exists; expected refusal.
+            NlCase(request="newest user per country", gold=None),
+        )

@@ -1,0 +1,86 @@
+"""Generator determinism: same seed → byte-identical corpus, any process.
+
+CI compares SCENARIO_REPORT.json run-to-run, which is only meaningful if
+the corpus underneath is bit-stable.  The subprocess test is the real
+guarantee: two *fresh interpreters* (with randomized ``PYTHONHASHSEED``,
+which is exactly what breaks hash-order-dependent generators) must print
+identical fingerprints for every scenario.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.workloads.scenarios import SCENARIOS
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+_FINGERPRINT_SCRIPT = """
+import json
+from repro.workloads.scenarios import SCENARIOS
+print(json.dumps({
+    name: {
+        f"{size}:{seed}": scenario.fingerprint(size=size, seed=seed)
+        for size in ("small", "medium")
+        for seed in (0, 7)
+    }
+    for name, scenario in SCENARIOS.items()
+}, sort_keys=True))
+"""
+
+
+def _fingerprints_in_subprocess(hashseed):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC if not existing else _SRC + os.pathsep + existing
+    env["PYTHONHASHSEED"] = hashseed
+    output = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        env=env,
+        capture_output=True,
+        check=True,
+        text=True,
+    ).stdout
+    return output
+
+
+def test_two_processes_produce_byte_identical_corpora():
+    first = _fingerprints_in_subprocess(hashseed="1")
+    second = _fingerprints_in_subprocess(hashseed="2")
+    assert first == second  # byte-for-byte, across differing hash seeds
+    assert set(json.loads(first)) == set(SCENARIOS)
+
+
+def test_in_process_fingerprints_match_subprocess():
+    subprocess_prints = json.loads(_fingerprints_in_subprocess(hashseed="3"))
+    for name, scenario in SCENARIOS.items():
+        for size in ("small", "medium"):
+            for seed in (0, 7):
+                assert (
+                    scenario.fingerprint(size=size, seed=seed)
+                    == subprocess_prints[name][f"{size}:{seed}"]
+                )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_seed_changes_the_catalog(name):
+    scenario = SCENARIOS[name]
+    assert scenario.fingerprint(seed=0) != scenario.fingerprint(seed=1)
+    assert scenario.fingerprint(size="small") != scenario.fingerprint(
+        size="medium"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_payload_rows_are_plain_json_values(name):
+    payload = SCENARIOS[name].corpus_payload(size="small", seed=0)
+    # json round-trip with sorted keys is the canonical form fingerprints
+    # hash; it must never contain engine objects (NULL maps to null).
+    encoded = json.dumps(payload, sort_keys=True)
+    assert json.loads(encoded) == json.loads(
+        json.dumps(json.loads(encoded), sort_keys=True)
+    )
+    assert payload["queries"]  # texts ride along, pinned by the hash

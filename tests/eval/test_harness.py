@@ -1,0 +1,224 @@
+"""The differential harness: every corpus cell oracle-equal or typed.
+
+This is the standing correctness net the ISSUE asks for: the full
+(scenario × query × frontend × backend) matrix runs through the Session
+API once per module (it is the expensive fixture), and the assertions
+below slice the one report — cell verdicts, coverage accounting, phase
+timings, nl scoring, and the report's JSON shape.
+"""
+
+import json
+
+import pytest
+
+from repro.data import NULL, Database, Relation
+from repro.eval.harness import (
+    DEFAULT_BACKENDS,
+    normalize_result,
+    report_failures,
+    result_rows,
+    results_agree,
+    run_corpus,
+    write_report,
+)
+from repro.workloads.scenarios import SCENARIOS, FEATURES
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_corpus(size="small", seed=0)
+
+
+class TestCellVerdicts:
+    def test_every_cell_ok_or_typed(self, report):
+        assert report_failures(report) == []
+        statuses = {
+            cell["status"]
+            for sr in report["scenarios"].values()
+            for cell in sr["cells"]
+        }
+        assert statuses <= {"ok", "typed_error"}
+
+    def test_matrix_covers_scenarios_frontends_backends(self, report):
+        # The acceptance floor: ≥ 3 scenarios × 4 frontends × 3 backends.
+        assert report["summary"]["scenarios"] >= 3
+        assert set(report["frontends"]) >= {"datalog", "rel", "sql", "trc"}
+        assert set(report["backends"]) == set(DEFAULT_BACKENDS)
+        for sr in report["scenarios"].values():
+            backends_seen = {cell["backend"] for cell in sr["cells"]}
+            assert backends_seen == set(DEFAULT_BACKENDS)
+            frontends_seen = {cell["frontend"] for cell in sr["cells"]}
+            assert frontends_seen == {"datalog", "rel", "sql", "trc"}
+
+    def test_feature_tags_all_exercised(self, report):
+        # Every feature in the vocabulary is carried by at least one cell.
+        assert set(report["summary"]["feature_cells"]) == set(FEATURES)
+
+    def test_cross_frontend_agreement_pinned(self, report):
+        assert report["summary"]["cross_frontend_disagreements"] == []
+        for sr in report["scenarios"].values():
+            for qinfo in sr["queries"].values():
+                assert qinfo["cross_frontend_agree"], qinfo
+
+
+class TestCoverageAccounting:
+    def test_reference_and_planner_fully_native(self, report):
+        coverage = report["summary"]["coverage"]
+        for backend in ("reference", "planner"):
+            assert coverage[backend]["fallback"] == 0
+            assert coverage[backend]["native"] == coverage[backend]["cells"]
+
+    def test_sqlite_fallbacks_carry_named_reasons(self, report):
+        # The corpus plants shapes SQLite must refuse (externals, the 3VL
+        # NOT-EXISTS-over-NULLs hazard); each refusal names its reason.
+        coverage = report["summary"]["coverage"]["sqlite"]
+        assert coverage["fallback"] > 0
+        assert coverage["reasons"]  # histogram is non-empty
+        for sr in report["scenarios"].values():
+            for cell in sr["cells"]:
+                if cell["native"] is False:
+                    assert cell["fallback_reasons"], cell
+
+    def test_externals_fall_back_on_sqlite_only(self, report):
+        cells = [
+            cell
+            for sr in report["scenarios"].values()
+            for cell in sr["cells"]
+            if "externals" in cell["features"]
+        ]
+        assert cells
+        for cell in cells:
+            expected_native = cell["backend"] != "sqlite"
+            assert cell["native"] is expected_native, cell
+
+    def test_probe_predictions_match_observed_dispatch(self, report):
+        # probe_capabilities is the static prediction; dispatch is the
+        # observation. The corpus pins them against each other.
+        for sr in report["scenarios"].values():
+            cells = {
+                (c["query"], c["frontend"], c["backend"]): c
+                for c in sr["cells"]
+            }
+            for qname, qinfo in sr["queries"].items():
+                for frontend, verdicts in qinfo["probe_reasons"].items():
+                    for backend, reasons in verdicts.items():
+                        cell = cells[(qname, frontend, backend)]
+                        if cell["status"] != "ok" or cell["native"] is None:
+                            continue
+                        assert cell["native"] == (not reasons), (
+                            qname,
+                            frontend,
+                            backend,
+                            reasons,
+                        )
+
+
+class TestObservability:
+    def test_cells_record_phase_timings_and_latency(self, report):
+        for sr in report["scenarios"].values():
+            for cell in sr["cells"]:
+                assert cell["elapsed_ms"] >= 0
+                assert "query" in cell["phases"], cell
+
+    def test_parse_timings_recorded_per_frontend(self, report):
+        for sr in report["scenarios"].values():
+            for qinfo in sr["queries"].values():
+                assert set(qinfo["parse_ms"]) == set(qinfo["frontends"])
+
+
+class TestNlScoring:
+    def test_accuracy_recorded_per_scenario(self, report):
+        for name, sr in report["scenarios"].items():
+            nl = sr["nl"]
+            assert nl is not None, name
+            assert nl["gold_cases"] > 0
+            assert 0.0 <= nl["accuracy"] <= 1.0
+            assert len(nl["per_case"]) == nl["cases"]
+
+    def test_expected_refusals_are_separate_from_accuracy(self, report):
+        nl = report["summary"]["nl"]
+        assert nl["cases"] > nl["gold_cases"]  # some cases expect refusal
+        assert nl["accuracy"] == pytest.approx(
+            nl["gold_matched"] / nl["gold_cases"]
+        )
+
+
+class TestReportShape:
+    def test_report_is_json_serializable_and_round_trips(self, report, tmp_path):
+        path = tmp_path / "SCENARIO_REPORT.json"
+        write_report(report, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["version"] == report["version"]
+        assert loaded["summary"]["cells"] == report["summary"]["cells"]
+        assert set(loaded["scenarios"]) == set(SCENARIOS)
+
+    def test_scenario_blocks_carry_catalog_and_fingerprint(self, report):
+        for name, sr in report["scenarios"].items():
+            assert sr["fingerprint"] == SCENARIOS[name].fingerprint(
+                size="small", seed=0
+            )
+            assert all(count > 0 for count in sr["catalog"].values())
+
+    def test_oracle_rows_are_capped(self, report):
+        for sr in report["scenarios"].values():
+            for qinfo in sr["queries"].values():
+                if qinfo["oracle_rows"] is not None:
+                    assert len(qinfo["oracle_rows"]) <= 20
+
+
+class TestNormalization:
+    def _relation(self, rows, schema=("a", "b")):
+        return Relation("R", schema, rows)
+
+    def test_bag_keeps_multiplicities_set_collapses(self):
+        twice = self._relation([(1, 2), (1, 2)])
+        once = self._relation([(1, 2)])
+        assert not results_agree(twice, once, compare="bag")
+        assert results_agree(twice, once, compare="set")
+
+    def test_positional_comparison_ignores_column_names(self):
+        left = self._relation([(1, 2)], schema=("a", "b"))
+        right = self._relation([(1, 2)], schema=("x", "y"))
+        assert results_agree(left, right)
+
+    def test_null_and_float_normalization(self):
+        left = self._relation([(NULL, 0.1 + 0.2)])
+        right = self._relation([(NULL, 0.3)])
+        assert results_agree(left, right)
+        kind, rows = normalize_result(left)
+        assert kind == "rows" and rows[0][0] is None
+
+    def test_result_rows_are_json_ready(self):
+        rows = result_rows(self._relation([(NULL, 1)]))
+        assert rows == [[None, 1]]
+        assert json.dumps(rows)
+
+
+class TestCliEntryPoint:
+    def test_eval_corpus_writes_report_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "SCENARIO_REPORT.json"
+        code = main(
+            [
+                "eval-corpus",
+                "--scenario",
+                "retail",
+                "--size",
+                "small",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nl accuracy" in out
+        loaded = json.loads(path.read_text())
+        assert loaded["summary"]["mismatch"] == 0
+        assert loaded["summary"]["error"] == 0
+
+    def test_eval_corpus_rejects_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        code = main(["eval-corpus", "--scenario", "nope"])
+        assert code == 2  # ArcError path would be 2; LookupError is typed

@@ -2,22 +2,24 @@
 whole library.
 
 A small university database (students, courses, enrollments, prerequisites)
-exercised with a dozen queries spanning every frontend and every feature
-family: joins, semijoins/antijoins, division, grouped aggregates with
-HAVING, correlated scalars, outer joins, recursion over prerequisites,
-NULL grades, conventions, rewrites, and pattern analysis — each answer
-cross-checked against a direct Python computation.
+expressed as a corpus :class:`~repro.workloads.scenarios.Scenario` and run
+through the execution-based differential harness: every query cell is
+checked against the reference oracle on all three backends, cross-frontend
+texts are pinned against each other, and the expected answers below are
+asserted with the harness's own normalization helpers
+(:func:`results_agree`) instead of bespoke comparison code.
 """
 
 import pytest
 
+from repro.api import EvalOptions, Session
 from repro.core import rewrites
-from repro.core.conventions import SET_CONVENTIONS, SQL_CONVENTIONS
+from repro.core.conventions import SQL_CONVENTIONS
 from repro.core.parser import parse
-from repro.data import Database, NULL
+from repro.data import NULL, Database, Relation
 from repro.engine import evaluate
-from repro.frontends import datalog
-from repro.frontends.sql import to_arc
+from repro.eval.harness import report_failures, results_agree, run_scenario
+from repro.workloads.scenarios import CorpusQuery, Scenario
 
 STUDENTS = [
     ("s1", "ada", "cs"),
@@ -54,151 +56,283 @@ PREREQ = [
 ]
 
 
+class UniversityScenario(Scenario):
+    """The fixed teaching catalog as a harness scenario (size/seed inert)."""
+
+    name = "university"
+    description = "students / courses / enrollments / prerequisites"
+
+    def catalog(self, size="small", seed=0):
+        database = Database()
+        database.create("Student", ("sid", "name", "major"), STUDENTS)
+        database.create("Course", ("cid", "title", "credits"), COURSES)
+        database.create("Enrolled", ("sid", "cid", "grade"), ENROLLED)
+        database.create("Prereq", ("pre", "post"), PREREQ)
+        return database
+
+    def queries(self):
+        return (
+            CorpusQuery(
+                name="students_in_db_course",
+                features=("join",),
+                compare="set",
+                texts={
+                    "sql": (
+                        "select s.name from Student s, Enrolled e "
+                        "where s.sid = e.sid and e.cid = 'c3'"
+                    ),
+                    "trc": (
+                        "{s.name | s in Student and exists e "
+                        "[e in Enrolled and e.sid = s.sid and e.cid = 'c3']}"
+                    ),
+                    "datalog": 'Q(n) :- Student(s, n, m), Enrolled(s, "c3", g).',
+                },
+            ),
+            CorpusQuery(
+                name="never_enrolled",
+                features=("negation",),
+                texts={
+                    "sql": (
+                        "select s.name from Student s where not exists "
+                        "(select 1 from Enrolled e where e.sid = s.sid)"
+                    ),
+                    "trc": (
+                        "{s.name | s in Student and not exists e "
+                        "[e in Enrolled and e.sid = s.sid]}"
+                    ),
+                    "datalog": (
+                        "Takes(s) :- Enrolled(s, c, g).\n"
+                        "Q(n) :- Student(s, n, m), !Takes(s)."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="gpa_per_student",
+                features=("grouping", "null-3vl"),
+                description="NULL grades are skipped by avg — SQL semantics",
+                texts={
+                    "sql": (
+                        "select e.sid, avg(e.grade) gpa "
+                        "from Enrolled e group by e.sid"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="busy_students_having",
+                features=("grouping", "having"),
+                texts={
+                    "sql": (
+                        "select e.sid, count(*) ct from Enrolled e "
+                        "group by e.sid having count(*) >= 2"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="zero_graded_count",
+                features=("correlated", "grouping", "null-3vl"),
+                description=(
+                    "γ∅ keeps zero-count students — the count-bug shape"
+                ),
+                texts={
+                    "sql": (
+                        "select s.name from Student s where 0 = "
+                        "(select count(e.grade) from Enrolled e "
+                        "where e.sid = s.sid and e.grade is not null)"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="grade_not_in_s1",
+                features=("negation", "null-3vl"),
+                description="NOT IN poisoned by s1's NULL grade: empty",
+                texts={
+                    "sql": (
+                        "select e.sid from Enrolled e where e.grade not in "
+                        "(select e2.grade from Enrolled e2 "
+                        "where e2.sid = 's1')"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="transitive_prereqs",
+                features=("recursion",),
+                compare="set",
+                texts={
+                    "datalog": (
+                        "A(x, y) :- Prereq(x, y).\n"
+                        "A(x, z) :- Prereq(x, y), A(y, z)."
+                    ),
+                    "arc": (
+                        "{A(pre, post) | ∃p ∈ Prereq[A.pre = p.pre ∧ "
+                        "A.post = p.post] ∨ ∃p ∈ Prereq, a2 ∈ A"
+                        "[A.pre = p.pre ∧ p.post = a2.pre ∧ "
+                        "A.post = a2.post]}"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="total_credits",
+                features=("correlated", "grouping"),
+                texts={
+                    "datalog": (
+                        "Total(s, t) :- Enrolled(s, _, _), "
+                        "t = sum c : {Enrolled(s, x, _), Course(x, _, c)}."
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="division_every_4_credit_course",
+                features=("negation",),
+                description="students enrolled in all 4-credit courses",
+                texts={
+                    "arc": (
+                        "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
+                        "¬(∃c ∈ Course[c.credits = 4 ∧ "
+                        "¬(∃e ∈ Enrolled[e.sid = s.sid ∧ "
+                        "e.cid = c.cid])])]}"
+                    ),
+                },
+            ),
+            CorpusQuery(
+                name="left_join_keeps_ungraded",
+                features=("join", "null-3vl"),
+                texts={
+                    "arc": (
+                        "{Q(name, cid) | ∃s ∈ Student, e ∈ Enrolled, "
+                        "left(s, e)[Q.name = s.name ∧ Q.cid = e.cid ∧ "
+                        "s.sid = e.sid]}"
+                    ),
+                },
+            ),
+        )
+
+
+SCENARIO = UniversityScenario()
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scenario(SCENARIO, size="small", seed=0, run_nl=False)
+
+
 @pytest.fixture
 def db():
-    database = Database()
-    database.create("Student", ("sid", "name", "major"), STUDENTS)
-    database.create("Course", ("cid", "title", "credits"), COURSES)
-    database.create("Enrolled", ("sid", "cid", "grade"), ENROLLED)
-    database.create("Prereq", ("pre", "post"), PREREQ)
-    return database
+    return SCENARIO.catalog()
 
 
-def names(result, attr="name"):
-    return sorted(row[attr] for row in result.iter_distinct())
+@pytest.fixture
+def oracle(db):
+    return Session(db, SQL_CONVENTIONS, options=EvalOptions(backend="reference"))
 
 
-class TestJoins:
-    def test_students_in_db_course(self, db):
-        query = to_arc(
-            "select Student.name from Student, Enrolled "
-            "where Student.sid = Enrolled.sid and Enrolled.cid = 'c3'",
-            database=db,
+def expect(schema, rows):
+    return Relation("Expected", schema, rows)
+
+
+class TestDifferentialHarness:
+    def test_every_cell_oracle_equal_on_all_backends(self, report):
+        assert report_failures(report) == []
+        assert {cell["status"] for cell in report["cells"]} == {"ok"}
+
+    def test_cross_frontend_texts_agree(self, report):
+        for qname, qinfo in report["queries"].items():
+            assert qinfo["cross_frontend_agree"], qname
+
+    def test_backends_cover_the_full_matrix(self, report):
+        assert {cell["backend"] for cell in report["cells"]} == {
+            "reference",
+            "planner",
+            "sqlite",
+        }
+
+
+class TestAnswers:
+    """Expected values asserted through the harness normalization."""
+
+    def _run(self, oracle, qname, frontend=None):
+        query = {q.name: q for q in SCENARIO.queries()}[qname]
+        frontend = frontend or query.frontends[0]
+        result = oracle.prepare(query.texts[frontend], frontend=frontend).run()
+        return query, result
+
+    def test_students_in_db_course(self, oracle):
+        query, result = self._run(oracle, "students_in_db_course")
+        assert results_agree(
+            result, expect(("name",), [("ada",), ("bob",)]), compare="set"
         )
-        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["ada", "bob"]
 
-    def test_semijoin_enrolled_anywhere(self, db):
-        query = parse(
-            "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
-            "∃e ∈ Enrolled[e.sid = s.sid]]}"
-        )
-        assert names(evaluate(query, db)) == ["ada", "bob", "cyd", "dee"]
+    def test_never_enrolled(self, oracle):
+        query, result = self._run(oracle, "never_enrolled")
+        assert results_agree(result, expect(("name",), [("eli",)]))
 
-    def test_antijoin_never_enrolled(self, db):
-        query = to_arc(
-            "select Student.name from Student where not exists "
-            "(select 1 from Enrolled where Enrolled.sid = Student.sid)",
-            database=db,
-        )
-        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["eli"]
-
-    def test_division_took_every_4_credit_course(self, db):
-        """Students enrolled in *all* 4-credit courses (c1 and c5)."""
-        query = parse(
-            "{Q(name) | ∃s ∈ Student[Q.name = s.name ∧ "
-            "¬(∃c ∈ Course[c.credits = 4 ∧ "
-            "¬(∃e ∈ Enrolled[e.sid = s.sid ∧ e.cid = c.cid])])]}"
-        )
-        expected = []
-        four_credit = {cid for cid, _, cr in COURSES if cr == 4}
-        for sid, name, _ in STUDENTS:
-            taken = {c for s, c, _ in ENROLLED if s == sid}
-            if four_credit <= taken:
-                expected.append(name)
-        assert names(evaluate(query, db)) == sorted(expected)
-        from repro.analysis import detect_patterns
-
-        assert "division" in detect_patterns(query)
-
-
-class TestAggregates:
-    def test_gpa_per_student(self, db):
-        """NULL grades are skipped by avg — SQL semantics."""
-        query = to_arc(
-            "select Enrolled.sid, avg(Enrolled.grade) gpa from Enrolled "
-            "group by Enrolled.sid",
-            database=db,
-        )
-        result = evaluate(query, db, SQL_CONVENTIONS)
-        produced = {row["sid"]: round(row["gpa"], 2) for row in result}
+    def test_gpa_per_student_skips_null_grades(self, oracle):
+        query, result = self._run(oracle, "gpa_per_student")
         expected = {}
         for sid in {s for s, _, _ in ENROLLED}:
             grades = [g for s, _, g in ENROLLED if s == sid and g is not NULL]
-            expected[sid] = round(sum(grades) / len(grades), 2)
-        assert produced == expected
-
-    def test_busy_students_having(self, db):
-        query = to_arc(
-            "select Enrolled.sid, count(*) ct from Enrolled "
-            "group by Enrolled.sid having count(*) >= 2",
-            database=db,
+            expected[sid] = sum(grades) / len(grades)
+        assert results_agree(
+            result, expect(("sid", "gpa"), sorted(expected.items()))
         )
-        result = evaluate(query, db, SQL_CONVENTIONS)
-        assert {row["sid"] for row in result} == {"s1", "s2", "s3"}
 
-    def test_correlated_scalar_count(self, db):
-        """Students whose enrollment count equals the number of courses in
-        their major's intro track — the count-bug pattern shape, safely."""
-        query = to_arc(
-            "select Student.name from Student where 0 = "
-            "(select count(Enrolled.grade) from Enrolled "
-            "where Enrolled.sid = Student.sid and Enrolled.grade is not null)",
-            database=db,
+    def test_busy_students_having(self, oracle):
+        query, result = self._run(oracle, "busy_students_having")
+        assert results_agree(
+            result,
+            expect(("sid", "ct"), [("s1", 4), ("s2", 2), ("s3", 2)]),
         )
+
+    def test_zero_graded_count_keeps_gamma_empty_row(self, oracle):
         # eli (never enrolled) has count 0 — the γ∅ scope keeps the row.
-        assert names(evaluate(query, db, SQL_CONVENTIONS)) == ["eli"]
+        query, result = self._run(oracle, "zero_graded_count")
+        assert results_agree(result, expect(("name",), [("eli",)]))
 
-    def test_souffle_rule_total_credits(self, db):
-        program = datalog.to_arc(
-            "Total(s, t) :- Enrolled(s, _, _), "
-            "t = sum c : {Enrolled(s, x, _), Course(x, _, c)}.",
-            database=db,
-        )
-        result = evaluate(program, db, SET_CONVENTIONS)
-        produced = {row["s"]: row["t"] for row in result}
+    def test_not_in_with_null_grades_is_empty(self, oracle):
+        query, result = self._run(oracle, "grade_not_in_s1")
+        assert results_agree(result, expect(("sid",), []))
+
+    def test_transitive_prerequisites(self, oracle):
+        query, result = self._run(oracle, "transitive_prereqs", "datalog")
+        pairs = {(row["x"], row["y"]) for row in result.iter_distinct()}
+        assert ("c1", "c4") in pairs  # c1 -> c2 -> c4
+        assert ("c5", "c4") in pairs
+        assert ("c4", "c1") not in pairs
+
+    def test_total_credits(self, oracle):
+        query, result = self._run(oracle, "total_credits")
         credits = {cid: cr for cid, _, cr in COURSES}
         expected = {}
         for sid in {s for s, _, _ in ENROLLED}:
             taken = {c for s, c, _ in ENROLLED if s == sid}
             expected[sid] = sum(credits[c] for c in taken)
-        assert produced == expected
-
-
-class TestOuterJoinAndNulls:
-    def test_left_join_keeps_ungraded(self, db):
-        query = parse(
-            "{Q(name, cid) | ∃s ∈ Student, e ∈ Enrolled, left(s, e)"
-            "[Q.name = s.name ∧ Q.cid = e.cid ∧ s.sid = e.sid]}"
+        assert results_agree(
+            result,
+            expect(("s", "t"), sorted(expected.items())),
+            compare="set",
         )
-        result = evaluate(query, db, SQL_CONVENTIONS)
+
+    def test_division_took_every_4_credit_course(self, oracle, db):
+        query, result = self._run(oracle, "division_every_4_credit_course")
+        four_credit = {cid for cid, _, cr in COURSES if cr == 4}
+        expected = [
+            (name,)
+            for sid, name, _ in STUDENTS
+            if four_credit <= {c for s, c, _ in ENROLLED if s == sid}
+        ]
+        assert results_agree(result, expect(("name",), expected), compare="set")
+        from repro.analysis import detect_patterns
+
+        node = oracle.prepare(
+            query.texts["arc"], frontend="arc"
+        ).node
+        assert "division" in detect_patterns(node)
+
+    def test_left_join_keeps_ungraded(self, oracle):
+        query, result = self._run(oracle, "left_join_keeps_ungraded")
         eli_rows = [row for row in result if row["name"] == "eli"]
         assert len(eli_rows) == 1 and eli_rows[0]["cid"] is NULL
 
-    def test_not_in_with_null_grades(self, db):
-        """grade NOT IN (...) over a column with NULLs: 3VL at work."""
-        query = to_arc(
-            "select Enrolled.sid from Enrolled where Enrolled.grade not in "
-            "(select E2.grade from Enrolled E2 where E2.sid = 's1')",
-            database=db,
-        )
-        # s1 has a NULL grade, so every NOT IN test is poisoned: empty.
-        assert evaluate(query, db, SQL_CONVENTIONS).is_empty()
-
-
-class TestRecursion:
-    def test_transitive_prerequisites(self, db):
-        query = parse(
-            "{A(pre, post) | ∃p ∈ Prereq[A.pre = p.pre ∧ A.post = p.post] ∨ "
-            "∃p ∈ Prereq, a2 ∈ A[A.pre = p.pre ∧ p.post = a2.pre ∧ "
-            "A.post = a2.post]}"
-        )
-        result = evaluate(query, db)
-        pairs = {(row["pre"], row["post"]) for row in result}
-        assert ("c1", "c4") in pairs  # c1 -> c2 -> c4
-        assert ("c5", "c4") in pairs
-        assert ("c4", "c1") not in pairs
-
-    def test_ready_for_ml(self, db):
+    def test_ready_for_ml_program(self, db):
         """Students who completed every (transitive) prerequisite of c4."""
         program = parse(
             "A := {A(pre, post) | ∃p ∈ Prereq[A.pre = p.pre ∧ A.post = p.post] ∨ "
@@ -212,12 +346,15 @@ class TestRecursion:
         result = evaluate(program, db)
         # ada completed c1, c2, c3 but not c5 (a prereq of c4): not ready.
         prereqs_of_c4 = {"c1", "c2", "c3", "c5"}
-        expected = []
-        for sid, name, _ in STUDENTS:
-            done = {c for s, c, g in ENROLLED if s == sid and g is not NULL}
-            if prereqs_of_c4 <= done:
-                expected.append(name)
-        assert names(result) == sorted(expected)
+        expected = [
+            (name,)
+            for sid, name, _ in STUDENTS
+            if prereqs_of_c4
+            <= {c for s, c, g in ENROLLED if s == sid and g is not NULL}
+        ]
+        assert results_agree(
+            result, expect(("name",), expected), compare="set"
+        )
 
 
 class TestRewritesAndAnalysis:
@@ -227,10 +364,13 @@ class TestRewritesAndAnalysis:
             "[Q.name = s.name ∧ e.sid = s.sid]]}"
         )
         flat = rewrites.unnest(nested)
-        assert evaluate(nested, db).set_equal(evaluate(flat, db))
+        assert results_agree(
+            evaluate(nested, db), evaluate(flat, db), compare="set"
+        )
 
     def test_cross_language_pattern_match(self, db):
         from repro.analysis import same_pattern
+        from repro.frontends.sql import to_arc
 
         sql_form = to_arc(
             "select Enrolled.sid, count(*) ct from Enrolled group by Enrolled.sid",
@@ -244,6 +384,7 @@ class TestRewritesAndAnalysis:
 
     def test_corpus_over_scenario(self, db):
         from repro.analysis import QueryCorpus
+        from repro.frontends.sql import to_arc
 
         corpus = QueryCorpus()
         corpus.add(
