@@ -1,0 +1,237 @@
+"""E29 — concurrent serving: RPS and tail latency vs worker count.
+
+Drives a real ``repro serve`` subprocess (its own interpreter, so the
+load generator's GIL never shades the server's) with the closed-loop
+generator from :mod:`repro.serve.loadgen` over the warm prepared E21
+width-4 join-chain workload on the SQLite backend.  SQLite releases the
+GIL inside ``step()``, so a pool of worker threads genuinely overlaps
+query execution; each load client posts its own whitespace-padded query
+variant so coalescing stays out of the scaling signal, and a separate
+phase posts one identical payload from every client to measure the
+coalescer instead.
+
+The acceptance claim (4 workers ≥ 2.5× the single-worker RPS, p99 ≤ 3×
+p50 at saturation) is asserted under ``RUN_TIMING_ASSERTIONS=1`` and
+gated in CI.  Parallel speedup is bounded by the cores the runner
+actually has, so the scaling floor adapts: 2.5× on ≥ 4 CPUs (the
+perf-gate runners), 1.5× on 2–3, and on a single CPU — where any
+speedup is physically impossible and the raw-SQLite control run shows
+~1.0× too — the gate degrades to "the pool costs nothing"
+(≥ 0.8×).  The machine this pass was built on is a 1-CPU container:
+~35 rps for both worker counts (p50 ~220 ms — eight closed-loop clients
+queueing on one core — scaling 1.03×, i.e. pool dispatch is free); the
+coalescing phase (8 identical clients, 2 workers) measured 160 requests
+answered by 37 executions + 123 coalesced responses, asserted
+structurally (no timing involved), so it holds on any machine.
+
+Knobs for constrained runners: ``E29_ROWS``, ``E29_DOMAIN``,
+``E29_REQUESTS`` (per client), ``E29_WARMUP`` (per client).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+import _common
+from repro.data import generators
+from repro.data.csvio import write_csv
+from repro.serve import run_load
+
+WIDTH = 4
+ROWS = int(os.environ.get("E29_ROWS", "1500"))
+DOMAIN = int(os.environ.get("E29_DOMAIN", "300"))
+REQUESTS = int(os.environ.get("E29_REQUESTS", "40"))
+WARMUP = int(os.environ.get("E29_WARMUP", "4"))
+
+#: The E21 width-4 join chain (R0 ⋈ R1 ⋈ R2 ⋈ R3) under γ∅, served with
+#: SQL conventions so the SQLite backend runs it natively (set semantics
+#: would fall back to the pure-Python planner and the GIL would flatten
+#: the scaling curve).  The aggregate keeps the joined intermediate large
+#: (~200k rows of SQLite-side work at the default knobs) while the
+#: response is a single row, so almost no time is spent in GIL-bound
+#: JSON encoding.
+QUERY = (
+    "{Q(ct) | ∃r0 ∈ R0, r1 ∈ R1, r2 ∈ R2, r3 ∈ R3, γ ∅"
+    "[r0.B = r1.B ∧ r1.C = r2.C ∧ r2.D = r3.D ∧ Q.ct = count(*)]}"
+)
+
+
+def _payload(variant=0):
+    # Trailing whitespace changes the coalesce key and the prepared-LRU
+    # key without changing the answer.
+    return json.dumps({"query": QUERY + " " * variant}).encode()
+
+
+@pytest.fixture(scope="module")
+def db_flags(tmp_path_factory):
+    """Write the chain database as CSVs; ``--db`` flags for the server."""
+    directory = tmp_path_factory.mktemp("e29_chain")
+    db = generators.chain_database(WIDTH, ROWS, domain=DOMAIN, seed=3)
+    flags = []
+    for name in sorted(db.names()):
+        path = directory / f"{name}.csv"
+        write_csv(db[name], str(path))
+        flags += ["--db", f"{path}:{name}"]
+    return flags
+
+
+class _Server:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, workers, db_flags):
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--conventions", "sql",
+                "--backend", "sqlite",
+                "--workers", str(workers),
+                "--queue-depth", "64",
+                *db_flags,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        self.url = None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            if line.startswith("serving on "):
+                self.url = line.split()[2]
+                break
+        if self.url is None:
+            self.proc.kill()
+            raise RuntimeError("server did not announce its URL")
+
+    def stats(self):
+        with urllib.request.urlopen(self.url + "/stats", timeout=10) as resp:
+            return json.load(resp)
+
+    def stop(self):
+        """SIGTERM → drain → clean exit (the shutdown path under test)."""
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+        assert code == 0, f"server exited {code}"
+
+
+def _measure(workers, db_flags, *, payloads, clients):
+    server = _Server(workers, db_flags)
+    try:
+        # Warm every worker's private catalog connection and prepared LRU
+        # before the timed window.
+        run_load(
+            server.url, payloads, clients=clients, requests_per_client=WARMUP
+        )
+        summary = run_load(
+            server.url, payloads, clients=clients,
+            requests_per_client=REQUESTS,
+        )
+        pool = server.stats()["pool"]
+    finally:
+        server.stop()
+    return summary, pool
+
+
+def test_throughput_scales_with_workers(db_flags):
+    """Acceptance claim (CI perf gate): 4 workers sustain ≥ 2.5× the RPS
+    of 1 worker on the warm width-4 chain workload, with p99 ≤ 3× p50 at
+    saturation.
+
+    The structural half (every request answered 200, no client errors,
+    zero coalesced responses because every client posts its own variant)
+    always runs; the wall-clock ratios are asserted only under
+    ``RUN_TIMING_ASSERTIONS=1`` — the dedicated perf-gate job sets it, so
+    a scaling regression below the 2.5× floor fails the build.  The
+    floor follows the runner's core count (see the module docstring):
+    threads cannot beat the hardware, so a 1-CPU runner only gates the
+    pool's dispatch overhead.
+    """
+    clients = 8
+    payloads = [_payload(i) for i in range(clients)]
+    single, single_pool = _measure(
+        1, db_flags, payloads=payloads, clients=clients
+    )
+    pooled, pooled_pool = _measure(
+        4, db_flags, payloads=payloads, clients=clients
+    )
+    scaling = pooled.rps / single.rps if single.rps else 0.0
+    cores = os.cpu_count() or 1
+    floor = 2.5 if cores >= 4 else (1.5 if cores >= 2 else 0.8)
+    _common.record_metric(
+        "e29_scaling",
+        rows=ROWS,
+        domain=DOMAIN,
+        clients=clients,
+        requests_per_client=REQUESTS,
+        cpus=cores,
+        scaling_floor=floor,
+        workers_1=single.as_dict(),
+        workers_4=pooled.as_dict(),
+        scaling=round(scaling, 2),
+    )
+    _common.show(
+        "E29 — RPS vs workers (width-4 chain, warm)",
+        f"1 worker : {single!r}",
+        f"4 workers: {pooled!r}",
+        f"scaling  : {scaling:.2f}x (floor {floor}x on {cores} cpu(s))",
+    )
+    for summary in (single, pooled):
+        assert summary.errors == 0, summary.as_dict()
+        assert set(summary.statuses) == {200}, summary.statuses
+        assert summary.coalesced == 0  # distinct variants never coalesce
+    assert single_pool["workers"] == 1
+    assert pooled_pool["workers"] == 4
+    assert pooled_pool["queries_executed"] == clients * (REQUESTS + WARMUP)
+
+    if os.environ.get("CI") and not os.environ.get("RUN_TIMING_ASSERTIONS"):
+        pytest.skip("timing assertion; set RUN_TIMING_ASSERTIONS=1 to run in CI")
+    assert scaling >= floor, (
+        f"4 workers gave {pooled.rps:.1f} rps vs {single.rps:.1f} rps "
+        f"for 1 worker ({scaling:.2f}x < {floor}x on {cores} cpu(s))"
+    )
+    assert pooled.p99_ms <= 3 * pooled.p50_ms, (
+        f"saturated tail p99 {pooled.p99_ms:.1f} ms > "
+        f"3x p50 {pooled.p50_ms:.1f} ms"
+    )
+
+
+def test_identical_load_coalesces(db_flags):
+    """Every client posting the same payload folds into shared flights:
+    the coalescer answers a measurable share of responses from one
+    execution, and the server executes strictly fewer queries than it
+    serves.  Structural — no timing assertions."""
+    server = _Server(2, db_flags)
+    try:
+        summary = run_load(
+            server.url, [_payload()], clients=8,
+            requests_per_client=max(10, REQUESTS // 2),
+        )
+        stats = server.stats()["pool"]
+    finally:
+        server.stop()
+    _common.record_metric(
+        "e29_coalescing",
+        requests=summary.requests,
+        coalesced_responses=summary.coalesced,
+        coalesced_total=stats["coalesced_total"],
+        queries_executed=stats["queries_executed"],
+    )
+    assert summary.errors == 0, summary.as_dict()
+    assert summary.coalesced > 0
+    assert stats["coalesced_total"] == summary.coalesced
+    assert stats["queries_executed"] + summary.coalesced == summary.requests
+    assert stats["queries_executed"] < summary.requests

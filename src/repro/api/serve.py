@@ -1,63 +1,71 @@
 """``repro serve``: the Session API over HTTP (stdlib only).
 
-A tiny JSON endpoint that holds one warm :class:`~repro.api.Session` per
-catalog, so repeated requests hit the prepared-query LRU, the compiled
-scope plans, the capability-probe memo, and the loaded SQLite connection —
-the cross-request amortization the ROADMAP's service-mode item asks for.
+A JSON endpoint backed by the :mod:`repro.serve` concurrency subsystem: a
+threaded front end (one handler thread per connection) dispatching to a
+fixed **worker pool** where each worker owns its own warm
+:class:`~repro.api.Session` — per-worker prepared-query LRUs, private
+SQLite connections, capability-probe memos — so repeated requests hit
+every cache while distinct requests execute in parallel.
 
 Protocol
 --------
 ``POST /query`` with a JSON body::
 
     {"query": "{Q(A) | ∃r ∈ R[Q.A = r.A]}", "frontend": "arc",
-     "backend": "sqlite"}
+     "backend": "sqlite", "catalog": "default"}
 
 ``frontend`` defaults to ``arc`` (any :data:`repro.frontends.FRONTENDS`
-language); ``backend`` defaults to the session's configured engine.  The
-response body carries the result only — timing rides response *headers*
-(``X-Arc-Elapsed-Us``, ``X-Arc-Warm``) so identical requests produce
-byte-identical bodies::
+language); ``backend`` defaults to the session's configured engine;
+``catalog`` (optional) selects one of the server's named catalogs for
+multi-catalog serving.  The response body carries the result only —
+timing rides response *headers* (``X-Arc-Elapsed-Us``, ``X-Arc-Warm``,
+``X-Arc-Worker``) so identical requests produce byte-identical bodies::
 
     {"kind": "relation", "name": "Q", "columns": ["A"],
      "rows": [[1], [2]], "row_count": 2, "fallback": []}
 
+Concurrency semantics
+---------------------
+* **Coalescing**: N concurrent identical requests (same catalog, query,
+  frontend, backend, and budget) fold into **one** execution; followers
+  receive the leader's byte-identical body with ``X-Arc-Coalesced: 1``.
+* **Admission control**: the pool's job queue is bounded
+  (``--queue-depth``); a full queue answers **429** with ``Retry-After``
+  and ``error_type: "AdmissionError"`` instead of buffering overload.
+  A draining server answers 503.
+* **Deadlines** still apply per request *inside* the worker
+  (``timeout_ms`` / ``max_rows``), so admission and execution budgets
+  compose.
+
 ``GET /healthz`` answers liveness — 200 while healthy, **503 degraded**
-while any backend circuit breaker is open; ``GET /stats`` exposes the
-session's execution counters, breaker states, per-phase latency quantiles,
-``uptime_s`` and ``requests_total`` (``Cache-Control: no-store``, so load
-tests computing RPS externally never see a cached body); ``GET /metrics``
-serves the same signals in Prometheus text format.  Errors return 400
-(bad request / query errors), 404, 408 (:class:`~repro.errors.QueryTimeout`),
-413 (:class:`~repro.errors.BudgetExceeded` or an oversized request body),
-or 500, always with ``{"error": ..., "error_type": ...}``.
+while any backend circuit breaker is open *or the job queue is
+saturated*; ``GET /stats`` exposes aggregated execution counters across
+every worker session, breaker states, per-phase latency quantiles, and a
+``pool`` block (``workers``, ``busy``, ``queue_depth``,
+``coalesced_total``, per-worker handled counts); ``GET /metrics`` serves
+the same signals in Prometheus text format (pool gauges, coalescing
+counter, per-worker latency histograms).  Errors return 400 (bad request
+/ query errors), 404, 408 (:class:`~repro.errors.QueryTimeout`), 413
+(:class:`~repro.errors.BudgetExceeded` or an oversized request body), 429
+(admission), or 500, always with ``{"error": ..., "error_type": ...}``.
 
 Observability
 -------------
-The server attaches a *metrics-only* :class:`~repro.obs.Tracer` to its
-session (unless the caller installed one): every query phase feeds the
+The server attaches a *metrics-only* :class:`~repro.obs.Tracer` to every
+worker session (sharing one locked registry): every query phase feeds the
 per-phase/per-backend latency histograms behind ``/metrics`` while the
-span records themselves are dropped, so a long-lived server holds no trace
-memory.  Each ``POST /query`` gets a fresh ``X-Arc-Query-Id`` response
-header (the id spans carry for that request), and ``--log-requests``
-emits one stdlib-``logging`` line per request — method, path, status,
-elapsed time, query id — with ``--log-json`` switching the same logger to
-structured JSON lines.
+span records themselves are dropped, so a long-lived server holds no
+trace memory.  Each ``POST /query`` gets a fresh ``X-Arc-Query-Id``
+response header, and ``--log-requests`` emits one stdlib-``logging`` line
+per request — method, path, status, elapsed time, query id — with
+``--log-json`` switching the same logger to structured JSON lines.
 
-Operational hardening
----------------------
-* requests may override the session's budget per run:
-  ``{"query": ..., "timeout_ms": 250, "max_rows": 10000}`` — validated
-  through the same :func:`repro.api.options.validate_budget` the
-  :class:`~repro.api.EvalOptions` constructor uses;
-* request bodies are bounded (``max_body_bytes``, default 1 MiB) and an
-  oversized ``Content-Length`` is refused *before* reading the body;
-* :func:`install_sigterm_handler` makes SIGTERM drain the in-flight
-  request and stop accepting, instead of killing mid-response.
-
-The server is deliberately **single-threaded** (:class:`http.server.HTTPServer`):
-a Session is not thread-safe, and serializing requests keeps every warm
-structure coherent.  Run one process per catalog; scale out with an
-external balancer.
+Shutdown
+--------
+:func:`install_sigterm_handler` makes SIGTERM/SIGINT **drain**: stop
+accepting, finish every queued and in-flight request (responses are
+written), then close.  ``server.server_close()`` performs the same drain
+when no signal arrived first.
 """
 
 from __future__ import annotations
@@ -68,19 +76,33 @@ import signal
 import threading
 import time
 import uuid
-from http.server import BaseHTTPRequestHandler, HTTPServer
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..backends.exec import breaker_states
 from ..data.relation import Relation
 from ..data.values import NULL, Truth
+from ..engine.planner import ExecutionStats
 from ..errors import ArcError, BudgetExceeded, OptionsError, QueryTimeout
 from ..frontends import FRONTENDS
 from ..obs import MetricsRegistry, Tracer, render_prometheus
+from ..serve import (
+    RETRY_AFTER_S,
+    AdmissionError,
+    Coalescer,
+    SessionFactory,
+    WorkerPool,
+)
+from ..serve.pool import DEFAULT_QUEUE_DEPTH, DEFAULT_SESSION_LIMIT
 from .options import validate_budget
 
 #: Default bound on request bodies (1 MiB): a query is text, not a bulk
 #: upload, so anything larger is a client error or an attack.
 DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound a handler thread waits for its own job / a coalesced
+#: leader.  Generous on purpose: per-request deadlines (``timeout_ms``)
+#: are the real budget; this is only a backstop against a wedged worker.
+_JOB_WAIT_S = 600.0
 
 #: Numeric encoding of breaker states for the ``arc_breaker_state`` gauge.
 _BREAKER_STATE_CODE = {"closed": 0, "half-open": 1, "open": 2}
@@ -130,25 +152,57 @@ def _result_body(result, fallback_reasons):
     return body
 
 
+class Outcome:
+    """One request's computed answer: status + pre-serialized body.
+
+    The body serializes **once** (sorted keys), so a coalesced flight fans
+    the exact same bytes out to every follower — the byte-identical
+    contract the coalescer depends on.
+    """
+
+    __slots__ = ("status", "payload", "headers")
+
+    def __init__(self, status, body, headers=()):
+        self.status = status
+        self.payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.headers = tuple(headers)
+
+
+def _error_outcome(exc_or_message, status, headers=(), worker=None):
+    if isinstance(exc_or_message, BaseException):
+        body = {
+            "error": str(exc_or_message),
+            "error_type": type(exc_or_message).__name__,
+        }
+    else:
+        body = {"error": exc_or_message, "error_type": "BadRequest"}
+    headers = tuple(headers)
+    if worker is not None:
+        headers += (("X-Arc-Worker", str(worker)),)
+    return Outcome(status, body, headers)
+
+
 def _prometheus_extra(server):
     """Counter/gauge rows for ``/metrics`` beyond the tracer's histograms:
-    the engine's ExecutionStats, session cache counters, breaker states,
-    and the server's own uptime/request totals."""
-    session = server.session
+    aggregated engine ExecutionStats and session cache counters across the
+    worker pool, pool gauges, coalescing totals, breaker states, and the
+    server's own uptime/request totals."""
+    totals, loads, hits, probes = server.aggregate_stats()
     stats_samples = [
-        ({"counter": name}, value)
-        for name, value in sorted(session.stats.as_dict().items())
+        ({"counter": name}, value) for name, value in sorted(totals.items())
     ]
     stats_samples += [
-        ({"counter": "catalog_loads"}, session.catalog_loads),
-        ({"counter": "catalog_hits"}, session.catalog_hits),
-        ({"counter": "probe_hits"}, session.probe_hits),
+        ({"counter": "catalog_loads"}, loads),
+        ({"counter": "catalog_hits"}, hits),
+        ({"counter": "probe_hits"}, probes),
     ]
+    pool = server.pool.snapshot()
     extra = [
         (
             "arc_stats_total",
             "counter",
-            "Engine ExecutionStats and session cache counters.",
+            "Engine ExecutionStats and session cache counters "
+            "(summed across worker sessions).",
             stats_samples,
         ),
         (
@@ -156,6 +210,45 @@ def _prometheus_extra(server):
             "counter",
             "HTTP query requests served.",
             [({}, server.requests_served)],
+        ),
+        (
+            "arc_pool_workers",
+            "gauge",
+            "Worker threads in the serving pool.",
+            [({}, pool["workers"])],
+        ),
+        (
+            "arc_pool_busy",
+            "gauge",
+            "Workers executing a job right now.",
+            [({}, pool["busy"])],
+        ),
+        (
+            "arc_pool_queue_depth",
+            "gauge",
+            "Jobs queued but not yet started.",
+            [({}, pool["queue_depth"])],
+        ),
+        (
+            "arc_pool_queue_capacity",
+            "gauge",
+            "Queue depth at which admission control refuses (429).",
+            [({}, pool["queue_capacity"])],
+        ),
+        (
+            "arc_coalesced_total",
+            "counter",
+            "Requests answered from another in-flight execution.",
+            [({}, server.coalescer.coalesced_total)],
+        ),
+        (
+            "arc_worker_requests_total",
+            "counter",
+            "Jobs completed per pool worker.",
+            [
+                ({"worker": str(row["worker"])}, row["handled"])
+                for row in pool["per_worker"]
+            ],
         ),
         (
             "arc_uptime_seconds",
@@ -184,11 +277,26 @@ def _prometheus_extra(server):
     return extra
 
 
-class QueryServer(HTTPServer):
-    """An HTTP server bound to one warm Session (one catalog)."""
+class QueryServer(ThreadingHTTPServer):
+    """An HTTP front end over a worker pool of warm Sessions.
 
-    def __init__(self, address, session, *, quiet=True,
-                 max_body_bytes=DEFAULT_MAX_BODY_BYTES,
+    *session* is the control session: it defines the default catalog,
+    conventions, externals, and options, and worker 0 adopts it (so a
+    single-worker server executes on exactly the session object the
+    caller holds).  Extra *catalogs* (name → Database) become selectable
+    via the request ``catalog`` field; workers build Sessions for them
+    lazily through a bounded per-worker LRU.
+    """
+
+    # Handler threads are daemonic: a keep-alive connection parked in
+    # readline() must not block process exit.  Graceful shutdown happens
+    # at the pool layer (drain), not by joining handler threads.
+    daemon_threads = True
+
+    def __init__(self, address, session, *, workers=1,
+                 queue_depth=DEFAULT_QUEUE_DEPTH,
+                 session_limit=DEFAULT_SESSION_LIMIT, catalogs=None,
+                 quiet=True, max_body_bytes=DEFAULT_MAX_BODY_BYTES,
                  log_requests=False, log_json=False):
         super().__init__(address, _Handler)
         self.session = session
@@ -196,6 +304,9 @@ class QueryServer(HTTPServer):
         self.max_body_bytes = max_body_bytes
         self.started = time.monotonic()
         self.requests_served = 0
+        #: Backend executions performed (coalesced followers excluded).
+        self.queries_executed = 0
+        self._counts_lock = threading.Lock()
         self.log_requests = log_requests or log_json
         self.log_json = log_json
         self.logger = configure_request_logging() if self.log_requests else None
@@ -211,16 +322,154 @@ class QueryServer(HTTPServer):
             if session.tracer.metrics is None:
                 session.tracer.metrics = MetricsRegistry()
             self.metrics = session.tracer.metrics
+        if workers > 1:
+            # Multi-worker servers isolate the adopted session's SQLite
+            # connections from the process-wide cache, so worker 0 never
+            # shares a handle with code outside the pool.
+            session.private_connections = True
+        self.factory = SessionFactory.from_session(
+            session, metrics=self.metrics, catalogs=catalogs
+        )
+        self.pool = WorkerPool(
+            self.factory, workers, queue_depth,
+            session_limit=session_limit, metrics=self.metrics,
+            adopt=session,
+        )
+        self.coalescer = Coalescer()
 
     @property
     def url(self):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # -- the query path ----------------------------------------------------
+
+    def execute_query(self, catalog, query, frontend, backend, timeout_ms,
+                      max_rows, query_id):
+        """Run one validated request through coalescing, admission, and
+        the pool; ``(outcome, coalesced)``.
+
+        The coalesce key is the full request identity — two requests that
+        could produce different bodies never share an execution.  The
+        leader publishes its outcome (success *or* error) in a
+        ``finally``, so followers are never stranded.
+        """
+        key = (catalog, query, frontend, backend, timeout_ms, max_rows)
+        entry, leader = self.coalescer.join(key)
+        if not leader:
+            outcome = entry.wait(_JOB_WAIT_S)
+            if outcome is None:  # pragma: no cover - wedged-leader backstop
+                outcome = _error_outcome(
+                    "coalesced execution did not complete in time", 500
+                )
+            return outcome, True
+        outcome = None
+        try:
+            try:
+                future = self.pool.submit(
+                    lambda worker: self._run_query(
+                        worker, catalog, query, frontend, backend,
+                        timeout_ms, max_rows, query_id,
+                    )
+                )
+            except AdmissionError as exc:
+                headers = (
+                    (("Retry-After", str(RETRY_AFTER_S)),)
+                    if exc.status == 429 else ()
+                )
+                outcome = _error_outcome(exc, exc.status, headers)
+            else:
+                try:
+                    outcome = future.wait(_JOB_WAIT_S)
+                except Exception as exc:  # pragma: no cover - defensive
+                    outcome = _error_outcome(exc, 500)
+        finally:
+            self.coalescer.publish(key, outcome)
+        return outcome, False
+
+    def _run_query(self, worker, catalog, query, frontend, backend,
+                   timeout_ms, max_rows, query_id):
+        """The worker-side job: run on the worker's Session, map errors to
+        HTTP statuses, and serialize the answer exactly once."""
+        session = worker.session_for(catalog)
+        # The response header ties client-side logs to the spans/metrics
+        # this request produced (the session tracer pins the request id on
+        # every root span of the run).
+        if session.tracer is not None:
+            session.tracer.begin(query_id)
+        start = time.perf_counter()
+        try:
+            prepared = session.prepare(query, frontend)
+            warm = prepared.run_count > 0
+            info = prepared.run_info(
+                backend=backend, timeout_ms=timeout_ms, max_rows=max_rows
+            )
+        except QueryTimeout as exc:
+            # The query is dead but the connection is fine: answer 408 and
+            # keep serving.
+            return _error_outcome(exc, 408, worker=worker.index)
+        except BudgetExceeded as exc:
+            return _error_outcome(exc, 413, worker=worker.index)
+        except ArcError as exc:
+            return _error_outcome(exc, 400, worker=worker.index)
+        except Exception as exc:  # pragma: no cover - defensive
+            return _error_outcome(exc, 500, worker=worker.index)
+        elapsed_us = int((time.perf_counter() - start) * 1_000_000)
+        with self._counts_lock:
+            self.queries_executed += 1
+        return Outcome(
+            200,
+            _result_body(info["result"], info["fallback_reasons"]),
+            headers=(
+                ("X-Arc-Elapsed-Us", str(elapsed_us)),
+                ("X-Arc-Warm", "1" if warm else "0"),
+                ("X-Arc-Worker", str(worker.index)),
+            ),
+        )
+
+    def count_served(self):
+        with self._counts_lock:
+            self.requests_served += 1
+
+    # -- aggregation -------------------------------------------------------
+
+    def aggregate_stats(self):
+        """Execution counters summed across every live worker Session:
+        ``(stats totals, catalog_loads, catalog_hits, probe_hits)``."""
+        totals = ExecutionStats().as_dict()
+        loads = hits = probes = 0
+        for session in self.pool.sessions():
+            for name, value in session.stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + value
+            loads += session.catalog_loads
+            hits += session.catalog_hits
+            probes += session.probe_hits
+        return totals, loads, hits, probes
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self):
+        """Stop accepting, finish queued + in-flight requests, stop workers.
+
+        Safe to call from any non-serving thread (the SIGTERM handler's
+        helper thread does); idempotent.
+        """
+        self.shutdown()
+        self.pool.drain()
+
+    def server_close(self):
+        # Drain before releasing the socket so every accepted request gets
+        # its response; idempotent after an earlier drain().
+        self.pool.drain()
+        super().server_close()
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
+    #: Socket timeout per read: an idle keep-alive connection parks its
+    #: handler thread at most this long after the peer vanishes.
+    timeout = 30
 
     # -- plumbing ----------------------------------------------------------
 
@@ -265,8 +514,7 @@ class _Handler(BaseHTTPRequestHandler):
                 parts.append(f"qid={query_id}")
             server.logger.info(" ".join(parts))
 
-    def _send_json(self, status, body, headers=()):
-        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    def _send_payload(self, status, payload, headers=()):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
@@ -279,6 +527,11 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
+
+    def _send_json(self, status, body, headers=()):
+        self._send_payload(
+            status, json.dumps(body, sort_keys=True).encode("utf-8"), headers
+        )
 
     def _send_text(self, status, text, content_type="text/plain; charset=utf-8"):
         payload = text.encode("utf-8")
@@ -294,40 +547,54 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self):
         self._request_started = time.perf_counter()
         self._query_id = None
+        server = self.server
         if self.path == "/healthz":
-            session = self.server.session
             breakers = breaker_states()
-            degraded = sorted(
+            degraded_backends = sorted(
                 name
                 for name, snap in breakers.items()
                 if snap["state"] == "open"
             )
+            saturated = server.pool.saturated()
+            degraded = bool(degraded_backends) or saturated
+            pool = server.pool.snapshot()
             self._send_json(
                 503 if degraded else 200,
                 {
                     "status": "degraded" if degraded else "ok",
-                    "degraded_backends": degraded,
+                    "degraded_backends": degraded_backends,
+                    "queue_saturated": saturated,
                     "breakers": breakers,
-                    "relations": sorted(session.database.names()),
-                    "backend": session.options.backend or "planner",
-                    "requests": self.server.requests_served,
-                    "uptime_s": round(time.monotonic() - self.server.started, 3),
+                    "relations": sorted(
+                        server.factory.catalogs[server.factory.default].names()
+                    ),
+                    "catalogs": server.factory.names(),
+                    "backend": server.session.options.backend or "planner",
+                    "workers": pool["workers"],
+                    "busy": pool["busy"],
+                    "queue_depth": pool["queue_depth"],
+                    "coalesced_total": server.coalescer.coalesced_total,
+                    "requests": server.requests_served,
+                    "uptime_s": round(time.monotonic() - server.started, 3),
                 },
             )
             return
         if self.path == "/stats":
-            server = self.server
-            session = server.session
-            stats = session.stats.as_dict()
+            totals, loads, hits, probes = server.aggregate_stats()
+            pool = server.pool.snapshot()
+            pool["coalesced_total"] = server.coalescer.coalesced_total
+            pool["queries_executed"] = server.queries_executed
+            stats = totals
             stats.update(
-                catalog_loads=session.catalog_loads,
-                catalog_hits=session.catalog_hits,
-                probe_hits=session.probe_hits,
+                catalog_loads=loads,
+                catalog_hits=hits,
+                probe_hits=probes,
                 requests=server.requests_served,
                 requests_total=server.requests_served,
                 uptime_s=round(time.monotonic() - server.started, 3),
                 breakers=breaker_states(),
                 latency=server.metrics.latency_summary(),
+                pool=pool,
             )
             self._send_json(
                 200, stats, headers=(("Cache-Control", "no-store"),)
@@ -337,7 +604,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(
                 200,
                 render_prometheus(
-                    self.server.metrics, extra=_prometheus_extra(self.server)
+                    server.metrics, extra=_prometheus_extra(server)
                 ),
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
@@ -410,6 +677,23 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": f"unknown frontend {frontend!r}; choose from {FRONTENDS}"},
             )
             return
+        backend = request.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            self._send_json(400, {"error": "backend must be a string"})
+            return
+        factory = self.server.factory
+        catalog = request.get("catalog")
+        if catalog is None:
+            catalog = factory.default
+        elif not isinstance(catalog, str) or not factory.has(catalog):
+            self._send_json(
+                400,
+                {
+                    "error": f"unknown catalog {catalog!r}; "
+                    f"choose from {factory.names()}"
+                },
+            )
+            return
         timeout_ms = request.get("timeout_ms")
         max_rows = request.get("max_rows")
         try:
@@ -417,75 +701,54 @@ class _Handler(BaseHTTPRequestHandler):
         except OptionsError as exc:
             self._error(400, exc)
             return
-        session = self.server.session
-        # The response header ties client-side logs to the spans/metrics
-        # this request produced (the session tracer pins the request id on
-        # every root span of the run).
-        if session.tracer is not None:
-            session.tracer.begin(self._query_id)
-        start = time.perf_counter()
-        try:
-            prepared = session.prepare(request["query"], frontend)
-            warm = prepared.run_count > 0
-            info = prepared.run_info(
-                backend=request.get("backend"),
-                timeout_ms=timeout_ms,
-                max_rows=max_rows,
-            )
-        except QueryTimeout as exc:
-            # The query is dead but the connection is fine: answer 408 and
-            # keep serving (the body was drained above).
-            self._error(408, exc)
-            return
-        except BudgetExceeded as exc:
-            self._error(413, exc)
-            return
-        except ArcError as exc:
-            self._error(400, exc)
-            return
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(500, exc)
-            return
-        elapsed_us = int((time.perf_counter() - start) * 1_000_000)
-        self.server.requests_served += 1
-        self._send_json(
-            200,
-            _result_body(info["result"], info["fallback_reasons"]),
-            headers=(
-                ("X-Arc-Elapsed-Us", str(elapsed_us)),
-                ("X-Arc-Warm", "1" if warm else "0"),
-            ),
+        outcome, coalesced = self.server.execute_query(
+            catalog, request["query"], frontend, backend,
+            timeout_ms, max_rows, self._query_id,
         )
+        headers = outcome.headers
+        if coalesced:
+            headers += (("X-Arc-Coalesced", "1"),)
+        if outcome.status == 200:
+            self.server.count_served()
+        self._send_payload(outcome.status, outcome.payload, headers)
 
 
-def make_server(session, host="127.0.0.1", port=0, *, quiet=True,
-                max_body_bytes=DEFAULT_MAX_BODY_BYTES,
+def make_server(session, host="127.0.0.1", port=0, *, workers=1,
+                queue_depth=DEFAULT_QUEUE_DEPTH,
+                session_limit=DEFAULT_SESSION_LIMIT, catalogs=None,
+                quiet=True, max_body_bytes=DEFAULT_MAX_BODY_BYTES,
                 log_requests=False, log_json=False):
     """Bind a :class:`QueryServer` for *session* (``port=0`` = ephemeral).
 
     The caller drives it: ``server.serve_forever()`` to block,
     ``server.handle_request()`` for one request, ``server.server_close()``
-    to release the socket.  ``server.url`` reports the bound address.
-    ``log_requests`` emits one ``repro.serve`` logging line per request;
-    ``log_json`` switches those lines to structured JSON (and implies
+    to drain the pool and release the socket.  ``server.url`` reports the
+    bound address.  ``workers`` sizes the execution pool (worker 0 adopts
+    *session*; the default of 1 preserves strictly serialized execution);
+    ``queue_depth`` bounds admission; *catalogs* maps extra catalog names
+    to Databases for the request ``catalog`` field.  ``log_requests``
+    emits one ``repro.serve`` logging line per request; ``log_json``
+    switches those lines to structured JSON (and implies
     ``log_requests``).
     """
     return QueryServer(
-        (host, port), session, quiet=quiet, max_body_bytes=max_body_bytes,
+        (host, port), session, workers=workers, queue_depth=queue_depth,
+        session_limit=session_limit, catalogs=catalogs, quiet=quiet,
+        max_body_bytes=max_body_bytes,
         log_requests=log_requests, log_json=log_json,
     )
 
 
 def install_sigterm_handler(server, *, signals=(signal.SIGTERM, signal.SIGINT)):
-    """Make *signals* shut *server* down gracefully; returns the handler.
+    """Make *signals* drain *server* gracefully; returns the handler.
 
-    ``HTTPServer.shutdown()`` blocks until ``serve_forever`` exits, and the
-    signal handler runs **on** the serving thread — calling it directly
-    would deadlock.  The handler instead fires ``shutdown()`` from a helper
-    thread: ``serve_forever`` finishes the in-flight request (the loop is
-    synchronous, so a request in progress always completes and its response
-    is written) and then stops accepting.  Idempotent under signal storms:
-    only the first delivery spawns the shutdown thread.
+    Drain means: stop accepting, finish every queued and in-flight
+    request (their responses are written), then stop the workers.
+    ``HTTPServer.shutdown()`` blocks until ``serve_forever`` exits, and
+    the signal handler runs **on** the serving thread — calling it
+    directly would deadlock.  The handler instead fires
+    :meth:`QueryServer.drain` from a helper thread.  Idempotent under
+    signal storms: only the first delivery spawns the drain thread.
     """
     fired = []
 
@@ -493,7 +756,7 @@ def install_sigterm_handler(server, *, signals=(signal.SIGTERM, signal.SIGINT)):
         if fired:
             return
         fired.append(signum)
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        threading.Thread(target=server.drain, daemon=True).start()
 
     for signum in signals:
         signal.signal(signum, _handler)

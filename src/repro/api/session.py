@@ -24,7 +24,9 @@ parsed queries            the Session's prepared-query LRU         eviction only
 ========================  =======================================  =====================
 
 A Session (and everything it hands out) is **not thread-safe**; callers
-serialize access, as ``repro serve``'s single-threaded HTTP server does.
+serialize access.  ``repro serve`` gives each pool worker its *own*
+Session (built with ``private_connections=True`` so SQLite runs use a
+connection no other thread touches) and never shares one across threads.
 """
 
 from __future__ import annotations
@@ -44,6 +46,10 @@ from .options import EvalOptions
 
 #: Prepared queries a session retains before evicting the least recent.
 _PREPARED_LIMIT = 64
+
+#: Private in-memory SQLite connections a session retains (one per
+#: catalog fingerprint) before evicting and closing the least recent.
+_PRIVATE_CONN_LIMIT = 8
 
 
 class Prepared:
@@ -213,7 +219,7 @@ class Session:
     """
 
     def __init__(self, database=None, conventions=SET_CONVENTIONS, *,
-                 externals=None, options=None):
+                 externals=None, options=None, private_connections=False):
         if options is None:
             options = EvalOptions()
         elif not isinstance(options, EvalOptions):
@@ -235,7 +241,14 @@ class Session:
         #: Optional :class:`~repro.obs.Tracer`; None (the default) keeps
         #: every instrumentation site on its zero-overhead branch.
         self.tracer = None
+        #: With ``private_connections`` the session's in-memory SQLite
+        #: connections are its own (built fresh, closed by :meth:`close`)
+        #: instead of borrowed from the process-wide fingerprint cache.
+        #: ``repro serve`` sets this so N pool workers execute on N
+        #: connections rather than serializing on one shared handle.
+        self.private_connections = private_connections
         self._prepared = OrderedDict()  # (text, frontend) -> Prepared
+        self._connections = OrderedDict()  # fingerprint -> private sqlite conn
 
     # -- preparing ---------------------------------------------------------
 
@@ -349,6 +362,30 @@ class Session:
         from ..backends.exec import sqlite_exec
 
         tracer = self.tracer
+        if db_file is None and self.private_connections:
+            # Session-private connections: the fingerprint keys a per-
+            # *session* LRU instead of the process-wide cache, so this
+            # session's runs never share a sqlite handle with another
+            # thread.  Counters are maintained locally — the global
+            # ``sqlite_exec.stats`` delta would race across workers.
+            with NULL_SPAN if tracer is None else tracer.span(
+                "sqlite.connect"
+            ) as span:
+                fingerprint = sqlite_exec.catalog_fingerprint(database)
+                conn = self._connections.get(fingerprint)
+                if conn is not None:
+                    self._connections.move_to_end(fingerprint)
+                    self.catalog_hits += 1
+                    span.tag(loaded=False)
+                    return conn
+                conn = sqlite_exec.load_private_catalog(database)
+                span.tag(loaded=True)
+            self.catalog_loads += 1
+            self._connections[fingerprint] = conn
+            while len(self._connections) > _PRIVATE_CONN_LIMIT:
+                _, evicted = self._connections.popitem(last=False)
+                evicted.close()
+            return conn
         before = sqlite_exec.stats["loads"]
         with NULL_SPAN if tracer is None else tracer.span("sqlite.connect") as span:
             conn = sqlite_exec.connect_catalog(database, db_file=db_file)
@@ -402,13 +439,19 @@ class Session:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self):
-        """Release the session's prepared queries.
+        """Release the session's prepared queries and private connections.
 
-        In-memory SQLite connections belong to the process-wide
+        Shared in-memory SQLite connections belong to the process-wide
         fingerprint cache (other sessions over the same catalog share
-        them), so closing a session does not close connections.
+        them) and stay open; *private* connections
+        (``private_connections=True``) are this session's own and are
+        closed here — the serve pool's session LRU relies on that when it
+        evicts.
         """
         self._prepared.clear()
+        while self._connections:
+            _, conn = self._connections.popitem(last=False)
+            conn.close()
 
     def __enter__(self):
         return self

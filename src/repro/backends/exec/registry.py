@@ -24,6 +24,7 @@ tells the caller which engine actually ran.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 
@@ -157,11 +158,17 @@ class CircuitBreaker:
     **half-open** and admits one trial run — success closes it, failure
     re-opens it for another cooldown.  The clock is injectable so tests
     drive the state machine deterministically.
+
+    Thread-safe: transitions are read-modify-write sequences (``allow``'s
+    cooldown check-and-set, ``record_failure``'s count-and-trip), so every
+    one runs under the breaker's lock — the serve worker pool records
+    outcomes from N threads at once (pinned by
+    ``tests/serve/test_thread_safety.py``).
     """
 
     __slots__ = (
         "name", "threshold", "cooldown_s", "failures", "trips",
-        "_state", "_opened_at", "_clock",
+        "_state", "_opened_at", "_clock", "_lock",
     )
 
     def __init__(self, name, threshold=BREAKER_THRESHOLD,
@@ -174,16 +181,19 @@ class CircuitBreaker:
         self._state = "closed"
         self._opened_at = None
         self._clock = clock
+        # RLock: state/snapshot re-enter from the locked transitions.
+        self._lock = threading.RLock()
 
     @property
     def state(self):
         """``"closed"``, ``"open"``, or ``"half-open"`` (cooldown elapsed)."""
-        if (
-            self._state == "open"
-            and self._clock() - self._opened_at >= self.cooldown_s
-        ):
-            return "half-open"
-        return self._state
+        with self._lock:
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                return "half-open"
+            return self._state
 
     def allow(self):
         """Whether dispatch may try the backend now.
@@ -191,35 +201,39 @@ class CircuitBreaker:
         Transitions open → half-open when the cooldown has elapsed, so the
         admitted run is the breaker's single trial.
         """
-        state = self.state
-        if state == "half-open":
-            self._state = "half-open"
-            return True
-        return state != "open"
+        with self._lock:
+            state = self.state
+            if state == "half-open":
+                self._state = "half-open"
+                return True
+            return state != "open"
 
     def record_success(self):
-        self.failures = 0
-        self._state = "closed"
-        self._opened_at = None
+        with self._lock:
+            self.failures = 0
+            self._state = "closed"
+            self._opened_at = None
 
     def record_failure(self):
         """Count one runtime failure; True when this failure *trips* open."""
-        self.failures += 1
-        if self._state == "half-open" or (
-            self._state == "closed" and self.failures >= self.threshold
-        ):
-            self._state = "open"
-            self._opened_at = self._clock()
-            self.trips += 1
-            return True
-        return False
+        with self._lock:
+            self.failures += 1
+            if self._state == "half-open" or (
+                self._state == "closed" and self.failures >= self.threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            return False
 
     def snapshot(self):
-        return {
-            "state": self.state,
-            "failures": self.failures,
-            "trips": self.trips,
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "failures": self.failures,
+                "trips": self.trips,
+            }
 
     def __repr__(self):
         return (
@@ -231,23 +245,31 @@ class CircuitBreaker:
 #: backend name -> its process-wide breaker (created on first dispatch).
 _BREAKERS = {}
 
+#: Guards breaker creation: two serve workers dispatching the same backend
+#: for the first time must share one breaker, not race two into existence.
+_BREAKERS_LOCK = threading.Lock()
+
 
 def breaker_for(name):
     """The process-wide :class:`CircuitBreaker` for backend *name*."""
-    breaker = _BREAKERS.get(name)
-    if breaker is None:
-        breaker = _BREAKERS[name] = CircuitBreaker(name)
-    return breaker
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(name)
+        if breaker is None:
+            breaker = _BREAKERS[name] = CircuitBreaker(name)
+        return breaker
 
 
 def breaker_states():
     """Snapshot of every instantiated breaker: ``{name: {state, ...}}``."""
-    return {name: _BREAKERS[name].snapshot() for name in sorted(_BREAKERS)}
+    with _BREAKERS_LOCK:
+        names = sorted(_BREAKERS)
+        return {name: _BREAKERS[name].snapshot() for name in names}
 
 
 def reset_breakers():
     """Drop every breaker (test isolation / cold-start state)."""
-    _BREAKERS.clear()
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
 
 
 def register(backend):

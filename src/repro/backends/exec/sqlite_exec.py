@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import sqlite3
+import threading
 import time
 import weakref
 from collections import Counter, OrderedDict
@@ -106,7 +107,13 @@ _PROGRESS_STRIDE = 4096
 #: In-memory connections keyed by catalog fingerprint (LRU, bounded).
 _connections = OrderedDict()
 
-#: Observability counters for tests and benchmarks.
+#: Guards ``_connections`` and ``stats``: the serve pool's workers (and
+#: its control thread) may connect concurrently, and an unguarded
+#: get/insert/evict on the OrderedDict would corrupt it.
+_cache_lock = threading.Lock()
+
+#: Observability counters for tests and benchmarks (guarded by
+#: ``_cache_lock`` — bare ``+=`` would lose increments under the pool).
 stats = {"loads": 0, "hits": 0}
 
 
@@ -259,7 +266,27 @@ def _load_catalog(conn, database):
                 f"insert into {_quote(name)} values ({placeholders})", rows
             )
     conn.commit()
-    stats["loads"] += 1
+    with _cache_lock:
+        stats["loads"] += 1
+
+
+def load_private_catalog(database):
+    """A fresh, caller-owned in-memory connection holding *database*.
+
+    Bypasses the process-wide fingerprint cache entirely: the caller (a
+    :class:`~repro.api.Session` with ``private_connections=True``) owns
+    the connection and closes it.  This is what lets N serve workers
+    execute concurrently — SQLite releases the GIL inside ``step()``, but
+    only when each thread drives its own connection.
+    """
+    failpoints.hit("sqlite.connect")
+    conn = sqlite3.connect(":memory:", check_same_thread=False)
+    try:
+        _load_catalog(conn, database)
+    except BaseException:
+        conn.close()
+        raise
+    return conn
 
 
 def connect_catalog(database, *, db_file=None):
@@ -269,28 +296,50 @@ def connect_catalog(database, *, db_file=None):
     ``_CACHE_LIMIT``).  With *db_file* a fresh connection to the file is
     returned — the caller closes it — and the tables are reloaded only when
     the stored fingerprint disagrees with the catalog's.
+
+    Cache bookkeeping is lock-guarded so concurrent callers cannot corrupt
+    the LRU, but a *shared* connection handed out here may still be
+    serialized (or evicted) under another thread — threads that need an
+    exclusive handle use :func:`load_private_catalog` instead.
     """
     failpoints.hit("sqlite.connect")
     fingerprint = catalog_fingerprint(database)
     if db_file is None:
-        conn = _connections.get(fingerprint)
-        if conn is not None:
-            _connections.move_to_end(fingerprint)
-            stats["hits"] += 1
-            return conn
-        # check_same_thread=False: the engine is synchronous and callers
-        # serialize access (repro serve is single-threaded), but the cache
-        # may be primed in one thread and consumed in another.
+        with _cache_lock:
+            conn = _connections.get(fingerprint)
+            if conn is not None:
+                _connections.move_to_end(fingerprint)
+                stats["hits"] += 1
+                return conn
+        # check_same_thread=False: the cache may be primed in one thread
+        # and consumed in another (callers serialize actual use).  The
+        # catalog loads *outside* the lock — it is the slow part — and the
+        # publish below resolves the race two concurrent loaders create.
         conn = sqlite3.connect(":memory:", check_same_thread=False)
         try:
             _load_catalog(conn, database)
         except BaseException:
             conn.close()
             raise
-        _connections[fingerprint] = conn
-        while len(_connections) > _CACHE_LIMIT:
-            _, evicted = _connections.popitem(last=False)
-            evicted.close()
+        evicted = []
+        redundant = None
+        with _cache_lock:
+            existing = _connections.get(fingerprint)
+            if existing is not None:
+                # Another thread published the same catalog first: adopt
+                # theirs, discard ours (closing outside the lock).
+                _connections.move_to_end(fingerprint)
+                stats["hits"] += 1
+                redundant, conn = conn, existing
+            else:
+                _connections[fingerprint] = conn
+                while len(_connections) > _CACHE_LIMIT:
+                    _, victim = _connections.popitem(last=False)
+                    evicted.append(victim)
+        if redundant is not None:
+            redundant.close()
+        for victim in evicted:
+            victim.close()
         return conn
 
     conn = sqlite3.connect(db_file, check_same_thread=False)
@@ -301,7 +350,8 @@ def connect_catalog(database, *, db_file=None):
     except sqlite3.Error:
         stored = None
     if stored is not None and stored[0] == fingerprint:
-        stats["hits"] += 1
+        with _cache_lock:
+            stats["hits"] += 1
         return conn
     try:
         for (table,) in conn.execute(
@@ -323,11 +373,13 @@ def connect_catalog(database, *, db_file=None):
 
 def clear_catalog_cache():
     """Close and drop every cached in-memory connection (cold-start state)."""
-    while _connections:
-        _, conn = _connections.popitem(last=False)
+    with _cache_lock:
+        conns = list(_connections.values())
+        _connections.clear()
+        stats["loads"] = 0
+        stats["hits"] = 0
+    for conn in conns:
         conn.close()
-    stats["loads"] = 0
-    stats["hits"] = 0
 
 
 # ---------------------------------------------------------------------------

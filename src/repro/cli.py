@@ -185,17 +185,39 @@ def cmd_eval(args):
     return 0
 
 
+def _load_catalogs(specs):
+    """Each spec is ``name=path.csv:Rel[,path.csv:Rel...]``; named catalogs."""
+    catalogs = {}
+    for spec in specs or ():
+        name, sep, rest = spec.partition("=")
+        if not sep or not name or not rest:
+            raise ArcError(
+                f"catalog spec must be name=path.csv:Rel[,...], got {spec!r}"
+            )
+        catalogs[name] = _load_database(rest.split(","))
+    return catalogs
+
+
 def cmd_serve(args):
+    from .serve import DEFAULT_QUEUE_DEPTH, DEFAULT_WORKERS
+
     database = _load_database(args.db)
     session = Session(
         database, CONVENTIONS[args.conventions], options=_session_options(args)
     )
     from .api import serve
 
+    workers = args.workers if args.workers is not None else DEFAULT_WORKERS
+    queue_depth = (
+        args.queue_depth if args.queue_depth is not None else DEFAULT_QUEUE_DEPTH
+    )
     server = serve.make_server(
         session,
         args.host,
         args.port,
+        workers=workers,
+        queue_depth=queue_depth,
+        catalogs=_load_catalogs(args.catalog),
         quiet=args.quiet,
         max_body_bytes=(
             args.max_body_bytes
@@ -205,12 +227,14 @@ def cmd_serve(args):
         log_requests=args.log_requests,
         log_json=args.log_json,
     )
-    # SIGTERM/SIGINT drain the in-flight request, then stop accepting —
-    # an orchestrator's stop signal never kills a response mid-write.
+    # SIGTERM/SIGINT drain queued + in-flight requests, then stop
+    # accepting — an orchestrator's stop signal never kills a response
+    # mid-write and never abandons an admitted request.
     serve.install_sigterm_handler(server)
     print(f"serving on {server.url} (relations: "
           f"{', '.join(sorted(database.names())) or 'none'}; "
-          f"backend: {session.options.backend or 'planner'})", flush=True)
+          f"backend: {session.options.backend or 'planner'}; "
+          f"workers: {workers}; queue: {queue_depth})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -483,6 +507,30 @@ def build_parser():
         action="store_true",
         default=True,
         help=argparse.SUPPRESS,
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads, each holding its own warm Session "
+        "(default: 4; 1 = strictly serialized execution)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        dest="queue_depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queued requests admitted before answering 429 + Retry-After "
+        "(default: 64)",
+    )
+    p_serve.add_argument(
+        "--catalog",
+        action="append",
+        metavar="NAME=CSV:REL[,CSV:REL...]",
+        help="an extra named catalog selectable via the request 'catalog' "
+        "field (repeatable)",
     )
     p_serve.add_argument(
         "--log-requests",

@@ -13,11 +13,18 @@ data model — just enough for ``GET /metrics`` (rendered by
 
 Label values are stringified at observation time; label *names* are fixed
 per metric at creation (a mismatch raises, matching Prometheus semantics).
-All operations are plain dict updates — cheap enough to sit on the
-span-finish path of every request phase.
+All operations are dict updates under a per-metric lock — cheap enough to
+sit on the span-finish path of every request phase, and safe under the
+serve worker pool: ``counter.inc()`` / ``histogram.observe()`` are
+read-modify-write sequences that would lose increments if two workers
+interleaved (pinned by ``tests/serve/test_thread_safety.py``).  Readers
+(``/metrics`` scrapes, ``/stats`` summaries) snapshot under the same lock
+so they never observe a half-applied update.
 """
 
 from __future__ import annotations
+
+import threading
 
 #: Default latency buckets, in seconds: 100 µs .. 10 s, roughly 1-2.5-5
 #: per decade.  Warm serve phases land in the sub-millisecond buckets;
@@ -46,26 +53,32 @@ class Counter:
 
     kind = "counter"
 
-    __slots__ = ("name", "help_text", "label_names", "_values")
+    __slots__ = ("name", "help_text", "label_names", "_values", "_lock")
 
     def __init__(self, name, help_text="", labels=()):
         self.name = name
         self.help_text = help_text
         self.label_names = tuple(labels)
         self._values = {}
+        self._lock = threading.Lock()
 
     def inc(self, n=1, **labels):
         if n < 0:
             raise ValueError(f"counter {self.name} cannot decrease (n={n})")
         key = _label_key(self.label_names, labels)
-        self._values[key] = self._values.get(key, 0) + n
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + n
 
     def value(self, **labels):
-        return self._values.get(_label_key(self.label_names, labels), 0)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0)
 
     def samples(self):
         """Yield ``(labels dict, value)`` per label set (zero sets = empty)."""
-        for key, value in self._values.items():
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in items:
             yield dict(zip(self.label_names, key)), value
 
 
@@ -74,7 +87,9 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "help_text", "label_names", "buckets", "_series")
+    __slots__ = (
+        "name", "help_text", "label_names", "buckets", "_series", "_lock",
+    )
 
     def __init__(self, name, help_text="", labels=(), buckets=DEFAULT_BUCKETS):
         self.name = name
@@ -84,6 +99,7 @@ class Histogram:
         if not self.buckets:
             raise ValueError(f"histogram {name} needs at least one bucket")
         self._series = {}  # label key -> [counts per bucket + inf, sum, count]
+        self._lock = threading.Lock()
 
     def _entry(self, key):
         entry = self._series.get(key)
@@ -92,25 +108,35 @@ class Histogram:
         return entry
 
     def observe(self, value, **labels):
-        entry = self._entry(_label_key(self.label_names, labels))
-        counts = entry[0]
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-                break
-        else:
-            counts[-1] += 1  # the +Inf bucket
-        entry[1] += value
-        entry[2] += 1
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            entry = self._entry(key)
+            counts = entry[0]
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1  # the +Inf bucket
+            entry[1] += value
+            entry[2] += 1
 
     # -- reading -------------------------------------------------------------
 
+    def _snapshot_entry(self, key):
+        """A copy of (counts, sum, count) for *key*, or None — lock-consistent."""
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                return None
+            return list(entry[0]), entry[1], entry[2]
+
     def count(self, **labels):
-        entry = self._series.get(_label_key(self.label_names, labels))
+        entry = self._snapshot_entry(_label_key(self.label_names, labels))
         return 0 if entry is None else entry[2]
 
     def sum(self, **labels):
-        entry = self._series.get(_label_key(self.label_names, labels))
+        entry = self._snapshot_entry(_label_key(self.label_names, labels))
         return 0.0 if entry is None else entry[1]
 
     def quantile(self, q, **labels):
@@ -120,7 +146,7 @@ class Histogram:
         histogram does not track a max), matching Prometheus's
         ``histogram_quantile`` behaviour on the +Inf bucket.
         """
-        entry = self._series.get(_label_key(self.label_names, labels))
+        entry = self._snapshot_entry(_label_key(self.label_names, labels))
         if entry is None or entry[2] == 0:
             return None
         counts, _, total = entry
@@ -153,11 +179,18 @@ class Histogram:
 
     def label_sets(self):
         """The label dicts observed so far, in first-seen order."""
-        return [dict(zip(self.label_names, key)) for key in self._series]
+        with self._lock:
+            keys = list(self._series)
+        return [dict(zip(self.label_names, key)) for key in keys]
 
     def samples(self):
         """Yield ``(labels, cumulative bucket counts, sum, count)`` rows."""
-        for key, (counts, total_sum, total) in self._series.items():
+        with self._lock:
+            series = [
+                (key, list(entry[0]), entry[1], entry[2])
+                for key, entry in self._series.items()
+            ]
+        for key, counts, total_sum, total in series:
             cumulative = []
             running = 0
             for index in range(len(self.buckets)):
@@ -167,27 +200,34 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, get-or-create, iterated in registration order."""
+    """Named metrics, get-or-create, iterated in registration order.
+
+    Get-or-create is atomic (registry lock), so two pool workers racing to
+    register the same name always share one metric object.
+    """
 
     def __init__(self):
         self._metrics = {}
+        self._lock = threading.Lock()
 
     def counter(self, name, help_text="", labels=()):
         return self._get_or_create(Counter, name, help_text, labels)
 
     def histogram(self, name, help_text="", labels=(), buckets=DEFAULT_BUCKETS):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = Histogram(
-                name, help_text, labels, buckets
-            )
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Histogram(
+                    name, help_text, labels, buckets
+                )
         self._check(metric, Histogram, labels)
         return metric
 
     def _get_or_create(self, cls, name, help_text, labels):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name, help_text, labels)
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text, labels)
         self._check(metric, cls, labels)
         return metric
 
@@ -200,13 +240,16 @@ class MetricsRegistry:
             )
 
     def get(self, name):
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def __iter__(self):
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self):
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def latency_summary(self):
         """Per-phase / per-backend quantile summaries for ``GET /stats``."""

@@ -1,0 +1,38 @@
+"""Admission control: the typed refusal a saturated server answers with.
+
+The worker pool bounds its job queue; when the queue is full the server
+must refuse *immediately* with a retriable, typed error instead of
+buffering unboundedly (which converts overload into latency for every
+queued client and memory growth for the server).  The HTTP front end maps
+:class:`AdmissionError` to its :attr:`~AdmissionError.status` — **429**
+with a ``Retry-After`` header for a full queue, **503** while draining —
+and the JSON body carries ``error_type: "AdmissionError"`` so clients can
+branch on it the same way they do for ``QueryTimeout``/``BudgetExceeded``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceError
+
+#: Seconds a 429 response advises the client to wait before retrying.
+#: Deliberately small: admission refusals are instantaneous (nothing was
+#: executed), so a refused client re-enters the queue race quickly.
+RETRY_AFTER_S = 1
+
+
+class AdmissionError(ResourceError):
+    """The server refused to enqueue a request (queue full or draining).
+
+    ``status`` is the HTTP status the serving layer should answer with:
+    429 (retriable; the queue may drain any moment) or 503 (the server is
+    shutting down and will not accept again).  ``retriable`` mirrors that
+    distinction for non-HTTP callers.
+    """
+
+    def __init__(self, message, *, status=429):
+        super().__init__(message)
+        self.status = status
+
+    @property
+    def retriable(self):
+        return self.status == 429

@@ -1,0 +1,102 @@
+"""In-flight request coalescing (singleflight).
+
+When N identical requests are in flight at once, executing the query N
+times is pure waste: PR 4 made response bodies **byte-identical** for
+identical requests, so one execution's serialized body can answer all N.
+The :class:`Coalescer` keys in-flight work on the full request identity —
+``(catalog, query, frontend, backend, timeout_ms, max_rows)`` at the HTTP
+layer — and folds followers onto the leader:
+
+* the **first** caller to :meth:`Coalescer.join` a key becomes the
+  *leader*: it executes the request and MUST :meth:`Coalescer.publish`
+  the outcome (success or error) exactly once, even if it crashes —
+  callers wrap execution in ``try/finally``;
+* every **subsequent** caller while that key is in flight becomes a
+  *follower*: it blocks on the entry and receives the leader's outcome
+  verbatim (the serving layer adds an ``X-Arc-Coalesced: 1`` header).
+
+``publish`` removes the key *before* waking followers, so a request
+arriving after publication starts a fresh flight — coalescing only ever
+merges genuinely concurrent work and never serves stale results.
+
+The coalescer stores outcomes opaquely; it never inspects them.  All
+state transitions happen under one lock; the uncontended ``join`` is a
+dict get + insert.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class InFlight:
+    """One in-flight execution: a latch plus the outcome it publishes."""
+
+    __slots__ = ("outcome", "followers", "_done")
+
+    def __init__(self):
+        self.outcome = None
+        self.followers = 0
+        self._done = threading.Event()
+
+    def wait(self, timeout=None):
+        """Block until the leader publishes; the outcome, or None on timeout."""
+        if not self._done.wait(timeout):
+            return None
+        return self.outcome
+
+    def resolve(self, outcome):
+        self.outcome = outcome
+        self._done.set()
+
+
+class Coalescer:
+    """Fold concurrent identical requests into one execution."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight = {}
+        #: Requests answered from another request's execution (monotonic).
+        self.coalesced_total = 0
+        #: Leader flights started (monotonic) — for hit-rate accounting.
+        self.flights_total = 0
+
+    def join(self, key):
+        """Enter the flight for *key*: ``(entry, leader)``.
+
+        The leader executes and must ``publish(key, outcome)`` exactly
+        once (use ``try/finally``); followers ``entry.wait(timeout)``.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = self._inflight[key] = InFlight()
+                self.flights_total += 1
+                return entry, True
+            entry.followers += 1
+            self.coalesced_total += 1
+            return entry, False
+
+    def publish(self, key, outcome):
+        """Resolve the flight for *key*, waking every follower.
+
+        The key leaves the in-flight map before followers wake, so new
+        arrivals start a fresh execution instead of reading a completed
+        one.
+        """
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+        if entry is not None:
+            entry.resolve(outcome)
+
+    @property
+    def inflight(self):
+        """Distinct keys currently executing."""
+        with self._lock:
+            return len(self._inflight)
+
+    def __repr__(self):
+        return (
+            f"Coalescer(inflight={self.inflight}, "
+            f"coalesced={self.coalesced_total})"
+        )

@@ -1,0 +1,428 @@
+"""The worker pool: fixed threads, each owning private warm Sessions.
+
+A :class:`~repro.api.Session` is not thread-safe, so the pool never
+shares one: each worker thread owns a bounded :class:`SessionLRU` of
+Sessions (one per catalog it has served), built by a
+:class:`SessionFactory` from the catalog map.  Worker Sessions use
+**private** SQLite connections (``private_connections=True``) so N
+workers execute on N connections instead of serializing on the
+process-wide fingerprint cache; evicting a Session closes its
+connections.
+
+Jobs are plain callables ``fn(worker) -> result`` submitted through a
+**bounded** queue.  :meth:`WorkerPool.submit` never blocks: a full queue
+raises :class:`~repro.serve.admission.AdmissionError` (HTTP 429) and a
+draining pool raises it with status 503 — overload is refused at the
+door, not buffered.  :meth:`WorkerPool.drain` implements graceful
+shutdown: stop admitting, let every queued and in-flight job finish,
+then join the workers and close their Sessions.  The drain flag flips
+under the same lock ``submit`` enqueues under and the stop sentinels go
+to the queue *tail*, so no accepted job is ever abandoned behind a
+sentinel.
+
+Observability: the pool exports busy-worker and queue-depth gauges,
+per-worker handled counts, and (when given a registry) an
+``arc_worker_seconds`` histogram labelled by worker index.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+
+from ..core.conventions import SET_CONVENTIONS
+from .admission import AdmissionError
+
+#: Default worker count for ``repro serve`` (the CLI flag overrides).
+DEFAULT_WORKERS = 4
+
+#: Default bound on queued-but-not-started jobs before 429 refusals.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Warm Sessions a worker retains per catalog before evicting (LRU).
+DEFAULT_SESSION_LIMIT = 4
+
+#: Default catalog name when ``POST /query`` omits the ``catalog`` field.
+DEFAULT_CATALOG = "default"
+
+_STOP = object()  # queue sentinel: one per worker, enqueued only by drain()
+
+
+class Future:
+    """The pending result of a submitted job (one-shot, thread-safe)."""
+
+    __slots__ = ("_done", "_result", "_error")
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._result = None
+        self._error = None
+
+    def set_result(self, result):
+        self._result = result
+        self._done.set()
+
+    def set_error(self, error):
+        self._error = error
+        self._done.set()
+
+    def wait(self, timeout=None):
+        """The job's return value; re-raises what the job raised.
+
+        Raises :class:`TimeoutError` if the job has not finished within
+        *timeout* seconds (it keeps running — the pool never abandons an
+        accepted job).
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def done(self):
+        return self._done.is_set()
+
+
+class SessionFactory:
+    """Builds warm, pool-owned Sessions from a named-catalog map.
+
+    *catalogs* maps catalog name → :class:`~repro.data.database.Database`;
+    *default* names the catalog requests get when they don't ask for one.
+    Sessions built here use private SQLite connections (each worker
+    executes on its own connection) and, when *metrics* is given, a
+    metrics-only tracer feeding the shared registry — per-phase latency
+    histograms aggregate across workers while span records are dropped.
+    """
+
+    def __init__(self, catalogs, conventions=SET_CONVENTIONS, *,
+                 externals=None, options=None, default=DEFAULT_CATALOG,
+                 metrics=None, private_connections=True):
+        if default not in catalogs:
+            raise LookupError(
+                f"default catalog {default!r} missing from "
+                f"{sorted(catalogs)}"
+            )
+        self.catalogs = dict(catalogs)
+        self.conventions = conventions
+        self.externals = externals
+        self.options = options
+        self.default = default
+        self.metrics = metrics
+        self.private_connections = private_connections
+
+    @classmethod
+    def from_session(cls, session, *, metrics=None, catalogs=None,
+                     default=DEFAULT_CATALOG):
+        """A factory whose default catalog is *session*'s database.
+
+        Extra named *catalogs* (name → Database) extend the map for
+        multi-catalog serving.
+        """
+        full = {default: session.database}
+        if catalogs:
+            full.update(catalogs)
+        return cls(
+            full,
+            session.conventions,
+            externals=session.externals,
+            options=session.options,
+            default=default,
+            metrics=metrics,
+        )
+
+    def names(self):
+        return sorted(self.catalogs)
+
+    def has(self, name):
+        return name in self.catalogs
+
+    def build(self, catalog=None):
+        """A fresh Session over *catalog* (default catalog when None)."""
+        from ..api.session import Session
+
+        name = self.default if catalog is None else catalog
+        try:
+            database = self.catalogs[name]
+        except KeyError:
+            raise LookupError(
+                f"unknown catalog {name!r}; choose from {self.names()}"
+            ) from None
+        session = Session(
+            database,
+            self.conventions,
+            externals=self.externals,
+            options=self.options,
+            private_connections=self.private_connections,
+        )
+        if self.metrics is not None:
+            from ..obs import Tracer
+
+            session.tracer = Tracer(metrics=self.metrics, keep_spans=False)
+        return session
+
+
+class SessionLRU:
+    """A bounded catalog-name → Session map; eviction closes the Session.
+
+    Owned by exactly one worker thread — lookups need no lock.  Mutations
+    (insert/evict) happen under *lock* only so that observers (``/stats``
+    aggregation on handler threads) can take consistent snapshots.
+    """
+
+    __slots__ = ("factory", "limit", "evicted", "_sessions", "_lock")
+
+    def __init__(self, factory, limit=DEFAULT_SESSION_LIMIT, *, lock=None):
+        self.factory = factory
+        self.limit = max(1, limit)
+        self.evicted = 0
+        self._sessions = OrderedDict()
+        self._lock = lock if lock is not None else threading.Lock()
+
+    def get(self, catalog=None):
+        """The (possibly freshly built) Session for *catalog*."""
+        name = self.factory.default if catalog is None else catalog
+        session = self._sessions.get(name)
+        if session is not None:
+            self._sessions.move_to_end(name)
+            return session
+        session = self.factory.build(name)
+        victims = []
+        with self._lock:
+            self._sessions[name] = session
+            while len(self._sessions) > self.limit:
+                _, victim = self._sessions.popitem(last=False)
+                victims.append(victim)
+                self.evicted += 1
+        # Closing outside the lock: eviction closes private SQLite
+        # connections, which must not block snapshot readers.
+        for victim in victims:
+            victim.close()
+        return session
+
+    def adopt(self, name, session):
+        """Install an externally built Session (the server's warm one)."""
+        with self._lock:
+            self._sessions[name] = session
+
+    def snapshot(self):
+        """A consistent (name, Session) list for cross-thread readers."""
+        with self._lock:
+            return list(self._sessions.items())
+
+    def close(self):
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._sessions)
+
+
+class Worker:
+    """One pool thread's identity and warm state."""
+
+    __slots__ = ("index", "sessions", "handled", "pool")
+
+    def __init__(self, index, pool, session_limit):
+        self.index = index
+        self.pool = pool
+        self.sessions = SessionLRU(
+            pool.factory, session_limit, lock=pool._lock
+        )
+        #: Jobs this worker completed (written by the worker thread only).
+        self.handled = 0
+
+    def session_for(self, catalog=None):
+        """The worker-private Session for *catalog* (LRU, builds on miss)."""
+        before = self.sessions.evicted
+        session = self.sessions.get(catalog)
+        evicted = self.sessions.evicted - before
+        if evicted:
+            self.pool._note_evictions(evicted)
+        return session
+
+
+class WorkerPool:
+    """Fixed worker threads draining a bounded job queue.
+
+    *adopt* (optional) is a pre-built Session installed as worker 0's
+    default-catalog Session — ``repro serve`` passes its warm control
+    session so single-worker servers keep the exact session object tests
+    and callers hold a reference to.
+    """
+
+    def __init__(self, factory, workers=1, queue_depth=DEFAULT_QUEUE_DEPTH,
+                 *, session_limit=DEFAULT_SESSION_LIMIT, metrics=None,
+                 adopt=None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.factory = factory
+        self.queue_depth = max(1, queue_depth)
+        self.queue = queue.Queue(maxsize=self.queue_depth)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._draining = False
+        self._drained = threading.Event()
+        self.busy = 0
+        self.jobs_completed = 0
+        self.sessions_evicted = 0
+        self.workers = [
+            Worker(index, self, session_limit) for index in range(workers)
+        ]
+        if adopt is not None:
+            self.workers[0].sessions.adopt(factory.default, adopt)
+        self._histogram = None
+        if metrics is not None:
+            self._histogram = metrics.histogram(
+                "arc_worker_seconds",
+                "Job execution seconds per pool worker.",
+                labels=("worker",),
+            )
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(worker,),
+                name=f"repro-serve-worker-{worker.index}", daemon=True,
+            )
+            for worker in self.workers
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, fn):
+        """Enqueue ``fn(worker)``; a :class:`Future` for its result.
+
+        Never blocks.  Raises :class:`AdmissionError` with status 429
+        when the queue is at capacity, status 503 once draining began.
+        The drain check and the enqueue share one lock, so no job can
+        slip in behind a stop sentinel.
+        """
+        future = Future()
+        with self._lock:
+            if self._draining:
+                raise AdmissionError(
+                    "server is draining and no longer accepts work",
+                    status=503,
+                )
+            try:
+                self.queue.put_nowait((fn, future))
+            except queue.Full:
+                raise AdmissionError(
+                    f"job queue is full ({self.queue_depth} deep); "
+                    "retry shortly",
+                    status=429,
+                ) from None
+        return future
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _run(self, worker):
+        import time
+
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                break
+            fn, future = item
+            with self._lock:
+                self.busy += 1
+            start = time.perf_counter()
+            try:
+                future.set_result(fn(worker))
+            except BaseException as exc:  # noqa: BLE001 - delivered to waiter
+                future.set_error(exc)
+            finally:
+                elapsed = time.perf_counter() - start
+                worker.handled += 1
+                with self._lock:
+                    self.busy -= 1
+                    self.jobs_completed += 1
+                if self._histogram is not None:
+                    self._histogram.observe(elapsed, worker=str(worker.index))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self):
+        """Stop admitting, finish queued + in-flight jobs, stop workers.
+
+        Blocks until every worker thread has exited and the worker
+        Sessions are closed.  Idempotent: concurrent callers all block
+        until the single drain completes.
+        """
+        with self._lock:
+            first = not self._draining
+            self._draining = True
+        if first:
+            # Sentinels go to the queue *tail*: FIFO guarantees every
+            # already-accepted job runs before its worker sees one.
+            for _ in self.workers:
+                self.queue.put(_STOP)
+            for thread in self._threads:
+                thread.join()
+            for worker in self.workers:
+                worker.sessions.close()
+            self._drained.set()
+        else:
+            self._drained.wait()
+
+    @property
+    def draining(self):
+        with self._lock:
+            return self._draining
+
+    # -- observability -----------------------------------------------------
+
+    def _note_evictions(self, n):
+        with self._lock:
+            self.sessions_evicted += n
+
+    def depth(self):
+        """Jobs queued but not yet started."""
+        return self.queue.qsize()
+
+    def saturated(self):
+        """Whether a submission right now would be refused (queue full)."""
+        return self.queue.qsize() >= self.queue_depth
+
+    def snapshot(self):
+        """Pool gauges for ``/stats`` and ``/healthz``."""
+        with self._lock:
+            busy = self.busy
+            completed = self.jobs_completed
+            evicted = self.sessions_evicted
+        return {
+            "workers": len(self.workers),
+            "busy": busy,
+            "queue_depth": self.queue.qsize(),
+            "queue_capacity": self.queue_depth,
+            "jobs_completed": completed,
+            "sessions_evicted": evicted,
+            "per_worker": [
+                {
+                    "worker": worker.index,
+                    "handled": worker.handled,
+                    "sessions": len(worker.sessions),
+                }
+                for worker in self.workers
+            ],
+        }
+
+    def sessions(self):
+        """Every live worker Session (for stats aggregation)."""
+        result = []
+        for worker in self.workers:
+            for _, session in worker.sessions.snapshot():
+                result.append(session)
+        return result
+
+    def __repr__(self):
+        return (
+            f"WorkerPool(workers={len(self.workers)}, "
+            f"queue={self.queue.qsize()}/{self.queue_depth}, "
+            f"busy={self.busy}, draining={self._draining})"
+        )

@@ -1,0 +1,219 @@
+"""Concurrent hammer tests for state the worker pool shares.
+
+The thread-safety audit for concurrent serving: every shared structure —
+metrics counters/histograms, registry get-or-create, circuit breakers,
+the SQLite fingerprint-cache — is hit from many threads at once and must
+come out exact (no lost increments) and uncorrupted.  Relation warm
+caches (``index_on``, ``derived_put``) need no lock: they publish fully
+built values through single atomic dict stores, and concurrent readers
+see either nothing (rebuild) or the complete value — that CAS-safe path
+is documented in ``data/relation.py`` and exercised end-to-end by the
+HTTP concurrency tests.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.backends.exec import breaker_for, reset_breakers, sqlite_exec
+from repro.backends.exec.registry import CircuitBreaker
+from repro.obs import MetricsRegistry
+from repro.serve import WorkerPool
+from repro.serve.pool import SessionFactory
+from repro.core.conventions import SQL_CONVENTIONS
+
+THREADS = 8
+ROUNDS = 5000
+
+
+def _hammer(worker, threads=THREADS):
+    barrier = threading.Barrier(threads)
+
+    def wrapped(index):
+        barrier.wait()
+        worker(index)
+
+    pool = [
+        threading.Thread(target=wrapped, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+class TestMetricsUnderContention:
+    def test_counter_loses_no_increments(self):
+        counter = MetricsRegistry().counter("hits")
+        _hammer(lambda index: [counter.inc() for _ in range(ROUNDS)])
+        assert counter.value() == THREADS * ROUNDS
+
+    def test_labelled_counter_is_exact_per_label(self):
+        counter = MetricsRegistry().counter("hits", labels=("who",))
+        _hammer(
+            lambda index: [
+                counter.inc(who=str(index % 2)) for _ in range(ROUNDS)
+            ]
+        )
+        total = counter.value(who="0") + counter.value(who="1")
+        assert total == THREADS * ROUNDS
+
+    def test_histogram_count_and_sum_are_exact(self):
+        histogram = MetricsRegistry().histogram("lat")
+        _hammer(lambda index: [histogram.observe(0.001) for _ in range(ROUNDS)])
+        assert histogram.count() == THREADS * ROUNDS
+        assert histogram.sum() == pytest.approx(THREADS * ROUNDS * 0.001)
+        # Every observation landed in exactly one bucket.
+        ((_, cumulative, _, total),) = list(histogram.samples())
+        assert cumulative[-1] == total == THREADS * ROUNDS
+
+    def test_registry_get_or_create_race_yields_one_metric(self):
+        registry = MetricsRegistry()
+        metrics = []
+        lock = threading.Lock()
+
+        def register_and_count(index):
+            counter = registry.counter("shared")
+            with lock:
+                metrics.append(counter)
+            for _ in range(1000):
+                counter.inc()
+
+        _hammer(register_and_count)
+        assert len({id(metric) for metric in metrics}) == 1
+        assert registry.get("shared").value() == THREADS * 1000
+
+    def test_scrape_during_writes_never_sees_torn_state(self):
+        histogram = MetricsRegistry().histogram("lat")
+        stop = threading.Event()
+        torn = []
+
+        def scrape():
+            while not stop.is_set():
+                for _, cumulative, _, total in histogram.samples():
+                    # Cumulative bucket counts must always sum to count.
+                    if cumulative[-1] != total:
+                        torn.append((cumulative[-1], total))
+
+        reader = threading.Thread(target=scrape)
+        reader.start()
+        _hammer(lambda index: [histogram.observe(0.01) for _ in range(ROUNDS)])
+        stop.set()
+        reader.join(timeout=10)
+        assert torn == []
+
+
+class TestBreakerUnderContention:
+    def test_failure_counts_are_exact_below_threshold(self):
+        breaker = CircuitBreaker("b", threshold=10**9)
+        _hammer(lambda index: [breaker.record_failure() for _ in range(ROUNDS)])
+        assert breaker.failures == THREADS * ROUNDS
+        assert breaker.trips == 0
+        assert breaker.state == "closed"
+
+    def test_exactly_one_trip_at_the_threshold(self):
+        breaker = CircuitBreaker("b", threshold=THREADS * ROUNDS)
+        tripped = []
+        lock = threading.Lock()
+
+        def fail(index):
+            for _ in range(ROUNDS):
+                if breaker.record_failure():
+                    with lock:
+                        tripped.append(index)
+
+        _hammer(fail)
+        assert len(tripped) == 1
+        assert breaker.trips == 1
+        assert breaker.state == "open"
+
+    def test_mixed_transitions_stay_in_valid_states(self):
+        breaker = CircuitBreaker("b", threshold=3, cooldown_s=0.0)
+
+        def churn(index):
+            for round_no in range(500):
+                if (index + round_no) % 3 == 0:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+                assert breaker.state in {"closed", "open", "half-open"}
+                breaker.allow()
+
+        _hammer(churn)
+        assert breaker.state in {"closed", "open", "half-open"}
+
+    def test_breaker_for_race_yields_one_instance(self):
+        reset_breakers()
+        try:
+            seen = []
+            lock = threading.Lock()
+
+            def fetch(index):
+                breaker = breaker_for("sqlite")
+                with lock:
+                    seen.append(breaker)
+
+            _hammer(fetch)
+            assert len({id(breaker) for breaker in seen}) == 1
+        finally:
+            reset_breakers()
+
+
+class TestSqliteCacheUnderContention:
+    def test_concurrent_connects_converge_on_one_cached_connection(self):
+        sqlite_exec.clear_catalog_cache()
+        db = repro.Database()
+        db.create("P", ("x",), [(1,), (2,)])
+        conns = []
+        lock = threading.Lock()
+
+        def connect(index):
+            conn = sqlite_exec.connect_catalog(db)
+            with lock:
+                conns.append(conn)
+
+        _hammer(connect)
+        assert len({id(conn) for conn in conns}) == 1
+        assert len(sqlite_exec._connections) == 1
+        # The surviving connection works (redundant loaders were closed,
+        # the published one was not).
+        assert conns[0].execute("select count(*) from P").fetchone() == (2,)
+        sqlite_exec.clear_catalog_cache()
+
+
+class TestPoolAdmissionUnderContention:
+    def test_no_future_is_lost_under_submit_storms(self):
+        from repro.api import EvalOptions
+
+        db = repro.Database()
+        db.create("P", ("x",), [(1,)])
+        factory = SessionFactory(
+            {"default": db}, SQL_CONVENTIONS, options=EvalOptions()
+        )
+        pool = WorkerPool(factory, workers=4, queue_depth=16)
+        accepted = []
+        refused = []
+        lock = threading.Lock()
+
+        def storm(index):
+            for _ in range(50):
+                try:
+                    future = pool.submit(lambda worker: time.sleep(0.0005))
+                except Exception as exc:
+                    with lock:
+                        refused.append(exc)
+                else:
+                    with lock:
+                        accepted.append(future)
+
+        _hammer(storm)
+        for future in accepted:
+            future.wait(30)
+        assert len(accepted) + len(refused) == THREADS * 50
+        assert pool.jobs_completed == len(accepted)
+        assert all(exc.status == 429 for exc in refused)
+        pool.drain()
