@@ -84,10 +84,11 @@ def db_flags(tmp_path_factory):
 class _Server:
     """A ``repro serve`` subprocess on an ephemeral port."""
 
-    def __init__(self, workers, db_flags):
+    def __init__(self, workers, db_flags, extra_env=None):
         src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
         env = dict(os.environ)
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(extra_env or {})
         self.proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
@@ -207,6 +208,49 @@ def test_throughput_scales_with_workers(db_flags):
         f"saturated tail p99 {pooled.p99_ms:.1f} ms > "
         f"3x p50 {pooled.p50_ms:.1f} ms"
     )
+
+
+def test_supervision_respawns_under_load(db_flags):
+    """Chaos smoke (CI supervision gate): a worker killed mid-load by the
+    ``pool.worker=boom*1`` failpoint is respawned while traffic keeps
+    flowing — exactly one request eats the typed 500, every other request
+    is answered 200, and the final ``/stats`` shows the respawn.
+    Structural — no timing assertions.  Gated behind
+    ``E29_SUPERVISION=1`` so the default bench run stays chaos-free."""
+    if os.environ.get("E29_SUPERVISION") != "1":
+        pytest.skip("supervision smoke; set E29_SUPERVISION=1 to run")
+    clients = 4
+    payloads = [_payload(i) for i in range(clients)]
+    server = _Server(
+        2, db_flags, extra_env={"REPRO_FAILPOINTS": "pool.worker=boom*1"}
+    )
+    try:
+        summary = run_load(
+            server.url, payloads, clients=clients,
+            requests_per_client=max(10, REQUESTS // 2),
+        )
+        pool = server.stats()["pool"]
+    finally:
+        server.stop()
+    _common.record_metric(
+        "e29_supervision",
+        requests=summary.requests,
+        statuses=dict(sorted(summary.statuses.items())),
+        workers_respawned=pool["workers_respawned"],
+    )
+    _common.show(
+        "E29 — supervised respawn under load (pool.worker=boom*1)",
+        f"load     : {summary!r}",
+        f"respawned: {pool['workers_respawned']} "
+        f"(workers still {pool['workers']})",
+    )
+    assert pool["workers_respawned"] == 1
+    assert pool["workers"] == 2  # the pool is back at full strength
+    # The one armed failpoint killed one worker under one request; that
+    # caller got the typed 500 and everyone else was served normally.
+    assert summary.statuses.get(500, 0) <= 1
+    assert summary.errors <= 1
+    assert summary.statuses.get(200, 0) >= summary.requests - 1
 
 
 def test_identical_load_coalesces(db_flags):

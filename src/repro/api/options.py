@@ -133,20 +133,23 @@ class EvalOptions:
         db_file = self.db_file if backend == "sqlite" else None
         return replace(self, backend=backend, db_file=db_file)
 
-    def deadline(self, timeout_ms=None, max_rows=None):
+    def deadline(self, timeout_ms=None, max_rows=None, cancel=None):
         """Arm a :class:`~repro.util.deadline.Deadline` for one run.
 
         Per-run overrides (e.g. a request-level ``timeout_ms`` from
         ``repro serve``) take precedence over the option set's defaults;
-        returns None when neither source sets a bound, so the unbounded
-        path stays entirely check-free.
+        returns None when no source sets a bound, so the unbounded path
+        stays entirely check-free.  A *cancel*
+        :class:`~repro.util.deadline.CancelToken` (the serving watchdog's
+        handle) arms a Deadline even without a wall/row bound — external
+        interruption rides the same stride checks.
         """
         validate_budget(timeout_ms, max_rows, flavor="override ")
         timeout_ms = timeout_ms if timeout_ms is not None else self.timeout_ms
         max_rows = max_rows if max_rows is not None else self.max_rows
-        if timeout_ms is None and max_rows is None:
+        if timeout_ms is None and max_rows is None and cancel is None:
             return None
-        return Deadline(timeout_ms=timeout_ms, max_rows=max_rows)
+        return Deadline(timeout_ms=timeout_ms, max_rows=max_rows, cancel=cancel)
 
 
 #: Legacy ``evaluate(...)`` kwargs that have already warned this process.

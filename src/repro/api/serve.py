@@ -37,6 +37,23 @@ Concurrency semantics
   (``timeout_ms`` / ``max_rows``), so admission and execution budgets
   compose.
 
+Self-healing
+------------
+The pool supervises itself (see :mod:`repro.serve.pool`): a crashed
+worker is respawned with fresh warm Sessions and the in-flight caller
+gets a typed 500 (``error_type: "WorkerCrash"``); a request fingerprint
+that kills workers repeatedly is quarantined and answers **422**
+(``error_type: "PoisonQuery"``) with ``Retry-After`` until its TTL
+lapses; a stuck query is interrupted by the watchdog at its hard wall
+cap (``--hard-timeout-ms``) and answers 408 like any deadline; and
+deadline-aware shedding refuses requests (429 + ``Retry-After``) whose
+budget the queue would already consume.  ``/stats`` exposes
+``pool.workers_respawned`` / ``watchdog_cancels`` / ``shed_total`` and a
+``quarantine`` block; ``/metrics`` exports the matching
+``arc_worker_respawns_total`` / ``arc_watchdog_cancels_total`` /
+``arc_shed_total`` / ``arc_quarantined_total`` counters and the
+``arc_quarantine_size`` gauge.
+
 ``GET /healthz`` answers liveness — 200 while healthy, **503 degraded**
 while any backend circuit breaker is open *or the job queue is
 saturated*; ``GET /stats`` exposes aggregated execution counters across
@@ -46,8 +63,10 @@ every worker session, breaker states, per-phase latency quantiles, and a
 the same signals in Prometheus text format (pool gauges, coalescing
 counter, per-worker latency histograms).  Errors return 400 (bad request
 / query errors), 404, 408 (:class:`~repro.errors.QueryTimeout`), 413
-(:class:`~repro.errors.BudgetExceeded` or an oversized request body), 429
-(admission), or 500, always with ``{"error": ..., "error_type": ...}``.
+(:class:`~repro.errors.BudgetExceeded` or an oversized request body), 422
+(:class:`~repro.errors.PoisonQuery`), 429 (admission/shedding), or 500
+(including :class:`~repro.errors.WorkerCrash`), always with
+``{"error": ..., "error_type": ...}``.
 
 Observability
 -------------
@@ -82,17 +101,29 @@ from ..backends.exec import breaker_states
 from ..data.relation import Relation
 from ..data.values import NULL, Truth
 from ..engine.planner import ExecutionStats
-from ..errors import ArcError, BudgetExceeded, OptionsError, QueryTimeout
+from ..errors import (
+    ArcError,
+    BudgetExceeded,
+    OptionsError,
+    PoisonQuery,
+    QueryTimeout,
+    WorkerCrash,
+)
 from ..frontends import FRONTENDS
 from ..obs import MetricsRegistry, Tracer, render_prometheus
 from ..serve import (
+    DEFAULT_POISON_THRESHOLD,
+    DEFAULT_QUARANTINE_TTL_S,
     RETRY_AFTER_S,
     AdmissionError,
     Coalescer,
     SessionFactory,
     WorkerPool,
+    poison_fingerprint,
 )
 from ..serve.pool import DEFAULT_QUEUE_DEPTH, DEFAULT_SESSION_LIMIT
+from ..util import failpoints
+from ..util.deadline import CancelToken
 from .options import validate_budget
 
 #: Default bound on request bodies (1 MiB): a query is text, not a bulk
@@ -251,6 +282,12 @@ def _prometheus_extra(server):
             ],
         ),
         (
+            "arc_quarantine_size",
+            "gauge",
+            "Request fingerprints currently quarantined as poison.",
+            [({}, len(server.pool.quarantine))],
+        ),
+        (
             "arc_uptime_seconds",
             "gauge",
             "Seconds since the server started.",
@@ -297,7 +334,10 @@ class QueryServer(ThreadingHTTPServer):
                  queue_depth=DEFAULT_QUEUE_DEPTH,
                  session_limit=DEFAULT_SESSION_LIMIT, catalogs=None,
                  quiet=True, max_body_bytes=DEFAULT_MAX_BODY_BYTES,
-                 log_requests=False, log_json=False):
+                 log_requests=False, log_json=False,
+                 hard_timeout_ms=None, shed_threshold_ms=None,
+                 poison_threshold=DEFAULT_POISON_THRESHOLD,
+                 quarantine_ttl_s=DEFAULT_QUARANTINE_TTL_S):
         super().__init__(address, _Handler)
         self.session = session
         self.quiet = quiet
@@ -333,7 +373,10 @@ class QueryServer(ThreadingHTTPServer):
         self.pool = WorkerPool(
             self.factory, workers, queue_depth,
             session_limit=session_limit, metrics=self.metrics,
-            adopt=session,
+            adopt=session, hard_timeout_ms=hard_timeout_ms,
+            shed_threshold_ms=shed_threshold_ms,
+            poison_threshold=poison_threshold,
+            quarantine_ttl_s=quarantine_ttl_s,
         )
         self.coalescer = Coalescer()
 
@@ -352,7 +395,9 @@ class QueryServer(ThreadingHTTPServer):
         The coalesce key is the full request identity — two requests that
         could produce different bodies never share an execution.  The
         leader publishes its outcome (success *or* error) in a
-        ``finally``, so followers are never stranded.
+        ``finally`` — even if the leader's own thread dies between submit
+        and publish (fault injection: the ``pool.leader`` failpoint), the
+        backstop publishes a typed 500 so followers are never stranded.
         """
         key = (catalog, query, frontend, backend, timeout_ms, max_rows)
         entry, leader = self.coalescer.join(key)
@@ -366,31 +411,61 @@ class QueryServer(ThreadingHTTPServer):
         outcome = None
         try:
             try:
-                future = self.pool.submit(
-                    lambda worker: self._run_query(
-                        worker, catalog, query, frontend, backend,
-                        timeout_ms, max_rows, query_id,
-                    )
+                # The soft deadline the shedding estimate compares against:
+                # the request's own budget, else the session default.
+                soft_ms = timeout_ms
+                if soft_ms is None:
+                    soft_ms = self.session.options.timeout_ms
+                cancel = CancelToken()
+                fingerprint = poison_fingerprint(
+                    catalog, query, frontend, backend
                 )
-            except AdmissionError as exc:
-                headers = (
-                    (("Retry-After", str(RETRY_AFTER_S)),)
-                    if exc.status == 429 else ()
-                )
-                outcome = _error_outcome(exc, exc.status, headers)
-            else:
                 try:
+                    future = self.pool.submit(
+                        lambda worker: self._run_query(
+                            worker, catalog, query, frontend, backend,
+                            timeout_ms, max_rows, query_id, cancel,
+                        ),
+                        timeout_ms=soft_ms, fingerprint=fingerprint,
+                        cancel=cancel,
+                    )
+                except PoisonQuery as exc:
+                    headers = (
+                        (("Retry-After", str(exc.retry_after_s)),)
+                        if exc.retry_after_s else ()
+                    )
+                    outcome = _error_outcome(exc, 422, headers)
+                else:
+                    failpoints.hit("pool.leader")
                     outcome = future.wait(_JOB_WAIT_S)
-                except Exception as exc:  # pragma: no cover - defensive
-                    outcome = _error_outcome(exc, 500)
+            except AdmissionError as exc:
+                outcome = _error_outcome(
+                    exc, exc.status,
+                    (("Retry-After", str(exc.retry_after_s)),),
+                )
+            except WorkerCrash as exc:
+                outcome = _error_outcome(exc, 500)
+            except Exception as exc:  # pragma: no cover - defensive
+                outcome = _error_outcome(exc, 500)
         finally:
+            if outcome is None:
+                outcome = _error_outcome(
+                    "coalescing leader died before publishing its outcome",
+                    500,
+                )
             self.coalescer.publish(key, outcome)
         return outcome, False
 
     def _run_query(self, worker, catalog, query, frontend, backend,
-                   timeout_ms, max_rows, query_id):
+                   timeout_ms, max_rows, query_id, cancel=None):
         """The worker-side job: run on the worker's Session, map errors to
-        HTTP statuses, and serialize the answer exactly once."""
+        HTTP statuses, and serialize the answer exactly once.
+
+        *cancel* is the job's :class:`~repro.util.deadline.CancelToken` —
+        shared with the pool's watchdog, which fires it when the job blows
+        past its hard wall cap; the run then unwinds as
+        :class:`~repro.errors.QueryTimeout` (→ 408) like any deadline.
+        """
         session = worker.session_for(catalog)
         # The response header ties client-side logs to the spans/metrics
         # this request produced (the session tracer pins the request id on
@@ -402,7 +477,8 @@ class QueryServer(ThreadingHTTPServer):
             prepared = session.prepare(query, frontend)
             warm = prepared.run_count > 0
             info = prepared.run_info(
-                backend=backend, timeout_ms=timeout_ms, max_rows=max_rows
+                backend=backend, timeout_ms=timeout_ms, max_rows=max_rows,
+                cancel=cancel,
             )
         except QueryTimeout as exc:
             # The query is dead but the connection is fine: answer 408 and
@@ -434,8 +510,14 @@ class QueryServer(ThreadingHTTPServer):
     # -- aggregation -------------------------------------------------------
 
     def aggregate_stats(self):
-        """Execution counters summed across every live worker Session:
-        ``(stats totals, catalog_loads, catalog_hits, probe_hits)``."""
+        """Execution counters summed across every live worker Session
+        **plus** the retired totals harvested from crashed workers:
+        ``(stats totals, catalog_loads, catalog_hits, probe_hits)``.
+
+        A respawned worker's fresh Sessions count from zero, but its dead
+        predecessor's totals live on in the pool's retired ledger — the
+        aggregate never goes backwards across a crash.
+        """
         totals = ExecutionStats().as_dict()
         loads = hits = probes = 0
         for session in self.pool.sessions():
@@ -444,7 +526,10 @@ class QueryServer(ThreadingHTTPServer):
             loads += session.catalog_loads
             hits += session.catalog_hits
             probes += session.probe_hits
-        return totals, loads, hits, probes
+        retired, (r_loads, r_hits, r_probes) = self.pool.retired_stats()
+        for name, value in retired.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals, loads + r_loads, hits + r_hits, probes + r_probes
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -558,6 +643,10 @@ class _Handler(BaseHTTPRequestHandler):
             saturated = server.pool.saturated()
             degraded = bool(degraded_backends) or saturated
             pool = server.pool.snapshot()
+            # A degraded 503 is retriable — advise pollers when to return.
+            degraded_headers = (
+                (("Retry-After", str(RETRY_AFTER_S)),) if degraded else ()
+            )
             self._send_json(
                 503 if degraded else 200,
                 {
@@ -577,6 +666,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "requests": server.requests_served,
                     "uptime_s": round(time.monotonic() - server.started, 3),
                 },
+                headers=degraded_headers,
             )
             return
         if self.path == "/stats":
@@ -595,6 +685,7 @@ class _Handler(BaseHTTPRequestHandler):
                 breakers=breaker_states(),
                 latency=server.metrics.latency_summary(),
                 pool=pool,
+                quarantine=server.pool.quarantine.snapshot(),
             )
             self._send_json(
                 200, stats, headers=(("Cache-Control", "no-store"),)
@@ -717,7 +808,10 @@ def make_server(session, host="127.0.0.1", port=0, *, workers=1,
                 queue_depth=DEFAULT_QUEUE_DEPTH,
                 session_limit=DEFAULT_SESSION_LIMIT, catalogs=None,
                 quiet=True, max_body_bytes=DEFAULT_MAX_BODY_BYTES,
-                log_requests=False, log_json=False):
+                log_requests=False, log_json=False,
+                hard_timeout_ms=None, shed_threshold_ms=None,
+                poison_threshold=DEFAULT_POISON_THRESHOLD,
+                quarantine_ttl_s=DEFAULT_QUARANTINE_TTL_S):
     """Bind a :class:`QueryServer` for *session* (``port=0`` = ephemeral).
 
     The caller drives it: ``server.serve_forever()`` to block,
@@ -730,12 +824,20 @@ def make_server(session, host="127.0.0.1", port=0, *, workers=1,
     emits one ``repro.serve`` logging line per request; ``log_json``
     switches those lines to structured JSON (and implies
     ``log_requests``).
+
+    Self-healing knobs: ``hard_timeout_ms`` caps any single execution's
+    wall time (the watchdog interrupts past it; default 10× the request's
+    soft deadline); ``shed_threshold_ms`` sheds deadline-less requests
+    when the estimated queue wait exceeds it; ``poison_threshold`` /
+    ``quarantine_ttl_s`` tune the poison-query quarantine.
     """
     return QueryServer(
         (host, port), session, workers=workers, queue_depth=queue_depth,
         session_limit=session_limit, catalogs=catalogs, quiet=quiet,
         max_body_bytes=max_body_bytes,
         log_requests=log_requests, log_json=log_json,
+        hard_timeout_ms=hard_timeout_ms, shed_threshold_ms=shed_threshold_ms,
+        poison_threshold=poison_threshold, quarantine_ttl_s=quarantine_ttl_s,
     )
 
 

@@ -226,6 +226,10 @@ def cmd_serve(args):
         ),
         log_requests=args.log_requests,
         log_json=args.log_json,
+        hard_timeout_ms=args.hard_timeout_ms,
+        shed_threshold_ms=args.shed_threshold_ms,
+        poison_threshold=args.poison_threshold,
+        quarantine_ttl_s=args.quarantine_ttl_s,
     )
     # SIGTERM/SIGINT drain queued + in-flight requests, then stop
     # accepting — an orchestrator's stop signal never kills a response
@@ -538,6 +542,44 @@ def build_parser():
         action="store_true",
         help="log one line per request (method, path, status code, elapsed "
         "time, query id) through the stdlib 'repro.serve' logger",
+    )
+    p_serve.add_argument(
+        "--hard-timeout-ms",
+        dest="hard_timeout_ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="hard wall cap per execution: the watchdog interrupts any "
+        "query past this, even deadline-less ones (default: 10x the "
+        "request's soft deadline, else 10000)",
+    )
+    p_serve.add_argument(
+        "--shed-threshold-ms",
+        dest="shed_threshold_ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="shed deadline-less requests (429) when the estimated queue "
+        "wait exceeds this (default: off; requests with timeout_ms are "
+        "always shed when the wait exceeds their budget)",
+    )
+    p_serve.add_argument(
+        "--poison-threshold",
+        dest="poison_threshold",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker crashes by one request fingerprint before it is "
+        "quarantined and answers 422 (default: 2)",
+    )
+    p_serve.add_argument(
+        "--quarantine-ttl-s",
+        dest="quarantine_ttl_s",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="seconds a poisoned fingerprint stays quarantined "
+        "(default: 300)",
     )
     p_serve.add_argument(
         "--log-json",

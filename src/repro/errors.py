@@ -93,3 +93,29 @@ class QueryTimeout(ResourceError):
 
 class BudgetExceeded(ResourceError):
     """The query produced more rows than its budget allows (``max_rows``)."""
+
+
+class WorkerCrash(ArcError):
+    """A pool worker thread died while executing this request.
+
+    Raised *to the waiting caller* by the worker pool's supervisor when an
+    exception escapes a worker's job loop (e.g. an injected
+    ``pool.worker`` failpoint).  The pool respawns the worker with a fresh
+    Session, so the crash costs one request, never capacity — ``repro
+    serve`` maps this to a 500 and keeps serving.
+    """
+
+
+class PoisonQuery(ArcError):
+    """A request fingerprint is quarantined after killing too many workers.
+
+    The worker pool attributes each worker death to the request that was
+    executing; a fingerprint that reaches the configured kill threshold is
+    refused at admission for a TTL instead of taking down more capacity.
+    ``repro serve`` maps this to a typed 422; ``retry_after_s`` (when set)
+    is the remaining quarantine TTL the response advertises.
+    """
+
+    def __init__(self, message, *, retry_after_s=None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 
-from .metrics import Counter, Histogram
+from .metrics import Counter, Gauge, Histogram
 
 
 # ---------------------------------------------------------------------------
@@ -70,7 +70,7 @@ def render_prometheus(registry, extra=()):
     for metric in registry:
         lines.append(f"# HELP {metric.name} {metric.help_text}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
-        if isinstance(metric, Counter):
+        if isinstance(metric, (Counter, Gauge)):
             for labels, value in metric.samples():
                 lines.append(
                     f"{metric.name}{_format_labels(labels)} {_format_value(value)}"

@@ -6,6 +6,8 @@ data model — just enough for ``GET /metrics`` (rendered by
 ``GET /stats`` embeds:
 
 * :class:`Counter` — monotonically increasing, labelled totals;
+* :class:`Gauge` — a labelled value that can move both ways (queue
+  estimates, EWMA summaries), last-write-wins;
 * :class:`Histogram` — fixed cumulative buckets per label set with
   ``sum``/``count``, plus interpolated p50/p95/p99 estimates;
 * :class:`MetricsRegistry` — get-or-create by name, iteration in
@@ -73,6 +75,45 @@ class Counter:
         key = _label_key(self.label_names, labels)
         with self._lock:
             return self._values.get(key, 0)
+
+    def samples(self):
+        """Yield ``(labels dict, value)`` per label set (zero sets = empty)."""
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in items:
+            yield dict(zip(self.label_names, key)), value
+
+
+class Gauge:
+    """A point-in-time value that can rise and fall, optionally labelled.
+
+    ``set`` is last-write-wins under the metric lock; readers snapshot
+    under the same lock.  Used for values the serving pool maintains as
+    it goes (the rolling service-time EWMA behind load shedding) rather
+    than values computed at scrape time, which ride the ``extra`` rows of
+    :func:`repro.obs.exporters.render_prometheus` instead.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help_text", "label_names", "_values", "_lock")
+
+    def __init__(self, name, help_text="", labels=()):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(labels)
+        self._values = {}
+        self._lock = threading.Lock()
+
+    def set(self, value, **labels):
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = value
+
+    def value(self, **labels):
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key)
 
     def samples(self):
         """Yield ``(labels dict, value)`` per label set (zero sets = empty)."""
@@ -212,6 +253,9 @@ class MetricsRegistry:
 
     def counter(self, name, help_text="", labels=()):
         return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name, help_text="", labels=()):
+        return self._get_or_create(Gauge, name, help_text, labels)
 
     def histogram(self, name, help_text="", labels=(), buckets=DEFAULT_BUCKETS):
         with self._lock:

@@ -13,7 +13,9 @@ mode into a worker-pool server:
   (singleflight): N concurrent identical requests fold into one
   execution whose byte-identical response fans back out;
 * :mod:`~repro.serve.admission` — typed admission-control errors
-  (bounded queue full → 429 + ``Retry-After``, draining → 503);
+  (bounded queue full / shed → 429 + ``Retry-After``, draining → 503);
+* :mod:`~repro.serve.supervise` — poison-query quarantine state (request
+  fingerprints, kill counts, TTL) behind the pool's self-healing;
 * :mod:`~repro.serve.loadgen` — a closed-loop HTTP load generator
   (RPS + p50/p99 latency) used by ``benchmarks/bench_e29_load.py``.
 
@@ -25,6 +27,7 @@ from .admission import RETRY_AFTER_S, AdmissionError
 from .coalesce import Coalescer
 from .loadgen import LoadSummary, percentile, run_load
 from .pool import (
+    DEFAULT_HARD_TIMEOUT_MS,
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_SESSION_LIMIT,
     DEFAULT_WORKERS,
@@ -33,19 +36,30 @@ from .pool import (
     Worker,
     WorkerPool,
 )
+from .supervise import (
+    DEFAULT_POISON_THRESHOLD,
+    DEFAULT_QUARANTINE_TTL_S,
+    Quarantine,
+    poison_fingerprint,
+)
 
 __all__ = [
     "AdmissionError",
     "Coalescer",
+    "DEFAULT_HARD_TIMEOUT_MS",
+    "DEFAULT_POISON_THRESHOLD",
+    "DEFAULT_QUARANTINE_TTL_S",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_SESSION_LIMIT",
     "DEFAULT_WORKERS",
     "LoadSummary",
+    "Quarantine",
     "RETRY_AFTER_S",
     "SessionFactory",
     "SessionLRU",
     "Worker",
     "WorkerPool",
     "percentile",
+    "poison_fingerprint",
     "run_load",
 ]

@@ -5,9 +5,18 @@ must refuse *immediately* with a retriable, typed error instead of
 buffering unboundedly (which converts overload into latency for every
 queued client and memory growth for the server).  The HTTP front end maps
 :class:`AdmissionError` to its :attr:`~AdmissionError.status` — **429**
-with a ``Retry-After`` header for a full queue, **503** while draining —
-and the JSON body carries ``error_type: "AdmissionError"`` so clients can
-branch on it the same way they do for ``QueryTimeout``/``BudgetExceeded``.
+for a full queue or a shed request, **503** while draining — and every
+refusal carries a ``Retry-After`` header from
+:attr:`~AdmissionError.retry_after_s`; the JSON body carries
+``error_type: "AdmissionError"`` so clients can branch on it the same way
+they do for ``QueryTimeout``/``BudgetExceeded``.
+
+Deadline-aware shedding refines the queue-full refusal: the pool
+estimates queue wait from a rolling per-worker service-time EWMA and
+refuses a request whose ``timeout_ms`` budget would already be spent
+before dispatch — that 429's ``retry_after_s`` is the wait estimate
+itself, so well-behaved clients back off for exactly as long as the
+backlog needs to clear.
 """
 
 from __future__ import annotations
@@ -26,12 +35,16 @@ class AdmissionError(ResourceError):
     ``status`` is the HTTP status the serving layer should answer with:
     429 (retriable; the queue may drain any moment) or 503 (the server is
     shutting down and will not accept again).  ``retriable`` mirrors that
-    distinction for non-HTTP callers.
+    distinction for non-HTTP callers.  ``retry_after_s`` is the advised
+    backoff the ``Retry-After`` response header carries — the default for
+    instantaneous refusals, or the pool's queue-wait estimate for shed
+    requests.
     """
 
-    def __init__(self, message, *, status=429):
+    def __init__(self, message, *, status=429, retry_after_s=RETRY_AFTER_S):
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
 
     @property
     def retriable(self):

@@ -9,8 +9,11 @@ layer — and folds followers onto the leader:
 
 * the **first** caller to :meth:`Coalescer.join` a key becomes the
   *leader*: it executes the request and MUST :meth:`Coalescer.publish`
-  the outcome (success or error) exactly once, even if it crashes —
-  callers wrap execution in ``try/finally``;
+  the outcome (success or error) exactly once, **even if it crashes** —
+  the serving layer publishes in a ``finally`` and substitutes a typed
+  500 when the leader died before producing an outcome (exercised by the
+  ``pool.leader`` failpoint), so followers are never stranded waiting on
+  a flight whose leader is gone;
 * every **subsequent** caller while that key is in flight becomes a
   *follower*: it blocks on the entry and receives the leader's outcome
   verbatim (the serving layer adds an ``X-Arc-Coalesced: 1`` header).

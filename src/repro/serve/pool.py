@@ -20,19 +20,58 @@ under the same lock ``submit`` enqueues under and the stop sentinels go
 to the queue *tail*, so no accepted job is ever abandoned behind a
 sentinel.
 
+The pool is **self-healing** (PR 10):
+
+* **Supervision** — an exception escaping a worker's job loop (fault
+  injection: the ``pool.worker`` failpoint) no longer silently shrinks
+  the pool.  The dying thread harvests its sessions' stats into the
+  retired totals, answers the in-flight caller with a typed
+  :class:`~repro.errors.WorkerCrash`, and respawns itself: the same
+  :class:`Worker` slot gets a fresh :class:`SessionLRU` and a new
+  thread, so capacity survives any crash (``workers_respawned``).
+* **Poison quarantine** — each submitted job may carry a request
+  *fingerprint*; a fingerprint whose jobs kill workers
+  ``poison_threshold`` times is refused at admission with a typed
+  :class:`~repro.errors.PoisonQuery` until its TTL lapses (see
+  :mod:`repro.serve.supervise`).
+* **Stuck-query watchdog** — a supervisor thread enforces each job's
+  hard wall cap (``hard_timeout_ms``; default 10× the request's soft
+  deadline, or :data:`DEFAULT_HARD_TIMEOUT_MS` for deadline-less
+  requests) by cancelling the job's
+  :class:`~repro.util.deadline.CancelToken` — cooperative interruption
+  at the Deadline stride for in-process engines, and
+  ``sqlite3.Connection.interrupt()`` for offloaded queries — so no
+  request can pin a worker forever.
+* **Deadline-aware shedding** — admission estimates queue wait from a
+  rolling per-worker service-time EWMA and refuses (429) requests whose
+  ``timeout_ms`` would already be spent queueing, with ``Retry-After``
+  derived from the estimate; ``shed_threshold_ms`` optionally caps the
+  estimated wait for deadline-less traffic too.
+
 Observability: the pool exports busy-worker and queue-depth gauges,
-per-worker handled counts, and (when given a registry) an
-``arc_worker_seconds`` histogram labelled by worker index.
+per-worker handled counts, respawn/watchdog/shed counters, and (when
+given a registry) an ``arc_worker_seconds`` histogram labelled by worker
+index plus an ``arc_pool_service_ewma_ms`` gauge.
 """
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
+import time
 from collections import OrderedDict
 
 from ..core.conventions import SET_CONVENTIONS
+from ..errors import PoisonQuery, WorkerCrash
+from ..util import failpoints
+from ..util.deadline import CancelToken
 from .admission import AdmissionError
+from .supervise import (
+    DEFAULT_POISON_THRESHOLD,
+    DEFAULT_QUARANTINE_TTL_S,
+    Quarantine,
+)
 
 #: Default worker count for ``repro serve`` (the CLI flag overrides).
 DEFAULT_WORKERS = 4
@@ -45,6 +84,20 @@ DEFAULT_SESSION_LIMIT = 4
 
 #: Default catalog name when ``POST /query`` omits the ``catalog`` field.
 DEFAULT_CATALOG = "default"
+
+#: Hard wall cap for requests with no soft deadline of their own (ms).
+DEFAULT_HARD_TIMEOUT_MS = 10_000
+
+#: Hard cap as a multiple of the request's soft deadline when no explicit
+#: ``hard_timeout_ms`` is configured: the watchdog is a backstop for
+#: queries that ignore their deadline, not a second, tighter deadline.
+HARD_TIMEOUT_FACTOR = 10
+
+#: How often the watchdog scans in-flight jobs for hard-cap breaches.
+WATCHDOG_INTERVAL_S = 0.05
+
+#: Smoothing factor for the rolling per-job service-time EWMA.
+_EWMA_ALPHA = 0.2
 
 _STOP = object()  # queue sentinel: one per worker, enqueued only by drain()
 
@@ -82,6 +135,31 @@ class Future:
 
     def done(self):
         return self._done.is_set()
+
+
+class _Job:
+    """One accepted unit of work plus the state supervision needs.
+
+    ``fingerprint`` ties the job to the poison quarantine; ``cancel`` is
+    the token the watchdog fires on a hard-cap breach; ``hard_deadline``
+    (a ``time.perf_counter`` instant, set when execution starts) is what
+    the watchdog compares against.
+    """
+
+    __slots__ = (
+        "fn", "future", "fingerprint", "cancel",
+        "hard_ms", "hard_deadline", "started",
+    )
+
+    def __init__(self, fn, future, *, fingerprint=None, cancel=None,
+                 hard_ms=None):
+        self.fn = fn
+        self.future = future
+        self.fingerprint = fingerprint
+        self.cancel = cancel if cancel is not None else CancelToken()
+        self.hard_ms = hard_ms
+        self.hard_deadline = None  # set by the worker when the job starts
+        self.started = None
 
 
 class SessionFactory:
@@ -225,7 +303,7 @@ class SessionLRU:
 class Worker:
     """One pool thread's identity and warm state."""
 
-    __slots__ = ("index", "sessions", "handled", "pool")
+    __slots__ = ("index", "sessions", "handled", "pool", "current")
 
     def __init__(self, index, pool, session_limit):
         self.index = index
@@ -235,6 +313,11 @@ class Worker:
         )
         #: Jobs this worker completed (written by the worker thread only).
         self.handled = 0
+        #: The in-flight :class:`_Job`, or None.  Written by the worker
+        #: thread, read racily by the watchdog — attribute reads are
+        #: atomic under the GIL, and the worst stale read cancels a token
+        #: whose job already finished, which is harmless.
+        self.current = None
 
     def session_for(self, catalog=None):
         """The worker-private Session for *catalog* (LRU, builds on miss)."""
@@ -257,31 +340,83 @@ class WorkerPool:
 
     def __init__(self, factory, workers=1, queue_depth=DEFAULT_QUEUE_DEPTH,
                  *, session_limit=DEFAULT_SESSION_LIMIT, metrics=None,
-                 adopt=None):
+                 adopt=None, hard_timeout_ms=None, shed_threshold_ms=None,
+                 poison_threshold=DEFAULT_POISON_THRESHOLD,
+                 quarantine_ttl_s=DEFAULT_QUARANTINE_TTL_S,
+                 watchdog_interval_s=WATCHDOG_INTERVAL_S):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.factory = factory
         self.queue_depth = max(1, queue_depth)
         self.queue = queue.Queue(maxsize=self.queue_depth)
         self.metrics = metrics
+        self.hard_timeout_ms = hard_timeout_ms
+        self.shed_threshold_ms = shed_threshold_ms
         self._lock = threading.Lock()
         self._draining = False
         self._drained = threading.Event()
         self.busy = 0
         self.jobs_completed = 0
         self.sessions_evicted = 0
+        self.workers_respawned = 0
+        self.watchdog_cancels = 0
+        self.shed_total = 0
+        #: Rolling EWMA of per-job service seconds (under ``_lock``).
+        self.service_ewma_s = 0.0
+        self._session_limit = session_limit
+        #: Session stats harvested from crashed workers (under ``_lock``):
+        #: ``{"stats": {...counter sums...}, "catalog_loads": n, ...}``.
+        self._retired_stats = {}
+        self._retired_cache = [0, 0, 0]  # catalog loads / hits / probe hits
+        self.quarantine = Quarantine(
+            threshold=poison_threshold, ttl_s=quarantine_ttl_s
+        )
         self.workers = [
             Worker(index, self, session_limit) for index in range(workers)
         ]
         if adopt is not None:
             self.workers[0].sessions.adopt(factory.default, adopt)
         self._histogram = None
+        self._respawn_counter = None
+        self._watchdog_counter = None
+        self._shed_counter = None
+        self._quarantine_counter = None
+        self._ewma_gauge = None
         if metrics is not None:
             self._histogram = metrics.histogram(
                 "arc_worker_seconds",
                 "Job execution seconds per pool worker.",
                 labels=("worker",),
             )
+            # inc(0) materializes a zero sample so these counters render
+            # in /metrics before the first event — scrapers see the
+            # series from the first scrape, not only after a crash.
+            self._respawn_counter = metrics.counter(
+                "arc_worker_respawns_total",
+                "Pool workers respawned after a crash.",
+            )
+            self._respawn_counter.inc(0)
+            self._watchdog_counter = metrics.counter(
+                "arc_watchdog_cancels_total",
+                "In-flight jobs cancelled by the hard-cap watchdog.",
+            )
+            self._watchdog_counter.inc(0)
+            self._shed_counter = metrics.counter(
+                "arc_shed_total",
+                "Requests refused because the estimated queue wait "
+                "exceeded their deadline budget.",
+            )
+            self._shed_counter.inc(0)
+            self._quarantine_counter = metrics.counter(
+                "arc_quarantined_total",
+                "Request fingerprints quarantined as poison.",
+            )
+            self._quarantine_counter.inc(0)
+            self._ewma_gauge = metrics.gauge(
+                "arc_pool_service_ewma_ms",
+                "Rolling EWMA of per-job service time, milliseconds.",
+            )
+            self._ewma_gauge.set(0.0)
         self._threads = [
             threading.Thread(
                 target=self._run, args=(worker,),
@@ -291,59 +426,253 @@ class WorkerPool:
         ]
         for thread in self._threads:
             thread.start()
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread = threading.Thread(
+            target=self._watchdog, args=(watchdog_interval_s,),
+            name="repro-serve-watchdog", daemon=True,
+        )
+        self._watchdog_thread.start()
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, fn):
+    def submit(self, fn, *, timeout_ms=None, fingerprint=None, cancel=None):
         """Enqueue ``fn(worker)``; a :class:`Future` for its result.
 
         Never blocks.  Raises :class:`AdmissionError` with status 429
         when the queue is at capacity, status 503 once draining began.
         The drain check and the enqueue share one lock, so no job can
         slip in behind a stop sentinel.
+
+        *timeout_ms* is the request's soft deadline, used twice: to size
+        the job's hard wall cap (×:data:`HARD_TIMEOUT_FACTOR` unless the
+        pool has an explicit ``hard_timeout_ms``) and for deadline-aware
+        shedding — if the EWMA-estimated queue wait already exceeds the
+        budget, the request is refused now (429 with the estimate as
+        ``Retry-After``) instead of timing out after queueing.
+        *fingerprint* (see :func:`~repro.serve.supervise.poison_fingerprint`)
+        enables poison quarantine; a quarantined fingerprint raises
+        :class:`~repro.errors.PoisonQuery`.  *cancel* lets the caller
+        share the job's :class:`~repro.util.deadline.CancelToken`.
         """
-        future = Future()
+        job = _Job(
+            fn, Future(), fingerprint=fingerprint, cancel=cancel,
+            hard_ms=self._hard_ms(timeout_ms),
+        )
         with self._lock:
             if self._draining:
                 raise AdmissionError(
                     "server is draining and no longer accepts work",
                     status=503,
                 )
+            if fingerprint is not None:
+                remaining = self.quarantine.blocked(fingerprint)
+                if remaining is not None:
+                    raise PoisonQuery(
+                        "this query is quarantined: it crashed "
+                        f"{self.quarantine.threshold} worker(s); "
+                        f"blocked for another {remaining:.0f} s",
+                        retry_after_s=max(1, math.ceil(remaining)),
+                    )
+            wait_s = self._estimated_wait_locked()
+            if wait_s > 0:
+                if timeout_ms is not None and wait_s * 1000.0 >= timeout_ms:
+                    self.shed_total += 1
+                    if self._shed_counter is not None:
+                        self._shed_counter.inc()
+                    raise AdmissionError(
+                        f"estimated queue wait {wait_s * 1000.0:.0f} ms "
+                        f"exceeds the request's {timeout_ms} ms budget; "
+                        "shed at admission",
+                        status=429,
+                        retry_after_s=max(1, math.ceil(wait_s)),
+                    )
+                if (timeout_ms is None and self.shed_threshold_ms is not None
+                        and wait_s * 1000.0 > self.shed_threshold_ms):
+                    self.shed_total += 1
+                    if self._shed_counter is not None:
+                        self._shed_counter.inc()
+                    raise AdmissionError(
+                        f"estimated queue wait {wait_s * 1000.0:.0f} ms "
+                        f"exceeds the shed threshold "
+                        f"({self.shed_threshold_ms} ms)",
+                        status=429,
+                        retry_after_s=max(1, math.ceil(wait_s)),
+                    )
             try:
-                self.queue.put_nowait((fn, future))
+                self.queue.put_nowait(job)
             except queue.Full:
                 raise AdmissionError(
                     f"job queue is full ({self.queue_depth} deep); "
                     "retry shortly",
                     status=429,
                 ) from None
-        return future
+        return job.future
+
+    def _hard_ms(self, timeout_ms):
+        """The hard wall cap for a job with soft deadline *timeout_ms*."""
+        if self.hard_timeout_ms is not None:
+            return self.hard_timeout_ms
+        if timeout_ms is not None:
+            return timeout_ms * HARD_TIMEOUT_FACTOR
+        return DEFAULT_HARD_TIMEOUT_MS
+
+    def _estimated_wait_locked(self):
+        """Estimated queue wait in seconds (caller holds ``_lock``)."""
+        if self.service_ewma_s <= 0:
+            return 0.0
+        return self.queue.qsize() * self.service_ewma_s / len(self.workers)
 
     # -- the worker loop ---------------------------------------------------
 
     def _run(self, worker):
-        import time
-
         while True:
             item = self.queue.get()
             if item is _STOP:
                 break
-            fn, future = item
-            with self._lock:
-                self.busy += 1
-            start = time.perf_counter()
             try:
-                future.set_result(fn(worker))
-            except BaseException as exc:  # noqa: BLE001 - delivered to waiter
-                future.set_error(exc)
-            finally:
-                elapsed = time.perf_counter() - start
-                worker.handled += 1
-                with self._lock:
-                    self.busy -= 1
-                    self.jobs_completed += 1
-                if self._histogram is not None:
-                    self._histogram.observe(elapsed, worker=str(worker.index))
+                self._execute(worker, item)
+            except BaseException as exc:  # noqa: BLE001 - worker is dying
+                self._on_worker_death(worker, item, exc)
+                return
+
+    def _execute(self, worker, job):
+        """Run one job.  Exceptions *from the job callable* go to its
+        future; anything escaping this method is a worker crash and is
+        handled by :meth:`_on_worker_death`."""
+        with self._lock:
+            self.busy += 1
+        job.started = time.perf_counter()
+        if job.hard_ms is not None:
+            job.hard_deadline = job.started + job.hard_ms / 1000.0
+        worker.current = job
+        # The failpoint sits OUTSIDE the job's exception fence: an armed
+        # ``pool.worker`` spec escapes to _run and kills this worker,
+        # exactly like a real defect in the loop itself would.
+        failpoints.hit("pool.worker")
+        try:
+            try:
+                job.future.set_result(job.fn(worker))
+            except BaseException as exc:  # noqa: BLE001 - to the waiter
+                job.future.set_error(exc)
+        finally:
+            worker.current = None
+        elapsed = time.perf_counter() - job.started
+        worker.handled += 1
+        with self._lock:
+            self.busy -= 1
+            self.jobs_completed += 1
+            if self.service_ewma_s <= 0:
+                self.service_ewma_s = elapsed
+            else:
+                self.service_ewma_s += _EWMA_ALPHA * (
+                    elapsed - self.service_ewma_s
+                )
+            ewma = self.service_ewma_s
+        if self._histogram is not None:
+            self._histogram.observe(elapsed, worker=str(worker.index))
+        if self._ewma_gauge is not None:
+            self._ewma_gauge.set(round(ewma * 1e3, 3))
+
+    def _on_worker_death(self, worker, job, exc):
+        """The dying worker's last act: harvest, answer, respawn.
+
+        Runs on the crashing thread.  Harvests the worker's session stats
+        into the retired totals (so ``aggregate_stats`` never loses
+        history), closes the sessions, answers the in-flight caller with
+        a typed :class:`~repro.errors.WorkerCrash`, notes the kill
+        against the job's fingerprint, and starts a replacement thread on
+        the same :class:`Worker` slot with a fresh :class:`SessionLRU`.
+        """
+        worker.current = None
+        harvested = []
+        for name, session in worker.sessions.snapshot():
+            harvested.append((name, self._harvest(session)))
+        worker.sessions.close()
+        worker.sessions = SessionLRU(
+            self.factory, self._session_limit, lock=self._lock
+        )
+        with self._lock:
+            self.busy -= 1  # _execute's increment; its decrement was skipped
+            self.workers_respawned += 1
+            for name, stats in harvested:
+                self._merge_retired_locked(stats)
+        if self._respawn_counter is not None:
+            self._respawn_counter.inc()
+        crash = WorkerCrash(
+            f"worker {worker.index} died while executing this request "
+            f"({type(exc).__name__}: {exc}); the pool respawned it"
+        )
+        crash.__cause__ = exc
+        job.future.set_error(crash)
+        if job.fingerprint is not None:
+            if self.quarantine.note_kill(job.fingerprint):
+                if self._quarantine_counter is not None:
+                    self._quarantine_counter.inc()
+        # The replacement thread reuses this Worker slot; during drain it
+        # will consume the sentinel meant for its predecessor, so drain's
+        # sentinel arithmetic still balances.  Start BEFORE registering:
+        # drain() joins whatever _threads holds, and joining an unstarted
+        # thread raises.  The dying thread (this one) stays alive past the
+        # registration, so drain's join loop always re-snapshots and
+        # picks the replacement up.
+        replacement = threading.Thread(
+            target=self._run, args=(worker,),
+            name=f"repro-serve-worker-{worker.index}", daemon=True,
+        )
+        replacement.start()
+        with self._lock:
+            self._threads[worker.index] = replacement
+
+    @staticmethod
+    def _harvest(session):
+        """A crashed worker Session's counters, as plain dicts."""
+        return {
+            "stats": dict(session.stats.as_dict()),
+            "catalog_loads": session.catalog_loads,
+            "catalog_hits": session.catalog_hits,
+            "probe_hits": session.probe_hits,
+        }
+
+    def _merge_retired_locked(self, harvested):
+        for key, value in harvested["stats"].items():
+            self._retired_stats[key] = self._retired_stats.get(key, 0) + value
+        self._retired_cache[0] += harvested["catalog_loads"]
+        self._retired_cache[1] += harvested["catalog_hits"]
+        self._retired_cache[2] += harvested["probe_hits"]
+
+    def retired_stats(self):
+        """Harvested (stats dict, cache triple) from crashed workers."""
+        with self._lock:
+            return dict(self._retired_stats), tuple(self._retired_cache)
+
+    # -- the watchdog ------------------------------------------------------
+
+    def _watchdog(self, interval_s):
+        """Cancel any in-flight job past its hard wall cap.
+
+        A cancelled token interrupts an armed SQLite connection
+        immediately and trips the cooperative Deadline check at the next
+        stride for in-process engines; the job then unwinds with
+        ``QueryTimeout`` through the normal error path — the worker
+        survives, only the runaway query dies.
+        """
+        while not self._watchdog_stop.wait(interval_s):
+            now = time.perf_counter()
+            for worker in self.workers:
+                job = worker.current  # racy read; see Worker.current
+                if job is None or job.hard_deadline is None:
+                    continue
+                if now < job.hard_deadline:
+                    continue
+                fired = job.cancel.cancel(
+                    f"query exceeded the server's hard wall cap of "
+                    f"{job.hard_ms} ms and was interrupted by the watchdog"
+                )
+                if fired:
+                    with self._lock:
+                        self.watchdog_cancels += 1
+                    if self._watchdog_counter is not None:
+                        self._watchdog_counter.inc()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -358,12 +687,24 @@ class WorkerPool:
             first = not self._draining
             self._draining = True
         if first:
+            self._watchdog_stop.set()
+            self._watchdog_thread.join()
             # Sentinels go to the queue *tail*: FIFO guarantees every
-            # already-accepted job runs before its worker sees one.
+            # already-accepted job runs before its worker sees one.  A
+            # worker that crashes mid-drain is respawned and its
+            # replacement consumes the predecessor's sentinel, so one
+            # sentinel per slot still stops every thread — but the
+            # _threads list mutates under us, so join until stable.
             for _ in self.workers:
                 self.queue.put(_STOP)
-            for thread in self._threads:
-                thread.join()
+            while True:
+                with self._lock:
+                    threads = list(self._threads)
+                for thread in threads:
+                    thread.join()
+                with self._lock:
+                    if all(not t.is_alive() for t in self._threads):
+                        break
             for worker in self.workers:
                 worker.sessions.close()
             self._drained.set()
@@ -395,13 +736,23 @@ class WorkerPool:
             busy = self.busy
             completed = self.jobs_completed
             evicted = self.sessions_evicted
+            respawned = self.workers_respawned
+            cancels = self.watchdog_cancels
+            shed = self.shed_total
+            ewma = self.service_ewma_s
+            draining = self._draining
         return {
             "workers": len(self.workers),
             "busy": busy,
+            "draining": draining,
             "queue_depth": self.queue.qsize(),
             "queue_capacity": self.queue_depth,
             "jobs_completed": completed,
             "sessions_evicted": evicted,
+            "workers_respawned": respawned,
+            "watchdog_cancels": cancels,
+            "shed_total": shed,
+            "service_ewma_ms": round(ewma * 1e3, 3),
             "per_worker": [
                 {
                     "worker": worker.index,

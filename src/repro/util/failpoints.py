@@ -14,6 +14,13 @@ Sites (see :data:`SITES`):
 ``catalog.load``    inside the catalog table loader
 ``sql.render``      before an ARC node is rendered to SQL text
 ``sqlite.execute``  inside the execute-with-retry loop (per attempt)
+``pool.worker``     inside a pool worker's job loop, *outside* the
+                    per-job exception fence — an armed fault escapes the
+                    loop and kills the worker thread (drives the
+                    supervisor's respawn and poison-quarantine paths)
+``pool.leader``     on a coalescing leader between submitting its job and
+                    collecting the outcome (drives the publish-or-fail
+                    guarantee toward waiting followers)
 ==================  =====================================================
 
 Spec grammar: ``kind[*count][:message]``
@@ -38,11 +45,15 @@ variable read at import (comma-separated ``site=spec`` entries), e.g.::
 
 Everything is process-local, deterministic, and free of side effects when
 no failpoint is armed: :func:`hit` on an un-armed site is one dict lookup.
+Armed sites are hit from concurrent pool workers, so the counted decrement
+of ``kind*N`` specs happens under a lock: exactly N hits fire no matter
+how many threads race the site (pinned by the thread-safety suite).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import Counter
 
 from ..errors import ArcError
@@ -53,6 +64,8 @@ SITES = (
     "catalog.load",
     "sql.render",
     "sqlite.execute",
+    "pool.worker",
+    "pool.leader",
 )
 
 #: Spec kinds and the exception each one raises (see :func:`_raise`).
@@ -61,6 +74,10 @@ KINDS = ("locked", "error", "unsupported", "boom")
 #: site -> [kind, remaining-or-None, message-or-None] (mutable: remaining
 #: decrements per hit for count-limited specs).
 _ACTIVE = {}
+
+#: Guards _ACTIVE mutations and the counted decrement in :func:`hit`
+#: (reentrant: configure() arms sites while already holding it).
+_LOCK = threading.RLock()
 
 #: Observability: hits per armed site (including pass-through hits after a
 #: count-limited spec is exhausted).
@@ -99,24 +116,29 @@ def activate(site, spec):
     if site not in SITES:
         raise FailpointError(f"unknown failpoint site {site!r}; sites: {SITES}")
     kind, count, message = parse_spec(spec)
-    _ACTIVE[site] = [kind, count, message]
+    with _LOCK:
+        _ACTIVE[site] = [kind, count, message]
 
 
 def deactivate(site):
     """Disarm *site* (a no-op when it was not armed)."""
-    _ACTIVE.pop(site, None)
+    with _LOCK:
+        _ACTIVE.pop(site, None)
 
 
 def reset():
     """Disarm every failpoint and clear the hit counters."""
-    _ACTIVE.clear()
-    hits.clear()
+    with _LOCK:
+        _ACTIVE.clear()
+        hits.clear()
 
 
 def active():
     """Snapshot of the armed sites: ``{site: "kind[*remaining][:message]"}``."""
     out = {}
-    for site, (kind, remaining, message) in _ACTIVE.items():
+    with _LOCK:
+        entries = {site: list(spec) for site, spec in _ACTIVE.items()}
+    for site, (kind, remaining, message) in entries.items():
         spec = kind
         if remaining is not None:
             spec += f"*{remaining}"
@@ -131,17 +153,18 @@ def configure(text):
 
     Replaces the whole active set; an empty/None *text* disarms everything.
     """
-    _ACTIVE.clear()
-    for entry in (text or "").split(","):
-        entry = entry.strip()
-        if not entry:
-            continue
-        site, sep, spec = entry.partition("=")
-        if not sep:
-            raise FailpointError(
-                f"failpoint entry must be site=spec, got {entry!r}"
-            )
-        activate(site.strip(), spec.strip())
+    with _LOCK:
+        _ACTIVE.clear()
+        for entry in (text or "").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, sep, spec = entry.partition("=")
+            if not sep:
+                raise FailpointError(
+                    f"failpoint entry must be site=spec, got {entry!r}"
+                )
+            activate(site.strip(), spec.strip())
 
 
 def load_env(environ=None):
@@ -174,17 +197,23 @@ def hit(site):
 
     Count-limited specs (``kind*N``) fire for their first N hits and pass
     afterwards; the site stays listed in :func:`active` with the remaining
-    count so tests can assert consumption.
+    count so tests can assert consumption.  The decrement happens under
+    the module lock, so concurrent workers hammering one site consume
+    exactly N firings between them; the un-armed fast path stays a single
+    lock-free dict lookup.
     """
-    spec = _ACTIVE.get(site)
-    if spec is None:
+    if _ACTIVE.get(site) is None:
         return None
-    hits[site] += 1
-    kind, remaining, message = spec
-    if remaining is not None:
-        if remaining <= 0:
+    with _LOCK:
+        spec = _ACTIVE.get(site)  # re-read: configure()/reset() may race
+        if spec is None:
             return None
-        spec[1] = remaining - 1
+        hits[site] += 1
+        kind, remaining, message = spec
+        if remaining is not None:
+            if remaining <= 0:
+                return None
+            spec[1] = remaining - 1
     _raise(kind, message, site)
     return None  # pragma: no cover - _raise always raises
 

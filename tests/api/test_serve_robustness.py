@@ -171,8 +171,17 @@ class TestDegradedHealth:
         breaker = breaker_for("sqlite")
         for _ in range(breaker.threshold):
             breaker.record_failure()
-        status, body = _request(served, "GET", "/healthz")
-        assert status == 503
+        host, port = served.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 503
+            # Degraded is retriable: the 503 advises when to poll again.
+            assert response.headers["Retry-After"] == "1"
+        finally:
+            conn.close()
         assert body["status"] == "degraded"
         assert body["degraded_backends"] == ["sqlite"]
         assert body["breakers"]["sqlite"]["state"] == "open"
@@ -215,6 +224,75 @@ class TestFallbackReasons:
         assert status == 200
         assert answer["rows"] == [[1]]
         assert any("injected render fault" in r for r in answer["fallback"])
+
+
+class TestDrainSurfaces:
+    """Observability must outlive admission: while a drain waits on
+    in-flight work, an already-open connection can still read ``/stats``,
+    ``/healthz`` and ``/metrics``, and a late ``POST /query`` is refused
+    with a typed 503 that advises when (not) to retry."""
+
+    @staticmethod
+    def _on(conn, method, path, body=None, headers=None):
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.headers), response.read()
+
+    def test_observability_endpoints_answer_during_an_inflight_drain(
+        self, served
+    ):
+        host, port = served.server_address[:2]
+        # Open the keep-alive connection BEFORE drain: shutdown() stops
+        # the accept loop, but established connections keep their handler.
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        release = threading.Event()
+        drainer = threading.Thread(target=served.drain)
+        try:
+            # Prime the connection so the handler thread exists.
+            status, _, _ = self._on(conn, "GET", "/healthz")
+            assert status == 200
+            # Occupy the single worker, then start draining around it.
+            blocker = served.pool.submit(lambda worker: release.wait(30))
+            deadline = time.monotonic() + 5
+            while served.pool.busy < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            drainer.start()
+            deadline = time.monotonic() + 5
+            while not served.pool.draining and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert served.pool.draining
+
+            status, _, body = self._on(conn, "GET", "/stats")
+            assert status == 200
+            stats = json.loads(body)
+            assert stats["pool"]["draining"] is True
+            assert stats["pool"]["busy"] == 1
+
+            status, _, body = self._on(conn, "GET", "/healthz")
+            assert status in (200, 503)  # degraded is fine, silence is not
+            assert json.loads(body)["status"] in ("ok", "degraded")
+
+            status, _, body = self._on(conn, "GET", "/metrics")
+            assert status == 200
+            assert b"arc_pool_queue_depth" in body
+
+            status, headers, body = self._on(
+                conn, "POST", "/query",
+                json.dumps({"query": SIMPLE}),
+                {"Content-Type": "application/json"},
+            )
+            answer = json.loads(body)
+            assert status == 503
+            assert answer["error_type"] == "AdmissionError"
+            assert "draining" in answer["error"]
+            assert headers["Retry-After"] == "1"
+        finally:
+            release.set()
+            conn.close()
+            if drainer.is_alive() or drainer.ident is not None:
+                drainer.join(timeout=10)
+            assert not drainer.is_alive()
+        assert blocker.wait(10) is True
 
 
 class TestGracefulShutdown:

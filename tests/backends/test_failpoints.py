@@ -127,10 +127,19 @@ class TestHitSemantics:
             failpoints.hit("sqlite.connect")
 
 
+#: The sites on the in-process backend execution path.  The ``pool.*``
+#: sites live in the serving layer — arming them cannot (and must not)
+#: perturb a direct Session run; their chaos coverage lives in
+#: ``tests/serve/test_supervision.py``.
+BACKEND_SITES = tuple(
+    site for site in failpoints.SITES if not site.startswith("pool.")
+)
+
+
 class TestChaosDifferential:
     """Armed fault at every site × typed kind → fallback equals the oracle."""
 
-    @pytest.mark.parametrize("site", failpoints.SITES)
+    @pytest.mark.parametrize("site", BACKEND_SITES)
     @pytest.mark.parametrize("kind", ["locked", "error", "unsupported"])
     def test_fault_falls_back_to_a_correct_answer(self, site, kind):
         db = _db()

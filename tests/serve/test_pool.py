@@ -312,3 +312,59 @@ class TestWorkerPool:
             assert got is session
         finally:
             pool.drain()
+
+    def test_submit_supervision_kwargs_default_to_the_old_behavior(self):
+        """``timeout_ms`` / ``fingerprint`` / ``cancel`` are all optional;
+        a bare ``submit(fn)`` behaves exactly as before PR 10 — no
+        quarantine check, no shedding, hard cap at the pool default."""
+        pool = WorkerPool(_factory(), workers=1, queue_depth=4)
+        try:
+            assert pool.submit(lambda worker: "plain").wait(10) == "plain"
+            assert pool.shed_total == 0
+            assert len(pool.quarantine) == 0
+            # A soft deadline scales the hard cap by the backstop factor.
+            from repro.serve.pool import (
+                DEFAULT_HARD_TIMEOUT_MS,
+                HARD_TIMEOUT_FACTOR,
+            )
+
+            assert pool._hard_ms(None) == DEFAULT_HARD_TIMEOUT_MS
+            assert pool._hard_ms(250) == 250 * HARD_TIMEOUT_FACTOR
+        finally:
+            pool.drain()
+
+    def test_explicit_hard_timeout_overrides_the_factor(self):
+        pool = WorkerPool(
+            _factory(), workers=1, queue_depth=4, hard_timeout_ms=123
+        )
+        try:
+            assert pool._hard_ms(None) == 123
+            assert pool._hard_ms(5000) == 123
+        finally:
+            pool.drain()
+
+    def test_service_ewma_tracks_completed_jobs(self):
+        pool = WorkerPool(_factory(), workers=1, queue_depth=4)
+        try:
+            assert pool.service_ewma_s == 0.0
+            pool.submit(lambda worker: time.sleep(0.01)).wait(10)
+            assert pool.service_ewma_s > 0.0
+            assert pool.snapshot()["service_ewma_ms"] > 0.0
+        finally:
+            pool.drain()
+
+
+class TestCoalescerErrorOutcomes:
+    def test_error_outcome_fans_out_to_followers_verbatim(self):
+        """The coalescer stores outcomes opaquely — a leader publishing a
+        typed *error* resolves followers with that same error object, the
+        contract the serving layer's publish-or-fail backstop relies on."""
+        coalescer = Coalescer()
+        entry, leader = coalescer.join("key")
+        assert leader
+        follower_entry, follower_leader = coalescer.join("key")
+        assert not follower_leader
+        sentinel_error = {"status": 500, "error_type": "WorkerCrash"}
+        coalescer.publish("key", sentinel_error)
+        assert follower_entry.wait(1) is sentinel_error
+        assert coalescer.inflight == 0

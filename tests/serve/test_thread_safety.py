@@ -185,6 +185,39 @@ class TestSqliteCacheUnderContention:
         sqlite_exec.clear_catalog_cache()
 
 
+class TestFailpointsUnderContention:
+    def test_counted_spec_fires_exactly_n_times_across_threads(self):
+        """``kind*N`` decrements under the module lock: THREADS workers
+        hammering one armed site consume exactly N firings between them —
+        a lost decrement would fire more, a double decrement fewer."""
+        from repro.util import failpoints
+
+        failpoints.reset()
+        try:
+            budget = 100
+            failpoints.activate("pool.leader", f"boom*{budget}")
+            fired = []
+            lock = threading.Lock()
+
+            def slam(index):
+                count = 0
+                for _ in range(ROUNDS // 10):
+                    try:
+                        failpoints.hit("pool.leader")
+                    except RuntimeError:
+                        count += 1
+                with lock:
+                    fired.append(count)
+
+            _hammer(slam)
+            assert sum(fired) == budget
+            assert failpoints.active()["pool.leader"] == "boom*0"
+            assert failpoints.hits["pool.leader"] == THREADS * (ROUNDS // 10)
+        finally:
+            failpoints.reset()
+            failpoints.load_env()
+
+
 class TestPoolAdmissionUnderContention:
     def test_no_future_is_lost_under_submit_storms(self):
         from repro.api import EvalOptions
